@@ -1,0 +1,107 @@
+// Ablation: what does the .dead consent mechanism cost as the revoked
+// subtree grows? Sweeps depth and fanout, measuring the number of .dead
+// objects, their total bytes, and the wall-clock time to collect + verify
+// + publish the revocation — quantifying §5.3.1's design choice of
+// *recursive* consent (which the paper argues protects ancestors from
+// false accusations).
+#include <chrono>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "consent/authority.hpp"
+#include "rp/relying_party.hpp"
+
+using namespace rpkic;
+using namespace rpkic::bench;
+using consent::Authority;
+using consent::AuthorityDirectory;
+using consent::AuthorityOptions;
+
+namespace {
+
+IpPrefix pfx(const char* s) {
+    return IpPrefix::parse(s);
+}
+
+/// Builds a uniform subtree of the given depth/fanout under a fresh root.
+/// Returns the direct child of the root (the revocation target).
+Authority* buildSubtree(AuthorityDirectory& dir, Authority& root, int depth, int fanout,
+                        Repository& repo, SimClock& clock) {
+    int counter = 0;
+    // Depth-first construction; each node gets a /24-granular slice.
+    struct Builder {
+        AuthorityDirectory& dir;
+        Repository& repo;
+        SimClock& clock;
+        int fanout;
+        int& counter;
+
+        Authority& build(Authority& parent, int levelsLeft, std::uint32_t base, int span) {
+            Authority& node = dir.createChild(
+                parent, "n" + std::to_string(counter++),
+                ResourceSet::ofPrefixes({IpPrefix::v4(base, 32 - span)}), repo, clock.now());
+            if (levelsLeft > 0) {
+                const int childSpan = span - 3;  // room for 8 children
+                for (int i = 0; i < fanout; ++i) {
+                    build(node, levelsLeft - 1,
+                          base + (static_cast<std::uint32_t>(i) << childSpan), childSpan);
+                }
+            }
+            return node;
+        }
+    };
+    Builder b{dir, repo, clock, fanout, counter};
+    return &b.build(root, depth - 1, 0x0A000000u, 20);
+}
+
+}  // namespace
+
+int main() {
+    heading("Ablation: cost of recursive .dead consent vs subtree size");
+    row({"depth", "fanout", "RCs", ".deads", "dead-bytes", "collect-ms", "rp-check-ms"});
+    separator(7);
+
+    for (const auto& [depth, fanout] :
+         {std::pair{1, 1}, {2, 2}, {2, 4}, {3, 2}, {3, 3}, {4, 2}}) {
+        Repository repo;
+        AuthorityDirectory dir(static_cast<std::uint64_t>(depth * 100 + fanout),
+                               AuthorityOptions{.ts = 5, .signerHeight = 7,
+                                                .manifestLifetime = 1000});
+        SimClock clock;
+        Authority& root = dir.createTrustAnchor(
+            "root", ResourceSet::ofPrefixes({pfx("10.0.0.0/8")}), repo, clock.now());
+        Authority* target = buildSubtree(dir, root, depth, fanout, repo, clock);
+
+        rp::RelyingParty alice("alice", {root.cert()}, rp::RpOptions{.ts = 5, .tg = 10});
+        alice.sync(repo.snapshot(), clock.now());
+
+        clock.advance(1);
+        const auto t0 = std::chrono::steady_clock::now();
+        const std::vector<DeadObject> deads = dir.collectRevocationConsent(*target);
+        root.revokeChild(target->name(), deads, repo, clock.now());
+        const auto t1 = std::chrono::steady_clock::now();
+        alice.sync(repo.snapshot(), clock.now());
+        const auto t2 = std::chrono::steady_clock::now();
+
+        std::size_t deadBytes = 0;
+        for (const auto& d : deads) deadBytes += d.encode().size();
+        const std::size_t rcs = deads.size();  // one .dead per revoked RC
+
+        row({num(static_cast<std::uint64_t>(depth)), num(static_cast<std::uint64_t>(fanout)),
+             num(static_cast<std::uint64_t>(rcs)), num(static_cast<std::uint64_t>(deads.size())),
+             num(static_cast<std::uint64_t>(deadBytes)),
+             num(std::chrono::duration<double, std::milli>(t1 - t0).count(), 1),
+             num(std::chrono::duration<double, std::milli>(t2 - t1).count(), 1)});
+
+        if (alice.alarms().count() != 0) {
+            std::printf("  UNEXPECTED ALARM: %s\n", alice.alarms().all()[0].str().c_str());
+        }
+    }
+
+    subheading("context from the paper (§5.7)");
+    std::printf("93%% of production leaf RCs need <= 3 consenting ASes, so the deep\n"
+                "sweeps above are the rare tail. The cost grows with the number of\n"
+                "revoked RCs (one .dead + one signature each), which the paper calls a\n"
+                "feature: RCs that affect many parties SHOULD be hard to revoke.\n");
+    return 0;
+}

@@ -1,0 +1,78 @@
+// Ablation: §5.7 "less crypto" measured in wall-clock. The same Table-8
+// population of authorities and ROAs is built twice —
+//   (a) classic RPKI: per-object signatures; the relying party verifies
+//       every RC, ROA, CRL and manifest;
+//   (b) redesigned RPKI: one signed manifest per publication point; the
+//       relying party verifies manifests (and .dead/.roll objects) only —
+// and a relying party performs a full cold sync of each.
+#include <chrono>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "model/census.hpp"
+#include "model/consent_census.hpp"
+#include "rp/relying_party.hpp"
+#include "vanilla/validation.hpp"
+
+using namespace rpkic;
+using namespace rpkic::bench;
+
+int main(int argc, char** argv) {
+    double scale = 0.25;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--full") scale = 1.0;
+    }
+
+    heading("Ablation: cold-sync cost, classic RPKI vs the redesigned RPKI");
+    std::printf("model scale: %.2f (Table-8 authority/ROA population)\n", scale);
+
+    // --- (a) classic ---------------------------------------------------------
+    model::CensusConfig classicConfig;
+    classicConfig.scale = scale;
+    model::Census classic = model::buildProductionCensus(classicConfig);
+    Repository classicRepo;
+    classic.tree.publish(classicRepo, 0);
+    const Snapshot classicSnap = classicRepo.snapshot();
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const vanilla::Result classicResult = vanilla::validateSnapshot(
+        classicSnap, classic.tree.trustAnchors(), vanilla::Options{.now = 0});
+    const auto t1 = std::chrono::steady_clock::now();
+    const double classicMs = std::chrono::duration<double, std::milli>(t1 - t0).count();
+
+    // --- (b) redesigned ------------------------------------------------------
+    model::CensusConfig consentConfig;
+    consentConfig.scale = scale;
+    model::ConsentCensus consentCensus = model::buildConsentCensus(consentConfig);
+    const Snapshot consentSnap = consentCensus.repository.snapshot();
+
+    const auto t2 = std::chrono::steady_clock::now();
+    rp::RelyingParty alice("alice", consentCensus.trustAnchors,
+                           rp::RpOptions{.ts = 5, .tg = 10});
+    alice.sync(consentSnap, 0);
+    const auto t3 = std::chrono::steady_clock::now();
+    const double newMs = std::chrono::duration<double, std::milli>(t3 - t2).count();
+
+    subheading("results");
+    row({"design", "points", "files", "valid-roas", "alarms/problems", "cold-sync-ms"});
+    separator(6);
+    row({"classic", num(static_cast<std::uint64_t>(classicSnap.points.size())),
+         num(static_cast<std::uint64_t>(classicSnap.totalFiles())),
+         num(static_cast<std::uint64_t>(classicResult.roas.size())),
+         num(static_cast<std::uint64_t>(classicResult.problems.size())),
+         num(classicMs, 0)});
+    row({"redesigned", num(static_cast<std::uint64_t>(consentSnap.points.size())),
+         num(static_cast<std::uint64_t>(consentSnap.totalFiles())),
+         num(static_cast<std::uint64_t>(alice.validRoas().size())),
+         num(static_cast<std::uint64_t>(alice.alarms().count())), num(newMs, 0)});
+
+    subheading("interpretation");
+    std::printf(
+        "Both repositories carry the same Table-8 authority mix (the classic\n"
+        "model additionally clips ROAs to Table 2's totals). The classic pipeline\n"
+        "verifies one signature per RC + ROA + CRL + manifest; the redesign\n"
+        "verifies one per manifest (paper §5.7: ~10,400 -> ~2,800 at full\n"
+        "scale). Measured speedup here: %.1fx.\n",
+        classicMs / std::max(1.0, newMs));
+    return 0;
+}

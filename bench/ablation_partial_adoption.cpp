@@ -1,0 +1,103 @@
+// Ablation: partial adoption of drop-invalid (paper §3.1: "availability of
+// a route at one router can depend strongly on local policy used at other
+// routers"; cf. Lychev-Goldberg-Schapira's partial-deployment study).
+//
+// Sweeps the fraction of ASes enforcing drop-invalid while the rest accept
+// everything, under (a) a subprefix hijack with a healthy RPKI and (b) an
+// RPKI takedown of the victim's route. Enforcement is modeled at the
+// forwarding decision: an adopter ignores invalid routes, a non-adopter
+// uses them.
+#include <cstdio>
+#include <memory>
+#include <set>
+
+#include "bench_util.hpp"
+#include "bgp/bgp.hpp"
+#include "detector/validity_index.hpp"
+
+using namespace rpkic;
+using namespace rpkic::bench;
+
+namespace {
+
+/// Fraction of non-origin ASes whose traffic reaches the victim when a
+/// random `adopters` subset enforces drop-invalid at selection time.
+double partialReach(const bgp::AsGraph& graph, const std::set<Asn>& adopters,
+                    const bgp::Classifier& classifier,
+                    const std::vector<bgp::Announcement>& anns, Asn victim,
+                    const IpPrefix& probe) {
+    // Two parallel simulations: the drop-invalid RIB (what adopters see,
+    // approximating filtering at every adopter) and the accept-all RIB.
+    bgp::RoutingSim dropSim(graph, bgp::LocalPolicy::DropInvalid, classifier);
+    bgp::RoutingSim anySim(graph, bgp::LocalPolicy::AcceptAll, classifier);
+    dropSim.announce(anns);
+    anySim.announce(anns);
+
+    std::size_t reached = 0;
+    std::size_t total = 0;
+    std::set<Asn> origins;
+    for (const auto& a : anns) origins.insert(a.origin);
+    for (const Asn asn : graph.nodes()) {
+        if (origins.count(asn) > 0) continue;
+        ++total;
+        const auto decision = adopters.count(asn) > 0 ? dropSim.forwardingDecision(asn, probe)
+                                                      : anySim.forwardingDecision(asn, probe);
+        if (decision.has_value() && decision->origin == victim) ++reached;
+    }
+    return total == 0 ? 0.0 : static_cast<double>(reached) / static_cast<double>(total);
+}
+
+}  // namespace
+
+int main() {
+    heading("Ablation: partial adoption of drop-invalid");
+
+    Rng rng(23);
+    const bgp::AsGraph graph = bgp::AsGraph::randomTopology(500, 2, rng);
+    const Asn victim = 1;
+    const Asn attacker = 2;
+    const IpPrefix victimPrefix = IpPrefix::parse("10.0.0.0/16");
+    const IpPrefix subPrefix = IpPrefix::parse("10.0.7.0/24");
+
+    auto healthy = std::make_shared<PrefixValidityIndex>(
+        RpkiState({{victimPrefix, 16, victim}}));
+    auto whacked = std::make_shared<PrefixValidityIndex>(
+        RpkiState({{IpPrefix::parse("10.0.0.0/12"), 12, 9999}}));
+    const bgp::Classifier healthyC = [healthy](const Route& r) { return healthy->classify(r); };
+    const bgp::Classifier whackedC = [whacked](const Route& r) { return whacked->classify(r); };
+
+    const std::vector<bgp::Announcement> hijack = {{victimPrefix, victim},
+                                                   {subPrefix, attacker}};
+    const std::vector<bgp::Announcement> takedownOnly = {{victimPrefix, victim}};
+
+    row({"adoption", "hijack-protect", "takedown-loss"});
+    separator(3);
+    std::vector<Asn> shuffled = graph.nodes();
+    Rng pickRng(99);
+    pickRng.shuffle(shuffled);
+    for (const int adoptionPct : {0, 10, 25, 50, 75, 100}) {
+        std::set<Asn> adopters(shuffled.begin(),
+                               shuffled.begin() + static_cast<long>(shuffled.size() *
+                                                                    static_cast<std::size_t>(
+                                                                        adoptionPct) / 100));
+        // (a) healthy RPKI, subprefix hijack: adopters keep reaching the
+        //     victim; non-adopters follow the hijacker's more-specific.
+        const double protectedFrac =
+            partialReach(graph, adopters, healthyC, hijack, victim, subPrefix);
+        // (b) RPKI manipulation: adopters drop the victim's (invalid)
+        //     route; non-adopters keep it.
+        const double stillOnline =
+            partialReach(graph, adopters, whackedC, takedownOnly, victim, subPrefix);
+        row({num(static_cast<std::uint64_t>(adoptionPct)) + "%", percent(protectedFrac),
+             percent(stillOnline)});
+    }
+
+    subheading("reading");
+    std::printf("Security benefit AND takedown exposure scale together with adoption:\n"
+                "at 0%% adoption the hijack wins everywhere but the takedown is\n"
+                "harmless; at 100%% the hijack is dead and the takedown is total.\n"
+                "This is the paper's §3.1 tradeoff made quantitative — and the\n"
+                "motivation for its transparency mechanisms: the more the RPKI is\n"
+                "enforced, the more its authorities must be auditable.\n");
+    return 0;
+}

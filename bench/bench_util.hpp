@@ -1,0 +1,55 @@
+// Shared console-output helpers for the experiment harnesses: aligned
+// tables and "paper vs measured" comparison rows.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace rpkic::bench {
+
+inline void heading(const std::string& title) {
+    std::printf("\n================================================================\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("================================================================\n");
+}
+
+inline void subheading(const std::string& title) {
+    std::printf("\n--- %s ---\n", title.c_str());
+}
+
+/// Prints one row of an aligned table; column widths fixed at 16.
+inline void row(const std::vector<std::string>& cells) {
+    for (const auto& cell : cells) std::printf("%-16s", cell.c_str());
+    std::printf("\n");
+}
+
+inline void separator(std::size_t columns) {
+    for (std::size_t i = 0; i < columns; ++i) std::printf("%-16s", "---------------");
+    std::printf("\n");
+}
+
+/// "paper: X, measured: Y" comparison line.
+inline void compare(const std::string& what, const std::string& paper,
+                    const std::string& measured) {
+    std::printf("  %-52s paper: %-14s measured: %s\n", what.c_str(), paper.c_str(),
+                measured.c_str());
+}
+
+inline std::string num(double v, int decimals = 1) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+    return buf;
+}
+
+inline std::string num(std::uint64_t v) {
+    return std::to_string(v);
+}
+
+inline std::string percent(double fraction, int decimals = 1) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f%%", decimals, fraction * 100.0);
+    return buf;
+}
+
+}  // namespace rpkic::bench

@@ -1,0 +1,80 @@
+// Reproduces paper Figure 6: visualizations of downgrade events.
+//   (l) Case Study 1 — the prefix tree rooted at 173.251.0.0/16 when the
+//       ROA (173.251.0.0/17, max 24, AS 6128) appears; BGP-feed routes
+//       that turned invalid get black circles.
+//   (r) the Figure-1 model when the covering ROA (63.174.16.0/20,
+//       AS 17054) is added.
+// Writes fig6_left.svg / fig6_right.svg next to the binary and prints the
+// ASCII rendering plus node-state counts.
+#include <cstdio>
+#include <fstream>
+
+#include "bench_util.hpp"
+#include "viz/prefix_tree_viz.hpp"
+
+using namespace rpkic;
+using namespace rpkic::bench;
+
+namespace {
+
+IpPrefix pfx(const char* s) {
+    return IpPrefix::parse(s);
+}
+
+void writeFile(const std::string& path, const std::string& contents) {
+    std::ofstream out(path);
+    out << contents;
+    std::printf("wrote %s (%zu bytes)\n", path.c_str(), contents.size());
+}
+
+}  // namespace
+
+int main() {
+    heading("Figure 6(l): Case Study 1 visualization");
+    {
+        const PrefixValidityIndex before{RpkiState{}};
+        const PrefixValidityIndex after{RpkiState({{pfx("173.251.0.0/17"), 24, 6128}})};
+        const std::vector<Route> feed = {
+            {pfx("173.251.91.0/24"), 53725},
+            {pfx("173.251.54.0/24"), 13599},
+            {pfx("173.251.128.0/24"), 7018},
+        };
+        const viz::PrefixTreeViz v(before, after,
+                                   viz::VizConfig{pfx("173.251.0.0/16"), 8, 53725}, feed);
+        std::printf("%s\n", v.renderAscii().c_str());
+        writeFile("fig6_left.svg", v.renderSvg());
+        compare("downgraded (unknown->invalid) nodes", "the /17 triangle to depth 24",
+                num(static_cast<std::uint64_t>(v.countState(viz::NodeState::DowngradedToInvalid))));
+        compare("feed routes marked invalid (black circles)", "2",
+                num(static_cast<std::uint64_t>(
+                    std::count_if(v.feedMarks().begin(), v.feedMarks().end(),
+                                  [](const viz::FeedMark& m) {
+                                      return m.stateAfter == RouteValidity::Invalid;
+                                  }))));
+    }
+
+    heading("Figure 6(r): covering ROA added in the Figure-1 model");
+    {
+        const PrefixValidityIndex before{RpkiState({
+            {pfx("63.168.93.0/24"), 24, 7341},
+            {pfx("63.174.16.0/24"), 24, 19817},
+        })};
+        const PrefixValidityIndex after{RpkiState({
+            {pfx("63.168.93.0/24"), 24, 7341},
+            {pfx("63.174.16.0/24"), 24, 19817},
+            {pfx("63.174.16.0/20"), 24, 17054},
+        })};
+        const viz::PrefixTreeViz v(before, after,
+                                   viz::VizConfig{pfx("63.174.16.0/20"), 4, 19817});
+        std::printf("%s\n", v.renderAscii().c_str());
+        writeFile("fig6_right.svg", v.renderSvg());
+        compare("routes already invalid before stay 'invalid', not 'downgraded'",
+                "covered routes do not reappear as downgrades",
+                num(static_cast<std::uint64_t>(v.countState(viz::NodeState::Invalid))) +
+                    " invalid vs " +
+                    num(static_cast<std::uint64_t>(
+                        v.countState(viz::NodeState::DowngradedToInvalid))) +
+                    " downgraded");
+    }
+    return 0;
+}

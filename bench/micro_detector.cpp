@@ -1,0 +1,88 @@
+// Microbenchmarks for the §4.1 detector: prefix-validity index
+// construction (the paper's O(n log n) claim), state diffing, and route
+// classification, swept over the number of ROA tuples.
+#include <benchmark/benchmark.h>
+
+#include "detector/diff.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace rpkic;
+
+RpkiState randomState(std::size_t n, std::uint64_t seed) {
+    Rng rng(seed);
+    std::vector<RoaTuple> tuples;
+    tuples.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const int len = static_cast<int>(rng.nextInRange(10, 24));
+        const auto addr = static_cast<std::uint32_t>(rng.nextU64()) &
+                          ~((1u << (32 - len)) - 1u);
+        const auto maxLen = static_cast<std::uint8_t>(rng.nextInRange(
+            static_cast<std::uint64_t>(len), std::min(24, len + 8)));
+        tuples.push_back({IpPrefix::v4(addr, len), maxLen,
+                          static_cast<Asn>(rng.nextInRange(1, 8000))});
+    }
+    return RpkiState(std::move(tuples));
+}
+
+void BM_IndexConstruction(benchmark::State& state) {
+    const RpkiState s = randomState(static_cast<std::size_t>(state.range(0)), 42);
+    for (auto _ : state) {
+        PrefixValidityIndex idx(s);
+        benchmark::DoNotOptimize(idx.invalidFootprintAddresses());
+    }
+    state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_IndexConstruction)->Range(1000, 100000)->Complexity(benchmark::oNLogN)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Classify(benchmark::State& state) {
+    const RpkiState s = randomState(20000, 42);  // production-sized
+    const PrefixValidityIndex idx(s);
+    Rng rng(7);
+    for (auto _ : state) {
+        const Route r{IpPrefix::v4(static_cast<std::uint32_t>(rng.nextU64()), 24),
+                      static_cast<Asn>(rng.nextInRange(1, 8000))};
+        benchmark::DoNotOptimize(idx.classify(r));
+    }
+}
+BENCHMARK(BM_Classify);
+
+void BM_DailyDiff(benchmark::State& state) {
+    // Two states differing by ~20 tuples, like consecutive trace days.
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    const RpkiState prev = randomState(n, 42);
+    std::vector<RoaTuple> tuples = prev.tuples();
+    Rng rng(43);
+    for (int i = 0; i < 10 && !tuples.empty(); ++i) {
+        tuples.erase(tuples.begin() +
+                     static_cast<long>(rng.nextBelow(tuples.size())));
+    }
+    const RpkiState cur = randomState(10, 99);
+    std::vector<RoaTuple> merged = tuples;
+    merged.insert(merged.end(), cur.tuples().begin(), cur.tuples().end());
+    const RpkiState next{std::move(merged)};
+
+    const PrefixValidityIndex idxPrev(prev), idxNext(next);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(diffStates(idxPrev, idxNext));
+    }
+    state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_DailyDiff)->Range(1000, 50000)->Unit(benchmark::kMillisecond);
+
+void BM_TriangleSetAlgebra(benchmark::State& state) {
+    const RpkiState a = randomState(10000, 1);
+    const RpkiState b = randomState(10000, 2);
+    const PrefixValidityIndex ia(a), ib(b);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(ia.knownTriangles().subtract(ib.knownTriangles()));
+        benchmark::DoNotOptimize(ia.knownTriangles().intersect(ib.knownTriangles()));
+    }
+}
+BENCHMARK(BM_TriangleSetAlgebra)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+// Reproduces paper Table 9: the distribution of ASes per direct-allocation
+// RC in a model of a *fully deployed* RPKI (the paper's model from BGP
+// feeds + RIR files of 2012-05-06), plus the "with great power comes great
+// responsibility" outlier analysis.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "model/deployment.hpp"
+
+using namespace rpkic;
+using namespace rpkic::bench;
+
+int main(int argc, char** argv) {
+    double scale = 1.0;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--quick") scale = 0.1;
+    }
+
+    heading("Table 9: ASes per direct-allocation RC, full-deployment model");
+    std::printf("model scale: %.2f\n", scale);
+
+    model::DeploymentConfig config;
+    config.scale = scale;
+    const model::DeploymentModel m = model::buildDeploymentModel(config);
+    const auto hist = m.consentHistogram();
+
+    row({"# ASes", "allocations", "paper"});
+    separator(3);
+    const char* paperCounts[] = {"115605", "594", "132", "15", "11"};
+    const char* labels[] = {"1-10", "11-30", "31-100", "100-200", ">200"};
+    for (int i = 0; i < 5; ++i) {
+        row({labels[i], num(static_cast<std::uint64_t>(hist[static_cast<std::size_t>(i)])),
+             paperCounts[i]});
+    }
+
+    subheading("aggregate statistics vs the paper");
+    compare("direct-allocation RCs", "116357",
+            num(static_cast<std::uint64_t>(m.allocationCount())));
+    compare("mean ASes per direct allocation", "1.5", num(m.meanAsesPerAllocation(), 2));
+    const auto over100 = m.outliers(100);
+    compare("allocations with > 100 ASes", "26 (0.02%)",
+            num(static_cast<std::uint64_t>(over100.size())) + " (" +
+                percent(static_cast<double>(over100.size()) /
+                            static_cast<double>(m.allocationCount()),
+                        3) +
+                ")");
+    const auto over25 = m.outliers(25);
+    compare("allocations with > 25 ASes", "221 (0.18%)",
+            num(static_cast<std::uint64_t>(over25.size())) + " (" +
+                percent(static_cast<double>(over25.size()) /
+                            static_cast<double>(m.allocationCount()),
+                        2) +
+                ")");
+
+    subheading("named outliers");
+    row({"holder", "prefix", "# ASes", "paper"});
+    separator(4);
+    const auto out = m.outliers(200);
+    const char* paperAses[] = {"1073", "721", "598"};
+    for (std::size_t i = 0; i < out.size() && i < 3; ++i) {
+        row({out[i]->holder, out[i]->prefix.str(),
+             num(static_cast<std::uint64_t>(out[i]->asns.size())), paperAses[i]});
+    }
+    std::printf("\nRevoking these outliers requires many .dead objects — \"we consider\n"
+                "this to be a feature, not a bug\" (§5.7): they can impact routing to\n"
+                "hundreds of ASes, so revoking them should not be easy.\n");
+    return 0;
+}

@@ -1,0 +1,85 @@
+// Detector walkthrough: replay the paper's Case Studies 1 and 2 as state
+// transitions, print the downgrade report an operator would receive, and
+// write the Figure-6-style SVG visualization.
+//
+//   $ ./detector_watch
+#include <cstdio>
+#include <fstream>
+
+#include "detector/diff.hpp"
+#include "viz/prefix_tree_viz.hpp"
+
+using namespace rpkic;
+
+namespace {
+
+IpPrefix pfx(const char* s) {
+    return IpPrefix::parse(s);
+}
+
+void printReport(const char* title, const DowngradeReport& report) {
+    std::printf("\n== %s ==\n", title);
+    std::printf("  valid->invalid pairs:   %llu\n",
+                static_cast<unsigned long long>(report.validToInvalidPairs));
+    std::printf("  valid->unknown pairs:   %llu\n",
+                static_cast<unsigned long long>(report.validToUnknownPairs));
+    std::printf("  unknown->invalid pairs: %llu\n",
+                static_cast<unsigned long long>(report.unknownToInvalidPairs));
+    std::printf("  invalid addresses: %llu -> %llu\n",
+                static_cast<unsigned long long>(report.invalidAddressesBefore),
+                static_cast<unsigned long long>(report.invalidAddressesAfter));
+    for (const auto& t : report.tupleTransitions) {
+        std::printf("  route %-28s %s -> %s%s\n", t.route.str().c_str(),
+                    std::string(toString(t.before)).c_str(),
+                    std::string(toString(t.after)).c_str(),
+                    t.isDowngrade() ? "   <-- DOWNGRADE" : "");
+    }
+    for (const auto& as : report.perAs) {
+        if (as.exampleLostValid.empty()) continue;
+        std::printf("  AS%u lost validity for:", as.asn);
+        for (const auto& p : as.exampleLostValid) std::printf(" %s", p.str().c_str());
+        std::printf("\n");
+    }
+}
+
+}  // namespace
+
+int main() {
+    // --- Case Study 1: ROA misconfiguration (2013-12-13) -------------------
+    // A new ROA (173.251.0.0/17, maxLength 24, AS 6128) appears; legitimate
+    // /24 announcements without their own ROAs downgrade unknown->invalid.
+    const RpkiState cs1Before;
+    const RpkiState cs1After({{pfx("173.251.0.0/17"), 24, 6128}});
+    printReport("Case Study 1: added ROA (173.251.0.0/17-24, AS 6128)",
+                diffStates(cs1Before, cs1After));
+
+    const PrefixValidityIndex idx(cs1After);
+    std::printf("  now invalid: %s, %s\n",
+                Route{pfx("173.251.91.0/24"), 53725}.str().c_str(),
+                Route{pfx("173.251.54.0/24"), 13599}.str().c_str());
+
+    // Visualize it (Figure 6 left).
+    const PrefixValidityIndex before(cs1Before);
+    const std::vector<Route> feed = {{pfx("173.251.91.0/24"), 53725},
+                                     {pfx("173.251.54.0/24"), 13599}};
+    const viz::PrefixTreeViz viz(before, idx, viz::VizConfig{pfx("173.251.0.0/16"), 8, 53725},
+                                 feed);
+    std::ofstream("detector_watch_cs1.svg") << viz.renderSvg();
+    std::printf("  wrote detector_watch_cs1.svg\n");
+
+    // --- Case Study 2: deleted ROA under a covering ROA (2013-12-19) -------
+    const RpkiState cs2Before({
+        {pfx("79.139.96.0/24"), 24, 51813},  // the victim (Russian network)
+        {pfx("79.139.96.0/19"), 20, 43782},  // covering ROA, another ISP
+    });
+    const RpkiState cs2After({
+        {pfx("79.139.96.0/19"), 20, 43782},
+    });
+    printReport("Case Study 2: deleted ROA (79.139.96.0/24, AS 51813)",
+                diffStates(cs2Before, cs2After));
+    std::printf("\nBecause the covering /19 ROA remains, the victim's route became\n"
+                "INVALID (not unknown) — a relying party dropping invalid routes\n"
+                "loses connectivity to it. The detector is the paper's alert system\n"
+                "for exactly this kind of silent takedown.\n");
+    return 0;
+}

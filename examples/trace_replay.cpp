@@ -1,0 +1,77 @@
+// Replays the synthetic 91-day trace of the production RPKI as a live
+// monitoring feed: for each day, the detector compares the new state with
+// the previous one and prints the alerts an operator would have received —
+// including the four case studies, on their real dates.
+//
+//   $ ./trace_replay [--all]   (--all also prints quiet days)
+#include <cstdio>
+#include <optional>
+#include <string>
+
+#include "detector/diff.hpp"
+#include "model/trace.hpp"
+
+using namespace rpkic;
+
+int main(int argc, char** argv) {
+    bool showAll = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--all") showAll = true;
+    }
+
+    std::printf("replaying the 2013-10-23 -> 2014-01-21 trace through the detector\n\n");
+    const model::Trace trace = model::generateTrace({});
+
+    std::optional<PrefixValidityIndex> prev;
+    int alertDays = 0;
+    for (const auto& entry : trace.entries) {
+        if (!entry.collected) {
+            std::printf("%s  (collector down)\n", entry.date.c_str());
+            prev.reset();
+            continue;
+        }
+        PrefixValidityIndex cur(entry.state);
+        if (!prev.has_value()) {
+            prev.emplace(std::move(cur));
+            continue;
+        }
+        const DowngradeReport report = diffStates(*prev, cur, 3);
+        // Alert on takedowns of previously-valid routes and on competing
+        // ROAs; routine growth (unknown -> invalid for everyone else) is
+        // context, not an alert (cf. Figure 5's framing).
+        const bool interesting = report.validToInvalidPairs > 0 ||
+                                 report.validToUnknownPairs > 0 ||
+                                 !report.competingRoas.empty();
+        if (interesting || showAll) {
+            std::printf("%s  v->i=%llu v->u=%llu u->i=%llu  invalid-addrs=%llu\n",
+                        entry.date.c_str(),
+                        static_cast<unsigned long long>(report.validToInvalidPairs),
+                        static_cast<unsigned long long>(report.validToUnknownPairs),
+                        static_cast<unsigned long long>(report.unknownToInvalidPairs),
+                        static_cast<unsigned long long>(report.invalidAddressesAfter));
+            for (const auto& t : report.tupleTransitions) {
+                if (!t.isDowngrade()) continue;
+                std::printf("    ALERT downgrade %s: %s -> %s\n", t.route.str().c_str(),
+                            std::string(toString(t.before)).c_str(),
+                            std::string(toString(t.after)).c_str());
+            }
+            for (const auto& c : report.competingRoas) {
+                std::printf("    ALERT competing ROA %s contests %s\n",
+                            c.added.str().c_str(), c.existing.str().c_str());
+            }
+            for (const auto& e : entry.events) {
+                if (e.kind == model::TraceEventKind::StaleManifests ||
+                    e.kind == model::TraceEventKind::RcOverwritten) {
+                    std::printf("    (ground truth: %s)\n", e.description.c_str());
+                }
+            }
+            if (interesting) ++alertDays;
+        }
+        prev.emplace(std::move(cur));
+    }
+    std::printf("\n%d of %d days produced alerts; the four case studies appear on\n"
+                "2013-12-13, 2013-12-19, 2013-12-20 and 2014-01-05, exactly as in the\n"
+                "paper's measurement window.\n",
+                alertDays, trace.days());
+    return 0;
+}

@@ -1,0 +1,181 @@
+#include "bgp/bgp.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/errors.hpp"
+
+namespace rpkic::bgp {
+
+const std::vector<Asn> AsGraph::kNoNeighbors{};
+
+std::string_view toString(LocalPolicy p) {
+    switch (p) {
+        case LocalPolicy::AcceptAll: return "accept-all";
+        case LocalPolicy::DropInvalid: return "drop-invalid";
+        case LocalPolicy::DeprefInvalid: return "depref-invalid";
+    }
+    return "?";
+}
+
+void AsGraph::addNode(Asn a) {
+    adjacency_.try_emplace(a);
+}
+
+void AsGraph::addEdge(Asn a, Asn b) {
+    if (a == b) throw UsageError("self-loop in AS graph");
+    auto& na = adjacency_[a];
+    auto& nb = adjacency_[b];
+    if (std::find(na.begin(), na.end(), b) == na.end()) na.push_back(b);
+    if (std::find(nb.begin(), nb.end(), a) == nb.end()) nb.push_back(a);
+}
+
+const std::vector<Asn>& AsGraph::neighbors(Asn a) const {
+    const auto it = adjacency_.find(a);
+    return it == adjacency_.end() ? kNoNeighbors : it->second;
+}
+
+std::vector<Asn> AsGraph::nodes() const {
+    std::vector<Asn> out;
+    out.reserve(adjacency_.size());
+    for (const auto& [asn, nbrs] : adjacency_) out.push_back(asn);
+    return out;
+}
+
+std::map<Asn, int> AsGraph::distancesFrom(Asn origin) const {
+    std::map<Asn, int> dist;
+    if (!hasNode(origin)) return dist;
+    std::deque<Asn> queue{origin};
+    dist[origin] = 0;
+    while (!queue.empty()) {
+        const Asn u = queue.front();
+        queue.pop_front();
+        for (const Asn v : neighbors(u)) {
+            if (dist.count(v) == 0) {
+                dist[v] = dist[u] + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    return dist;
+}
+
+AsGraph AsGraph::randomTopology(int n, int edgesPerNode, Rng& rng, Asn startAsn) {
+    if (n < 2) throw UsageError("topology needs at least two ASes");
+    AsGraph g;
+    std::vector<Asn> endpoints;  // preferential attachment: degree-weighted pool
+    g.addEdge(startAsn, startAsn + 1);
+    endpoints.push_back(startAsn);
+    endpoints.push_back(startAsn + 1);
+    for (int i = 2; i < n; ++i) {
+        const Asn self = startAsn + static_cast<Asn>(i);
+        g.addNode(self);
+        const int links = std::max(1, std::min(edgesPerNode, i));
+        for (int e = 0; e < links; ++e) {
+            Asn target = rng.pick(endpoints);
+            if (target == self) target = startAsn;
+            g.addEdge(self, target);
+            endpoints.push_back(target);
+        }
+        endpoints.push_back(self);
+    }
+    return g;
+}
+
+RoutingSim::RoutingSim(const AsGraph& graph, LocalPolicy policy, Classifier classifier)
+    : graph_(graph), policy_(policy), classifier_(std::move(classifier)) {}
+
+namespace {
+
+/// Lower rank = more preferred. RFC 6483 depref order: valid > unknown >
+/// invalid (invalid still usable).
+int validityRank(RouteValidity v) {
+    switch (v) {
+        case RouteValidity::Valid: return 0;
+        case RouteValidity::Unknown: return 1;
+        case RouteValidity::Invalid: return 2;
+    }
+    return 3;
+}
+
+}  // namespace
+
+void RoutingSim::announce(std::span<const Announcement> announcements) {
+    ribs_.clear();
+    origins_.clear();
+    for (const auto& ann : announcements) {
+        origins_.push_back(ann.origin);
+        const RouteValidity validity = classifier_(Route{ann.prefix, ann.origin});
+        if (policy_ == LocalPolicy::DropInvalid && validity == RouteValidity::Invalid) {
+            // The origin keeps its own route; nobody else accepts it.
+            ribs_[ann.origin][ann.prefix] = SelectedRoute{ann.prefix, ann.origin, 0, validity};
+            continue;
+        }
+        const std::map<Asn, int> dist = graph_.distancesFrom(ann.origin);
+        for (const auto& [asn, hops] : dist) {
+            const SelectedRoute candidate{ann.prefix, ann.origin, hops, validity};
+            auto& slot = ribs_[asn];
+            const auto it = slot.find(ann.prefix);
+            if (it == slot.end()) {
+                slot.emplace(ann.prefix, candidate);
+                continue;
+            }
+            SelectedRoute& best = it->second;
+            // Selection: policy rank (only under depref), then path length,
+            // then lower origin for determinism.
+            int rankNew = 0, rankOld = 0;
+            if (policy_ == LocalPolicy::DeprefInvalid) {
+                rankNew = validityRank(candidate.validity);
+                rankOld = validityRank(best.validity);
+            }
+            const auto keyNew = std::tuple(rankNew, candidate.pathLength, candidate.origin);
+            const auto keyOld = std::tuple(rankOld, best.pathLength, best.origin);
+            if (keyNew < keyOld) best = candidate;
+        }
+    }
+}
+
+const SelectedRoute* RoutingSim::routeForPrefix(Asn viewpoint, const IpPrefix& prefix) const {
+    const auto ribIt = ribs_.find(viewpoint);
+    if (ribIt == ribs_.end()) return nullptr;
+    const auto it = ribIt->second.find(prefix);
+    return it == ribIt->second.end() ? nullptr : &it->second;
+}
+
+std::optional<SelectedRoute> RoutingSim::forwardingDecision(Asn viewpoint,
+                                                            const IpPrefix& probe) const {
+    const auto ribIt = ribs_.find(viewpoint);
+    if (ribIt == ribs_.end()) return std::nullopt;
+    const SelectedRoute* best = nullptr;
+    for (const auto& [prefix, route] : ribIt->second) {
+        if (!prefix.covers(probe)) continue;  // longest-prefix-match candidates
+        if (best == nullptr || prefix.length > best->prefix.length) best = &route;
+    }
+    if (best == nullptr) return std::nullopt;
+    return *best;
+}
+
+double RoutingSim::fractionReaching(Asn legitimateOrigin, const IpPrefix& probe) const {
+    std::size_t reached = 0;
+    std::size_t total = 0;
+    for (const Asn asn : graph_.nodes()) {
+        if (std::find(origins_.begin(), origins_.end(), asn) != origins_.end()) continue;
+        ++total;
+        const auto decision = forwardingDecision(asn, probe);
+        if (decision.has_value() && decision->origin == legitimateOrigin) ++reached;
+    }
+    return total == 0 ? 0.0 : static_cast<double>(reached) / static_cast<double>(total);
+}
+
+double runScenario(const AsGraph& graph, LocalPolicy policy, const Classifier& classifier,
+                   const HijackScenario& scenario) {
+    std::vector<Announcement> announcements{{scenario.victimPrefix, scenario.victimAs}};
+    if (scenario.attackPrefix.has_value()) {
+        announcements.push_back({*scenario.attackPrefix, scenario.attackerAs});
+    }
+    RoutingSim sim(graph, policy, classifier);
+    sim.announce(announcements);
+    return sim.fractionReaching(scenario.victimAs, scenario.probe);
+}
+
+}  // namespace rpkic::bgp

@@ -1,0 +1,120 @@
+// A minimal BGP substrate: an AS-level topology, route propagation, local
+// validation policies, and longest-prefix-match forwarding.
+//
+// This is deliberately simple — shortest-path propagation without
+// valley-free economics — because the paper's Table 3 is about the
+// interaction of *validation policy* with *longest-prefix-match*, not
+// about BGP policy richness:
+//
+//   policy          | routing attack           | RPKI manipulation
+//   ----------------+--------------------------+----------------------
+//   drop invalid    | stops (sub)prefix hijack | prefix goes offline
+//   depref invalid  | subprefix hijack works   | prefix may stay online
+//
+// A subprefix hijack wins under depref-invalid because the router "still
+// selects an invalid route when there is no valid route for the exact same
+// IP prefix" (RFC 6483), and longest-prefix-match then steers traffic to
+// the hijacker.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "ip/prefix.hpp"
+#include "util/rng.hpp"
+
+namespace rpkic::bgp {
+
+/// Local policy for applying route validity (paper §3.1, Table 3).
+enum class LocalPolicy : std::uint8_t {
+    AcceptAll,      ///< pre-RPKI behaviour: validity ignored
+    DropInvalid,    ///< discard routes the RPKI classifies invalid
+    DeprefInvalid,  ///< prefer valid > unknown > invalid per prefix
+};
+
+std::string_view toString(LocalPolicy p);
+
+/// Classifier: typically PrefixValidityIndex::classify bound to a state.
+using Classifier = std::function<RouteValidity(const Route&)>;
+
+struct Announcement {
+    IpPrefix prefix;
+    Asn origin = 0;
+};
+
+/// Undirected AS-level topology.
+class AsGraph {
+public:
+    void addNode(Asn a);
+    void addEdge(Asn a, Asn b);
+    bool hasNode(Asn a) const { return adjacency_.count(a) > 0; }
+    const std::vector<Asn>& neighbors(Asn a) const;
+    std::vector<Asn> nodes() const;
+    std::size_t nodeCount() const { return adjacency_.size(); }
+
+    /// BFS hop distance from `origin` to every reachable node.
+    std::map<Asn, int> distancesFrom(Asn origin) const;
+
+    /// Connected preferential-attachment graph over `n` ASes numbered
+    /// startAsn..startAsn+n-1, with `edgesPerNode` links per new node.
+    static AsGraph randomTopology(int n, int edgesPerNode, Rng& rng, Asn startAsn = 1);
+
+private:
+    std::map<Asn, std::vector<Asn>> adjacency_;
+    static const std::vector<Asn> kNoNeighbors;
+};
+
+struct SelectedRoute {
+    IpPrefix prefix;
+    Asn origin = 0;
+    int pathLength = 0;
+    RouteValidity validity = RouteValidity::Unknown;
+};
+
+/// Propagates a set of announcements over a topology under one policy and
+/// answers forwarding questions.
+class RoutingSim {
+public:
+    RoutingSim(const AsGraph& graph, LocalPolicy policy, Classifier classifier);
+
+    /// Clears state and propagates the announcements.
+    void announce(std::span<const Announcement> announcements);
+
+    /// The route installed at `viewpoint` for exactly `prefix` (after
+    /// policy-based selection among same-prefix candidates).
+    const SelectedRoute* routeForPrefix(Asn viewpoint, const IpPrefix& prefix) const;
+
+    /// Longest-prefix-match forwarding decision at `viewpoint` for an
+    /// address inside `probe`. Returns the origin the traffic flows to.
+    std::optional<SelectedRoute> forwardingDecision(Asn viewpoint, const IpPrefix& probe) const;
+
+    /// Fraction of ASes (excluding the origins themselves) whose traffic
+    /// for `probe` reaches `legitimateOrigin`.
+    double fractionReaching(Asn legitimateOrigin, const IpPrefix& probe) const;
+
+private:
+    const AsGraph& graph_;
+    LocalPolicy policy_;
+    Classifier classifier_;
+    // Per AS: per prefix: the selected route.
+    std::map<Asn, std::map<IpPrefix, SelectedRoute>> ribs_;
+    std::vector<Asn> origins_;
+};
+
+/// One Table-3 cell: runs victim + attacker announcements under `policy`
+/// and returns the fraction of ASes whose traffic reaches the victim.
+struct HijackScenario {
+    IpPrefix victimPrefix;
+    Asn victimAs = 0;
+    std::optional<IpPrefix> attackPrefix;  ///< nullopt = attacker silent
+    Asn attackerAs = 0;
+    IpPrefix probe;  ///< address block whose reachability is measured
+};
+
+double runScenario(const AsGraph& graph, LocalPolicy policy, const Classifier& classifier,
+                   const HijackScenario& scenario);
+
+}  // namespace rpkic::bgp

@@ -1,0 +1,262 @@
+#include "bgp/valley_free.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/errors.hpp"
+
+namespace rpkic::bgp {
+
+const std::vector<Asn> AsHierarchy::kNone{};
+
+std::string_view toString(RouteClass c) {
+    switch (c) {
+        case RouteClass::Customer: return "customer";
+        case RouteClass::Peer: return "peer";
+        case RouteClass::Provider: return "provider";
+    }
+    return "?";
+}
+
+void AsHierarchy::addNode(Asn a) {
+    nodes_.try_emplace(a);
+}
+
+void AsHierarchy::addCustomerProvider(Asn customer, Asn provider) {
+    if (customer == provider) throw UsageError("self-loop in AS hierarchy");
+    nodes_[customer].providers.push_back(provider);
+    nodes_[provider].customers.push_back(customer);
+}
+
+void AsHierarchy::addPeer(Asn a, Asn b) {
+    if (a == b) throw UsageError("self-peering");
+    nodes_[a].peers.push_back(b);
+    nodes_[b].peers.push_back(a);
+}
+
+const std::vector<Asn>& AsHierarchy::providersOf(Asn a) const {
+    const auto it = nodes_.find(a);
+    return it == nodes_.end() ? kNone : it->second.providers;
+}
+
+const std::vector<Asn>& AsHierarchy::customersOf(Asn a) const {
+    const auto it = nodes_.find(a);
+    return it == nodes_.end() ? kNone : it->second.customers;
+}
+
+const std::vector<Asn>& AsHierarchy::peersOf(Asn a) const {
+    const auto it = nodes_.find(a);
+    return it == nodes_.end() ? kNone : it->second.peers;
+}
+
+std::vector<Asn> AsHierarchy::nodes() const {
+    std::vector<Asn> out;
+    out.reserve(nodes_.size());
+    for (const auto& [asn, links] : nodes_) out.push_back(asn);
+    return out;
+}
+
+AsHierarchy AsHierarchy::randomThreeTier(int tier1, int tier2, int stubs, Rng& rng,
+                                         Asn startAsn) {
+    if (tier1 < 1 || tier2 < 1 || stubs < 0) throw UsageError("bad tier sizes");
+    AsHierarchy topo;
+    const Asn firstT1 = startAsn;
+    const Asn firstT2 = startAsn + static_cast<Asn>(tier1);
+    const Asn firstStub = firstT2 + static_cast<Asn>(tier2);
+
+    // Tier-1 clique (settlement-free peering).
+    for (int i = 0; i < tier1; ++i) {
+        topo.addNode(firstT1 + static_cast<Asn>(i));
+        for (int j = 0; j < i; ++j) {
+            topo.addPeer(firstT1 + static_cast<Asn>(i), firstT1 + static_cast<Asn>(j));
+        }
+    }
+    // Mid-tier: 1-2 tier-1 providers, occasional lateral peering.
+    for (int i = 0; i < tier2; ++i) {
+        const Asn self = firstT2 + static_cast<Asn>(i);
+        const int nProviders = 1 + static_cast<int>(rng.nextBelow(2));
+        for (int p = 0; p < nProviders; ++p) {
+            topo.addCustomerProvider(self,
+                                     firstT1 + static_cast<Asn>(rng.nextBelow(
+                                                   static_cast<std::uint64_t>(tier1))));
+        }
+        if (i > 0 && rng.nextBool(0.3)) {
+            topo.addPeer(self, firstT2 + static_cast<Asn>(rng.nextBelow(
+                                             static_cast<std::uint64_t>(i))));
+        }
+    }
+    // Stubs: 1-2 mid-tier providers.
+    for (int i = 0; i < stubs; ++i) {
+        const Asn self = firstStub + static_cast<Asn>(i);
+        const int nProviders = 1 + static_cast<int>(rng.nextBelow(2));
+        for (int p = 0; p < nProviders; ++p) {
+            topo.addCustomerProvider(self,
+                                     firstT2 + static_cast<Asn>(rng.nextBelow(
+                                                   static_cast<std::uint64_t>(tier2))));
+        }
+    }
+    return topo;
+}
+
+// ===========================================================================
+
+ValleyFreeSim::ValleyFreeSim(const AsHierarchy& topo, LocalPolicy policy, Classifier classifier)
+    : topo_(topo), policy_(policy), classifier_(std::move(classifier)) {}
+
+namespace {
+int validityRank(RouteValidity v) {
+    switch (v) {
+        case RouteValidity::Valid: return 0;
+        case RouteValidity::Unknown: return 1;
+        case RouteValidity::Invalid: return 2;
+    }
+    return 3;
+}
+}  // namespace
+
+bool ValleyFreeSim::preferred(const ValleyFreeRoute& candidate,
+                              const ValleyFreeRoute& incumbent) const {
+    int vNew = 0, vOld = 0;
+    if (policy_ == LocalPolicy::DeprefInvalid) {
+        vNew = validityRank(candidate.validity);
+        vOld = validityRank(incumbent.validity);
+    }
+    const auto keyNew = std::tuple(vNew, static_cast<int>(candidate.routeClass),
+                                   candidate.pathLength, candidate.origin);
+    const auto keyOld = std::tuple(vOld, static_cast<int>(incumbent.routeClass),
+                                   incumbent.pathLength, incumbent.origin);
+    return keyNew < keyOld;
+}
+
+void ValleyFreeSim::propagateOne(const Announcement& ann) {
+    const RouteValidity validity = classifier_(Route{ann.prefix, ann.origin});
+    auto install = [&](Asn where, RouteClass cls, int length) {
+        const ValleyFreeRoute candidate{ann.prefix, ann.origin, cls, length, validity};
+        auto& slot = ribs_[where];
+        const auto it = slot.find(ann.prefix);
+        if (it == slot.end()) {
+            slot.emplace(ann.prefix, candidate);
+        } else if (preferred(candidate, it->second)) {
+            it->second = candidate;
+        }
+    };
+
+    // The origin always holds its own route.
+    install(ann.origin, RouteClass::Customer, 0);
+    if (policy_ == LocalPolicy::DropInvalid && validity == RouteValidity::Invalid) {
+        return;  // nobody else accepts it
+    }
+
+    // Phase 1 — customer routes: propagate upward through provider chains.
+    std::map<Asn, int> customerDist;
+    customerDist[ann.origin] = 0;
+    std::deque<Asn> queue{ann.origin};
+    while (!queue.empty()) {
+        const Asn u = queue.front();
+        queue.pop_front();
+        for (const Asn provider : topo_.providersOf(u)) {
+            if (customerDist.count(provider) != 0) continue;
+            customerDist[provider] = customerDist[u] + 1;
+            install(provider, RouteClass::Customer, customerDist[provider]);
+            queue.push_back(provider);
+        }
+    }
+
+    // Phase 2 — peer routes: one lateral hop from any customer route.
+    std::map<Asn, int> bestAt = customerDist;  // best known length per AS so far
+    std::map<Asn, int> peerDist;
+    for (const auto& [asn, dist] : customerDist) {
+        for (const Asn peer : topo_.peersOf(asn)) {
+            if (customerDist.count(peer) != 0) continue;
+            const int length = dist + 1;
+            const auto it = peerDist.find(peer);
+            if (it == peerDist.end() || length < it->second) peerDist[peer] = length;
+        }
+    }
+    for (const auto& [asn, dist] : peerDist) {
+        install(asn, RouteClass::Peer, dist);
+        if (bestAt.count(asn) == 0 || dist < bestAt[asn]) bestAt[asn] = dist;
+    }
+
+    // Phase 3 — provider routes: everything propagates down customer edges.
+    std::deque<Asn> down;
+    std::map<Asn, int> providerDist;
+    for (const auto& [asn, dist] : bestAt) down.push_back(asn);
+    auto lengthAt = [&](Asn a) {
+        const auto c = bestAt.find(a);
+        const auto p = providerDist.find(a);
+        int best = INT32_MAX;
+        if (c != bestAt.end()) best = std::min(best, c->second);
+        if (p != providerDist.end()) best = std::min(best, p->second);
+        return best;
+    };
+    while (!down.empty()) {
+        const Asn u = down.front();
+        down.pop_front();
+        const int uLen = lengthAt(u);
+        for (const Asn customer : topo_.customersOf(u)) {
+            const int length = uLen + 1;
+            if (bestAt.count(customer) != 0) continue;  // has a better class already
+            const auto it = providerDist.find(customer);
+            if (it != providerDist.end() && it->second <= length) continue;
+            providerDist[customer] = length;
+            install(customer, RouteClass::Provider, length);
+            down.push_back(customer);
+        }
+    }
+}
+
+void ValleyFreeSim::announce(std::span<const Announcement> announcements) {
+    ribs_.clear();
+    origins_.clear();
+    for (const auto& ann : announcements) {
+        origins_.push_back(ann.origin);
+        propagateOne(ann);
+    }
+}
+
+const ValleyFreeRoute* ValleyFreeSim::routeForPrefix(Asn viewpoint,
+                                                     const IpPrefix& prefix) const {
+    const auto ribIt = ribs_.find(viewpoint);
+    if (ribIt == ribs_.end()) return nullptr;
+    const auto it = ribIt->second.find(prefix);
+    return it == ribIt->second.end() ? nullptr : &it->second;
+}
+
+std::optional<ValleyFreeRoute> ValleyFreeSim::forwardingDecision(Asn viewpoint,
+                                                                 const IpPrefix& probe) const {
+    const auto ribIt = ribs_.find(viewpoint);
+    if (ribIt == ribs_.end()) return std::nullopt;
+    const ValleyFreeRoute* best = nullptr;
+    for (const auto& [prefix, route] : ribIt->second) {
+        if (!prefix.covers(probe)) continue;
+        if (best == nullptr || prefix.length > best->prefix.length) best = &route;
+    }
+    if (best == nullptr) return std::nullopt;
+    return *best;
+}
+
+double ValleyFreeSim::fractionReaching(Asn legitimateOrigin, const IpPrefix& probe) const {
+    std::size_t reached = 0;
+    std::size_t total = 0;
+    for (const Asn asn : topo_.nodes()) {
+        if (std::find(origins_.begin(), origins_.end(), asn) != origins_.end()) continue;
+        ++total;
+        const auto decision = forwardingDecision(asn, probe);
+        if (decision.has_value() && decision->origin == legitimateOrigin) ++reached;
+    }
+    return total == 0 ? 0.0 : static_cast<double>(reached) / static_cast<double>(total);
+}
+
+double runScenarioValleyFree(const AsHierarchy& topo, LocalPolicy policy,
+                             const Classifier& classifier, const HijackScenario& scenario) {
+    std::vector<Announcement> announcements{{scenario.victimPrefix, scenario.victimAs}};
+    if (scenario.attackPrefix.has_value()) {
+        announcements.push_back({*scenario.attackPrefix, scenario.attackerAs});
+    }
+    ValleyFreeSim sim(topo, policy, classifier);
+    sim.announce(announcements);
+    return sim.fractionReaching(scenario.victimAs, scenario.probe);
+}
+
+}  // namespace rpkic::bgp

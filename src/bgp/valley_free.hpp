@@ -1,0 +1,97 @@
+// Gao-Rexford (valley-free) routing: the economic BGP model, as an
+// alternative to the shortest-path propagation in bgp.hpp.
+//
+// Edges carry business relationships — customer-provider or peer-peer.
+// Export rules: routes learned from a customer are exported to everyone;
+// routes learned from a peer or provider are exported only to customers.
+// Selection prefers customer routes over peer routes over provider routes,
+// then shorter AS paths.
+//
+// Used to check that the Table-3 conclusions are not an artifact of the
+// simple shortest-path model (bench/ablation_valley_free).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "bgp/bgp.hpp"
+
+namespace rpkic::bgp {
+
+/// How a route was learned, in preference order (lower = preferred).
+enum class RouteClass : std::uint8_t { Customer = 0, Peer = 1, Provider = 2 };
+
+std::string_view toString(RouteClass c);
+
+/// An AS-level topology with business relationships.
+class AsHierarchy {
+public:
+    /// `customer` buys transit from `provider`.
+    void addCustomerProvider(Asn customer, Asn provider);
+    /// Settlement-free peering.
+    void addPeer(Asn a, Asn b);
+    void addNode(Asn a);
+
+    const std::vector<Asn>& providersOf(Asn a) const;
+    const std::vector<Asn>& customersOf(Asn a) const;
+    const std::vector<Asn>& peersOf(Asn a) const;
+    std::vector<Asn> nodes() const;
+    std::size_t nodeCount() const { return nodes_.size(); }
+
+    /// Random three-tier topology: a clique of tier-1s, mid-tier providers
+    /// multihomed to tier-1s (with some peering), and stub ASes buying
+    /// from 1-2 mid-tier providers.
+    static AsHierarchy randomThreeTier(int tier1, int tier2, int stubs, Rng& rng,
+                                       Asn startAsn = 1);
+
+private:
+    struct Links {
+        std::vector<Asn> providers;
+        std::vector<Asn> customers;
+        std::vector<Asn> peers;
+    };
+    std::map<Asn, Links> nodes_;
+    static const std::vector<Asn> kNone;
+};
+
+struct ValleyFreeRoute {
+    IpPrefix prefix;
+    Asn origin = 0;
+    RouteClass routeClass = RouteClass::Customer;
+    int pathLength = 0;
+    RouteValidity validity = RouteValidity::Unknown;
+};
+
+/// Valley-free propagation + policy-based selection, mirroring RoutingSim's
+/// interface.
+class ValleyFreeSim {
+public:
+    ValleyFreeSim(const AsHierarchy& topo, LocalPolicy policy, Classifier classifier);
+
+    void announce(std::span<const Announcement> announcements);
+
+    const ValleyFreeRoute* routeForPrefix(Asn viewpoint, const IpPrefix& prefix) const;
+    std::optional<ValleyFreeRoute> forwardingDecision(Asn viewpoint,
+                                                      const IpPrefix& probe) const;
+    double fractionReaching(Asn legitimateOrigin, const IpPrefix& probe) const;
+
+private:
+    void propagateOne(const Announcement& ann);
+    /// True if `candidate` beats `incumbent` under Gao-Rexford preferences
+    /// (plus validity rank under depref-invalid).
+    bool preferred(const ValleyFreeRoute& candidate, const ValleyFreeRoute& incumbent) const;
+
+    const AsHierarchy& topo_;
+    LocalPolicy policy_;
+    Classifier classifier_;
+    std::map<Asn, std::map<IpPrefix, ValleyFreeRoute>> ribs_;
+    std::vector<Asn> origins_;
+};
+
+/// Table-3 cell under valley-free routing.
+double runScenarioValleyFree(const AsHierarchy& topo, LocalPolicy policy,
+                             const Classifier& classifier, const HijackScenario& scenario);
+
+}  // namespace rpkic::bgp

@@ -1,0 +1,110 @@
+#include "consent/bulk.hpp"
+
+#include "util/errors.hpp"
+
+namespace rpkic::consent {
+
+namespace {
+
+void log(BulkReport* report, Time at, const std::string& what) {
+    if (report != nullptr) {
+        report->steps.push_back("[t=" + std::to_string(at) + "] " + what);
+    }
+}
+
+}  // namespace
+
+Authority& createChainFast(AuthorityDirectory& dir, Authority& parent,
+                           const std::vector<std::string>& names,
+                           const std::vector<ResourceSet>& resources, Repository& repo,
+                           SimClock& clock, BulkReport* report) {
+    if (names.size() != resources.size() || names.empty()) {
+        throw UsageError("createChainFast needs one resource set per name");
+    }
+    Authority* current = &parent;
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        current = &dir.createChild(*current, names[i], resources[i], repo, clock.now());
+        if (report != nullptr) report->manifestUpdates += 2;  // child manifest + parent RC
+        log(report, clock.now(), "issued " + names[i] + " under " +
+                                     (i == 0 ? parent.name() : names[i - 1]));
+    }
+    log(report, clock.now(),
+        "entire chain published at one instant; relying parties download new "
+        "subtrees eagerly, so no ts waits were needed");
+    return *current;
+}
+
+BulkReport deleteSubtreeFast(AuthorityDirectory& dir, Authority& parent,
+                             const std::string& childName, Repository& repo, SimClock& clock) {
+    BulkReport report;
+    Authority& child = dir.get(childName);
+    const std::vector<DeadObject> deads = dir.collectRevocationConsent(child);
+    log(&report, clock.now(),
+        "collected " + std::to_string(deads.size()) + " .dead object(s) for the subtree");
+    parent.revokeChild(childName, deads, repo, clock.now());
+    report.manifestUpdates += 1;
+    log(&report, clock.now(),
+        "published all .deads and deleted the RC in ONE manifest update");
+    return report;
+}
+
+BulkReport broadenChainTopDown(AuthorityDirectory& dir, Authority& root,
+                               const std::vector<std::string>& names, const ResourceSet& added,
+                               Repository& repo, SimClock& clock) {
+    BulkReport report;
+    Authority* issuer = &root;
+    for (const auto& name : names) {
+        Authority& target = dir.get(name);
+        if (target.cert().resources.isInherit()) {
+            log(&report, clock.now(),
+                name + " inherits its resources: broadened implicitly, no wait");
+            issuer = &target;
+            continue;
+        }
+        issuer->broadenChild(name, added, repo, clock.now());
+        report.manifestUpdates += 1;
+        log(&report, clock.now(), issuer->name() + " broadened " + name);
+        // The child must not publish broadened objects until relying
+        // parties have seen ITS broadened RC — wait ts before the next
+        // dependent step (Appendix C "Upon being broadened").
+        clock.advance(dir.options().ts);
+        report.elapsed += dir.options().ts;
+        log(&report, clock.now(), "waited ts for relying parties to observe it");
+        issuer = &target;
+    }
+    return report;
+}
+
+BulkReport narrowChainBottomUp(AuthorityDirectory& dir, Authority& root,
+                               const std::vector<std::string>& names,
+                               const ResourceSet& removed, Repository& repo, SimClock& clock) {
+    BulkReport report;
+    // Bottom-up: the deepest RC is narrowed first, so no RC ever exceeds
+    // its (already narrowed) parent from any relying party's viewpoint.
+    for (auto it = names.rbegin(); it != names.rend(); ++it) {
+        Authority& target = dir.get(*it);
+        Authority* issuer = target.parent();
+        if (issuer == nullptr) throw UsageError("chain element has no parent: " + *it);
+        if (target.cert().resources.isInherit()) {
+            log(&report, clock.now(), *it + " inherits: narrowed implicitly, no wait");
+            continue;
+        }
+        if (!target.cert().resources.overlaps(removed)) {
+            log(&report, clock.now(), *it + " does not hold the removed space; skipped");
+            continue;
+        }
+        const std::vector<DeadObject> deads = dir.collectNarrowingConsent(target, removed);
+        issuer->narrowChild(*it, removed, deads, repo, clock.now());
+        report.manifestUpdates += 1;
+        log(&report, clock.now(),
+            issuer->name() + " narrowed " + *it + " with " + std::to_string(deads.size()) +
+                " .dead(s)");
+        clock.advance(dir.options().ts);
+        report.elapsed += dir.options().ts;
+        log(&report, clock.now(), "waited ts before narrowing the next level up");
+    }
+    (void)root;
+    return report;
+}
+
+}  // namespace rpkic::consent

@@ -1,0 +1,60 @@
+// Appendix C: timing rules for updates to the redesigned RPKI.
+//
+// Relying parties may sync to publication points in any order, as long as
+// each point is visited within ts. An authority whose update's validity
+// depends on another authority's update must therefore wait ts in between,
+// or relying parties can observe the dependent update first and raise
+// false alarms. Consequences, implemented here:
+//
+//  * creating a whole subtree is FAST: publish leaves-first, root last —
+//    one wall-clock step regardless of depth (relying parties download new
+//    subtrees eagerly, Appendix B.2.4 "New RC Procedure");
+//  * deleting a subtree is FAST: all .dead objects publish in one update;
+//  * BROADENING a chain is SLOW: top-down, ts per level (unless children
+//    use the "inherit" attribute);
+//  * NARROWING a chain is SLOW: bottom-up, ts per level (same exception).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "consent/authority.hpp"
+
+namespace rpkic::consent {
+
+/// What a bulk operation cost: wall-clock waits and manifest updates.
+struct BulkReport {
+    Duration elapsed = 0;            ///< simulated time consumed (ts waits)
+    std::size_t manifestUpdates = 0; ///< publication events performed
+    std::vector<std::string> steps;  ///< human-readable log
+};
+
+/// Creates a vertical chain parent -> names[0] -> names[1] -> ... with the
+/// given per-level resources. Fast: no ts waits (Appendix C "A new
+/// subtree"). Returns the deepest authority.
+Authority& createChainFast(AuthorityDirectory& dir, Authority& parent,
+                           const std::vector<std::string>& names,
+                           const std::vector<ResourceSet>& resources, Repository& repo,
+                           SimClock& clock, BulkReport* report = nullptr);
+
+/// Deletes the subtree rooted at `child` (a child of `parent`) with full
+/// consent, publishing every .dead in one manifest update. Fast.
+BulkReport deleteSubtreeFast(AuthorityDirectory& dir, Authority& parent,
+                             const std::string& childName, Repository& repo, SimClock& clock);
+
+/// Broadens every RC on the chain `names` (each the child of the previous;
+/// names[0] is a child of `root`) by `added`. Top-down; advances the clock
+/// by ts per dependent step so relying parties see each parent's
+/// broadening before the child's (Appendix C "Broadening an existing
+/// tree"). RCs with the inherit attribute are skipped without a wait.
+BulkReport broadenChainTopDown(AuthorityDirectory& dir, Authority& root,
+                               const std::vector<std::string>& names, const ResourceSet& added,
+                               Repository& repo, SimClock& clock);
+
+/// Narrows every RC on the chain by `removed`, bottom-up with consent and
+/// a ts wait per dependent step (Appendix C "Narrowing a subtree").
+BulkReport narrowChainBottomUp(AuthorityDirectory& dir, Authority& root,
+                               const std::vector<std::string>& names,
+                               const ResourceSet& removed, Repository& repo, SimClock& clock);
+
+}  // namespace rpkic::consent

@@ -1,0 +1,45 @@
+#include "crypto/merkle.hpp"
+
+#include "util/errors.hpp"
+
+namespace rpkic {
+
+MerkleTree::MerkleTree(std::vector<Digest> leaves) {
+    if (leaves.empty() || (leaves.size() & (leaves.size() - 1)) != 0) {
+        throw UsageError("MerkleTree requires a power-of-two number of leaves");
+    }
+    levels_.push_back(std::move(leaves));
+    while (levels_.back().size() > 1) {
+        const auto& below = levels_.back();
+        std::vector<Digest> above;
+        above.reserve(below.size() / 2);
+        for (std::size_t i = 0; i < below.size(); i += 2) {
+            above.push_back(sha256Pair(below[i], below[i + 1]));
+        }
+        levels_.push_back(std::move(above));
+    }
+}
+
+MerklePath MerkleTree::path(std::size_t index) const {
+    if (index >= leafCount()) throw UsageError("Merkle leaf index out of range");
+    MerklePath out;
+    out.reserve(static_cast<std::size_t>(height()));
+    std::size_t i = index;
+    for (int level = 0; level < height(); ++level) {
+        out.push_back(levels_[static_cast<std::size_t>(level)][i ^ 1]);
+        i >>= 1;
+    }
+    return out;
+}
+
+Digest merkleRootFromPath(const Digest& leaf, std::size_t index, const MerklePath& path) {
+    Digest node = leaf;
+    std::size_t i = index;
+    for (const Digest& sibling : path) {
+        node = (i & 1) ? sha256Pair(sibling, node) : sha256Pair(node, sibling);
+        i >>= 1;
+    }
+    return node;
+}
+
+}  // namespace rpkic

@@ -1,0 +1,42 @@
+// Merkle trees over SHA-256.
+//
+// Used twice in the library: to compress 2^h WOTS public keys into one
+// XMSS-style root (xmss.hpp), and available to applications that want to
+// commit to sets of objects.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/sha256.hpp"
+
+namespace rpkic {
+
+/// Authentication path: one sibling per tree level, leaf level first.
+using MerklePath = std::vector<Digest>;
+
+/// A complete binary Merkle tree built over a power-of-two number of
+/// leaves. Stores all internal nodes so authentication paths are O(h).
+class MerkleTree {
+public:
+    /// Builds the tree. leaves.size() must be a power of two >= 1.
+    explicit MerkleTree(std::vector<Digest> leaves);
+
+    const Digest& root() const { return levels_.back()[0]; }
+    std::size_t leafCount() const { return levels_.front().size(); }
+    int height() const { return static_cast<int>(levels_.size()) - 1; }
+
+    /// Authentication path for the leaf at `index`.
+    MerklePath path(std::size_t index) const;
+
+    const Digest& leaf(std::size_t index) const { return levels_.front().at(index); }
+
+private:
+    // levels_[0] = leaves, levels_.back() = {root}
+    std::vector<std::vector<Digest>> levels_;
+};
+
+/// Recomputes the root implied by `leaf` at `index` and `path`.
+Digest merkleRootFromPath(const Digest& leaf, std::size_t index, const MerklePath& path);
+
+}  // namespace rpkic

@@ -1,0 +1,116 @@
+#include "crypto/wots.hpp"
+
+#include <cstring>
+
+namespace rpkic::wots {
+
+namespace {
+
+// PRF for secret chain heads: SHA-256("wots-sk" || seed || leaf || chain).
+Digest prfSecret(const Digest& secretSeed, std::uint32_t leafIndex, std::uint32_t chain) {
+    Sha256 h;
+    h.update("wots-sk");
+    h.update(ByteView(secretSeed.bytes.data(), secretSeed.bytes.size()));
+    const std::uint8_t ctx[8] = {
+        static_cast<std::uint8_t>(leafIndex >> 24), static_cast<std::uint8_t>(leafIndex >> 16),
+        static_cast<std::uint8_t>(leafIndex >> 8),  static_cast<std::uint8_t>(leafIndex),
+        static_cast<std::uint8_t>(chain >> 24),     static_cast<std::uint8_t>(chain >> 16),
+        static_cast<std::uint8_t>(chain >> 8),      static_cast<std::uint8_t>(chain),
+    };
+    h.update(ByteView(ctx, sizeof ctx));
+    return h.finish();
+}
+
+// One chain step, domain separated by position so partial chains cannot be
+// replayed at a different height. The input is laid out to fit a single
+// SHA-256 block (51 bytes + padding), halving the per-step cost: domain
+// byte, 12-byte public-seed prefix, leaf index, chain, position, value.
+Digest chainStep(const Digest& publicSeed, std::uint32_t leafIndex, std::uint32_t chain,
+                 std::uint32_t position, const Digest& value) {
+    std::uint8_t buf[51];
+    buf[0] = 0xF1;
+    std::memcpy(buf + 1, publicSeed.bytes.data(), 12);
+    buf[13] = static_cast<std::uint8_t>(leafIndex >> 24);
+    buf[14] = static_cast<std::uint8_t>(leafIndex >> 16);
+    buf[15] = static_cast<std::uint8_t>(leafIndex >> 8);
+    buf[16] = static_cast<std::uint8_t>(leafIndex);
+    buf[17] = static_cast<std::uint8_t>(chain);  // kChains = 67 < 256
+    buf[18] = static_cast<std::uint8_t>(position);  // <= 15
+    std::memcpy(buf + 19, value.bytes.data(), 32);
+    return sha256(ByteView(buf, sizeof buf));
+}
+
+// Applies chain steps from position `from` (exclusive of the value's own
+// position) for `steps` iterations.
+Digest applyChain(const Digest& publicSeed, std::uint32_t leafIndex, std::uint32_t chain,
+                  std::uint32_t from, std::uint32_t steps, Digest value) {
+    for (std::uint32_t i = 0; i < steps; ++i) {
+        value = chainStep(publicSeed, leafIndex, chain, from + i, value);
+    }
+    return value;
+}
+
+Digest compress(const std::array<Digest, kChains>& tails) {
+    Sha256 h;
+    h.update("wots-pk");
+    for (const auto& t : tails) h.update(ByteView(t.bytes.data(), t.bytes.size()));
+    return h.finish();
+}
+
+}  // namespace
+
+std::array<std::uint8_t, kChains> messageDigits(const Digest& messageDigest) {
+    std::array<std::uint8_t, kChains> digits{};
+    for (int i = 0; i < 32; ++i) {
+        digits[2 * i] = messageDigest.bytes[i] >> 4;
+        digits[2 * i + 1] = messageDigest.bytes[i] & 0x0f;
+    }
+    // Checksum: sum over message digits of (w-1 - digit), base-16 encoded.
+    std::uint32_t checksum = 0;
+    for (int i = 0; i < kMsgChains; ++i) checksum += kChainLen - digits[i];
+    for (int i = 0; i < kChecksumChains; ++i) {
+        digits[kMsgChains + i] =
+            static_cast<std::uint8_t>((checksum >> (4 * (kChecksumChains - 1 - i))) & 0x0f);
+    }
+    return digits;
+}
+
+std::array<Digest, kChains> deriveSecretChains(const Digest& secretSeed, std::uint32_t leafIndex) {
+    std::array<Digest, kChains> sk;
+    for (int c = 0; c < kChains; ++c) sk[c] = prfSecret(secretSeed, leafIndex, c);
+    return sk;
+}
+
+Digest derivePublicKey(const Digest& secretSeed, const Digest& publicSeed,
+                       std::uint32_t leafIndex) {
+    const auto sk = deriveSecretChains(secretSeed, leafIndex);
+    std::array<Digest, kChains> tails;
+    for (int c = 0; c < kChains; ++c) {
+        tails[c] = applyChain(publicSeed, leafIndex, c, 0, kChainLen, sk[c]);
+    }
+    return compress(tails);
+}
+
+Signature sign(const Digest& secretSeed, const Digest& publicSeed, std::uint32_t leafIndex,
+               const Digest& messageDigest) {
+    const auto sk = deriveSecretChains(secretSeed, leafIndex);
+    const auto digits = messageDigits(messageDigest);
+    Signature sig;
+    for (int c = 0; c < kChains; ++c) {
+        sig[c] = applyChain(publicSeed, leafIndex, c, 0, digits[c], sk[c]);
+    }
+    return sig;
+}
+
+Digest publicKeyFromSignature(const Digest& publicSeed, std::uint32_t leafIndex,
+                              const Digest& messageDigest, const Signature& sig) {
+    const auto digits = messageDigits(messageDigest);
+    std::array<Digest, kChains> tails;
+    for (int c = 0; c < kChains; ++c) {
+        tails[c] = applyChain(publicSeed, leafIndex, c, digits[c],
+                              kChainLen - digits[c], sig[c]);
+    }
+    return compress(tails);
+}
+
+}  // namespace rpkic::wots

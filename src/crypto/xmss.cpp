@@ -1,0 +1,162 @@
+#include "crypto/xmss.hpp"
+
+#include <cstring>
+
+#include "util/errors.hpp"
+
+namespace rpkic {
+
+namespace {
+
+Digest messageHash(ByteView message) {
+    Sha256 h;
+    h.update("xmss-msg");
+    h.update(message);
+    return h.finish();
+}
+
+void putU32(Bytes& out, std::uint32_t v) {
+    out.push_back(static_cast<std::uint8_t>(v >> 24));
+    out.push_back(static_cast<std::uint8_t>(v >> 16));
+    out.push_back(static_cast<std::uint8_t>(v >> 8));
+    out.push_back(static_cast<std::uint8_t>(v));
+}
+
+std::uint32_t getU32(ByteView data, std::size_t offset) {
+    return (static_cast<std::uint32_t>(data[offset]) << 24) |
+           (static_cast<std::uint32_t>(data[offset + 1]) << 16) |
+           (static_cast<std::uint32_t>(data[offset + 2]) << 8) |
+           static_cast<std::uint32_t>(data[offset + 3]);
+}
+
+void putDigest(Bytes& out, const Digest& d) {
+    out.insert(out.end(), d.bytes.begin(), d.bytes.end());
+}
+
+Digest getDigest(ByteView data, std::size_t offset) {
+    Digest d;
+    std::memcpy(d.bytes.data(), data.data() + offset, 32);
+    return d;
+}
+
+}  // namespace
+
+Bytes PublicKey::toBytes() const {
+    Bytes out;
+    out.reserve(66);
+    putDigest(out, root);
+    putDigest(out, publicSeed);
+    out.push_back(height);
+    out.push_back(0);  // reserved
+    return out;
+}
+
+PublicKey PublicKey::fromBytes(ByteView data) {
+    if (data.size() != 66) throw ParseError("public key must be 66 bytes");
+    PublicKey k;
+    k.root = getDigest(data, 0);
+    k.publicSeed = getDigest(data, 32);
+    k.height = data[64];
+    if (k.height == 0 || k.height > 20) throw ParseError("public key height out of range");
+    return k;
+}
+
+Bytes SignatureData::toBytes() const {
+    Bytes out;
+    out.reserve(4 + 1 + 32 * (wots::kChains + authPath.size()));
+    putU32(out, leafIndex);
+    out.push_back(static_cast<std::uint8_t>(authPath.size()));
+    for (const auto& d : wotsSignature) putDigest(out, d);
+    for (const auto& d : authPath) putDigest(out, d);
+    return out;
+}
+
+SignatureData SignatureData::fromBytes(ByteView data) {
+    if (data.size() < 5) throw ParseError("signature too short");
+    SignatureData s;
+    s.leafIndex = getU32(data, 0);
+    const std::size_t pathLen = data[4];
+    const std::size_t expected = 5 + 32 * (wots::kChains + pathLen);
+    if (data.size() != expected) throw ParseError("signature has wrong length");
+    std::size_t off = 5;
+    for (auto& d : s.wotsSignature) {
+        d = getDigest(data, off);
+        off += 32;
+    }
+    s.authPath.reserve(pathLen);
+    for (std::size_t i = 0; i < pathLen; ++i) {
+        s.authPath.push_back(getDigest(data, off));
+        off += 32;
+    }
+    return s;
+}
+
+Signer::Signer(Digest secretSeed, PublicKey pub, MerkleTree tree)
+    : secretSeed_(secretSeed), publicKey_(std::move(pub)), tree_(std::move(tree)) {}
+
+Signer Signer::generate(std::uint64_t seed, int height) {
+    if (height < 1 || height > 20) throw UsageError("signer height must be in [1, 20]");
+
+    // Derive independent secret and public seeds from the numeric seed.
+    Bytes seedBytes(8);
+    for (int i = 0; i < 8; ++i) seedBytes[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(seed >> (56 - 8 * i));
+    Sha256 hs;
+    hs.update("xmss-secret-seed");
+    hs.update(ByteView(seedBytes.data(), seedBytes.size()));
+    const Digest secretSeed = hs.finish();
+    Sha256 hp;
+    hp.update("xmss-public-seed");
+    hp.update(ByteView(seedBytes.data(), seedBytes.size()));
+    const Digest publicSeed = hp.finish();
+
+    const std::size_t leafCount = std::size_t{1} << height;
+    std::vector<Digest> leaves;
+    leaves.reserve(leafCount);
+    for (std::size_t i = 0; i < leafCount; ++i) {
+        leaves.push_back(wots::derivePublicKey(secretSeed, publicSeed,
+                                               static_cast<std::uint32_t>(i)));
+    }
+    MerkleTree tree(std::move(leaves));
+    PublicKey pub{tree.root(), publicSeed, static_cast<std::uint8_t>(height)};
+    return Signer(secretSeed, pub, std::move(tree));
+}
+
+Bytes Signer::sign(ByteView message) {
+    if (nextLeaf_ >= tree_.leafCount()) throw KeyExhaustedError();
+    const auto leaf = static_cast<std::uint32_t>(nextLeaf_++);
+
+    SignatureData sig;
+    sig.leafIndex = leaf;
+    sig.wotsSignature = wots::sign(secretSeed_, publicKey_.publicSeed, leaf,
+                                   messageHash(message));
+    sig.authPath = tree_.path(leaf);
+    return sig.toBytes();
+}
+
+Bytes Signer::sign(std::string_view message) {
+    return sign(ByteView(reinterpret_cast<const std::uint8_t*>(message.data()), message.size()));
+}
+
+bool verify(const PublicKey& key, ByteView message, ByteView signature) {
+    SignatureData sig;
+    try {
+        sig = SignatureData::fromBytes(signature);
+    } catch (const ParseError&) {
+        return false;
+    }
+    if (sig.authPath.size() != key.height) return false;
+    if (sig.leafIndex >= (std::uint64_t{1} << key.height)) return false;
+
+    const Digest leafPk = wots::publicKeyFromSignature(key.publicSeed, sig.leafIndex,
+                                                       messageHash(message), sig.wotsSignature);
+    return merkleRootFromPath(leafPk, sig.leafIndex, sig.authPath) == key.root;
+}
+
+bool verify(const PublicKey& key, std::string_view message, ByteView signature) {
+    return verify(key,
+                  ByteView(reinterpret_cast<const std::uint8_t*>(message.data()), message.size()),
+                  signature);
+}
+
+}  // namespace rpkic

@@ -1,0 +1,143 @@
+#include "detector/diff.hpp"
+
+#include <algorithm>
+
+namespace rpkic {
+
+std::vector<IpPrefix> samplePrefixes(const TriangleSet& t, std::size_t maxCount) {
+    std::vector<IpPrefix> out;
+    for (int q = 0; q <= TriangleSet::kMaxLen && out.size() < maxCount; ++q) {
+        const std::uint64_t block = 1ULL << (TriangleSet::kMaxLen - q);
+        for (const auto& iv : t.level(q).intervals()) {
+            for (std::uint64_t lo = iv.lo; lo <= iv.hi && out.size() < maxCount; lo += block) {
+                out.push_back(IpPrefix::v4(static_cast<std::uint32_t>(lo), q));
+            }
+            if (out.size() >= maxCount) break;
+        }
+    }
+    return out;
+}
+
+namespace {
+
+/// Merges the AS universes of both states.
+std::vector<Asn> trackedAsns(const PrefixValidityIndex& a, const PrefixValidityIndex& b) {
+    std::vector<Asn> out = a.asns();
+    const std::vector<Asn> other = b.asns();
+    out.insert(out.end(), other.begin(), other.end());
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+}
+
+}  // namespace
+
+DowngradeReport diffStates(const PrefixValidityIndex& prev, const PrefixValidityIndex& cur,
+                           std::size_t maxExamples) {
+    DowngradeReport report;
+    report.invalidAddressesBefore = prev.invalidFootprintAddresses();
+    report.invalidAddressesAfter = cur.invalidFootprintAddresses();
+
+    const TriangleSet& knownPrev = prev.knownTriangles();
+    const TriangleSet& knownCur = cur.knownTriangles();
+    const TriangleSet newlyKnown = knownCur.subtract(knownPrev);
+    const TriangleSet6& known6Prev = prev.knownTriangles6();
+    const TriangleSet6& known6Cur = cur.knownTriangles6();
+
+    for (const Asn asn : trackedAsns(prev, cur)) {
+        const TriangleSet& validPrev = prev.validTriangles(asn);
+        const TriangleSet& validCur = cur.validTriangles(asn);
+
+        AsDowngrades row;
+        row.asn = asn;
+
+        const TriangleSet lost = validPrev.subtract(validCur);
+        if (!lost.empty()) {
+            const TriangleSet toInvalid = lost.intersect(knownCur);
+            row.validToInvalidPairs = toInvalid.prefixCount();
+            row.validToUnknownPairs = lost.prefixCount() - row.validToInvalidPairs;
+            row.exampleLostValid = samplePrefixes(lost, maxExamples);
+        }
+
+        const TriangleSet gained = validCur.subtract(validPrev);
+        if (!gained.empty()) {
+            // Upgrades from unknown (not previously covered) to valid.
+            report.unknownToValidPairs += gained.subtract(knownPrev).prefixCount();
+        }
+
+        // IPv6: valid triangles are bounded by maxLength, so the pair
+        // counts stay meaningful; unknown->invalid for v6 is omitted (the
+        // known triangle reaches depth 128 and the count is astronomical —
+        // the paper's evaluation, like routers' acceptance of long
+        // prefixes, is IPv4-granular).
+        const TriangleSet6& valid6Prev = prev.validTriangles6(asn);
+        const TriangleSet6& valid6Cur = cur.validTriangles6(asn);
+        const TriangleSet6 lost6 = valid6Prev.subtract(valid6Cur);
+        if (!lost6.empty()) {
+            const std::uint64_t lostCount = lost6.prefixCount();
+            const std::uint64_t toInvalid6 = lost6.intersect(known6Cur).prefixCount();
+            row.validToInvalidPairs += toInvalid6;
+            row.validToUnknownPairs += lostCount > toInvalid6 ? lostCount - toInvalid6 : 0;
+        }
+        const TriangleSet6 gained6 = valid6Cur.subtract(valid6Prev);
+        if (!gained6.empty()) {
+            report.unknownToValidPairs += gained6.subtract(known6Prev).prefixCount();
+        }
+
+        // unknown -> invalid for this AS: space that became covered and is
+        // not valid for the AS now.
+        const TriangleSet nowInvalid = newlyKnown.subtract(validCur);
+        row.unknownToInvalidPairs = nowInvalid.prefixCount();
+
+        report.validToInvalidPairs += row.validToInvalidPairs;
+        report.validToUnknownPairs += row.validToUnknownPairs;
+        report.unknownToInvalidPairs += row.unknownToInvalidPairs;
+        if (row.validToInvalidPairs > 0 || row.validToUnknownPairs > 0 ||
+            row.unknownToInvalidPairs > 0) {
+            report.perAs.push_back(std::move(row));
+        }
+    }
+
+    // Tuple-level transitions: evaluate the announced route of every tuple
+    // appearing in either state under both indexes.
+    std::vector<RoaTuple> allTuples = prev.state().tuples();
+    const auto& curTuples = cur.state().tuples();
+    allTuples.insert(allTuples.end(), curTuples.begin(), curTuples.end());
+    std::sort(allTuples.begin(), allTuples.end());
+    allTuples.erase(std::unique(allTuples.begin(), allTuples.end()), allTuples.end());
+    // Competing ROAs (paper §6): each tuple that appeared, checked against
+    // the previous state's tuples covering its prefix under another AS.
+    for (const auto& added : cur.state().minus(prev.state())) {
+        for (const auto& existing : prev.state().tuples()) {
+            if (existing.asn == added.asn) continue;
+            if (existing.prefix.covers(added.prefix)) {
+                report.competingRoas.push_back({added, existing});
+            }
+        }
+    }
+
+    std::vector<Route> routes;
+    routes.reserve(allTuples.size());
+    for (const auto& t : allTuples) routes.push_back(t.announcedRoute());
+    std::sort(routes.begin(), routes.end());
+    routes.erase(std::unique(routes.begin(), routes.end()), routes.end());
+    for (const auto& route : routes) {
+        const RouteValidity before = prev.classify(route);
+        const RouteValidity after = cur.classify(route);
+        if (before != after) report.tupleTransitions.push_back({route, before, after});
+    }
+    return report;
+}
+
+DowngradeReport diffStates(const RpkiState& prev, const RpkiState& cur,
+                           std::size_t maxExamples) {
+    return diffStates(PrefixValidityIndex(prev), PrefixValidityIndex(cur), maxExamples);
+}
+
+TriangleSet unknownToInvalidTriangles(const PrefixValidityIndex& prev,
+                                      const PrefixValidityIndex& cur, Asn a) {
+    const TriangleSet newlyKnown = cur.knownTriangles().subtract(prev.knownTriangles());
+    return newlyKnown.subtract(cur.validTriangles(a));
+}
+
+}  // namespace rpkic

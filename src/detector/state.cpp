@@ -1,0 +1,40 @@
+#include "detector/state.hpp"
+
+#include <algorithm>
+
+namespace rpkic {
+
+std::string RoaTuple::str() const {
+    std::string s = prefix.str();
+    if (maxLength != prefix.length) s += "-" + std::to_string(maxLength);
+    return s + " AS" + std::to_string(asn);
+}
+
+RpkiState::RpkiState(std::vector<RoaTuple> tuples) : tuples_(std::move(tuples)) {
+    for (auto& t : tuples_) t.prefix = t.prefix.canonicalized();
+    std::sort(tuples_.begin(), tuples_.end());
+    tuples_.erase(std::unique(tuples_.begin(), tuples_.end()), tuples_.end());
+}
+
+RpkiState RpkiState::fromRoas(std::span<const Roa> roas) {
+    std::vector<RoaTuple> tuples;
+    for (const auto& roa : roas) {
+        for (const auto& rp : roa.prefixes) {
+            tuples.push_back(RoaTuple{rp.prefix, rp.maxLength, roa.asn});
+        }
+    }
+    return RpkiState(std::move(tuples));
+}
+
+bool RpkiState::contains(const RoaTuple& t) const {
+    return std::binary_search(tuples_.begin(), tuples_.end(), t);
+}
+
+std::vector<RoaTuple> RpkiState::minus(const RpkiState& other) const {
+    std::vector<RoaTuple> out;
+    std::set_difference(tuples_.begin(), tuples_.end(), other.tuples_.begin(),
+                        other.tuples_.end(), std::back_inserter(out));
+    return out;
+}
+
+}  // namespace rpkic

@@ -1,0 +1,51 @@
+// The detector's view of an RPKI state: the set of (prefix, maxLength,
+// origin-AS) tuples carried by the valid ROAs of a relying party's cache
+// (paper §4.1: "the validity of a route depends exclusively on the set of
+// valid ROAs in a relying party's local cache").
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ip/prefix.hpp"
+#include "rpki/objects.hpp"
+
+namespace rpkic {
+
+struct RoaTuple {
+    IpPrefix prefix;
+    std::uint8_t maxLength = 0;
+    Asn asn = 0;
+
+    auto operator<=>(const RoaTuple&) const = default;
+
+    /// The route this tuple directly authorizes (its own prefix).
+    Route announcedRoute() const { return Route{prefix, asn}; }
+
+    std::string str() const;
+};
+
+/// A normalized (sorted, deduplicated) set of ROA tuples.
+class RpkiState {
+public:
+    RpkiState() = default;
+    explicit RpkiState(std::vector<RoaTuple> tuples);
+
+    /// Flattens ROAs (each possibly carrying many prefixes) into tuples.
+    static RpkiState fromRoas(std::span<const Roa> roas);
+
+    const std::vector<RoaTuple>& tuples() const { return tuples_; }
+    std::size_t size() const { return tuples_.size(); }
+    bool contains(const RoaTuple& t) const;
+
+    /// Tuples present in *this but not in `other` (both sorted: linear).
+    std::vector<RoaTuple> minus(const RpkiState& other) const;
+
+    friend bool operator==(const RpkiState&, const RpkiState&) = default;
+
+private:
+    std::vector<RoaTuple> tuples_;
+};
+
+}  // namespace rpkic

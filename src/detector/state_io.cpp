@@ -1,0 +1,111 @@
+#include "detector/state_io.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+#include "util/errors.hpp"
+
+namespace rpkic {
+
+namespace {
+
+/// Parses one non-empty, non-comment line: "prefix[-maxLength] AS<asn>"
+/// (the "AS" prefix on the ASN is optional).
+RoaTuple parseLine(const std::string& line, int lineNo) {
+    std::istringstream words(line);
+    std::string prefixPart;
+    std::string asnPart;
+    if (!(words >> prefixPart >> asnPart)) {
+        throw ParseError("line " + std::to_string(lineNo) + ": expected 'prefix ASN'");
+    }
+    std::string trailing;
+    if (words >> trailing) {
+        throw ParseError("line " + std::to_string(lineNo) + ": trailing tokens");
+    }
+
+    RoaTuple tuple;
+    const std::size_t dash = prefixPart.find('-');
+    std::string prefixText = prefixPart;
+    if (dash != std::string::npos) {
+        prefixText = prefixPart.substr(0, dash);
+        const std::string maxLenText = prefixPart.substr(dash + 1);
+        unsigned maxLen = 0;
+        const auto [p, ec] =
+            std::from_chars(maxLenText.data(), maxLenText.data() + maxLenText.size(), maxLen);
+        if (ec != std::errc{} || p != maxLenText.data() + maxLenText.size() || maxLen > 128) {
+            throw ParseError("line " + std::to_string(lineNo) + ": bad maxLength '" +
+                             maxLenText + "'");
+        }
+        tuple.maxLength = static_cast<std::uint8_t>(maxLen);
+    }
+    tuple.prefix = IpPrefix::parse(prefixText);
+    if (dash == std::string::npos) {
+        tuple.maxLength = tuple.prefix.length;
+    } else if (tuple.maxLength < tuple.prefix.length ||
+               tuple.maxLength > static_cast<std::uint8_t>(tuple.prefix.bits())) {
+        throw ParseError("line " + std::to_string(lineNo) + ": maxLength out of range");
+    }
+
+    std::string asnDigits = asnPart;
+    if (asnDigits.size() > 2 && (asnDigits[0] == 'A' || asnDigits[0] == 'a') &&
+        (asnDigits[1] == 'S' || asnDigits[1] == 's')) {
+        asnDigits = asnDigits.substr(2);
+    }
+    std::uint64_t asn = 0;
+    const auto [p, ec] =
+        std::from_chars(asnDigits.data(), asnDigits.data() + asnDigits.size(), asn);
+    if (ec != std::errc{} || p != asnDigits.data() + asnDigits.size() || asn > 0xffffffffULL) {
+        throw ParseError("line " + std::to_string(lineNo) + ": bad ASN '" + asnPart + "'");
+    }
+    tuple.asn = static_cast<Asn>(asn);
+    return tuple;
+}
+
+}  // namespace
+
+RpkiState parseStateText(std::istream& in) {
+    std::vector<RoaTuple> tuples;
+    std::string line;
+    int lineNo = 0;
+    while (std::getline(in, line)) {
+        ++lineNo;
+        const std::size_t hash = line.find('#');
+        if (hash != std::string::npos) line.erase(hash);
+        // Trim whitespace.
+        const auto first = line.find_first_not_of(" \t\r");
+        if (first == std::string::npos) continue;
+        const auto last = line.find_last_not_of(" \t\r");
+        tuples.push_back(parseLine(line.substr(first, last - first + 1), lineNo));
+    }
+    return RpkiState(std::move(tuples));
+}
+
+RpkiState parseStateText(const std::string& text) {
+    std::istringstream in(text);
+    return parseStateText(in);
+}
+
+RpkiState loadStateFile(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) throw Error("cannot open state file: " + path);
+    return parseStateText(in);
+}
+
+std::string stateToText(const RpkiState& state) {
+    std::string out;
+    for (const auto& t : state.tuples()) {
+        out += t.prefix.str();
+        if (t.maxLength != t.prefix.length) out += "-" + std::to_string(t.maxLength);
+        out += " AS" + std::to_string(t.asn) + "\n";
+    }
+    return out;
+}
+
+void saveStateFile(const std::string& path, const RpkiState& state) {
+    std::ofstream out(path);
+    if (!out) throw Error("cannot write state file: " + path);
+    out << stateToText(state);
+}
+
+}  // namespace rpkic

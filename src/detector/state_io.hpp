@@ -1,0 +1,31 @@
+// Text serialization of RPKI states, for the command-line tools and for
+// interoperability with ROA dumps: one "prefix[-maxLength] ASN" tuple per
+// line, '#' comments, blank lines ignored.
+//
+//   # production RPKI 2013-12-19
+//   79.139.96.0/19-20 AS43782
+//   79.139.96.0/24 AS51813
+//   2c0f:f668::/32 AS37600
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "detector/state.hpp"
+
+namespace rpkic {
+
+/// Parses the text format. Throws ParseError with a line number on
+/// malformed input.
+RpkiState parseStateText(std::istream& in);
+RpkiState parseStateText(const std::string& text);
+
+/// Reads a state file from disk. Throws Error if unreadable.
+RpkiState loadStateFile(const std::string& path);
+
+/// Serializes; output is sorted and canonical (reparsing yields an equal
+/// state).
+std::string stateToText(const RpkiState& state);
+void saveStateFile(const std::string& path, const RpkiState& state);
+
+}  // namespace rpkic

@@ -1,0 +1,87 @@
+#include "detector/validity_index.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rpkic {
+
+const TriangleSet PrefixValidityIndex::kEmptyTriangles{};
+const TriangleSet6 PrefixValidityIndex::kEmptyTriangles6{};
+
+PrefixValidityIndex::PrefixValidityIndex(const RpkiState& state) : state_(state) {
+    TriangleSet::RawLevels knownRaw;
+    TriangleSet6::RawLevels known6Raw;
+    std::unordered_map<Asn, TriangleSet::RawLevels> validRaw;
+    std::unordered_map<Asn, TriangleSet6::RawLevels> valid6Raw;
+
+    for (const auto& t : state.tuples()) {
+        if (t.prefix.family == IpFamily::v4) {
+            const Interval<std::uint64_t> range{t.prefix.firstAddress().toU64(),
+                                                t.prefix.lastAddress().toU64()};
+            // Valid triangle: depths len(P)..maxLength, the ROA's AS only.
+            auto& vr = validRaw[t.asn];
+            for (int q = t.prefix.length; q <= t.maxLength; ++q) vr[q].push_back(range);
+            // Known triangle: depths len(P)..32, every AS.
+            for (int q = t.prefix.length; q <= TriangleSet::kMaxLen; ++q) {
+                knownRaw[q].push_back(range);
+            }
+        } else {
+            const Interval<U128> range{t.prefix.firstAddress(), t.prefix.lastAddress()};
+            auto& vr = valid6Raw[t.asn];
+            for (int q = t.prefix.length; q <= t.maxLength; ++q) vr[q].push_back(range);
+            for (int q = t.prefix.length; q <= TriangleSet6::kMaxLen; ++q) {
+                known6Raw[q].push_back(range);
+            }
+        }
+    }
+
+    known_ = TriangleSet::build(knownRaw);
+    known6_ = TriangleSet6::build(known6Raw);
+    validByAs_.reserve(validRaw.size());
+    for (auto& [asn, raw] : validRaw) validByAs_.emplace(asn, TriangleSet::build(raw));
+    valid6ByAs_.reserve(valid6Raw.size());
+    for (auto& [asn, raw] : valid6Raw) valid6ByAs_.emplace(asn, TriangleSet6::build(raw));
+}
+
+RouteValidity PrefixValidityIndex::classify(const Route& route) const {
+    if (route.prefix.family == IpFamily::v4) {
+        const auto it = validByAs_.find(route.origin);
+        if (it != validByAs_.end() && it->second.containsPrefix(route.prefix)) {
+            return RouteValidity::Valid;
+        }
+        if (known_.containsPrefix(route.prefix)) return RouteValidity::Invalid;
+        return RouteValidity::Unknown;
+    }
+    const auto it = valid6ByAs_.find(route.origin);
+    if (it != valid6ByAs_.end() && it->second.containsPrefix(route.prefix)) {
+        return RouteValidity::Valid;
+    }
+    if (known6_.containsPrefix(route.prefix)) return RouteValidity::Invalid;
+    return RouteValidity::Unknown;
+}
+
+const TriangleSet& PrefixValidityIndex::validTriangles(Asn a) const {
+    const auto it = validByAs_.find(a);
+    return it == validByAs_.end() ? kEmptyTriangles : it->second;
+}
+
+const TriangleSet6& PrefixValidityIndex::validTriangles6(Asn a) const {
+    const auto it = valid6ByAs_.find(a);
+    return it == valid6ByAs_.end() ? kEmptyTriangles6 : it->second;
+}
+
+std::uint64_t PrefixValidityIndex::invalidFootprintAddresses() const {
+    return known_.level(TriangleSet::kMaxLen).countU64();
+}
+
+std::vector<Asn> PrefixValidityIndex::asns() const {
+    std::vector<Asn> out;
+    out.reserve(validByAs_.size() + valid6ByAs_.size());
+    for (const auto& [asn, tri] : validByAs_) out.push_back(asn);
+    for (const auto& [asn, tri] : valid6ByAs_) out.push_back(asn);
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+}
+
+}  // namespace rpkic

@@ -1,0 +1,234 @@
+// Sets of integers represented as sorted, disjoint, inclusive intervals.
+//
+// This is the workhorse of the paper's §4.1 detector: "we represent
+// [triangles] using interval trees ... we can use interval trees to
+// efficiently perform unions, intersections, and complements of sets of
+// triangles". A sorted interval vector gives the same O(n log n) bounds
+// with much better constants than a pointer-based tree.
+//
+// Intervals are inclusive [lo, hi] so that a full address space
+// (e.g. [0, 2^128-1]) is representable without overflow.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "util/errors.hpp"
+
+namespace rpkic {
+
+template <typename T>
+struct Interval {
+    T lo{};
+    T hi{};  // inclusive
+
+    friend bool operator==(const Interval&, const Interval&) = default;
+};
+
+/// An immutable-style ordered set of T, stored as disjoint inclusive
+/// intervals in ascending order. T must behave like an unsigned integer
+/// (U128 or std::uint64_t).
+template <typename T>
+class IntervalSet {
+public:
+    IntervalSet() = default;
+
+    static IntervalSet single(T lo, T hi) {
+        if (hi < lo) throw UsageError("interval hi < lo");
+        IntervalSet s;
+        s.intervals_.push_back({lo, hi});
+        return s;
+    }
+
+    bool empty() const { return intervals_.empty(); }
+    std::size_t intervalCount() const { return intervals_.size(); }
+    const std::vector<Interval<T>>& intervals() const { return intervals_; }
+
+    bool contains(T x) const {
+        auto it = std::upper_bound(intervals_.begin(), intervals_.end(), x,
+                                   [](T v, const Interval<T>& iv) { return v < iv.lo; });
+        if (it == intervals_.begin()) return false;
+        --it;
+        return !(it->hi < x);
+    }
+
+    /// True iff [lo, hi] is entirely inside one stored interval.
+    bool containsRange(T lo, T hi) const {
+        auto it = std::upper_bound(intervals_.begin(), intervals_.end(), lo,
+                                   [](T v, const Interval<T>& iv) { return v < iv.lo; });
+        if (it == intervals_.begin()) return false;
+        --it;
+        return !(it->hi < hi) && !(lo < it->lo);
+    }
+
+    /// True iff [lo, hi] intersects the set.
+    bool intersectsRange(T lo, T hi) const {
+        auto it = std::upper_bound(intervals_.begin(), intervals_.end(), hi,
+                                   [](T v, const Interval<T>& iv) { return v < iv.lo; });
+        if (it == intervals_.begin()) return false;
+        --it;
+        return !(it->hi < lo);
+    }
+
+    /// Builds a set from arbitrary (possibly overlapping, unordered)
+    /// intervals in O(n log n). Preferred over repeated insert() for bulk
+    /// construction, e.g. when the detector ingests every ROA of a state.
+    static IntervalSet fromIntervals(std::vector<Interval<T>> raw) {
+        std::sort(raw.begin(), raw.end(),
+                  [](const Interval<T>& a, const Interval<T>& b) { return a.lo < b.lo; });
+        IntervalSet out;
+        out.intervals_.reserve(raw.size());
+        for (const auto& iv : raw) {
+            if (iv.hi < iv.lo) throw UsageError("interval hi < lo");
+            if (!out.intervals_.empty()) {
+                auto& back = out.intervals_.back();
+                const bool mergeable =
+                    !(back.hi < iv.lo) || (!(back.hi == maxValue()) && back.hi + T{1} == iv.lo);
+                if (mergeable) {
+                    back.hi = std::max(back.hi, iv.hi);
+                    continue;
+                }
+            }
+            out.intervals_.push_back(iv);
+        }
+        return out;
+    }
+
+    /// Adds [lo, hi], merging with adjacent/overlapping intervals.
+    /// O(log n + merged) via binary search.
+    void insert(T lo, T hi) {
+        if (hi < lo) throw UsageError("interval hi < lo");
+        // First interval whose hi >= lo (candidates for overlap), then step
+        // back once to catch adjacency at lo-1 (guarding lo == 0 underflow).
+        auto first = std::lower_bound(intervals_.begin(), intervals_.end(), lo,
+                                      [](const Interval<T>& iv, T v) { return iv.hi < v; });
+        if (first != intervals_.begin()) {
+            auto prev = first - 1;
+            if (!(lo == T{0}) && prev->hi == lo - T{1}) first = prev;
+        }
+        auto last = first;
+        T newLo = lo;
+        T newHi = hi;
+        while (last != intervals_.end()) {
+            const T l = last->lo;
+            const bool mergeable = !(hi < l) || (!(hi == maxValue()) && l == hi + T{1});
+            if (!mergeable) break;
+            newLo = std::min(newLo, last->lo);
+            newHi = std::max(newHi, last->hi);
+            ++last;
+        }
+        if (first == last) {
+            intervals_.insert(first, {newLo, newHi});
+        } else {
+            *first = {newLo, newHi};
+            intervals_.erase(first + 1, last);
+        }
+    }
+
+    /// Set union (linear merge).
+    IntervalSet unionWith(const IntervalSet& other) const {
+        IntervalSet out;
+        auto a = intervals_.begin();
+        auto b = other.intervals_.begin();
+        auto take = [&out](const Interval<T>& iv) {
+            if (!out.intervals_.empty()) {
+                auto& back = out.intervals_.back();
+                const bool mergeable =
+                    !(back.hi < iv.lo) || (!(back.hi == maxValue()) && back.hi + T{1} == iv.lo);
+                if (mergeable) {
+                    back.hi = std::max(back.hi, iv.hi);
+                    return;
+                }
+            }
+            out.intervals_.push_back(iv);
+        };
+        while (a != intervals_.end() && b != other.intervals_.end()) {
+            if (a->lo < b->lo || (a->lo == b->lo && a->hi < b->hi)) take(*a++);
+            else take(*b++);
+        }
+        while (a != intervals_.end()) take(*a++);
+        while (b != other.intervals_.end()) take(*b++);
+        return out;
+    }
+
+    /// Set intersection (linear sweep).
+    IntervalSet intersect(const IntervalSet& other) const {
+        IntervalSet out;
+        auto a = intervals_.begin();
+        auto b = other.intervals_.begin();
+        while (a != intervals_.end() && b != other.intervals_.end()) {
+            const T lo = std::max(a->lo, b->lo);
+            const T hi = std::min(a->hi, b->hi);
+            if (!(hi < lo)) out.intervals_.push_back({lo, hi});
+            if (a->hi < b->hi) ++a;
+            else ++b;
+        }
+        return out;
+    }
+
+    /// Set difference: elements of *this not in `other` (linear sweep).
+    IntervalSet subtract(const IntervalSet& other) const {
+        IntervalSet out;
+        auto b = other.intervals_.begin();
+        for (const auto& iv : intervals_) {
+            T cursor = iv.lo;
+            bool exhausted = false;
+            while (b != other.intervals_.end() && b->hi < cursor) ++b;
+            auto bb = b;
+            while (!exhausted && bb != other.intervals_.end() && !(iv.hi < bb->lo)) {
+                if (cursor < bb->lo) out.intervals_.push_back({cursor, bb->lo - T{1}});
+                if (iv.hi < bb->hi || iv.hi == bb->hi) {
+                    exhausted = true;  // remainder of iv is covered
+                } else {
+                    cursor = bb->hi + T{1};
+                    ++bb;
+                }
+            }
+            if (!exhausted) out.intervals_.push_back({cursor, iv.hi});
+        }
+        return out;
+    }
+
+    /// Number of elements, as double (exact for IPv4-sized sets).
+    double countDouble() const {
+        double total = 0;
+        for (const auto& iv : intervals_) {
+            total += elementCount(iv);
+        }
+        return total;
+    }
+
+    /// Exact element count for sets known to fit in 64 bits.
+    std::uint64_t countU64() const {
+        std::uint64_t total = 0;
+        for (const auto& iv : intervals_) {
+            if constexpr (requires(T t) { t.toU64(); }) {
+                total += (iv.hi - iv.lo).toU64() + 1;
+            } else {
+                total += static_cast<std::uint64_t>(iv.hi - iv.lo) + 1;
+            }
+        }
+        return total;
+    }
+
+    friend bool operator==(const IntervalSet&, const IntervalSet&) = default;
+
+private:
+    static constexpr T maxValue() {
+        if constexpr (requires { T::max(); }) return T::max();
+        else return ~T{0};
+    }
+
+    static double elementCount(const Interval<T>& iv) {
+        if constexpr (requires(T t) { t.toDouble(); }) {
+            return (iv.hi - iv.lo).toDouble() + 1.0;
+        } else {
+            return static_cast<double>(iv.hi - iv.lo) + 1.0;
+        }
+    }
+
+    std::vector<Interval<T>> intervals_;
+};
+
+}  // namespace rpkic

@@ -1,0 +1,234 @@
+#include "ip/prefix.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <vector>
+
+#include "util/errors.hpp"
+
+namespace rpkic {
+
+std::string U128::hex() const {
+    char buf[36];
+    std::snprintf(buf, sizeof buf, "%016llx%016llx",
+                  static_cast<unsigned long long>(hi), static_cast<unsigned long long>(lo));
+    return buf;
+}
+
+namespace {
+
+/// Mask with the top `length` bits (of a `bits`-wide address) set.
+U128 networkMask(int bits, int length) {
+    if (length <= 0) return U128{0, 0};
+    // Shift an all-ones value left so only `length` leading bits survive,
+    // within a `bits`-wide field that is right-aligned in the U128.
+    U128 ones = (bits == 128) ? U128::max() : (U128{0, 1} << bits) - U128{0, 1};
+    return (ones >> (bits - length)) << (bits - length);
+}
+
+std::uint32_t parseDecimal(std::string_view s, std::uint32_t maxValue, const char* what) {
+    std::uint32_t value = 0;
+    if (s.empty()) throw ParseError(std::string("empty ") + what);
+    const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+    if (ec != std::errc{} || ptr != s.data() + s.size() || value > maxValue) {
+        throw ParseError(std::string("bad ") + what + ": '" + std::string(s) + "'");
+    }
+    return value;
+}
+
+IpPrefix parseV4(std::string_view addrPart, int length) {
+    std::uint32_t addr = 0;
+    int octets = 0;
+    std::size_t pos = 0;
+    for (;;) {
+        const std::size_t dot = addrPart.find('.', pos);
+        const std::string_view piece = (dot == std::string_view::npos)
+                                           ? addrPart.substr(pos)
+                                           : addrPart.substr(pos, dot - pos);
+        if (octets == 4) throw ParseError("too many IPv4 octets: '" + std::string(addrPart) + "'");
+        addr = (addr << 8) | parseDecimal(piece, 255, "IPv4 octet");
+        ++octets;
+        if (dot == std::string_view::npos) break;
+        pos = dot + 1;
+    }
+    if (octets != 4) throw ParseError("IPv4 address needs 4 octets: '" + std::string(addrPart) + "'");
+    if (length < 0 || length > 32) throw ParseError("IPv4 prefix length out of range");
+    return IpPrefix::v4(addr, length);
+}
+
+std::uint16_t parseHexGroup(std::string_view s) {
+    if (s.empty() || s.size() > 4) throw ParseError("bad IPv6 group: '" + std::string(s) + "'");
+    std::uint16_t value = 0;
+    const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value, 16);
+    if (ec != std::errc{} || ptr != s.data() + s.size()) {
+        throw ParseError("bad IPv6 group: '" + std::string(s) + "'");
+    }
+    return value;
+}
+
+IpPrefix parseV6(std::string_view addrPart, int length) {
+    // Split on "::" (at most one occurrence).
+    std::vector<std::uint16_t> head;
+    std::vector<std::uint16_t> tail;
+    const std::size_t gap = addrPart.find("::");
+    auto parseGroups = [](std::string_view part, std::vector<std::uint16_t>& out) {
+        if (part.empty()) return;
+        std::size_t pos = 0;
+        for (;;) {
+            const std::size_t colon = part.find(':', pos);
+            const std::string_view piece = (colon == std::string_view::npos)
+                                               ? part.substr(pos)
+                                               : part.substr(pos, colon - pos);
+            out.push_back(parseHexGroup(piece));
+            if (colon == std::string_view::npos) break;
+            pos = colon + 1;
+        }
+    };
+    if (gap == std::string_view::npos) {
+        parseGroups(addrPart, head);
+        if (head.size() != 8) throw ParseError("IPv6 address needs 8 groups without '::'");
+    } else {
+        if (addrPart.find("::", gap + 1) != std::string_view::npos) {
+            throw ParseError("IPv6 address may contain '::' only once");
+        }
+        parseGroups(addrPart.substr(0, gap), head);
+        parseGroups(addrPart.substr(gap + 2), tail);
+        if (head.size() + tail.size() > 7) throw ParseError("too many IPv6 groups around '::'");
+    }
+    std::uint16_t groups[8] = {};
+    for (std::size_t i = 0; i < head.size(); ++i) groups[i] = head[i];
+    for (std::size_t i = 0; i < tail.size(); ++i) groups[8 - tail.size() + i] = tail[i];
+
+    U128 addr{0, 0};
+    for (int i = 0; i < 8; ++i) addr = (addr << 16) | U128{0, groups[i]};
+    if (length < 0 || length > 128) throw ParseError("IPv6 prefix length out of range");
+    return IpPrefix::v6(addr, length);
+}
+
+}  // namespace
+
+bool IpPrefix::isCanonical() const {
+    return (addr & ~networkMask(bits(), length)).isZero();
+}
+
+IpPrefix IpPrefix::canonicalized() const {
+    IpPrefix p = *this;
+    p.addr = addr & networkMask(bits(), length);
+    return p;
+}
+
+U128 IpPrefix::firstAddress() const {
+    return addr & networkMask(bits(), length);
+}
+
+U128 IpPrefix::lastAddress() const {
+    const U128 widthMask =
+        (bits() == 128) ? U128::max() : (U128{0, 1} << bits()) - U128{0, 1};
+    return firstAddress() | (~networkMask(bits(), length) & widthMask);
+}
+
+double IpPrefix::addressCount() const {
+    const int hostBits = bits() - length;
+    if (hostBits >= 128) return U128::max().toDouble() + 1.0;
+    return ((U128{0, 1} << hostBits)).toDouble();
+}
+
+bool IpPrefix::covers(const IpPrefix& p) const {
+    if (family != p.family || length > p.length) return false;
+    const U128 mask = networkMask(bits(), length);
+    return (addr & mask) == (p.addr & mask);
+}
+
+bool IpPrefix::overlaps(const IpPrefix& p) const {
+    return covers(p) || p.covers(*this);
+}
+
+IpPrefix IpPrefix::child(int bit) const {
+    if (length >= bits()) throw UsageError("prefix has no children at maximum length");
+    IpPrefix c = canonicalized();
+    c.length = static_cast<std::uint8_t>(length + 1);
+    if (bit) c.addr = c.addr | (U128{0, 1} << (bits() - c.length));
+    return c;
+}
+
+std::string IpPrefix::str() const {
+    char buf[64];
+    if (family == IpFamily::v4) {
+        const auto a = static_cast<std::uint32_t>(addr.toU64());
+        std::snprintf(buf, sizeof buf, "%u.%u.%u.%u/%u", (a >> 24) & 0xff, (a >> 16) & 0xff,
+                      (a >> 8) & 0xff, a & 0xff, length);
+        return buf;
+    }
+    // IPv6: full form without compression except collapsing trailing zeros
+    // into "::" when possible, which covers the documentation prefixes the
+    // paper mentions (e.g. 2c0f:f668::/32).
+    std::uint16_t groups[8];
+    for (int i = 0; i < 8; ++i) {
+        groups[i] = static_cast<std::uint16_t>((addr >> (112 - 16 * i)).toU64() & 0xffff);
+    }
+    int lastNonZero = -1;
+    for (int i = 0; i < 8; ++i)
+        if (groups[i] != 0) lastNonZero = i;
+    std::string out;
+    if (lastNonZero == -1) {
+        out = "::";
+    } else if (lastNonZero <= 6) {
+        for (int i = 0; i <= lastNonZero; ++i) {
+            std::snprintf(buf, sizeof buf, "%x", groups[i]);
+            out += buf;
+            out += ':';
+        }
+        out += ':';
+    } else {
+        for (int i = 0; i < 8; ++i) {
+            std::snprintf(buf, sizeof buf, "%x", groups[i]);
+            out += buf;
+            if (i != 7) out += ':';
+        }
+    }
+    std::snprintf(buf, sizeof buf, "/%u", length);
+    out += buf;
+    return out;
+}
+
+IpPrefix IpPrefix::parse(std::string_view text) {
+    const std::size_t slash = text.rfind('/');
+    if (slash == std::string_view::npos) throw ParseError("prefix needs '/length': '" + std::string(text) + "'");
+    const std::string_view addrPart = text.substr(0, slash);
+    const int length = static_cast<int>(parseDecimal(text.substr(slash + 1), 128, "prefix length"));
+    if (addrPart.find(':') != std::string_view::npos) return parseV6(addrPart, length);
+    return parseV4(addrPart, length);
+}
+
+IpPrefix IpPrefix::v4(std::uint32_t addr, int length) {
+    if (length < 0 || length > 32) throw UsageError("IPv4 prefix length out of range");
+    IpPrefix p;
+    p.family = IpFamily::v4;
+    p.addr = U128{0, addr};
+    p.length = static_cast<std::uint8_t>(length);
+    return p.canonicalized();
+}
+
+IpPrefix IpPrefix::v6(U128 addr, int length) {
+    if (length < 0 || length > 128) throw UsageError("IPv6 prefix length out of range");
+    IpPrefix p;
+    p.family = IpFamily::v6;
+    p.addr = addr;
+    p.length = static_cast<std::uint8_t>(length);
+    return p.canonicalized();
+}
+
+std::string Route::str() const {
+    return prefix.str() + " AS" + std::to_string(origin);
+}
+
+std::string_view toString(RouteValidity v) {
+    switch (v) {
+        case RouteValidity::Valid: return "valid";
+        case RouteValidity::Unknown: return "unknown";
+        case RouteValidity::Invalid: return "invalid";
+    }
+    return "?";
+}
+
+}  // namespace rpkic

@@ -1,0 +1,95 @@
+// IP prefixes and origin AS numbers — the vocabulary of the RPKI.
+//
+// An IpPrefix is (family, address, length). The central relation is
+// *cover* (paper §2.1): P covers π iff P == π or π is a proper subset of
+// the address space of P. E.g. 63.160.0.0/12 covers 63.160.1.0/24.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "ip/u128.hpp"
+
+namespace rpkic {
+
+/// Autonomous-system number.
+using Asn = std::uint32_t;
+
+enum class IpFamily : std::uint8_t { v4 = 4, v6 = 6 };
+
+/// Address width in bits for a family (32 or 128).
+constexpr int familyBits(IpFamily f) {
+    return f == IpFamily::v4 ? 32 : 128;
+}
+
+struct IpPrefix {
+    IpFamily family = IpFamily::v4;
+    U128 addr;           // right-aligned integer value of the network address
+    std::uint8_t length = 0;
+
+    auto operator<=>(const IpPrefix&) const = default;
+
+    int bits() const { return familyBits(family); }
+
+    /// True iff the host bits below `length` are all zero (the canonical
+    /// form required of prefixes in RPKI objects).
+    bool isCanonical() const;
+
+    /// Zeroes the host bits.
+    IpPrefix canonicalized() const;
+
+    /// First address of the prefix (== addr for canonical prefixes).
+    U128 firstAddress() const;
+
+    /// Last address of the prefix.
+    U128 lastAddress() const;
+
+    /// Number of addresses covered, as a double (exact for IPv4).
+    double addressCount() const;
+
+    /// Cover relation, paper §2.1: same family, this->length <= p.length,
+    /// and p's address lies inside this prefix. Reflexive.
+    bool covers(const IpPrefix& p) const;
+
+    /// True if the two prefixes share any address space.
+    bool overlaps(const IpPrefix& p) const;
+
+    /// Direct child in the binary prefix tree: bit = 0 -> low half.
+    IpPrefix child(int bit) const;
+
+    std::string str() const;
+
+    /// Parses "a.b.c.d/len" or an IPv6 literal with "::" compression plus
+    /// "/len". Throws ParseError on malformed input.
+    static IpPrefix parse(std::string_view text);
+
+    /// Convenience for tests and generators: IPv4 from a 32-bit value.
+    static IpPrefix v4(std::uint32_t addr, int length);
+
+    /// IPv6 from a 128-bit value.
+    static IpPrefix v6(U128 addr, int length);
+};
+
+/// A BGP route for our purposes (paper §2.2): an IP prefix and the AS that
+/// originates it.
+struct Route {
+    IpPrefix prefix;
+    Asn origin = 0;
+
+    auto operator<=>(const Route&) const = default;
+
+    std::string str() const;
+};
+
+/// The three route validation states of RFC 6483/6811 (paper §2.2).
+enum class RouteValidity : std::uint8_t {
+    Valid,    ///< a valid matching ROA exists
+    Unknown,  ///< no valid covering ROA exists
+    Invalid,  ///< covered by some ROA but no matching ROA
+};
+
+std::string_view toString(RouteValidity v);
+
+}  // namespace rpkic

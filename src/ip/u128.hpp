@@ -1,0 +1,70 @@
+// Portable 128-bit unsigned integer, sufficient for IPv6 address
+// arithmetic. Implemented in ISO C++ (no __int128 extension) per the
+// project's coding guidelines.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace rpkic {
+
+struct U128 {
+    std::uint64_t hi = 0;
+    std::uint64_t lo = 0;
+
+    constexpr U128() = default;
+    constexpr U128(std::uint64_t high, std::uint64_t low) : hi(high), lo(low) {}
+
+    /// Implicit widening from 64-bit, mirroring built-in integer behaviour.
+    constexpr U128(std::uint64_t v) : hi(0), lo(v) {}  // NOLINT(google-explicit-constructor)
+
+    constexpr auto operator<=>(const U128&) const = default;
+
+    static constexpr U128 max() { return {~0ULL, ~0ULL}; }
+
+    constexpr U128 operator+(const U128& o) const {
+        U128 r{hi + o.hi, lo + o.lo};
+        if (r.lo < lo) ++r.hi;
+        return r;
+    }
+    constexpr U128 operator-(const U128& o) const {
+        U128 r{hi - o.hi, lo - o.lo};
+        if (lo < o.lo) --r.hi;
+        return r;
+    }
+    constexpr U128 operator&(const U128& o) const { return {hi & o.hi, lo & o.lo}; }
+    constexpr U128 operator|(const U128& o) const { return {hi | o.hi, lo | o.lo}; }
+    constexpr U128 operator^(const U128& o) const { return {hi ^ o.hi, lo ^ o.lo}; }
+    constexpr U128 operator~() const { return {~hi, ~lo}; }
+
+    constexpr U128 operator<<(int n) const {
+        if (n <= 0) return *this;
+        if (n >= 128) return {0, 0};
+        if (n >= 64) return {lo << (n - 64), 0};
+        return {(hi << n) | (lo >> (64 - n)), lo << n};
+    }
+    constexpr U128 operator>>(int n) const {
+        if (n <= 0) return *this;
+        if (n >= 128) return {0, 0};
+        if (n >= 64) return {0, hi >> (n - 64)};
+        return {hi >> n, (lo >> n) | (hi << (64 - n))};
+    }
+
+    U128& operator+=(const U128& o) { return *this = *this + o; }
+    U128& operator-=(const U128& o) { return *this = *this - o; }
+
+    constexpr bool isZero() const { return hi == 0 && lo == 0; }
+
+    /// Narrowing access; callers must know the value fits (e.g. IPv4 paths).
+    constexpr std::uint64_t toU64() const { return lo; }
+
+    /// Approximate conversion for counting/statistics on IPv6-sized sets.
+    double toDouble() const {
+        return static_cast<double>(hi) * 18446744073709551616.0 + static_cast<double>(lo);
+    }
+
+    std::string hex() const;
+};
+
+}  // namespace rpkic

@@ -1,0 +1,246 @@
+#include "model/census.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace rpkic::model {
+
+namespace {
+
+/// Table 2, transcribed. ARIN's extra intermediate layer shows up as
+/// leafDepth 3.
+struct RirSpec {
+    const char* name;
+    int intermediates;     // depth-1 RCs (depth-2 for ARIN's extra layer)
+    bool extraLayer;       // ARIN: TA -> im -> im2 -> leaves
+    int leafRcs;           // leaf RCs (Table 2 RC row at the leaf depth)
+    int roaObjects;        // ROA objects at leaf depth + 1
+    std::uint32_t poolBase;  // synthetic /8-aligned address pool base
+    int poolSlash8s;         // pool size in /8 units
+};
+
+constexpr RirSpec kRirs[] = {
+    //  name      im  extra leafRc roas  poolBase      /8s
+    {"ripe",      4, false, 1909, 1512, 0x51000000u, 16},  // 81/8 ..
+    {"lacnic",    4, false,  282,  282, 0xB9000000u, 8},   // 185/8 ..
+    {"arin",      1, true,    99,  151, 0x17000000u, 16},  // 23/8 ..
+    {"apnic",     1, false,  450,   58, 0x2B000000u, 8},   // 43/8 ..
+    {"afrinic",   1, false,   27,   48, 0xC4000000u, 4},   // 196/8 ..
+};
+
+/// Table 8, transcribed: (asCount bucket representative, leaves) per RIR.
+/// Buckets "6-10" and "10-30" use representative counts 8 and 20.
+struct ConsentSpec {
+    const char* rir;
+    int asCount;
+    int leaves;
+};
+
+constexpr ConsentSpec kConsent[] = {
+    {"ripe", 1, 678}, {"ripe", 2, 122}, {"ripe", 3, 51},  {"ripe", 4, 13},
+    {"ripe", 5, 12},  {"ripe", 8, 30},  {"ripe", 20, 8},  {"ripe", 98, 1},
+    {"lacnic", 1, 123}, {"lacnic", 2, 20}, {"lacnic", 3, 9}, {"lacnic", 4, 2},
+    {"lacnic", 5, 1},   {"lacnic", 8, 2},
+    {"apnic", 1, 26}, {"apnic", 2, 8}, {"apnic", 3, 2}, {"apnic", 5, 2},
+    {"arin", 1, 30}, {"arin", 2, 5}, {"arin", 3, 4}, {"arin", 4, 4}, {"arin", 5, 3},
+    {"afrinic", 1, 9}, {"afrinic", 2, 2}, {"afrinic", 3, 1}, {"afrinic", 4, 1},
+};
+
+int scaled(int value, double scale) {
+    if (value == 0) return 0;
+    return std::max(1, static_cast<int>(std::llround(value * scale)));
+}
+
+}  // namespace
+
+std::vector<ConsentHistogramRow> table8Histogram(double scale) {
+    std::vector<ConsentHistogramRow> rows;
+    for (const auto& spec : kConsent) {
+        rows.push_back({spec.rir, spec.asCount,
+                        static_cast<std::size_t>(scaled(spec.leaves, scale))});
+    }
+    return rows;
+}
+
+const std::vector<std::string>& rirNames() {
+    static const std::vector<std::string> names = {"ripe", "lacnic", "arin", "apnic", "afrinic"};
+    return names;
+}
+
+double Census::meanConsentingAses() const {
+    double leaves = 0;
+    double ases = 0;
+    for (const auto& row : consent) {
+        leaves += static_cast<double>(row.leaves);
+        ases += static_cast<double>(row.leaves) * row.asCount;
+    }
+    return leaves == 0 ? 0.0 : ases / leaves;
+}
+
+double Census::fractionNeedingAtMost(int n) const {
+    double leaves = 0;
+    double within = 0;
+    for (const auto& row : consent) {
+        leaves += static_cast<double>(row.leaves);
+        if (row.asCount <= n) within += static_cast<double>(row.leaves);
+    }
+    return leaves == 0 ? 0.0 : within / leaves;
+}
+
+Census buildProductionCensus(const CensusConfig& config) {
+    Rng rng(config.seed);
+    vanilla::ClassicTreeOptions treeOptions;
+    treeOptions.seed = config.seed;
+    treeOptions.signerHeight = 2;
+    treeOptions.manifestLifetime = 2;
+    Census census{vanilla::ClassicTree(treeOptions), {}, {}, 0, 0, 0, 0};
+    // Signature budget per node: issuance plus (1 + publishBudget)
+    // manifest+CRL rounds.
+    const int publishSigs = 2 * (1 + std::max(0, config.publishBudget));
+
+    const std::uint64_t pairTarget =
+        std::max<std::uint64_t>(1, static_cast<std::uint64_t>(
+                                       static_cast<double>(config.pairTarget) * config.scale));
+
+    // Total ROA objects after scaling, to apportion the pair target.
+    std::size_t totalRoas = 0;
+    for (const auto& rir : kRirs) totalRoas += static_cast<std::size_t>(scaled(rir.roaObjects, config.scale));
+
+    Asn nextAsn = 10000;
+    for (const auto& rir : kRirs) {
+        const int intermediates = scaled(rir.intermediates, config.scale);
+        const int leafRcs = scaled(rir.leafRcs, config.scale);
+        const int roaObjects = scaled(rir.roaObjects, config.scale);
+        const int leafDepth = rir.extraLayer ? 3 : 2;
+
+        // Address pool: consecutive /16 blocks per leaf.
+        ResourceSet pool;
+        pool.addRangeV4(rir.poolBase,
+                        rir.poolBase + (static_cast<std::uint64_t>(rir.poolSlash8s) << 24) - 1);
+        const int taHeight = std::max(
+            3, static_cast<int>(std::ceil(std::log2(rir.intermediates + publishSigs + 1))));
+        census.tree.addTrustAnchor(rir.name, pool, taHeight);
+
+        // Table 8 distribution of ASes per issuing leaf, scaled — computed
+        // first so the intermediates' key capacity can be sized to the ROAs
+        // they may have to issue directly.
+        std::vector<int> leafAsCounts;
+        int tableSumAses = 0;
+        for (const auto& spec : kConsent) {
+            if (std::string(spec.rir) != rir.name) continue;
+            const int leaves = scaled(spec.leaves, config.scale);
+            for (int i = 0; i < leaves; ++i) {
+                leafAsCounts.push_back(spec.asCount);
+                tableSumAses += spec.asCount;
+            }
+        }
+        rng.shuffle(leafAsCounts);
+        const int directRoas = std::max(0, roaObjects - tableSumAses);
+
+        // Intermediates hold "inherit" like the production RPKI's
+        // short-lived operational keys (paper §5.3.1 "Inherit").
+        std::vector<std::string> issuers;
+        const int certsPerIm = (leafRcs + intermediates - 1) / std::max(1, intermediates);
+        const int imHeight = std::max(
+            4, static_cast<int>(std::ceil(std::log2(certsPerIm + directRoas + publishSigs + 1))));
+        for (int i = 0; i < intermediates; ++i) {
+            const std::string im = std::string(rir.name) + "-im" + std::to_string(i);
+            census.tree.addChild(rir.name, im, ResourceSet::inherit(), imHeight);
+            if (rir.extraLayer) {
+                const std::string im2 = im + "-x";
+                census.tree.addChild(im, im2, ResourceSet::inherit(), imHeight);
+                issuers.push_back(im2);
+            } else {
+                issuers.push_back(im);
+            }
+        }
+
+        // Pairs budget for this RIR, split over its ROA objects.
+        const std::uint64_t rirPairs =
+            std::max<std::uint64_t>(1, pairTarget * static_cast<std::uint64_t>(roaObjects) /
+                                           std::max<std::size_t>(1, totalRoas));
+        const int prefixesPerRoa = std::max(
+            1, static_cast<int>((rirPairs + static_cast<std::uint64_t>(roaObjects) / 2) /
+                                std::max(1, roaObjects)));
+
+        int roasIssued = 0;
+        for (int leaf = 0; leaf < leafRcs; ++leaf) {
+            const std::string leafName =
+                std::string(rir.name) + "-org" + std::to_string(leaf);
+            // Each leaf gets one /16 from the pool.
+            const std::uint32_t base =
+                rir.poolBase + (static_cast<std::uint32_t>(leaf % (rir.poolSlash8s * 256)) << 16);
+            const IpPrefix block = IpPrefix::v4(base, 16);
+            const int nAses = leaf < static_cast<int>(leafAsCounts.size())
+                                  ? leafAsCounts[static_cast<std::size_t>(leaf)]
+                                  : 0;
+            const int roaHeight = std::max(
+                2, static_cast<int>(std::ceil(std::log2(nAses + publishSigs + 1))));
+            census.tree.addChild(issuers[static_cast<std::size_t>(leaf) % issuers.size()],
+                                 leafName, ResourceSet::ofPrefixes({block}), roaHeight);
+            ++census.totalRcs;
+
+            for (int a = 0; a < nAses && roasIssued < roaObjects; ++a, ++roasIssued) {
+                const Asn asn = nextAsn++;
+                std::vector<RoaPrefix> prefixes;
+                for (int p = 0; p < prefixesPerRoa; ++p) {
+                    const std::uint32_t sub =
+                        base + (static_cast<std::uint32_t>((a * prefixesPerRoa + p) % 256) << 8);
+                    prefixes.push_back({IpPrefix::v4(sub, 24), 24});
+                }
+                census.totalPairs += prefixes.size();
+                census.tree.addRoa(leafName, "as" + std::to_string(asn), asn,
+                                   std::move(prefixes));
+                ++census.totalRoaObjects;
+            }
+            if (nAses > 0) {
+                census.consent.push_back({rir.name, nAses, 1});
+            }
+        }
+        // Any ROA budget not consumed by Table-8 leaves is issued by the
+        // first issuers directly (production: RIRs hold many member ROAs).
+        while (roasIssued < roaObjects) {
+            const Asn asn = nextAsn++;
+            const std::uint32_t sub =
+                rir.poolBase + (static_cast<std::uint32_t>(roasIssued % 60000) << 8);
+            census.tree.addRoa(issuers[0], "direct-as" + std::to_string(asn), asn,
+                               {{IpPrefix::v4(sub, 24), 24}});
+            ++census.totalRoaObjects;
+            ++census.totalPairs;
+            ++roasIssued;
+        }
+
+        // Record the intended structure rows.
+        census.structure.push_back({rir.name, 0, 1, 0});
+        census.structure.push_back({rir.name, 1, static_cast<std::size_t>(intermediates), 0});
+        if (rir.extraLayer) {
+            census.structure.push_back({rir.name, 2, static_cast<std::size_t>(intermediates), 0});
+        }
+        census.structure.push_back(
+            {rir.name, leafDepth, static_cast<std::size_t>(leafRcs), 0});
+        census.structure.push_back(
+            {rir.name, leafDepth + 1, 0, static_cast<std::size_t>(roaObjects)});
+    }
+
+    // Merge identical consent rows (rir, asCount).
+    std::sort(census.consent.begin(), census.consent.end(),
+              [](const ConsentHistogramRow& a, const ConsentHistogramRow& b) {
+                  return std::tie(a.rir, a.asCount) < std::tie(b.rir, b.asCount);
+              });
+    std::vector<ConsentHistogramRow> merged;
+    for (const auto& row : census.consent) {
+        if (!merged.empty() && merged.back().rir == row.rir &&
+            merged.back().asCount == row.asCount) {
+            merged.back().leaves += row.leaves;
+        } else {
+            merged.push_back(row);
+        }
+    }
+    census.consent = std::move(merged);
+    census.publicationPoints = census.tree.nodeNames().size();
+    return census;
+}
+
+}  // namespace rpkic::model

@@ -1,0 +1,85 @@
+// A model of the *production* RPKI as of 2014-01-13 (paper Table 2 and
+// Table 8), built as a real object tree (keys, certificates, manifests,
+// CRLs) that the vanilla validator can walk.
+//
+// Calibration targets, straight from the paper:
+//  * per-RIR structure (Table 2): trust anchor, intermediate RCs, leaf
+//    RCs, ROAs at each depth (ARIN has an extra intermediate layer);
+//  * the distribution of ASes per ROA-issuing leaf RC (Table 8), with an
+//    average of 1.6 and 93 % of leaves needing <= 3 consenting ASes;
+//  * about 20,000 prefix-to-origin-AS pairs in total;
+//  * about 10,400 validly-signed objects vs ~2,800 manifests (§5.7 "less
+//    crypto").
+//
+// Since real allocations are not available offline, each RIR is given a
+// synthetic address pool and leaves receive consecutive blocks from it
+// (see DESIGN.md, substitutions).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "vanilla/classic_tree.hpp"
+
+namespace rpkic::model {
+
+struct CensusConfig {
+    std::uint64_t seed = 2014;
+    /// Scales every RC/ROA count (tests use ~0.05; benches use 1.0).
+    double scale = 1.0;
+    /// Target number of prefix-to-origin-AS pairs (scaled by `scale`).
+    std::uint64_t pairTarget = 20000;
+    /// How many publish() rounds the tree's keys must survive beyond the
+    /// initial one (each publish costs every node 2 signatures). Key
+    /// generation cost grows with this.
+    int publishBudget = 1;
+};
+
+/// Per-(RIR, depth) row of Table 2.
+struct CensusRow {
+    std::string rir;
+    int depth = 0;
+    std::size_t rcCount = 0;
+    std::size_t roaCount = 0;
+};
+
+/// Histogram row of Table 8: number of leaf RCs whose ROAs name `asCount`
+/// distinct ASes.
+struct ConsentHistogramRow {
+    std::string rir;
+    int asCount = 0;
+    std::size_t leaves = 0;
+};
+
+struct Census {
+    vanilla::ClassicTree tree;
+    std::vector<CensusRow> structure;           ///< intended Table-2 shape
+    std::vector<ConsentHistogramRow> consent;   ///< intended Table-8 shape
+    std::size_t totalPairs = 0;
+    std::size_t totalRoaObjects = 0;
+    std::size_t totalRcs = 0;
+    std::size_t publicationPoints = 0;
+
+    /// Mean ASes per ROA-issuing leaf (paper: 1.6).
+    double meanConsentingAses() const;
+    /// Fraction of issuing leaves needing <= `n` consenting ASes
+    /// (paper: 93 % for n = 3).
+    double fractionNeedingAtMost(int n) const;
+};
+
+/// Builds the census tree. Costs a few seconds at scale 1.0 (it generates
+/// ~2,800 hash-based keypairs and signs ~10,000 objects).
+Census buildProductionCensus(const CensusConfig& config);
+
+/// The five RIR names in the fixed order used throughout.
+const std::vector<std::string>& rirNames();
+
+/// The Table-8 histogram at the given scale, without building any tree.
+/// Bucket rows ("6-10", "10-30") use representative counts 8 and 20, which
+/// puts the model's mean at ~1.77 vs the paper's 1.6 (the paper had the
+/// exact per-leaf counts); the "93 % need <= 3" statistic is preserved
+/// exactly.
+std::vector<ConsentHistogramRow> table8Histogram(double scale);
+
+}  // namespace rpkic::model

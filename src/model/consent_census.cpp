@@ -1,0 +1,75 @@
+#include "model/consent_census.hpp"
+
+#include <cmath>
+
+namespace rpkic::model {
+
+ConsentCensus buildConsentCensus(const CensusConfig& config) {
+    ConsentCensus out;
+    consent::AuthorityOptions options;
+    options.ts = 5;
+    options.manifestLifetime = 1000;
+    options.signerHeight = 4;  // issuance happens once; manifests are few
+    out.directory = std::make_unique<consent::AuthorityDirectory>(config.seed, options);
+    auto& dir = *out.directory;
+
+    const auto histogram = table8Histogram(config.scale);
+    Asn nextAsn = 10000;
+    std::uint32_t poolCursor = 0x0A000000u;
+
+    for (const auto& rirName : rirNames()) {
+        // One /8-sized pool per RIR from a synthetic block. The trust
+        // anchor signs one RC and one manifest update per leaf.
+        std::size_t rirLeaves = 0;
+        for (const auto& row : histogram) {
+            if (row.rir == rirName) rirLeaves += row.leaves;
+        }
+        const int taHeight = std::max(
+            4, static_cast<int>(std::ceil(std::log2(2.0 * (static_cast<double>(rirLeaves) + 4)))));
+        ResourceSet pool;
+        pool.addRangeV4(poolCursor, poolCursor + (1u << 24) - 1);
+        consent::Authority& ta =
+            dir.createTrustAnchor(rirName + "-c", pool, out.repository, 0, taHeight);
+        out.trustAnchors.push_back(ta.cert());
+        ++out.authorities;
+
+        // Leaves straight under the trust anchor (intermediates carry no
+        // signal for the sync-cost comparison), with the Table-8 AS mix.
+        int leafIndex = 0;
+        std::uint32_t leafCursor = poolCursor;
+        for (const auto& row : histogram) {
+            if (row.rir != rirName) continue;
+            for (std::size_t i = 0; i < row.leaves; ++i, ++leafIndex) {
+                const std::string leafName =
+                    rirName + "-c-org" + std::to_string(leafIndex);
+                const IpPrefix block = IpPrefix::v4(leafCursor, 16);
+                leafCursor += 1u << 16;
+                // Leaf key sized for its ROAs (one signature each) plus a
+                // few manifest updates.
+                const int leafHeight = std::max(
+                    3, static_cast<int>(std::ceil(std::log2(row.asCount + 6))));
+                consent::Authority& leaf =
+                    dir.createChild(ta, leafName, ResourceSet::ofPrefixes({block}),
+                                    out.repository, 0, leafHeight);
+                ++out.authorities;
+                // All of a leaf's ROAs go out in ONE manifest update, like
+                // a fresh publication-point bring-up.
+                std::vector<consent::Authority::RoaSpec> roas;
+                for (int a = 0; a < row.asCount; ++a) {
+                    const Asn asn = nextAsn++;
+                    const std::uint32_t sub =
+                        static_cast<std::uint32_t>(block.firstAddress().toU64()) +
+                        (static_cast<std::uint32_t>(a % 256) << 8);
+                    roas.push_back({"as" + std::to_string(asn), asn,
+                                    {{IpPrefix::v4(sub, 24), 24}}});
+                    ++out.roaObjects;
+                }
+                if (!roas.empty()) leaf.issueRoas(std::move(roas), out.repository, 0);
+            }
+        }
+        poolCursor += 1u << 24;
+    }
+    return out;
+}
+
+}  // namespace rpkic::model

@@ -1,0 +1,29 @@
+// The census model rebuilt under the REDESIGNED RPKI (§5): the same
+// Table-2 shape, but authorities running the consent/transparency
+// procedures — normative hash-chained manifests, no CRLs, no per-object
+// verification. Used to measure §5.7's "less crypto" claim as wall-clock:
+// classic validation verifies ~10,400 signatures, the new design ~2,800
+// manifests (and in this implementation skips RC/ROA signatures
+// entirely).
+#pragma once
+
+#include <memory>
+
+#include "consent/authority.hpp"
+#include "model/census.hpp"
+
+namespace rpkic::model {
+
+struct ConsentCensus {
+    std::unique_ptr<consent::AuthorityDirectory> directory;
+    Repository repository;
+    std::vector<ResourceCert> trustAnchors;
+    std::size_t authorities = 0;
+    std::size_t roaObjects = 0;
+};
+
+/// Builds the scaled Table-2 hierarchy with consent-mode authorities and
+/// publishes it. Key-generation cost is O(authorities); keep scale modest.
+ConsentCensus buildConsentCensus(const CensusConfig& config);
+
+}  // namespace rpkic::model

@@ -1,0 +1,174 @@
+#include "model/deployment.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace rpkic::model {
+
+namespace {
+
+/// Table 9 bucket populations at full scale.
+constexpr std::size_t kBucket1to10 = 115605;
+constexpr std::size_t kBucket11to30 = 594;
+constexpr std::size_t kBucket31to100 = 132;
+constexpr std::size_t kBucket100to200 = 15;
+constexpr std::size_t kBucketOver200 = 11;
+
+/// The paper's named outliers.
+struct NamedOutlier {
+    const char* holder;
+    const char* prefix;
+    int asns;
+};
+constexpr NamedOutlier kNamedOutliers[] = {
+    {"Sprint", "12.0.0.0/8", 1073},
+    {"Cogent", "38.0.0.0/8", 721},
+    {"Verizon", "63.64.0.0/10", 598},
+};
+
+std::size_t scaledCount(std::size_t v, double scale) {
+    if (v == 0) return 0;
+    return std::max<std::size_t>(1, static_cast<std::size_t>(std::llround(
+                                        static_cast<double>(v) * scale)));
+}
+
+/// Draws an AS count within the 1-10 bucket with mean ~1.29 so the overall
+/// model mean lands near the paper's 1.5 once the heavier buckets join.
+int drawSmallBucket(Rng& rng) {
+    const double p = rng.nextDouble();
+    if (p < 0.80) return 1;
+    if (p < 0.935) return 2;
+    if (p < 0.97) return 3;
+    return static_cast<int>(rng.nextInRange(4, 10));
+}
+
+/// The 11-30 bucket skews low (min of two uniforms), matching the paper's
+/// "221 allocations above 25 ASes" tail.
+int drawMidBucket(Rng& rng) {
+    const int a = static_cast<int>(rng.nextInRange(11, 30));
+    const int b = static_cast<int>(rng.nextInRange(11, 30));
+    return std::min(a, b);
+}
+
+}  // namespace
+
+double DeploymentModel::meanAsesPerAllocation() const {
+    if (allocations.empty()) return 0.0;
+    double total = 0;
+    for (const auto& a : allocations) total += static_cast<double>(a.asns.size());
+    return total / static_cast<double>(allocations.size());
+}
+
+std::array<std::size_t, 5> DeploymentModel::consentHistogram() const {
+    std::array<std::size_t, 5> h{};
+    for (const auto& a : allocations) {
+        const std::size_t n = a.asns.size();
+        if (n <= 10) ++h[0];
+        else if (n <= 30) ++h[1];
+        else if (n <= 100) ++h[2];
+        else if (n <= 200) ++h[3];
+        else ++h[4];
+    }
+    return h;
+}
+
+std::vector<const DirectAllocation*> DeploymentModel::outliers(int n) const {
+    std::vector<const DirectAllocation*> out;
+    for (const auto& a : allocations) {
+        if (static_cast<int>(a.asns.size()) > n) out.push_back(&a);
+    }
+    std::sort(out.begin(), out.end(), [](const DirectAllocation* a, const DirectAllocation* b) {
+        return a->asns.size() > b->asns.size();
+    });
+    return out;
+}
+
+DeploymentModel buildDeploymentModel(const DeploymentConfig& config) {
+    Rng rng(config.seed);
+    DeploymentModel model;
+
+    Asn nextAsn = 1;
+    auto takeAsns = [&](int count) {
+        std::vector<Asn> asns;
+        asns.reserve(static_cast<std::size_t>(count));
+        for (int i = 0; i < count; ++i) asns.push_back(nextAsn++);
+        return asns;
+    };
+
+    // Named outliers first (always present, any scale).
+    const char* rirOfOutlier[] = {"arin", "arin", "arin"};
+    int outlierIdx = 0;
+    for (const auto& o : kNamedOutliers) {
+        model.allocations.push_back({o.holder, rirOfOutlier[outlierIdx++],
+                                     IpPrefix::parse(o.prefix), takeAsns(o.asns)});
+    }
+
+    // Anonymous allocations, bucket by bucket. Prefixes are consecutive
+    // blocks: /12s for big players, /16s otherwise, from a synthetic pool.
+    std::uint32_t cursor12 = 0x50000000u;  // /12 pool for heavy allocations
+    std::uint32_t cursor16 = 0x60000000u;  // /16 pool for the long tail
+    std::size_t orgCounter = 0;
+    const auto& rirs = std::vector<std::string>{"ripe", "lacnic", "arin", "apnic", "afrinic"};
+
+    auto addAllocation = [&](int asCount, bool heavy) {
+        IpPrefix prefix;
+        if (heavy) {
+            prefix = IpPrefix::v4(cursor12, 12);
+            cursor12 += 1u << 20;
+        } else {
+            prefix = IpPrefix::v4(cursor16, 16);
+            cursor16 += 1u << 16;
+        }
+        model.allocations.push_back({"org-" + std::to_string(orgCounter),
+                                     rirs[orgCounter % rirs.size()], prefix,
+                                     takeAsns(asCount)});
+        ++orgCounter;
+    };
+
+    const std::size_t remainingOver200 =
+        scaledCount(kBucketOver200, config.scale) >= 3
+            ? scaledCount(kBucketOver200, config.scale) - 3
+            : 0;
+    for (std::size_t i = 0; i < remainingOver200; ++i) {
+        addAllocation(static_cast<int>(rng.nextInRange(201, 550)), true);
+    }
+    for (std::size_t i = 0; i < scaledCount(kBucket100to200, config.scale); ++i) {
+        addAllocation(static_cast<int>(rng.nextInRange(101, 200)), true);
+    }
+    for (std::size_t i = 0; i < scaledCount(kBucket31to100, config.scale); ++i) {
+        addAllocation(static_cast<int>(rng.nextInRange(31, 100)), true);
+    }
+    for (std::size_t i = 0; i < scaledCount(kBucket11to30, config.scale); ++i) {
+        addAllocation(drawMidBucket(rng), false);
+    }
+    for (std::size_t i = 0; i < scaledCount(kBucket1to10, config.scale); ++i) {
+        addAllocation(drawSmallBucket(rng), false);
+    }
+
+    if (config.buildRoaState) {
+        std::vector<RoaTuple> tuples;
+        for (const auto& alloc : model.allocations) {
+            // Each AS originates 1-2 subprefixes of the allocation.
+            int sub = 0;
+            for (const Asn asn : alloc.asns) {
+                const int extra = rng.nextBool(0.35) ? 2 : 1;
+                for (int e = 0; e < extra; ++e, ++sub) {
+                    const int len = std::min(24, alloc.prefix.length + 8);
+                    const std::uint32_t offset =
+                        static_cast<std::uint32_t>(sub % 256) << (32 - len);
+                    const IpPrefix p = IpPrefix::v4(
+                        static_cast<std::uint32_t>(alloc.prefix.firstAddress().toU64()) + offset,
+                        len);
+                    tuples.push_back({p, static_cast<std::uint8_t>(len), asn});
+                }
+            }
+        }
+        model.roaState = RpkiState(std::move(tuples));
+    }
+    return model;
+}
+
+}  // namespace rpkic::model

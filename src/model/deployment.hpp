@@ -1,0 +1,62 @@
+// A model of a *fully deployed* RPKI (paper §5.7, Table 9), built the way
+// the paper built theirs: RIRs at the top, one RC per "direct allocation",
+// and ROAs below each direct allocation for the ASes that originate its
+// prefixes in BGP.
+//
+// The paper derived the AS sets from RouteViews/RIS feeds for the week of
+// 2012-05-06; offline, we regenerate the *distribution* it reports:
+//   * 116,357 direct-allocation RCs;
+//   * on average 1.5 ASes per direct allocation;
+//   * Table 9 histogram: 1-10: 115,605 | 11-30: 594 | 31-100: 132 |
+//     100-200: 15 | >200: 11;
+//   * named outliers: Sprint 12.0.0.0/8 (1073 ASes), Cogent 38.0.0.0/8
+//     (721), Verizon 63.64.0.0/10 (598).
+//
+// This model is structural (no keys/signatures): Table 9 and the outlier
+// analysis are distributional claims.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "detector/state.hpp"
+
+namespace rpkic::model {
+
+struct DirectAllocation {
+    std::string holder;     ///< organization name ("Sprint", "org-12345", ...)
+    std::string rir;
+    IpPrefix prefix;        ///< the directly allocated block
+    std::vector<Asn> asns;  ///< distinct ASes with ROAs under this allocation
+};
+
+struct DeploymentConfig {
+    std::uint64_t seed = 20120506;
+    /// Scales the number of direct allocations (tests use ~0.01).
+    double scale = 1.0;
+    /// Whether to also flatten the model into an RpkiState (adds memory
+    /// and time at full scale).
+    bool buildRoaState = false;
+};
+
+struct DeploymentModel {
+    std::vector<DirectAllocation> allocations;
+    RpkiState roaState;  ///< populated only when config.buildRoaState
+
+    std::size_t allocationCount() const { return allocations.size(); }
+    double meanAsesPerAllocation() const;
+
+    /// Table-9 histogram over the paper's buckets. Returns
+    /// {1-10, 11-30, 31-100, 100-200, >200} counts.
+    std::array<std::size_t, 5> consentHistogram() const;
+
+    /// Allocations needing more than `n` consenting ASes (the paper's
+    /// "with great power comes great responsibility" outliers).
+    std::vector<const DirectAllocation*> outliers(int n) const;
+};
+
+DeploymentModel buildDeploymentModel(const DeploymentConfig& config);
+
+}  // namespace rpkic::model

@@ -1,0 +1,90 @@
+// A synthetic reproduction of the paper's daily trace of the production
+// RPKI, 2013-10-23 -> 2014-01-21 (Section 3 "A trace of the production
+// RPKI"; evaluated in Figures 4 and 5 and §5.7).
+//
+// Each day carries a full RPKI state (the set of ROA tuples a relying
+// party's cache would hold) plus the day's object-level events. Injected
+// landmarks, calibrated to the paper:
+//   * steady ROA growth (the rising slope of Figure 4);
+//   * Case Study 1 (Dec 13): ROA (173.251.0.0/17, max 24, AS 6128) added;
+//   * Case Study 2 (Dec 19): ROA (79.139.96.0/24, AS 51813) deleted while
+//     (79.139.96.0/19-20, AS 43782) covers it;
+//   * Case Study 4 (Dec 20): all LACNIC manifests stale — 4,217 pairs
+//     whacked for one day (the Figure-4 dip and Figure-5 spike);
+//   * Case Study 3 (Jan 5): parent RC overwritten, whacking
+//     (196.6.174.0/23, AS 37688); the RC later issues 2c0f:f668::/32 to
+//     AS 37600;
+//   * the mid-November RIPE repository restructuring (3,336 objects
+//     reissued);
+//   * ~80 % of modify/revoke events being plain renewals, and <= 5 %
+//     needing .dead consent under the paper's design (§5.7);
+//   * a few days where the collector was down (gaps in Figure 5).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "detector/state.hpp"
+
+namespace rpkic::model {
+
+/// Object-level event categories, used for the §5.7 consent-overhead
+/// accounting.
+enum class TraceEventKind : std::uint8_t {
+    RoaAdded,
+    RoaWhacked,        ///< deleted/revoked; would need .dead consent
+    Renewal,           ///< reissue with extended validity; no .dead needed
+    ResourceAddition,  ///< broadened; no .dead needed
+    BulkRestructure,   ///< the RIPE November event
+    StaleManifests,    ///< Case Study 4
+    RcOverwritten,     ///< Case Study 3
+};
+
+std::string_view toString(TraceEventKind k);
+
+struct TraceEvent {
+    TraceEventKind kind;
+    std::string description;
+    std::size_t objectCount = 1;
+};
+
+struct TraceEntry {
+    int day = 0;             ///< 0 = 2013-10-23
+    std::string date;        ///< calendar date
+    bool collected = true;   ///< false = collector down (gap in the figures)
+    RpkiState state;         ///< valid-ROA tuples that day
+    std::vector<TraceEvent> events;
+};
+
+struct TraceStats {
+    std::size_t renewals = 0;
+    std::size_t needingDead = 0;
+    std::size_t resourceAdditions = 0;
+    std::size_t bulkRestructured = 0;
+
+    std::size_t modifyOrRevokeEvents() const {
+        return renewals + needingDead + resourceAdditions;
+    }
+};
+
+struct Trace {
+    std::vector<TraceEntry> entries;
+    TraceStats stats;
+
+    /// Days spanned, including gaps.
+    int days() const { return static_cast<int>(entries.size()); }
+};
+
+struct TraceConfig {
+    std::uint64_t seed = 1023;
+    int days = 91;  ///< 2013-10-23 .. 2014-01-21
+    /// Baseline pair count (paper: ~20k by January).
+    std::size_t basePairs = 19000;
+    /// Pairs under LACNIC (whacked on Dec 20; paper: 4,217).
+    std::size_t lacnicPairs = 4217;
+};
+
+Trace generateTrace(const TraceConfig& config);
+
+}  // namespace rpkic::model

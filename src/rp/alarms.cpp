@@ -1,0 +1,52 @@
+#include "rp/alarms.hpp"
+
+#include <algorithm>
+
+namespace rpkic::rp {
+
+std::string_view toString(AlarmType t) {
+    switch (t) {
+        case AlarmType::MissingInformation: return "missing-information";
+        case AlarmType::BadKeyRollover: return "bad-key-rollover";
+        case AlarmType::InvalidSyntax: return "invalid-syntax";
+        case AlarmType::ChildTooBroad: return "child-too-broad";
+        case AlarmType::UnilateralRevocation: return "unilateral-revocation";
+        case AlarmType::GlobalInconsistency: return "global-inconsistency";
+    }
+    return "?";
+}
+
+std::string Alarm::str() const {
+    std::string out = "[t=" + std::to_string(raisedAt) + "] ";
+    out += toString(type);
+    out += accountable ? " (ACCOUNTABLE" : " (unaccountable";
+    if (!perpetrator.empty()) out += ", blames " + perpetrator;
+    out += ") victim=" + victim;
+    if (!detail.empty()) out += ": " + detail;
+    return out;
+}
+
+std::vector<Alarm> AlarmLog::ofType(AlarmType t) const {
+    std::vector<Alarm> out;
+    std::copy_if(alarms_.begin(), alarms_.end(), std::back_inserter(out),
+                 [t](const Alarm& a) { return a.type == t; });
+    return out;
+}
+
+bool AlarmLog::has(AlarmType t) const {
+    return std::any_of(alarms_.begin(), alarms_.end(),
+                       [t](const Alarm& a) { return a.type == t; });
+}
+
+bool AlarmLog::hasVictim(AlarmType t, const std::string& victimSubstring) const {
+    return std::any_of(alarms_.begin(), alarms_.end(), [&](const Alarm& a) {
+        return a.type == t && a.victim.find(victimSubstring) != std::string::npos;
+    });
+}
+
+std::size_t AlarmLog::countSince(Time t) const {
+    return static_cast<std::size_t>(std::count_if(
+        alarms_.begin(), alarms_.end(), [t](const Alarm& a) { return a.raisedAt >= t; }));
+}
+
+}  // namespace rpkic::rp

@@ -1,0 +1,57 @@
+// The alarm taxonomy of paper Table 7, with the accountable/unaccountable
+// distinction of §5.5.
+//
+// An accountable alarm names a perpetrator and is backed by objects the
+// relying party can publish to convince a third party; an unaccountable
+// alarm signals missing information whose cause cannot be attributed
+// (authority? repository? network?).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "crypto/sha256.hpp"
+#include "util/time.hpp"
+
+namespace rpkic::rp {
+
+enum class AlarmType : std::uint8_t {
+    MissingInformation,   ///< manifest stale/missing OR logged object missing
+    BadKeyRollover,       ///< post-rollover manifest with incorrect procedure
+    InvalidSyntax,        ///< authority issued a malformed object
+    ChildTooBroad,        ///< authority logged an RC/ROA it does not cover
+    UnilateralRevocation, ///< deletion/modification without .dead consent
+    GlobalInconsistency,  ///< manifest failed the global consistency check
+};
+
+std::string_view toString(AlarmType t);
+
+struct Alarm {
+    AlarmType type;
+    std::string victim;       ///< URI / filename of the harmed object
+    std::string perpetrator;  ///< blamed authority RC URI ("" if unaccountable)
+    bool accountable = false;
+    std::string detail;
+    Time raisedAt = 0;
+
+    std::string str() const;
+};
+
+/// Append-only alarm log with query helpers.
+class AlarmLog {
+public:
+    void raise(Alarm alarm) { alarms_.push_back(std::move(alarm)); }
+
+    const std::vector<Alarm>& all() const { return alarms_; }
+    std::vector<Alarm> ofType(AlarmType t) const;
+    bool has(AlarmType t) const;
+    bool hasVictim(AlarmType t, const std::string& victimSubstring) const;
+    std::size_t count() const { return alarms_.size(); }
+    std::size_t countSince(Time t) const;
+
+private:
+    std::vector<Alarm> alarms_;
+};
+
+}  // namespace rpkic::rp

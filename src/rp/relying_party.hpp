@@ -1,0 +1,210 @@
+// The relying party of the redesigned RPKI (paper §5.4 + Appendix B).
+//
+// A RelyingParty maintains a local cache per publication point and updates
+// it *incrementally*: one publication point and one consecutive manifest
+// (along the horizontal hash chain) at a time, reconstructing every
+// intermediate state from the preserved manifests/objects and hints the
+// authority is required to keep (§5.3.2). Each transition runs:
+//
+//  * syntax checks (chain hashes, sequential numbers, monotone serials,
+//    no RC logged beside its own .dead/.roll) -> invalid-syntax alarms;
+//  * per-RC procedures per Table 10 (New / Deleted / Overwritten / Rolled)
+//    -> child-too-broad and unilateral-revocation alarms;
+//  * rollover checks Check0-3 of Appendix B.2.3 -> bad-key-rollover alarms;
+//  * missing-information alarms whenever an object or manifest cannot be
+//    obtained, with the previous version marked "stale".
+//
+// The global consistency check (§5.4) compares manifest hashes between two
+// relying parties and raises global-inconsistency alarms, defeating mirror
+// worlds (Theorems 5.2, 5.3).
+#pragma once
+
+#include <deque>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "detector/state.hpp"
+#include "rp/alarms.hpp"
+#include "rpki/objects.hpp"
+#include "rpki/repository.hpp"
+
+namespace rpkic::rp {
+
+struct RpOptions {
+    Duration ts = 3;  ///< max interval between syncs to any point
+    Duration tg = 6;  ///< global consistency window
+    /// §5.6 Counterexample 1: when false, the relying party diffs only its
+    /// previous state against the current one (the naive behaviour the
+    /// paper shows is insufficient). Exists so tests and benches can
+    /// demonstrate why intermediate-state reconstruction is necessary.
+    bool checkIntermediateStates = true;
+};
+
+/// The RC designations of Appendix B (mutually exclusive), plus the
+/// orthogonal "stale" flag.
+enum class RcStatus : std::uint8_t {
+    Valid,
+    NoLongerValid,
+    RolledOver,
+    NeverWasValid,
+};
+
+std::string_view toString(RcStatus s);
+
+struct RcRecord {
+    ResourceCert cert;
+    RcStatus status = RcStatus::Valid;
+    bool stale = false;
+    Time lastChange = 0;
+    // Where the RC file lives (the issuer's publication point) and the hash
+    // of its file bytes — the context needed for .dead/.roll verification
+    // and rollover Check1.
+    std::string pointUri;
+    std::string filename;
+    Digest fileHash;
+};
+
+/// What Bob posts for the global consistency check: the latest manifest he
+/// obtained for each publication point. (The paper exchanges bare hashes;
+/// carrying the point and number alongside models the context Alice would
+/// request when investigating, and determines accountability.)
+struct ManifestClaim {
+    std::string pointUri;
+    std::uint64_t number = 0;
+    Digest bodyHash;
+};
+
+class RelyingParty {
+public:
+    RelyingParty(std::string name, std::vector<ResourceCert> trustAnchors,
+                 RpOptions options = {});
+
+    /// Pulls the snapshot and runs the local consistency check on every
+    /// reachable publication point (ancestors before descendants).
+    void sync(const Snapshot& snap, Time now);
+
+    // --- alarm access -------------------------------------------------------
+    const AlarmLog& alarms() const { return alarms_; }
+
+    // --- validity outputs ---------------------------------------------------
+    /// The current set of valid ROAs (descending only through Valid RCs;
+    /// stale objects are retained per §5.3.2 — "revert to an older set").
+    std::vector<Roa> validRoas() const;
+    RpkiState roaState() const;
+
+    const RcRecord* findRc(const std::string& uri) const;
+    /// True if the last sync could not obtain this publication point's
+    /// current state ("stale" designation, §5.3.2): its objects are
+    /// retained but flagged.
+    bool isPointStale(const std::string& pointUri) const;
+    /// All RC records (for theorem oracles).
+    const std::map<std::string, RcRecord>& rcRecords() const { return rcs_; }
+    /// True if this RP has verified a .dead signed by (rcUri, serial).
+    bool sawDeadFor(const std::string& rcUri, std::uint64_t serial) const;
+    /// The URI of the RC this one rolled over to, if this RP observed a
+    /// successful key rollover (Theorem 5.1's successor relation).
+    const std::string* successorOf(const std::string& rcUri) const;
+    /// True if this RP verified a .dead from (rcUri, serial) consenting to
+    /// removal of resources overlapping `r`.
+    bool sawDeadForResources(const std::string& rcUri, const ResourceSet& r) const;
+
+    // --- global consistency check (§5.4) ------------------------------------
+    /// The latest manifest obtained for each point (what Bob publishes).
+    std::vector<ManifestClaim> exportManifestClaims() const;
+    /// Alice's side: checks Bob's claims against every manifest hash she
+    /// obtained within tg. Raises global-inconsistency alarms.
+    void globalConsistencyCheck(const std::vector<ManifestClaim>& fromOther, Time now);
+
+    const std::string& name() const { return name_; }
+
+    // --- persistence ---------------------------------------------------------
+    /// Serializes the complete relying-party state — point caches, RC
+    /// records, alarm log, consent registry, hash window — so a tool can
+    /// persist it between runs and keep detecting transitions across
+    /// process restarts (see tools/rpkic_audit.cpp --cache).
+    Bytes serializeState() const;
+    /// Restores a relying party from serializeState() output. Throws
+    /// ParseError on malformed input.
+    static RelyingParty deserializeState(ByteView data);
+
+private:
+    struct PointCache {
+        bool have = false;
+        Manifest manifest;                 // head of the processed chain
+        std::map<std::string, Bytes> files;  // logged object bytes we obtained
+        bool stale = false;
+    };
+
+    struct ObtainedHash {
+        Time when;
+        std::string pointUri;
+        std::uint64_t number;
+        Digest bodyHash;
+    };
+
+    // -- sync machinery --
+    void processPoint(const std::string& pointUri, const std::string& ownerUri,
+                      const Snapshot& snap, Time now);
+    void initialPointSync(PointCache& pc, const std::string& pointUri, const Manifest& m,
+                          const Snapshot& snap, Time now);
+    void processTransition(PointCache& pc, const std::string& pointUri, const Manifest& prev,
+                           const Manifest& cur, const Snapshot& snap, Time now);
+    /// Resolves the bytes for every entry of `m`; missing entries raise
+    /// missing-information alarms. Returns map filename -> bytes.
+    std::map<std::string, Bytes> resolveFiles(const PointCache& pc, const std::string& pointUri,
+                                              const Manifest& m, const Snapshot& snap, Time now,
+                                              bool* complete);
+    void markPointStale(PointCache& pc, const std::string& pointUri, Time now);
+
+    // -- Table 10 procedures (Appendix B.2.4) --
+    struct TransitionContext {
+        const std::string& pointUri;
+        const std::string& ownerUri;  // RC issuing `cur` (B, or B' after rollover)
+        const Manifest& prev;
+        const Manifest& cur;
+        const std::map<std::string, Bytes>& prevFiles;
+        const std::map<std::string, Bytes>& curFiles;
+        std::vector<DeadObject> deads;  // verified .dead objects logged in cur
+        std::vector<RollObject> rolls;  // verified .roll objects logged in cur
+        bool keyRollover = false;       // cur follows a post-rollover manifest
+        Time now;
+    };
+    void newRcProcedure(TransitionContext& ctx, const std::string& filename,
+                        const ResourceCert& cert);
+    void deletedRcProcedure(TransitionContext& ctx, const std::string& filename,
+                            const ResourceCert& cert, const Bytes& certBytes);
+    void overwrittenRcProcedure(TransitionContext& ctx, const std::string& filename,
+                                const ResourceCert& oldCert, const Bytes& oldBytes,
+                                const ResourceCert& newCert);
+    /// Appendix B.2.3 Check0-3. Returns the successor URI on success.
+    std::optional<std::string> checkRollover(const std::string& pointUri, const Manifest& post,
+                                             Time now);
+
+    /// Marks an RC and every cached descendant NoLongerValid.
+    void markSubtreeNoLongerValid(const std::string& rcUri, Time now);
+    /// Re-evaluates descendants after a resource gain (Overwritten case 2).
+    void reevaluateSubtree(const std::string& rcUri, Time now);
+    /// The effective (inherit-resolved) resources of a cached RC, walking
+    /// up to the trust anchor. Returns nullopt if an ancestor is missing.
+    std::optional<ResourceSet> effectiveResourcesOf(const std::string& rcUri) const;
+
+    /// Valid children (RC records) logged in the cached point of `rcUri`.
+    std::vector<const RcRecord*> cachedChildren(const std::string& rcUri) const;
+
+    std::string name_;
+    RpOptions options_;
+    std::vector<ResourceCert> trustAnchors_;
+    std::map<std::string, PointCache> points_;  // by pubPointUri
+    std::map<std::string, RcRecord> rcs_;       // by RC uri
+    AlarmLog alarms_;
+    std::set<std::pair<std::string, std::uint64_t>> deadSeen_;
+    std::vector<DeadObject> deadsSeenFull_;
+    std::map<std::string, std::string> successors_;  // old RC uri -> new RC uri
+    std::deque<ObtainedHash> hashWindow_;
+    Time lastSyncTime_ = 0;
+};
+
+}  // namespace rpkic::rp

@@ -1,0 +1,77 @@
+#include "rpki/delta.hpp"
+
+#include <algorithm>
+
+namespace rpkic {
+
+std::size_t SnapshotDelta::putCount() const {
+    return static_cast<std::size_t>(
+        std::count_if(changes.begin(), changes.end(),
+                      [](const FileChange& c) { return c.kind == FileChange::Kind::Put; }));
+}
+
+std::size_t SnapshotDelta::deleteCount() const {
+    return changes.size() - putCount();
+}
+
+std::size_t SnapshotDelta::wireSize() const {
+    std::size_t total = 0;
+    for (const auto& c : changes) {
+        total += c.pointUri.size() + c.filename.size() + c.contents.size() + 8;
+    }
+    return total;
+}
+
+SnapshotDelta computeDelta(const Snapshot& from, const Snapshot& to) {
+    SnapshotDelta delta;
+    // Puts: anything in `to` that is absent or different in `from`.
+    for (const auto& [pointUri, files] : to.points) {
+        const FileMap* old = from.point(pointUri);
+        for (const auto& [filename, contents] : files) {
+            const Bytes* before = nullptr;
+            if (old != nullptr) {
+                const auto it = old->find(filename);
+                if (it != old->end()) before = &it->second;
+            }
+            if (before == nullptr || *before != contents) {
+                delta.changes.push_back(
+                    {FileChange::Kind::Put, pointUri, filename, contents});
+            }
+        }
+    }
+    // Deletes: anything in `from` that vanished from `to`.
+    for (const auto& [pointUri, files] : from.points) {
+        const FileMap* now = to.point(pointUri);
+        for (const auto& [filename, contents] : files) {
+            if (now == nullptr || now->find(filename) == now->end()) {
+                delta.changes.push_back({FileChange::Kind::Delete, pointUri, filename, {}});
+            }
+        }
+    }
+    return delta;
+}
+
+void applyDelta(Snapshot& snap, const SnapshotDelta& delta) {
+    for (const auto& c : delta.changes) {
+        if (c.kind == FileChange::Kind::Put) {
+            snap.points[c.pointUri][c.filename] = c.contents;
+        } else {
+            const auto it = snap.points.find(c.pointUri);
+            if (it == snap.points.end()) continue;
+            it->second.erase(c.filename);
+            if (it->second.empty()) snap.points.erase(it);
+        }
+    }
+}
+
+std::size_t snapshotWireSize(const Snapshot& snap) {
+    std::size_t total = 0;
+    for (const auto& [pointUri, files] : snap.points) {
+        for (const auto& [filename, contents] : files) {
+            total += pointUri.size() + filename.size() + contents.size() + 8;
+        }
+    }
+    return total;
+}
+
+}  // namespace rpkic

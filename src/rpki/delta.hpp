@@ -1,0 +1,50 @@
+// Delta synchronization between repository snapshots — the transport-layer
+// counterpart of the relying party's incremental processing (§5.4), in the
+// spirit of RRDP (RFC 8182): instead of re-pulling every file, a relying
+// party fetches only what changed since its last sync.
+//
+// A delta is an ordered list of per-file Put/Delete changes. Applying the
+// delta for (from -> to) to `from` yields exactly `to`. wireSize() lets
+// experiments compare full-snapshot pulls against delta pulls.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rpki/repository.hpp"
+
+namespace rpkic {
+
+struct FileChange {
+    enum class Kind : std::uint8_t { Put, Delete };
+    Kind kind = Kind::Put;
+    std::string pointUri;
+    std::string filename;
+    Bytes contents;  // empty for Delete
+
+    friend bool operator==(const FileChange&, const FileChange&) = default;
+};
+
+struct SnapshotDelta {
+    std::vector<FileChange> changes;
+
+    bool empty() const { return changes.empty(); }
+    std::size_t putCount() const;
+    std::size_t deleteCount() const;
+
+    /// Bytes a transfer of this delta would move (names + contents).
+    std::size_t wireSize() const;
+};
+
+/// Computes the delta transforming `from` into `to`.
+SnapshotDelta computeDelta(const Snapshot& from, const Snapshot& to);
+
+/// Applies a delta in place. Deleting a missing file or emptying a point
+/// removes the point; applying a Put overwrites.
+void applyDelta(Snapshot& snap, const SnapshotDelta& delta);
+
+/// Bytes a full-snapshot transfer would move (for comparison).
+std::size_t snapshotWireSize(const Snapshot& snap);
+
+}  // namespace rpkic

@@ -1,0 +1,169 @@
+#include "rpki/encoding.hpp"
+
+#include <cstring>
+
+#include "util/errors.hpp"
+
+namespace rpkic {
+
+void Encoder::u16(std::uint16_t v) {
+    u8(static_cast<std::uint8_t>(v >> 8));
+    u8(static_cast<std::uint8_t>(v));
+}
+
+void Encoder::u32(std::uint32_t v) {
+    u16(static_cast<std::uint16_t>(v >> 16));
+    u16(static_cast<std::uint16_t>(v));
+}
+
+void Encoder::u64(std::uint64_t v) {
+    u32(static_cast<std::uint32_t>(v >> 32));
+    u32(static_cast<std::uint32_t>(v));
+}
+
+void Encoder::bytes(ByteView data) {
+    u32(static_cast<std::uint32_t>(data.size()));
+    out_.insert(out_.end(), data.begin(), data.end());
+}
+
+void Encoder::str(std::string_view s) {
+    bytes(ByteView(reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
+}
+
+void Encoder::digest(const Digest& d) {
+    out_.insert(out_.end(), d.bytes.begin(), d.bytes.end());
+}
+
+void Encoder::u128(const U128& v) {
+    u64(v.hi);
+    u64(v.lo);
+}
+
+void Encoder::prefix(const IpPrefix& p) {
+    u8(static_cast<std::uint8_t>(p.family));
+    u128(p.addr);
+    u8(p.length);
+}
+
+void Encoder::resources(const ResourceSet& r) {
+    boolean(r.isInherit());
+    if (r.isInherit()) return;
+    auto writeSet64 = [this](const IntervalSet<std::uint64_t>& s) {
+        u32(static_cast<std::uint32_t>(s.intervalCount()));
+        for (const auto& iv : s.intervals()) {
+            u64(iv.lo);
+            u64(iv.hi);
+        }
+    };
+    writeSet64(r.v4());
+    u32(static_cast<std::uint32_t>(r.v6().intervalCount()));
+    for (const auto& iv : r.v6().intervals()) {
+        u128(iv.lo);
+        u128(iv.hi);
+    }
+    writeSet64(r.asns());
+}
+
+ByteView Decoder::need(std::size_t n) {
+    if (data_.size() - pos_ < n) throw ParseError("truncated object");
+    ByteView out = data_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+}
+
+std::uint8_t Decoder::u8() {
+    return need(1)[0];
+}
+
+std::uint16_t Decoder::u16() {
+    const auto b = need(2);
+    return static_cast<std::uint16_t>((b[0] << 8) | b[1]);
+}
+
+std::uint32_t Decoder::u32() {
+    const auto b = need(4);
+    return (static_cast<std::uint32_t>(b[0]) << 24) | (static_cast<std::uint32_t>(b[1]) << 16) |
+           (static_cast<std::uint32_t>(b[2]) << 8) | static_cast<std::uint32_t>(b[3]);
+}
+
+std::uint64_t Decoder::u64() {
+    const std::uint64_t hi = u32();
+    return (hi << 32) | u32();
+}
+
+bool Decoder::boolean() {
+    const std::uint8_t v = u8();
+    if (v > 1) throw ParseError("non-canonical boolean");
+    return v == 1;
+}
+
+Bytes Decoder::bytes() {
+    const std::uint32_t len = u32();
+    if (len > (1u << 26)) throw ParseError("implausibly long field");
+    const auto b = need(len);
+    return Bytes(b.begin(), b.end());
+}
+
+std::string Decoder::str() {
+    const Bytes b = bytes();
+    return std::string(b.begin(), b.end());
+}
+
+Digest Decoder::digest() {
+    const auto b = need(32);
+    Digest d;
+    std::memcpy(d.bytes.data(), b.data(), 32);
+    return d;
+}
+
+U128 Decoder::u128() {
+    const std::uint64_t hi = u64();
+    const std::uint64_t lo = u64();
+    return U128{hi, lo};
+}
+
+IpPrefix Decoder::prefix() {
+    const std::uint8_t fam = u8();
+    if (fam != 4 && fam != 6) throw ParseError("bad address family");
+    IpPrefix p;
+    p.family = static_cast<IpFamily>(fam);
+    p.addr = u128();
+    const std::uint8_t len = u8();
+    if (len > (fam == 4 ? 32 : 128)) throw ParseError("prefix length out of range");
+    p.length = len;
+    if (!p.isCanonical()) throw ParseError("non-canonical prefix (host bits set)");
+    return p;
+}
+
+ResourceSet Decoder::resources() {
+    if (boolean()) return ResourceSet::inherit();
+    ResourceSet r;
+    const std::uint32_t nV4 = u32();
+    for (std::uint32_t i = 0; i < nV4; ++i) {
+        const std::uint64_t lo = u64();
+        const std::uint64_t hi = u64();
+        if (hi < lo || hi > 0xffffffffULL) throw ParseError("bad v4 resource interval");
+        r.addRangeV4(lo, hi);
+    }
+    const std::uint32_t nV6 = u32();
+    for (std::uint32_t i = 0; i < nV6; ++i) {
+        const U128 lo = u128();
+        const U128 hi = u128();
+        if (hi < lo) throw ParseError("bad v6 resource interval");
+        r.addRangeV6(lo, hi);
+    }
+    const std::uint32_t nAsn = u32();
+    for (std::uint32_t i = 0; i < nAsn; ++i) {
+        const std::uint64_t lo = u64();
+        const std::uint64_t hi = u64();
+        if (hi < lo || hi > 0xffffffffULL) throw ParseError("bad ASN interval");
+        r.addAsnRange(static_cast<Asn>(lo), static_cast<Asn>(hi));
+    }
+    return r;
+}
+
+void Decoder::expectEnd() const {
+    if (!atEnd()) throw ParseError("trailing bytes after object");
+}
+
+}  // namespace rpkic

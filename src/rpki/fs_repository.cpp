@@ -1,0 +1,105 @@
+#include "rpki/fs_repository.hpp"
+
+#include <filesystem>
+#include <fstream>
+
+#include "rpki/signing.hpp"
+#include "util/errors.hpp"
+
+namespace rpkic {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kUriScheme = "rpki://";
+
+Bytes readFileBytes(const fs::path& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw Error("cannot read " + path.string());
+    return Bytes(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+}
+
+void writeFileBytes(const fs::path& path, const Bytes& bytes) {
+    std::ofstream out(path, std::ios::binary);
+    if (!out) throw Error("cannot write " + path.string());
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    if (!out) throw Error("short write to " + path.string());
+}
+
+void requireSafeName(const std::string& name, const std::string& what) {
+    if (name.empty() || name == "." || name == ".." ||
+        name.find('/') != std::string::npos || name.find('\\') != std::string::npos ||
+        name[0] == '.') {
+        throw ParseError("unsafe " + what + ": '" + name + "'");
+    }
+}
+
+}  // namespace
+
+std::string pointDirectoryName(const std::string& pointUri) {
+    std::string rest = pointUri;
+    if (rest.rfind(kUriScheme, 0) == 0) rest = rest.substr(std::string(kUriScheme).size());
+    if (!rest.empty() && rest.back() == '/') rest.pop_back();
+    requireSafeName(rest, "publication point directory");
+    return rest;
+}
+
+std::string pointUriForDirectory(const std::string& dirName) {
+    requireSafeName(dirName, "publication point directory");
+    return std::string(kUriScheme) + dirName + "/";
+}
+
+void writeSnapshotToDisk(const Snapshot& snap, const std::string& rootDir) {
+    const fs::path root(rootDir);
+    std::error_code ec;
+    fs::create_directories(root, ec);
+    if (ec) throw Error("cannot create " + rootDir + ": " + ec.message());
+
+    for (const auto& [pointUri, files] : snap.points) {
+        const fs::path pointDir = root / pointDirectoryName(pointUri);
+        fs::remove_all(pointDir, ec);  // replace wholesale, like a fresh pull
+        fs::create_directories(pointDir, ec);
+        if (ec) throw Error("cannot create " + pointDir.string() + ": " + ec.message());
+        for (const auto& [filename, bytes] : files) {
+            requireSafeName(filename, "object filename");
+            writeFileBytes(pointDir / filename, bytes);
+        }
+    }
+}
+
+Snapshot readSnapshotFromDisk(const std::string& rootDir) {
+    const fs::path root(rootDir);
+    if (!fs::is_directory(root)) throw Error(rootDir + " is not a directory");
+    Snapshot snap;
+    for (const auto& pointEntry : fs::directory_iterator(root)) {
+        if (!pointEntry.is_directory()) continue;
+        const std::string dirName = pointEntry.path().filename().string();
+        if (dirName.empty() || dirName[0] == '.') continue;
+        FileMap files;
+        for (const auto& fileEntry : fs::directory_iterator(pointEntry.path())) {
+            if (!fileEntry.is_regular_file()) continue;
+            files[fileEntry.path().filename().string()] = readFileBytes(fileEntry.path());
+        }
+        snap.points[pointUriForDirectory(dirName)] = std::move(files);
+    }
+    return snap;
+}
+
+void writeTrustAnchorFile(const ResourceCert& ta, const std::string& path) {
+    if (!ta.isTrustAnchor()) throw UsageError("certificate is not a trust anchor: " + ta.uri);
+    writeFileBytes(path, ta.encode());
+}
+
+ResourceCert readTrustAnchorFile(const std::string& path) {
+    const Bytes bytes = readFileBytes(path);
+    const ResourceCert ta = ResourceCert::decode(ByteView(bytes.data(), bytes.size()));
+    if (!ta.isTrustAnchor()) throw ParseError("certificate in " + path + " has a parent");
+    if (!verifyObject(ta, ta.subjectKey)) {
+        throw ParseError("trust anchor self-signature does not verify: " + path);
+    }
+    return ta;
+}
+
+}  // namespace rpkic

@@ -1,0 +1,44 @@
+// Filesystem persistence for repositories: maps a Snapshot to an on-disk
+// directory tree (one subdirectory per publication point, one file per
+// object), the layout rcynic-style tools operate on. Publication-point
+// URIs ("rpki://name/") become directory names ("name/").
+//
+// This is what lets the command-line tools run against real directories:
+//   rpkic-demo DIR            # writes a demo repository + trust anchor
+//   rpkic-validate DIR ...    # validates it, emits a .state file
+#pragma once
+
+#include <string>
+
+#include "rpki/objects.hpp"
+#include "rpki/repository.hpp"
+
+namespace rpkic {
+
+/// Directory name for a publication-point URI ("rpki://sprint/" ->
+/// "sprint"). Throws ParseError for URIs that would escape the root
+/// (absolute paths, "..", empty).
+std::string pointDirectoryName(const std::string& pointUri);
+
+/// Inverse of pointDirectoryName.
+std::string pointUriForDirectory(const std::string& dirName);
+
+/// Writes every publication point of `snap` under `rootDir` (created if
+/// needed). Existing point directories are replaced. Throws Error on I/O
+/// failure.
+void writeSnapshotToDisk(const Snapshot& snap, const std::string& rootDir);
+
+/// Reads a directory tree written by writeSnapshotToDisk (or assembled by
+/// hand) back into a Snapshot. Unreadable files throw; unknown files are
+/// loaded as opaque bytes (validators decide what they are).
+Snapshot readSnapshotFromDisk(const std::string& rootDir);
+
+/// Writes a trust-anchor certificate as a standalone file (the offline
+/// "trust anchor locator" the tools take via --ta).
+void writeTrustAnchorFile(const ResourceCert& ta, const std::string& path);
+
+/// Reads a trust-anchor file. Throws on I/O or parse failure, and if the
+/// certificate is not a (self-signed) trust anchor.
+ResourceCert readTrustAnchorFile(const std::string& path);
+
+}  // namespace rpkic

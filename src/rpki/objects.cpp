@@ -1,0 +1,416 @@
+#include "rpki/objects.hpp"
+
+#include <algorithm>
+
+#include "rpki/encoding.hpp"
+#include "util/errors.hpp"
+
+namespace rpkic {
+
+namespace {
+
+constexpr std::uint8_t kVersion = 1;
+
+void writeHeader(Encoder& e, ObjectType t) {
+    e.u8(static_cast<std::uint8_t>(t));
+    e.u8(kVersion);
+}
+
+Decoder openBody(ByteView file, ObjectType expected) {
+    Decoder d(file);
+    const std::uint8_t t = d.u8();
+    if (t != static_cast<std::uint8_t>(expected)) throw ParseError("unexpected object type");
+    if (d.u8() != kVersion) throw ParseError("unsupported object version");
+    return d;
+}
+
+// The signature is appended length-prefixed after the body so that the
+// body bytes are a strict prefix of the file bytes.
+Bytes withSignature(Bytes body, const Bytes& signature) {
+    Bytes out = std::move(body);
+    Encoder tail;
+    tail.bytes(ByteView(signature.data(), signature.size()));
+    const Bytes t = tail.take();
+    out.insert(out.end(), t.begin(), t.end());
+    return out;
+}
+
+}  // namespace
+
+ObjectType objectTypeOf(ByteView file) {
+    if (file.empty()) throw ParseError("empty file");
+    const std::uint8_t t = file[0];
+    if (t < 1 || t > 7) throw ParseError("unknown object type");
+    return static_cast<ObjectType>(t);
+}
+
+Digest fileHashOf(ByteView file) {
+    return sha256(file);
+}
+
+// --------------------------------------------------------------------------
+// ResourceCert
+
+Bytes ResourceCert::encodeBody() const {
+    Encoder e;
+    writeHeader(e, ObjectType::ResourceCert);
+    e.str(subjectName);
+    e.str(uri);
+    e.u64(serial);
+    const Bytes key = subjectKey.toBytes();
+    e.bytes(ByteView(key.data(), key.size()));
+    e.str(parentUri);
+    e.str(pubPointUri);
+    e.resources(resources);
+    e.i64(notBefore);
+    e.i64(notAfter);
+    return e.take();
+}
+
+Bytes ResourceCert::encode() const {
+    return withSignature(encodeBody(), signature);
+}
+
+Digest ResourceCert::bodyHash() const {
+    const Bytes b = encodeBody();
+    return sha256(ByteView(b.data(), b.size()));
+}
+
+ResourceCert ResourceCert::decode(ByteView file) {
+    Decoder d = openBody(file, ObjectType::ResourceCert);
+    ResourceCert c;
+    c.subjectName = d.str();
+    c.uri = d.str();
+    c.serial = d.u64();
+    const Bytes key = d.bytes();
+    c.subjectKey = PublicKey::fromBytes(ByteView(key.data(), key.size()));
+    c.parentUri = d.str();
+    c.pubPointUri = d.str();
+    c.resources = d.resources();
+    c.notBefore = d.i64();
+    c.notAfter = d.i64();
+    c.signature = d.bytes();
+    d.expectEnd();
+    return c;
+}
+
+bool ResourceCert::sameFieldsExceptResources(const ResourceCert& o) const {
+    return subjectName == o.subjectName && uri == o.uri && parentUri == o.parentUri &&
+           pubPointUri == o.pubPointUri && subjectKey == o.subjectKey;
+}
+
+// --------------------------------------------------------------------------
+// Roa
+
+Bytes Roa::encodeBody() const {
+    Encoder e;
+    writeHeader(e, ObjectType::Roa);
+    e.str(uri);
+    e.u64(serial);
+    e.str(parentUri);
+    e.u32(asn);
+    e.u32(static_cast<std::uint32_t>(prefixes.size()));
+    for (const auto& rp : prefixes) {
+        e.prefix(rp.prefix);
+        e.u8(rp.maxLength);
+    }
+    e.i64(notBefore);
+    e.i64(notAfter);
+    e.boolean(hasEeKey);
+    if (hasEeKey) {
+        const Bytes key = eeKey.toBytes();
+        e.bytes(ByteView(key.data(), key.size()));
+    }
+    return e.take();
+}
+
+Bytes Roa::encode() const {
+    return withSignature(encodeBody(), signature);
+}
+
+Digest Roa::bodyHash() const {
+    const Bytes b = encodeBody();
+    return sha256(ByteView(b.data(), b.size()));
+}
+
+Roa Roa::decode(ByteView file) {
+    Decoder d = openBody(file, ObjectType::Roa);
+    Roa r;
+    r.uri = d.str();
+    r.serial = d.u64();
+    r.parentUri = d.str();
+    r.asn = d.u32();
+    const std::uint32_t n = d.u32();
+    if (n > 100000) throw ParseError("implausible ROA prefix count");
+    r.prefixes.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+        RoaPrefix rp;
+        rp.prefix = d.prefix();
+        rp.maxLength = d.u8();
+        if (rp.maxLength < rp.prefix.length ||
+            rp.maxLength > static_cast<std::uint8_t>(rp.prefix.bits())) {
+            throw ParseError("ROA maxLength out of range");
+        }
+        r.prefixes.push_back(rp);
+    }
+    r.notBefore = d.i64();
+    r.notAfter = d.i64();
+    r.hasEeKey = d.boolean();
+    if (r.hasEeKey) {
+        const Bytes key = d.bytes();
+        r.eeKey = PublicKey::fromBytes(ByteView(key.data(), key.size()));
+    }
+    r.signature = d.bytes();
+    d.expectEnd();
+    return r;
+}
+
+// --------------------------------------------------------------------------
+// Manifest
+
+Bytes Manifest::encodeBody() const {
+    Encoder e;
+    writeHeader(e, ObjectType::Manifest);
+    e.str(issuerRcUri);
+    e.str(pubPointUri);
+    e.u64(number);
+    e.i64(thisUpdate);
+    e.i64(nextUpdate);
+    e.u32(static_cast<std::uint32_t>(entries.size()));
+    for (const auto& entry : entries) {
+        e.str(entry.filename);
+        e.digest(entry.fileHash);
+        e.u64(entry.firstAppeared);
+    }
+    e.digest(prevManifestHash);
+    e.digest(parentManifestHash);
+    e.u64(highestChildSerial);
+    e.u8(static_cast<std::uint8_t>(tag));
+    e.str(rolloverTargetUri);
+    e.digest(rolloverTargetRcHash);
+    e.digest(rolloverParentManifestHash);
+    return e.take();
+}
+
+Bytes Manifest::encode() const {
+    return withSignature(encodeBody(), signature);
+}
+
+Digest Manifest::bodyHash() const {
+    const Bytes b = encodeBody();
+    return sha256(ByteView(b.data(), b.size()));
+}
+
+Manifest Manifest::decode(ByteView file) {
+    Decoder d = openBody(file, ObjectType::Manifest);
+    Manifest m;
+    m.issuerRcUri = d.str();
+    m.pubPointUri = d.str();
+    m.number = d.u64();
+    m.thisUpdate = d.i64();
+    m.nextUpdate = d.i64();
+    const std::uint32_t n = d.u32();
+    if (n > 1000000) throw ParseError("implausible manifest entry count");
+    m.entries.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+        ManifestEntry entry;
+        entry.filename = d.str();
+        entry.fileHash = d.digest();
+        entry.firstAppeared = d.u64();
+        m.entries.push_back(std::move(entry));
+    }
+    m.prevManifestHash = d.digest();
+    m.parentManifestHash = d.digest();
+    m.highestChildSerial = d.u64();
+    const std::uint8_t tag = d.u8();
+    if (tag > 2) throw ParseError("bad manifest tag");
+    m.tag = static_cast<ManifestTag>(tag);
+    m.rolloverTargetUri = d.str();
+    m.rolloverTargetRcHash = d.digest();
+    m.rolloverParentManifestHash = d.digest();
+    m.signature = d.bytes();
+    d.expectEnd();
+    // Canonical ordering is part of the format: entries sorted by filename,
+    // no duplicates.
+    for (std::size_t i = 1; i < m.entries.size(); ++i) {
+        if (!(m.entries[i - 1].filename < m.entries[i].filename)) {
+            throw ParseError("manifest entries not sorted/unique");
+        }
+    }
+    return m;
+}
+
+const ManifestEntry* Manifest::findEntry(const std::string& filename) const {
+    const auto it = std::lower_bound(
+        entries.begin(), entries.end(), filename,
+        [](const ManifestEntry& e, const std::string& f) { return e.filename < f; });
+    if (it != entries.end() && it->filename == filename) return &*it;
+    return nullptr;
+}
+
+// --------------------------------------------------------------------------
+// Crl
+
+Bytes Crl::encodeBody() const {
+    Encoder e;
+    writeHeader(e, ObjectType::Crl);
+    e.str(issuerRcUri);
+    e.u64(number);
+    e.i64(thisUpdate);
+    e.i64(nextUpdate);
+    e.u32(static_cast<std::uint32_t>(revokedSerials.size()));
+    for (const auto s : revokedSerials) e.u64(s);
+    return e.take();
+}
+
+Bytes Crl::encode() const {
+    return withSignature(encodeBody(), signature);
+}
+
+Digest Crl::bodyHash() const {
+    const Bytes b = encodeBody();
+    return sha256(ByteView(b.data(), b.size()));
+}
+
+Crl Crl::decode(ByteView file) {
+    Decoder d = openBody(file, ObjectType::Crl);
+    Crl c;
+    c.issuerRcUri = d.str();
+    c.number = d.u64();
+    c.thisUpdate = d.i64();
+    c.nextUpdate = d.i64();
+    const std::uint32_t n = d.u32();
+    if (n > 1000000) throw ParseError("implausible CRL size");
+    c.revokedSerials.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) c.revokedSerials.push_back(d.u64());
+    c.signature = d.bytes();
+    d.expectEnd();
+    return c;
+}
+
+bool Crl::revokes(std::uint64_t serial) const {
+    return std::find(revokedSerials.begin(), revokedSerials.end(), serial) !=
+           revokedSerials.end();
+}
+
+// --------------------------------------------------------------------------
+// DeadObject
+
+Bytes DeadObject::encodeBody() const {
+    Encoder e;
+    writeHeader(e, ObjectType::Dead);
+    e.str(rcUri);
+    e.u64(rcSerial);
+    e.digest(rcHash);
+    e.digest(signerManifestHash);
+    e.u32(static_cast<std::uint32_t>(childDeadHashes.size()));
+    for (const auto& h : childDeadHashes) e.digest(h);
+    e.boolean(fullRevocation);
+    e.resources(removedResources);
+    return e.take();
+}
+
+Bytes DeadObject::encode() const {
+    return withSignature(encodeBody(), signature);
+}
+
+Digest DeadObject::bodyHash() const {
+    const Bytes b = encodeBody();
+    return sha256(ByteView(b.data(), b.size()));
+}
+
+DeadObject DeadObject::decode(ByteView file) {
+    Decoder d = openBody(file, ObjectType::Dead);
+    DeadObject o;
+    o.rcUri = d.str();
+    o.rcSerial = d.u64();
+    o.rcHash = d.digest();
+    o.signerManifestHash = d.digest();
+    const std::uint32_t n = d.u32();
+    if (n > 100000) throw ParseError("implausible .dead child count");
+    o.childDeadHashes.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) o.childDeadHashes.push_back(d.digest());
+    o.fullRevocation = d.boolean();
+    o.removedResources = d.resources();
+    o.signature = d.bytes();
+    d.expectEnd();
+    return o;
+}
+
+// --------------------------------------------------------------------------
+// RollObject
+
+Bytes RollObject::encodeBody() const {
+    Encoder e;
+    writeHeader(e, ObjectType::Roll);
+    e.str(rcUri);
+    e.u64(rcSerial);
+    e.digest(postRolloverManifestHash);
+    return e.take();
+}
+
+Bytes RollObject::encode() const {
+    return withSignature(encodeBody(), signature);
+}
+
+Digest RollObject::bodyHash() const {
+    const Bytes b = encodeBody();
+    return sha256(ByteView(b.data(), b.size()));
+}
+
+RollObject RollObject::decode(ByteView file) {
+    Decoder d = openBody(file, ObjectType::Roll);
+    RollObject o;
+    o.rcUri = d.str();
+    o.rcSerial = d.u64();
+    o.postRolloverManifestHash = d.digest();
+    o.signature = d.bytes();
+    d.expectEnd();
+    return o;
+}
+
+// --------------------------------------------------------------------------
+// HintsFile
+
+Bytes HintsFile::encode() const {
+    Encoder e;
+    writeHeader(e, ObjectType::Hints);
+    e.u32(static_cast<std::uint32_t>(entries.size()));
+    for (const auto& h : entries) {
+        e.str(h.originalName);
+        e.str(h.preservedAs);
+        e.digest(h.fileHash);
+        e.u64(h.firstManifest);
+        e.u64(h.lastManifest);
+    }
+    return e.take();
+}
+
+HintsFile HintsFile::decode(ByteView file) {
+    Decoder d = openBody(file, ObjectType::Hints);
+    HintsFile out;
+    const std::uint32_t n = d.u32();
+    if (n > 1000000) throw ParseError("implausible hints size");
+    out.entries.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+        HintEntry h;
+        h.originalName = d.str();
+        h.preservedAs = d.str();
+        h.fileHash = d.digest();
+        h.firstManifest = d.u64();
+        h.lastManifest = d.u64();
+        out.entries.push_back(std::move(h));
+    }
+    d.expectEnd();
+    return out;
+}
+
+std::string preservedManifestName(std::uint64_t number) {
+    return "manifest." + std::to_string(number) + ".mft";
+}
+
+std::string preservedObjectName(const std::string& originalName, std::uint64_t lastManifest) {
+    return originalName + ".~" + std::to_string(lastManifest);
+}
+
+}  // namespace rpkic

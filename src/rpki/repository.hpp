@@ -1,0 +1,83 @@
+// Publication points and repositories.
+//
+// The production RPKI stores objects in rsync/RRDP repositories; relying
+// parties pull them into local caches (paper §2.1). We model a repository
+// as a map from publication-point URI to a directory of named files, and a
+// relying party's pull as taking a Snapshot. Threats to object *delivery*
+// (paper §3.2.2) are modeled as mutations of a snapshot: dropping files,
+// corrupting bytes, serving stale state — the relying-party code cannot
+// tell the difference, which is exactly the point.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace rpkic {
+
+/// Files of one publication point: filename -> file contents.
+using FileMap = std::map<std::string, Bytes>;
+
+/// A relying party's view of the entire repository at one instant:
+/// publication-point URI -> files.
+struct Snapshot {
+    std::map<std::string, FileMap> points;
+
+    const FileMap* point(const std::string& pointUri) const {
+        const auto it = points.find(pointUri);
+        return it == points.end() ? nullptr : &it->second;
+    }
+
+    const Bytes* file(const std::string& pointUri, const std::string& filename) const {
+        const FileMap* fm = point(pointUri);
+        if (fm == nullptr) return nullptr;
+        const auto it = fm->find(filename);
+        return it == fm->end() ? nullptr : &it->second;
+    }
+
+    std::size_t totalFiles() const;
+    std::size_t totalBytes() const;
+};
+
+/// The authoritative store that authorities publish into. A mirror-world
+/// attacker simply maintains two Repository instances and serves different
+/// ones to different relying parties (see src/sim).
+class Repository {
+public:
+    void putFile(const std::string& pointUri, const std::string& filename, Bytes contents);
+    void removeFile(const std::string& pointUri, const std::string& filename);
+    /// Removes the point and all its files (e.g. after revocation + ts).
+    void removePoint(const std::string& pointUri);
+
+    const FileMap* point(const std::string& pointUri) const;
+    const Bytes* file(const std::string& pointUri, const std::string& filename) const;
+
+    Snapshot snapshot() const { return Snapshot{points_}; }
+
+private:
+    std::map<std::string, FileMap> points_;
+};
+
+// --- Delivery-threat injection (paper §3.2.2) ------------------------------
+
+/// Removes one file from a snapshot, as a lossy transfer would.
+/// Returns false if the file was not present.
+bool dropFile(Snapshot& snap, const std::string& pointUri, const std::string& filename);
+
+/// Flips one bit of a file, as in "a third party ... can whack a ROA just
+/// by corrupting a single bit". Returns false if the file was not present.
+bool corruptFile(Snapshot& snap, const std::string& pointUri, const std::string& filename,
+                 std::size_t byteIndex = 0);
+
+/// Replaces one publication point of `snap` with its state from `stale`,
+/// modeling a repository that serves outdated data for that point.
+bool serveStalePoint(Snapshot& snap, const Snapshot& stale, const std::string& pointUri);
+
+/// Corrupts one random file in the snapshot (for failure-injection sweeps).
+/// Returns the (pointUri, filename) hit, or nullopt if the snapshot is empty.
+std::optional<std::pair<std::string, std::string>> corruptRandomFile(Snapshot& snap, Rng& rng);
+
+}  // namespace rpkic

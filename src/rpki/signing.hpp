@@ -1,0 +1,26 @@
+// Helpers tying the object model to the crypto substrate: sign an object's
+// body with a Signer, verify an object's signature against a public key.
+#pragma once
+
+#include "crypto/xmss.hpp"
+#include "rpki/objects.hpp"
+
+namespace rpkic {
+
+/// Signs `object`'s body in place. Works for any object type with
+/// encodeBody() and a signature member.
+template <typename Obj>
+void signObject(Obj& object, Signer& signer) {
+    const Bytes body = object.encodeBody();
+    object.signature = signer.sign(ByteView(body.data(), body.size()));
+}
+
+/// Verifies `object`'s signature under `key`. Never throws.
+template <typename Obj>
+bool verifyObject(const Obj& object, const PublicKey& key) {
+    const Bytes body = object.encodeBody();
+    return verify(key, ByteView(body.data(), body.size()),
+                  ByteView(object.signature.data(), object.signature.size()));
+}
+
+}  // namespace rpkic

@@ -1,0 +1,52 @@
+#include "util/bytes.hpp"
+
+#include "util/errors.hpp"
+
+namespace rpkic {
+
+namespace {
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int hexValue(char c) {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+}
+}  // namespace
+
+std::string toHex(ByteView data) {
+    std::string out;
+    out.reserve(data.size() * 2);
+    for (std::uint8_t b : data) {
+        out.push_back(kHexDigits[b >> 4]);
+        out.push_back(kHexDigits[b & 0x0f]);
+    }
+    return out;
+}
+
+Bytes fromHex(std::string_view hex) {
+    if (hex.size() % 2 != 0) throw ParseError("hex string has odd length");
+    Bytes out;
+    out.reserve(hex.size() / 2);
+    for (std::size_t i = 0; i < hex.size(); i += 2) {
+        const int hi = hexValue(hex[i]);
+        const int lo = hexValue(hex[i + 1]);
+        if (hi < 0 || lo < 0) throw ParseError("non-hex character in hex string");
+        out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+    }
+    return out;
+}
+
+Bytes bytesOfString(std::string_view s) {
+    return Bytes(s.begin(), s.end());
+}
+
+bool bytesEqual(ByteView a, ByteView b) {
+    if (a.size() != b.size()) return false;
+    std::uint8_t acc = 0;
+    for (std::size_t i = 0; i < a.size(); ++i) acc |= static_cast<std::uint8_t>(a[i] ^ b[i]);
+    return acc == 0;
+}
+
+}  // namespace rpkic

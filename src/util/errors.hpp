@@ -1,0 +1,54 @@
+// Error hierarchy used across the library.
+//
+// Following the C++ Core Guidelines (E.2, E.14), failures to perform a
+// requested task are reported via exceptions derived from std::runtime_error.
+// Each subsystem throws the most specific type that applies so callers can
+// distinguish "malformed input" from "cryptographic failure" from
+// "protocol violation".
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace rpkic {
+
+/// Base class for all errors raised by this library.
+class Error : public std::runtime_error {
+public:
+    explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when decoding malformed or truncated byte streams.
+class ParseError : public Error {
+public:
+    explicit ParseError(const std::string& what) : Error("parse error: " + what) {}
+};
+
+/// Raised by the crypto substrate (bad key, exhausted signer, ...).
+class CryptoError : public Error {
+public:
+    explicit CryptoError(const std::string& what) : Error("crypto error: " + what) {}
+};
+
+/// Raised when a hash-based signing key has no one-time keys left.
+/// Authorities react to this by performing the key-rollover procedure.
+class KeyExhaustedError : public CryptoError {
+public:
+    KeyExhaustedError() : CryptoError("signing key exhausted; key rollover required") {}
+};
+
+/// Raised when an API precondition is violated by the caller.
+class UsageError : public Error {
+public:
+    explicit UsageError(const std::string& what) : Error("usage error: " + what) {}
+};
+
+/// Raised by honest-authority code paths when asked to perform an action
+/// that would violate the consent protocol (e.g. revoking a child without
+/// the full set of .dead objects).
+class ProtocolError : public Error {
+public:
+    explicit ProtocolError(const std::string& what) : Error("protocol error: " + what) {}
+};
+
+}  // namespace rpkic

@@ -1,0 +1,57 @@
+#include "util/rng.hpp"
+
+namespace rpkic {
+
+namespace {
+std::uint64_t splitMix64(std::uint64_t& x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+    std::uint64_t s = seed;
+    for (auto& w : state_) w = splitMix64(s);
+}
+
+std::uint64_t Rng::nextU64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+std::uint64_t Rng::nextBelow(std::uint64_t bound) {
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t threshold = -bound % bound;
+    for (;;) {
+        const std::uint64_t r = nextU64();
+        if (r >= threshold) return r % bound;
+    }
+}
+
+std::uint64_t Rng::nextInRange(std::uint64_t lo, std::uint64_t hi) {
+    return lo + nextBelow(hi - lo + 1);
+}
+
+double Rng::nextDouble() {
+    return static_cast<double>(nextU64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::nextBool(double probabilityTrue) {
+    return nextDouble() < probabilityTrue;
+}
+
+}  // namespace rpkic

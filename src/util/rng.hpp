@@ -1,0 +1,53 @@
+// Deterministic pseudo-random number generation.
+//
+// All randomized components of the library (model generation, property-test
+// schedules, synthetic traces) take an explicit Rng so that every experiment
+// is reproducible from a seed. The generator is xoshiro256** seeded through
+// SplitMix64, the standard seeding recipe from Blackman & Vigna.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace rpkic {
+
+class Rng {
+public:
+    explicit Rng(std::uint64_t seed);
+
+    /// Uniform 64-bit value.
+    std::uint64_t nextU64();
+
+    /// Uniform value in [0, bound). Precondition: bound > 0.
+    std::uint64_t nextBelow(std::uint64_t bound);
+
+    /// Uniform value in [lo, hi] inclusive. Precondition: lo <= hi.
+    std::uint64_t nextInRange(std::uint64_t lo, std::uint64_t hi);
+
+    /// Uniform double in [0, 1).
+    double nextDouble();
+
+    /// Bernoulli draw.
+    bool nextBool(double probabilityTrue);
+
+    /// Fisher-Yates shuffle.
+    template <typename T>
+    void shuffle(std::vector<T>& v) {
+        for (std::size_t i = v.size(); i > 1; --i) {
+            const std::size_t j = static_cast<std::size_t>(nextBelow(i));
+            using std::swap;
+            swap(v[i - 1], v[j]);
+        }
+    }
+
+    /// Pick a uniformly random element. Precondition: !v.empty().
+    template <typename T>
+    const T& pick(const std::vector<T>& v) {
+        return v[static_cast<std::size_t>(nextBelow(v.size()))];
+    }
+
+private:
+    std::uint64_t state_[4];
+};
+
+}  // namespace rpkic

@@ -1,0 +1,41 @@
+#include "util/time.hpp"
+
+#include <cstdio>
+
+namespace rpkic {
+
+namespace {
+// Days per month, for the Oct 2013 - Jan 2014 window (no leap handling
+// needed: the window does not contain Feb 29).
+struct MonthSpan {
+    int year;
+    int month;
+    int firstDayOfMonth;  // day-of-month that dayIndex 0 of this span maps to
+    int daysInSpan;
+};
+}  // namespace
+
+std::string traceDateString(int dayIndex) {
+    // Day 0 = 2013-10-23, the first day of the paper's trace.
+    static constexpr MonthSpan kSpans[] = {
+        {2013, 10, 23, 9},    // Oct 23-31
+        {2013, 11, 1, 30},    // Nov
+        {2013, 12, 1, 31},    // Dec
+        {2014, 1, 1, 31},     // Jan
+        {2014, 2, 1, 28},     // Feb (slack beyond the paper's window)
+        {2014, 3, 1, 31},
+    };
+    int rest = dayIndex;
+    for (const auto& span : kSpans) {
+        if (rest < span.daysInSpan) {
+            const int day = span.firstDayOfMonth + rest;
+            char buf[16];
+            std::snprintf(buf, sizeof buf, "%04d-%02d-%02d", span.year, span.month, day);
+            return buf;
+        }
+        rest -= span.daysInSpan;
+    }
+    return "day+" + std::to_string(dayIndex);
+}
+
+}  // namespace rpkic

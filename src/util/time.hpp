@@ -1,0 +1,41 @@
+// Simulated time.
+//
+// The paper's procedures are parameterized by two windows: ts (the maximum
+// interval between a relying party's syncs to any publication point) and tg
+// (the global-consistency window). All protocol code takes explicit Time
+// values from a simulated clock rather than reading a wall clock, so that
+// tests and the simulator fully control the schedule.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace rpkic {
+
+/// Simulated time in abstract "ticks". Experiments that model the paper's
+/// daily trace use one tick per day; protocol simulations use finer ticks.
+using Time = std::int64_t;
+
+/// Duration between two Times; same unit as Time.
+using Duration = std::int64_t;
+
+/// A monotone simulated clock shared by the participants of a simulation.
+class SimClock {
+public:
+    explicit SimClock(Time start = 0) : now_(start) {}
+
+    Time now() const { return now_; }
+    void advance(Duration d) { now_ += d; }
+    void advanceTo(Time t) {
+        if (t > now_) now_ = t;
+    }
+
+private:
+    Time now_;
+};
+
+/// Renders a trace day index (0 = 2013-10-23) as the calendar date of the
+/// paper's measurement window, for human-readable experiment output.
+std::string traceDateString(int dayIndex);
+
+}  // namespace rpkic

@@ -1,0 +1,312 @@
+#include "vanilla/validation.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+#include "rpki/signing.hpp"
+#include "util/errors.hpp"
+
+namespace rpkic::vanilla {
+
+std::string_view toString(ProblemKind k) {
+    switch (k) {
+        case ProblemKind::MissingPoint: return "missing-point";
+        case ProblemKind::MissingManifest: return "missing-manifest";
+        case ProblemKind::InvalidManifest: return "invalid-manifest";
+        case ProblemKind::StaleManifest: return "stale-manifest";
+        case ProblemKind::MissingCrl: return "missing-crl";
+        case ProblemKind::InvalidCrl: return "invalid-crl";
+        case ProblemKind::MissingObject: return "missing-object";
+        case ProblemKind::HashMismatch: return "hash-mismatch";
+        case ProblemKind::MalformedObject: return "malformed-object";
+        case ProblemKind::BadSignature: return "bad-signature";
+        case ProblemKind::Revoked: return "revoked";
+        case ProblemKind::Expired: return "expired";
+        case ProblemKind::NotYetValid: return "not-yet-valid";
+        case ProblemKind::NotCoveredByParent: return "not-covered-by-parent";
+        case ProblemKind::WrongParentPointer: return "wrong-parent-pointer";
+    }
+    return "?";
+}
+
+std::string Problem::str() const {
+    std::string out(toString(kind));
+    out += " at " + pointUri;
+    if (!objectName.empty()) out += "/" + objectName;
+    if (!detail.empty()) out += " (" + detail + ")";
+    return out;
+}
+
+RpkiState Result::roaState() const {
+    std::vector<Roa> plain;
+    plain.reserve(roas.size());
+    for (const auto& vr : roas) plain.push_back(vr.roa);
+    return RpkiState::fromRoas(plain);
+}
+
+std::size_t Result::certCountAtDepth(int depth) const {
+    return static_cast<std::size_t>(
+        std::count_if(certs.begin(), certs.end(),
+                      [depth](const ValidCert& c) { return c.depth == depth; }));
+}
+
+std::size_t Result::roaCountAtDepth(int depth) const {
+    return static_cast<std::size_t>(
+        std::count_if(roas.begin(), roas.end(),
+                      [depth](const ValidRoa& r) { return r.depth == depth; }));
+}
+
+bool Result::hasProblem(ProblemKind k) const {
+    return std::any_of(problems.begin(), problems.end(),
+                       [k](const Problem& p) { return p.kind == k; });
+}
+
+namespace {
+
+struct WorkItem {
+    ResourceCert cert;
+    int depth = 0;
+    ResourceSet effective;
+};
+
+class Walker {
+public:
+    Walker(const Snapshot& snap, const Options& options, Result& result)
+        : snap_(snap), options_(options), result_(result) {}
+
+    void enqueue(WorkItem item) { queue_.push_back(std::move(item)); }
+
+    void run() {
+        while (!queue_.empty()) {
+            WorkItem item = std::move(queue_.front());
+            queue_.pop_front();
+            processCert(std::move(item));
+        }
+    }
+
+private:
+    void problem(ProblemKind kind, const std::string& pointUri, const std::string& objectName,
+                 const std::string& detail) {
+        result_.problems.push_back({kind, pointUri, objectName, detail});
+    }
+
+    void processCert(WorkItem item) {
+        const std::string& pointUri = item.cert.pubPointUri;
+        // A repeated point would mean two certs share a publication point;
+        // process the first only to avoid cycles.
+        if (!visited_.insert(pointUri).second) return;
+
+        result_.certs.push_back({item.cert, item.depth, item.effective});
+
+        const FileMap* files = snap_.point(pointUri);
+        if (files == nullptr) {
+            problem(ProblemKind::MissingPoint, pointUri, "", "");
+            return;
+        }
+
+        // --- Manifest ---
+        const auto mftIt = files->find(kManifestName);
+        if (mftIt == files->end()) {
+            problem(ProblemKind::MissingManifest, pointUri, kManifestName, "");
+            return;
+        }
+        Manifest manifest;
+        try {
+            manifest = Manifest::decode(ByteView(mftIt->second.data(), mftIt->second.size()));
+        } catch (const ParseError& e) {
+            problem(ProblemKind::InvalidManifest, pointUri, kManifestName, e.what());
+            return;
+        }
+        if (manifest.issuerRcUri != item.cert.uri ||
+            !verifyObject(manifest, item.cert.subjectKey)) {
+            problem(ProblemKind::InvalidManifest, pointUri, kManifestName, "bad signature/issuer");
+            return;
+        }
+        if (manifest.nextUpdate <= options_.now) {
+            problem(ProblemKind::StaleManifest, pointUri, kManifestName,
+                    "expired at " + std::to_string(manifest.nextUpdate));
+            // Case Study 4: the relying party software rejected the stale
+            // manifest, invalidating the whole subtree.
+            if (options_.staleManifestIsFatal) return;
+        }
+
+        // --- CRL ---
+        Crl crl;
+        bool haveCrl = false;
+        if (const ManifestEntry* crlEntry = manifest.findEntry(kCrlName)) {
+            if (const Bytes* raw = fetch(pointUri, *files, *crlEntry)) {
+                try {
+                    crl = Crl::decode(ByteView(raw->data(), raw->size()));
+                    if (crl.issuerRcUri != item.cert.uri ||
+                        !verifyObject(crl, item.cert.subjectKey)) {
+                        problem(ProblemKind::InvalidCrl, pointUri, kCrlName, "bad signature/issuer");
+                    } else if (crl.nextUpdate <= options_.now) {
+                        problem(ProblemKind::InvalidCrl, pointUri, kCrlName, "expired");
+                        // An expired CRL follows the same local policy as a
+                        // stale manifest: fatal by default, tolerated under
+                        // the lenient policy.
+                        haveCrl = !options_.staleManifestIsFatal;
+                    } else {
+                        haveCrl = true;
+                    }
+                } catch (const ParseError& e) {
+                    problem(ProblemKind::InvalidCrl, pointUri, kCrlName, e.what());
+                }
+            }
+        } else {
+            problem(ProblemKind::MissingCrl, pointUri, kCrlName, "not logged in manifest");
+        }
+        // Without a valid CRL the revocation status of children is unknown;
+        // like rcynic we refuse to validate the point's objects.
+        if (!haveCrl) return;
+
+        // --- Objects ---
+        for (const ManifestEntry& entry : manifest.entries) {
+            if (entry.filename == kCrlName) continue;
+            const Bytes* raw = fetch(pointUri, *files, entry);
+            if (raw == nullptr) continue;
+            processObject(item, pointUri, entry.filename, *raw, crl);
+        }
+    }
+
+    /// Fetches a logged file and checks its hash; reports problems and
+    /// returns nullptr on failure.
+    const Bytes* fetch(const std::string& pointUri, const FileMap& files,
+                       const ManifestEntry& entry) {
+        const auto it = files.find(entry.filename);
+        if (it == files.end()) {
+            problem(ProblemKind::MissingObject, pointUri, entry.filename, "");
+            return nullptr;
+        }
+        if (fileHashOf(ByteView(it->second.data(), it->second.size())) != entry.fileHash) {
+            problem(ProblemKind::HashMismatch, pointUri, entry.filename, "");
+            return nullptr;
+        }
+        return &it->second;
+    }
+
+    void processObject(const WorkItem& issuer, const std::string& pointUri,
+                       const std::string& filename, const Bytes& raw, const Crl& crl) {
+        ObjectType type;
+        try {
+            type = objectTypeOf(ByteView(raw.data(), raw.size()));
+        } catch (const ParseError& e) {
+            problem(ProblemKind::MalformedObject, pointUri, filename, e.what());
+            return;
+        }
+        try {
+            switch (type) {
+                case ObjectType::ResourceCert:
+                    processChildCert(issuer, pointUri, filename,
+                                     ResourceCert::decode(ByteView(raw.data(), raw.size())), crl);
+                    break;
+                case ObjectType::Roa:
+                    processRoa(issuer, pointUri, filename,
+                               Roa::decode(ByteView(raw.data(), raw.size())), crl);
+                    break;
+                default:
+                    // .dead/.roll/hints are not part of the classic RPKI;
+                    // ignore them like any unknown file type.
+                    break;
+            }
+        } catch (const ParseError& e) {
+            problem(ProblemKind::MalformedObject, pointUri, filename, e.what());
+        }
+    }
+
+    bool checkCommon(const WorkItem& issuer, const std::string& pointUri,
+                     const std::string& filename, const std::string& parentUri,
+                     std::uint64_t serial, Time notBefore, Time notAfter, const Crl& crl) {
+        if (parentUri != issuer.cert.uri) {
+            problem(ProblemKind::WrongParentPointer, pointUri, filename, parentUri);
+            return false;
+        }
+        if (crl.revokes(serial)) {
+            problem(ProblemKind::Revoked, pointUri, filename, "serial " + std::to_string(serial));
+            return false;
+        }
+        if (options_.now < notBefore) {
+            problem(ProblemKind::NotYetValid, pointUri, filename, "");
+            return false;
+        }
+        if (notAfter <= options_.now) {
+            problem(ProblemKind::Expired, pointUri, filename, "");
+            return false;
+        }
+        return true;
+    }
+
+    void processChildCert(const WorkItem& issuer, const std::string& pointUri,
+                          const std::string& filename, ResourceCert cert, const Crl& crl) {
+        if (!verifyObject(cert, issuer.cert.subjectKey)) {
+            problem(ProblemKind::BadSignature, pointUri, filename, "");
+            return;
+        }
+        if (!checkCommon(issuer, pointUri, filename, cert.parentUri, cert.serial,
+                         cert.notBefore, cert.notAfter, crl)) {
+            return;
+        }
+        if (!cert.resources.subsetOf(issuer.effective)) {
+            problem(ProblemKind::NotCoveredByParent, pointUri, filename, cert.resources.str());
+            return;
+        }
+        const ResourceSet effective = effectiveResources(cert.resources, issuer.effective);
+        enqueue(WorkItem{std::move(cert), issuer.depth + 1, effective});
+    }
+
+    void processRoa(const WorkItem& issuer, const std::string& pointUri,
+                    const std::string& filename, Roa roa, const Crl& crl) {
+        if (!verifyObject(roa, issuer.cert.subjectKey)) {
+            problem(ProblemKind::BadSignature, pointUri, filename, "");
+            return;
+        }
+        if (!checkCommon(issuer, pointUri, filename, roa.parentUri, roa.serial, roa.notBefore,
+                         roa.notAfter, crl)) {
+            return;
+        }
+        for (const auto& rp : roa.prefixes) {
+            if (!issuer.effective.containsPrefix(rp.prefix)) {
+                problem(ProblemKind::NotCoveredByParent, pointUri, filename, rp.prefix.str());
+                return;
+            }
+        }
+        result_.roas.push_back({std::move(roa), issuer.depth + 1});
+    }
+
+    const Snapshot& snap_;
+    const Options& options_;
+    Result& result_;
+    std::deque<WorkItem> queue_;
+    std::set<std::string> visited_;
+};
+
+}  // namespace
+
+Result validateSnapshot(const Snapshot& snap, std::span<const ResourceCert> trustAnchors,
+                        const Options& options) {
+    Result result;
+    Walker walker(snap, options, result);
+    for (const ResourceCert& ta : trustAnchors) {
+        if (!ta.isTrustAnchor()) {
+            throw UsageError("non-trust-anchor cert passed as trust anchor: " + ta.uri);
+        }
+        if (ta.resources.isInherit()) {
+            result.problems.push_back({ProblemKind::NotCoveredByParent, ta.pubPointUri, ta.uri,
+                                       "trust anchor cannot inherit"});
+            continue;
+        }
+        // Trust anchors are accepted on out-of-band trust but must at least
+        // be self-consistent (self-signed).
+        if (!verifyObject(ta, ta.subjectKey)) {
+            result.problems.push_back(
+                {ProblemKind::BadSignature, ta.pubPointUri, ta.uri, "trust anchor self-signature"});
+            continue;
+        }
+        walker.enqueue({ta, 0, ta.resources});
+    }
+    walker.run();
+    return result;
+}
+
+}  // namespace rpkic::vanilla

@@ -1,0 +1,94 @@
+// Validation of the *current* (pre-redesign) RPKI, as deployed in 2014 and
+// modeled on rcynic's behaviour (paper §2, §3):
+//
+//  * top-down walk from trust anchors;
+//  * per publication point: manifest signature + freshness, CRL, object
+//    hashes;
+//  * per RC: signature, RFC 3779 resource containment (with inherit),
+//    validity window, revocation;
+//  * per ROA: signature, window, revocation, prefix coverage.
+//
+// The output is the relying party's "local cache of the complete set of
+// valid ROAs" (RFC 6483) plus a list of problems. Anything that prevents a
+// ROA from validating *whacks* it (paper §3.2) — the validator does not
+// care whether the cause was malice, misconfiguration, or transfer loss.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "detector/state.hpp"
+#include "rpki/objects.hpp"
+#include "rpki/repository.hpp"
+
+namespace rpkic::vanilla {
+
+enum class ProblemKind : std::uint8_t {
+    MissingPoint,        ///< publication point absent from the snapshot
+    MissingManifest,     ///< no manifest file in the point
+    InvalidManifest,     ///< manifest malformed or signature invalid
+    StaleManifest,       ///< manifest expired (Case Study 4)
+    MissingCrl,          ///< CRL absent or not logged
+    InvalidCrl,          ///< CRL malformed/signature/freshness
+    MissingObject,       ///< file logged in manifest but absent
+    HashMismatch,        ///< file bytes do not match the manifest hash
+    MalformedObject,     ///< file fails to decode
+    BadSignature,        ///< object signature fails under the issuer key
+    Revoked,             ///< object serial listed in the issuer's CRL
+    Expired,             ///< object validity window has passed
+    NotYetValid,         ///< object validity window has not begun
+    NotCoveredByParent,  ///< RFC 3779 containment violated
+    WrongParentPointer,  ///< object names a different issuer than its location
+};
+
+std::string_view toString(ProblemKind k);
+
+struct Problem {
+    ProblemKind kind;
+    std::string pointUri;
+    std::string objectName;  ///< filename within the point ("" for point-level)
+    std::string detail;
+
+    std::string str() const;
+};
+
+struct Options {
+    Time now = 0;
+    /// rcynic's behaviour in Case Study 4: a stale manifest invalidates the
+    /// entire publication point ("rejected all four of the intermediate
+    /// RCs as invalid"). When false, stale manifests are reported but the
+    /// point is still processed.
+    bool staleManifestIsFatal = true;
+};
+
+struct ValidCert {
+    ResourceCert cert;
+    int depth = 0;             ///< trust anchor = 0
+    ResourceSet effective;     ///< inherit-resolved resources
+};
+
+struct ValidRoa {
+    Roa roa;
+    int depth = 0;  ///< depth of the ROA object itself (issuer depth + 1)
+};
+
+struct Result {
+    std::vector<ValidCert> certs;
+    std::vector<ValidRoa> roas;
+    std::vector<Problem> problems;
+
+    /// Detector input: the tuples of every valid ROA.
+    RpkiState roaState() const;
+
+    std::size_t certCountAtDepth(int depth) const;
+    std::size_t roaCountAtDepth(int depth) const;
+    bool hasProblem(ProblemKind k) const;
+};
+
+/// Validates a full repository snapshot against the given trust anchors
+/// (delivered out of band, like trust anchor locators).
+Result validateSnapshot(const Snapshot& snap, std::span<const ResourceCert> trustAnchors,
+                        const Options& options);
+
+}  // namespace rpkic::vanilla

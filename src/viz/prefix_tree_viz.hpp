@@ -1,0 +1,72 @@
+// The §4.2 visualizer: renders the binary prefix tree under a root prefix
+// as a Sierpinski-triangle-like figure, coloring each node by its route
+// validity state for a focus AS, highlighting downgrades caused by a state
+// transition, and overlaying routes seen in a BGP feed (Figure 6).
+//
+// Two renderers: SVG (the figure) and ASCII (terminal-friendly).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "detector/validity_index.hpp"
+
+namespace rpkic::viz {
+
+enum class NodeState : std::uint8_t {
+    Unknown,             ///< white in the paper's figure
+    Valid,               ///< valid for the focus AS
+    Invalid,             ///< invalid for the focus AS (and was before)
+    DowngradedToInvalid, ///< unknown/valid before, invalid after — the event
+};
+
+std::string_view toString(NodeState s);
+
+/// Annotation for a BGP-feed route that falls on a tree node: the paper
+/// draws a grey circle for valid routes and a black circle for routes the
+/// transition made invalid.
+struct FeedMark {
+    IpPrefix prefix;
+    Asn origin = 0;
+    RouteValidity stateAfter = RouteValidity::Unknown;
+};
+
+struct VizConfig {
+    IpPrefix root;         ///< subtree root, e.g. 173.251.0.0/16
+    int depth = 8;         ///< levels below the root to draw
+    Asn focusAs = 0;       ///< the AS whose validity colors the triangle
+};
+
+class PrefixTreeViz {
+public:
+    /// Evaluates the tree for the transition prev -> cur.
+    PrefixTreeViz(const PrefixValidityIndex& prev, const PrefixValidityIndex& cur,
+                  VizConfig config, std::span<const Route> bgpFeed = {});
+
+    /// State of the node for `prefix` (must lie in the configured subtree).
+    NodeState stateOf(const IpPrefix& prefix) const;
+
+    /// Count of nodes per state across the whole drawn tree.
+    std::size_t countState(NodeState s) const;
+
+    const std::vector<FeedMark>& feedMarks() const { return feedMarks_; }
+
+    /// Terminal rendering: one row per depth, one character per node
+    /// ('.' unknown, 'v' valid, 'x' invalid, '!' downgraded).
+    std::string renderAscii() const;
+
+    /// A standalone SVG document.
+    std::string renderSvg() const;
+
+private:
+    std::size_t indexOf(const IpPrefix& prefix) const;
+
+    VizConfig config_;
+    // states_ stores the tree level by level: level L has 2^L nodes.
+    std::vector<NodeState> states_;
+    std::vector<FeedMark> feedMarks_;
+};
+
+}  // namespace rpkic::viz

@@ -1,0 +1,152 @@
+// Algebraic laws across the foundational value types, checked on random
+// inputs: interval-set boolean algebra, resource-set lattice laws, WOTS
+// digit edge cases, Merkle trees of every power-of-two size, and U128
+// arithmetic identities.
+#include <gtest/gtest.h>
+
+#include "crypto/merkle.hpp"
+#include "crypto/wots.hpp"
+#include "ip/interval_set.hpp"
+#include "ip/resource_set.hpp"
+#include "util/rng.hpp"
+
+namespace rpkic {
+namespace {
+
+using Set64 = IntervalSet<std::uint64_t>;
+
+Set64 randomSet(Rng& rng, std::uint64_t universe) {
+    Set64 s;
+    const int n = static_cast<int>(rng.nextBelow(6));
+    for (int i = 0; i < n; ++i) {
+        const auto lo = rng.nextBelow(universe);
+        const auto hi = rng.nextInRange(lo, std::min(universe - 1, lo + rng.nextBelow(64)));
+        s.insert(lo, hi);
+    }
+    return s;
+}
+
+class AlgebraProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AlgebraProperty, IntervalSetBooleanLaws) {
+    Rng rng(GetParam());
+    for (int iter = 0; iter < 40; ++iter) {
+        const Set64 a = randomSet(rng, 1000);
+        const Set64 b = randomSet(rng, 1000);
+        const Set64 c = randomSet(rng, 1000);
+
+        // Commutativity and associativity.
+        EXPECT_EQ(a.unionWith(b), b.unionWith(a));
+        EXPECT_EQ(a.intersect(b), b.intersect(a));
+        EXPECT_EQ(a.unionWith(b).unionWith(c), a.unionWith(b.unionWith(c)));
+        EXPECT_EQ(a.intersect(b).intersect(c), a.intersect(b.intersect(c)));
+        // Absorption and idempotence.
+        EXPECT_EQ(a.unionWith(a.intersect(b)), a);
+        EXPECT_EQ(a.intersect(a.unionWith(b)), a);
+        EXPECT_EQ(a.unionWith(a), a);
+        EXPECT_EQ(a.intersect(a), a);
+        // Distributivity.
+        EXPECT_EQ(a.intersect(b.unionWith(c)),
+                  a.intersect(b).unionWith(a.intersect(c)));
+        // Difference identities.
+        EXPECT_EQ(a.subtract(b).intersect(b), Set64{});
+        EXPECT_EQ(a.subtract(b).unionWith(a.intersect(b)), a);
+        EXPECT_EQ(a.subtract(a), Set64{});
+        // Cardinality consistency: |A| + |B| = |A u B| + |A n B|.
+        EXPECT_EQ(a.countU64() + b.countU64(),
+                  a.unionWith(b).countU64() + a.intersect(b).countU64());
+    }
+}
+
+TEST_P(AlgebraProperty, ResourceSetLatticeLaws) {
+    Rng rng(GetParam() * 31 + 7);
+    auto randomResources = [&rng]() {
+        ResourceSet r;
+        const int n = static_cast<int>(rng.nextBelow(4)) + 1;
+        for (int i = 0; i < n; ++i) {
+            const auto base = static_cast<std::uint32_t>(rng.nextBelow(200)) << 20;
+            r.addPrefix(IpPrefix::v4(base, static_cast<int>(rng.nextInRange(12, 20))));
+        }
+        if (rng.nextBool(0.5)) r.addAsnRange(static_cast<Asn>(rng.nextBelow(100)),
+                                             static_cast<Asn>(100 + rng.nextBelow(100)));
+        return r;
+    };
+    for (int iter = 0; iter < 25; ++iter) {
+        const ResourceSet a = randomResources();
+        const ResourceSet b = randomResources();
+        // Subset is a partial order consistent with union/intersection.
+        EXPECT_TRUE(a.subsetOf(a.unionWith(b)));
+        EXPECT_TRUE(a.intersect(b).subsetOf(a));
+        EXPECT_TRUE(a.intersect(b).subsetOf(b));
+        EXPECT_TRUE(a.subtract(b).subsetOf(a));
+        // subtract removes exactly the intersection.
+        EXPECT_TRUE(a.subtract(b).unionWith(a.intersect(b)).subsetOf(a));
+        EXPECT_TRUE(a.subsetOf(a.subtract(b).unionWith(a.intersect(b))));
+        // Overlap is symmetric and matches a non-empty intersection.
+        const bool hasOverlap = !a.intersect(b).empty();
+        EXPECT_EQ(a.overlaps(b), hasOverlap);
+        EXPECT_EQ(b.overlaps(a), hasOverlap);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AlgebraProperty, ::testing::Values(3, 5, 7, 11, 13));
+
+TEST(WotsEdgeCases, ExtremeDigestsRoundTrip) {
+    // All-zero digest: maximal checksum. All-0xff digest: zero checksum.
+    Digest zeros{};
+    Digest ones{};
+    ones.bytes.fill(0xff);
+
+    for (const Digest& msg : {zeros, ones, sha256("ordinary")}) {
+        const auto digits = wots::messageDigits(msg);
+        std::uint32_t checksum = 0;
+        for (int i = 0; i < wots::kMsgChains; ++i) checksum += 15u - digits[i];
+        EXPECT_LE(checksum, 64u * 15u);
+        const Digest secretSeed = sha256("s");
+        const Digest publicSeed = sha256("p");
+        const Digest pk = wots::derivePublicKey(secretSeed, publicSeed, 3);
+        const auto sig = wots::sign(secretSeed, publicSeed, 3, msg);
+        EXPECT_EQ(wots::publicKeyFromSignature(publicSeed, 3, msg, sig), pk);
+    }
+}
+
+TEST(MerkleShapes, AllPowerOfTwoSizesVerify) {
+    for (std::size_t count : {1u, 2u, 4u, 8u, 32u, 128u}) {
+        std::vector<Digest> leaves;
+        for (std::size_t i = 0; i < count; ++i) {
+            leaves.push_back(sha256("leaf" + std::to_string(i)));
+        }
+        MerkleTree tree(leaves);
+        Rng rng(count);
+        for (int probe = 0; probe < 8; ++probe) {
+            const std::size_t i = static_cast<std::size_t>(rng.nextBelow(count));
+            EXPECT_EQ(merkleRootFromPath(leaves[i], i, tree.path(i)), tree.root())
+                << count << " leaves, index " << i;
+            // A wrong leaf at the right index must fail (except the trivial
+            // one-leaf tree, whose root IS the leaf).
+            if (count > 1) {
+                EXPECT_NE(merkleRootFromPath(sha256("wrong"), i, tree.path(i)), tree.root());
+            }
+        }
+    }
+}
+
+TEST(U128Identities, RandomizedArithmetic) {
+    Rng rng(17);
+    for (int iter = 0; iter < 200; ++iter) {
+        const U128 a{rng.nextU64(), rng.nextU64()};
+        const U128 b{rng.nextU64(), rng.nextU64()};
+        EXPECT_EQ(a + b, b + a);
+        EXPECT_EQ((a + b) - b, a);
+        EXPECT_EQ(a - a, U128(0));
+        EXPECT_EQ((a ^ b) ^ b, a);
+        EXPECT_EQ(~~a, a);
+        const int shift = static_cast<int>(rng.nextBelow(128));
+        // Shifting out and back loses only the shifted-out bits.
+        const U128 masked = (a << shift) >> shift;
+        EXPECT_EQ(masked, shift == 0 ? a : (a & (U128::max() >> shift)));
+    }
+}
+
+}  // namespace
+}  // namespace rpkic

@@ -1,0 +1,166 @@
+// BGP substrate: topology, propagation, policy-based selection, and the
+// Table-3 interactions between local policy, hijacks, and RPKI
+// manipulation.
+#include "bgp/bgp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "detector/validity_index.hpp"
+
+namespace rpkic {
+namespace {
+
+using bgp::Announcement;
+using bgp::AsGraph;
+using bgp::HijackScenario;
+using bgp::LocalPolicy;
+using bgp::RoutingSim;
+using bgp::runScenario;
+
+IpPrefix pfx(const char* s) {
+    return IpPrefix::parse(s);
+}
+
+/// Line topology 1 - 2 - 3 - 4 - 5: victim at 1, attacker at 5.
+AsGraph lineGraph() {
+    AsGraph g;
+    for (Asn a = 1; a < 5; ++a) g.addEdge(a, a + 1);
+    return g;
+}
+
+bgp::Classifier classifierFor(std::shared_ptr<PrefixValidityIndex> idx) {
+    return [idx](const Route& r) { return idx->classify(r); };
+}
+
+TEST(AsGraph, DistancesAndNeighbors) {
+    const AsGraph g = lineGraph();
+    EXPECT_EQ(g.nodeCount(), 5u);
+    const auto dist = g.distancesFrom(1);
+    EXPECT_EQ(dist.at(1), 0);
+    EXPECT_EQ(dist.at(5), 4);
+    EXPECT_EQ(g.neighbors(3).size(), 2u);
+    EXPECT_TRUE(g.neighbors(99).empty());
+}
+
+TEST(AsGraph, RandomTopologyConnected) {
+    Rng rng(5);
+    const AsGraph g = AsGraph::randomTopology(200, 2, rng);
+    EXPECT_EQ(g.nodeCount(), 200u);
+    EXPECT_EQ(g.distancesFrom(1).size(), 200u) << "graph must be connected";
+}
+
+TEST(Bgp, ShortestPathWinsWithoutRpki) {
+    const AsGraph g = lineGraph();
+    auto idx = std::make_shared<PrefixValidityIndex>(RpkiState{});
+    RoutingSim sim(g, LocalPolicy::AcceptAll, classifierFor(idx));
+    const std::vector<Announcement> anns = {{pfx("10.0.0.0/16"), 1}, {pfx("10.0.0.0/16"), 5}};
+    sim.announce(anns);
+    // AS2 is nearer to AS1; AS4 nearer to AS5.
+    EXPECT_EQ(sim.routeForPrefix(2, pfx("10.0.0.0/16"))->origin, 1u);
+    EXPECT_EQ(sim.routeForPrefix(4, pfx("10.0.0.0/16"))->origin, 5u);
+}
+
+TEST(Bgp, LongestPrefixMatchForwarding) {
+    const AsGraph g = lineGraph();
+    auto idx = std::make_shared<PrefixValidityIndex>(RpkiState{});
+    RoutingSim sim(g, LocalPolicy::AcceptAll, classifierFor(idx));
+    const std::vector<Announcement> anns = {{pfx("10.0.0.0/16"), 1}, {pfx("10.0.7.0/24"), 5}};
+    sim.announce(anns);
+    // Traffic for the /24 follows the more specific route even though the
+    // /16 is closer.
+    const auto d = sim.forwardingDecision(2, pfx("10.0.7.0/24"));
+    ASSERT_TRUE(d.has_value());
+    EXPECT_EQ(d->origin, 5u);
+    const auto d2 = sim.forwardingDecision(2, pfx("10.0.8.0/24"));
+    ASSERT_TRUE(d2.has_value());
+    EXPECT_EQ(d2->origin, 1u);
+}
+
+// --- Table 3, row by row ----------------------------------------------------
+
+struct Table3Fixture {
+    AsGraph graph = lineGraph();
+    // ROA authorizes the victim (AS 1) for 10.0.0.0/16 only (maxLength 16).
+    std::shared_ptr<PrefixValidityIndex> withRoa = std::make_shared<PrefixValidityIndex>(
+        RpkiState({{pfx("10.0.0.0/16"), 16, 1}}));
+    // Manipulated RPKI: the victim's ROA was whacked and a covering ROA
+    // for someone else (AS 9) exists, so the victim's route is INVALID.
+    std::shared_ptr<PrefixValidityIndex> whacked = std::make_shared<PrefixValidityIndex>(
+        RpkiState({{pfx("10.0.0.0/12"), 12, 9}}));
+};
+
+TEST(Table3, DropInvalidStopsPrefixHijack) {
+    Table3Fixture f;
+    const HijackScenario s{pfx("10.0.0.0/16"), 1, pfx("10.0.0.0/16"), 5, pfx("10.0.1.0/24")};
+    const double reached =
+        runScenario(f.graph, LocalPolicy::DropInvalid, classifierFor(f.withRoa), s);
+    EXPECT_DOUBLE_EQ(reached, 1.0) << "hijacker's route is invalid and dropped everywhere";
+}
+
+TEST(Table3, DropInvalidStopsSubprefixHijack) {
+    Table3Fixture f;
+    const HijackScenario s{pfx("10.0.0.0/16"), 1, pfx("10.0.1.0/24"), 5, pfx("10.0.1.0/24")};
+    const double reached =
+        runScenario(f.graph, LocalPolicy::DropInvalid, classifierFor(f.withRoa), s);
+    EXPECT_DOUBLE_EQ(reached, 1.0)
+        << "the /24 is invalid (covered by the ROA, maxLength 16) and dropped";
+}
+
+TEST(Table3, DeprefInvalidStopsPrefixHijackButNotSubprefix) {
+    Table3Fixture f;
+    const HijackScenario samePrefix{pfx("10.0.0.0/16"), 1, pfx("10.0.0.0/16"), 5,
+                                    pfx("10.0.1.0/24")};
+    EXPECT_DOUBLE_EQ(
+        runScenario(f.graph, LocalPolicy::DeprefInvalid, classifierFor(f.withRoa), samePrefix),
+        1.0)
+        << "valid route preferred over invalid for the same prefix";
+
+    const HijackScenario subprefix{pfx("10.0.0.0/16"), 1, pfx("10.0.1.0/24"), 5,
+                                   pfx("10.0.1.0/24")};
+    EXPECT_DOUBLE_EQ(
+        runScenario(f.graph, LocalPolicy::DeprefInvalid, classifierFor(f.withRoa), subprefix),
+        0.0)
+        << "subprefix hijacks remain possible: longest-prefix-match wins";
+}
+
+TEST(Table3, DropInvalidTakesWhackedPrefixOffline) {
+    Table3Fixture f;
+    // No attacker; the RPKI was manipulated so the victim's route is invalid.
+    const HijackScenario s{pfx("10.0.0.0/16"), 1, std::nullopt, 0, pfx("10.0.1.0/24")};
+    EXPECT_EQ(f.whacked->classify({pfx("10.0.0.0/16"), 1}), RouteValidity::Invalid);
+    const double reached =
+        runScenario(f.graph, LocalPolicy::DropInvalid, classifierFor(f.whacked), s);
+    EXPECT_DOUBLE_EQ(reached, 0.0) << "prefix goes offline";
+}
+
+TEST(Table3, DeprefInvalidKeepsWhackedPrefixOnline) {
+    Table3Fixture f;
+    const HijackScenario s{pfx("10.0.0.0/16"), 1, std::nullopt, 0, pfx("10.0.1.0/24")};
+    const double reached =
+        runScenario(f.graph, LocalPolicy::DeprefInvalid, classifierFor(f.whacked), s);
+    EXPECT_DOUBLE_EQ(reached, 1.0) << "invalid route still selected when it is the only one";
+}
+
+TEST(Table3, AcceptAllVulnerableToHijack) {
+    Table3Fixture f;
+    const HijackScenario s{pfx("10.0.0.0/16"), 1, pfx("10.0.0.0/16"), 5, pfx("10.0.1.0/24")};
+    const double reached =
+        runScenario(f.graph, LocalPolicy::AcceptAll, classifierFor(f.withRoa), s);
+    EXPECT_LT(reached, 1.0) << "without RPKI enforcement, part of the topology is hijacked";
+    EXPECT_GT(reached, 0.0);
+}
+
+TEST(Bgp, MixedPolicyDependence) {
+    // §3.1: availability at one router depends on policies at others — a
+    // depref-invalid AS behind a drop-invalid chokepoint loses the route.
+    // Here every AS drops invalid; the depref observer (modeled by asking
+    // for the route at the far end) has nothing to fall back on.
+    Table3Fixture f;
+    RoutingSim sim(f.graph, LocalPolicy::DropInvalid, classifierFor(f.whacked));
+    const std::vector<Announcement> anns = {{pfx("10.0.0.0/16"), 1}};
+    sim.announce(anns);
+    EXPECT_EQ(sim.routeForPrefix(5, pfx("10.0.0.0/16")), nullptr);
+}
+
+}  // namespace
+}  // namespace rpkic

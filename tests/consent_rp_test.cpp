@@ -1,0 +1,512 @@
+// End-to-end tests of the redesigned RPKI: authorities running the §5.3
+// procedures against relying parties running the §5.4 / Appendix-B checks.
+// Covers consent workflows, all Table-7 alarms except global inconsistency
+// (exercised in sim_* tests), key rollover, and staleness.
+#include <gtest/gtest.h>
+
+#include "consent/authority.hpp"
+#include "rp/relying_party.hpp"
+#include "util/errors.hpp"
+
+namespace rpkic {
+namespace {
+
+using consent::Authority;
+using consent::AuthorityDirectory;
+using consent::AuthorityOptions;
+using rp::AlarmType;
+using rp::RcStatus;
+using rp::RelyingParty;
+using rp::RpOptions;
+
+IpPrefix pfx(const char* s) {
+    return IpPrefix::parse(s);
+}
+
+AuthorityOptions fastOpts() {
+    return AuthorityOptions{.ts = 3, .signerHeight = 6, .manifestLifetime = 10};
+}
+
+/// TA "rir" -> "sprint" -> "continental"; sprint and continental have ROAs.
+struct Fixture {
+    Repository repo;
+    AuthorityDirectory dir{42, fastOpts()};
+    SimClock clock;
+    Authority* rir;
+    Authority* sprint;
+    Authority* continental;
+
+    Fixture() {
+        rir = &dir.createTrustAnchor("rir", ResourceSet::ofPrefixes({pfx("63.0.0.0/8")}), repo,
+                                     clock.now());
+        sprint = &dir.createChild(*rir, "sprint", ResourceSet::ofPrefixes({pfx("63.160.0.0/12")}),
+                                  repo, clock.now());
+        continental = &dir.createChild(
+            *sprint, "continental",
+            ResourceSet::ofPrefixes({pfx("63.168.93.0/24"), pfx("63.174.16.0/20")}), repo,
+            clock.now());
+        sprint->issueRoa("as1239", 1239, {{pfx("63.160.0.0/12"), 24}}, repo, clock.now());
+        continental->issueRoa("as7341", 7341,
+                              {{pfx("63.168.93.0/24"), 24}, {pfx("63.174.16.0/20"), 24}}, repo,
+                              clock.now());
+    }
+
+    RelyingParty makeRp(const std::string& name) {
+        return RelyingParty(name, {rir->cert()}, RpOptions{.ts = 3, .tg = 6});
+    }
+};
+
+TEST(ConsentRp, HappyPathNoAlarms) {
+    Fixture f;
+    RelyingParty alice = f.makeRp("alice");
+    alice.sync(f.repo.snapshot(), f.clock.now());
+    EXPECT_EQ(alice.alarms().count(), 0u)
+        << (alice.alarms().count() ? alice.alarms().all()[0].str() : "");
+    EXPECT_EQ(alice.validRoas().size(), 2u);
+    ASSERT_NE(alice.findRc(f.sprint->cert().uri), nullptr);
+    EXPECT_EQ(alice.findRc(f.sprint->cert().uri)->status, RcStatus::Valid);
+    EXPECT_EQ(alice.findRc(f.continental->cert().uri)->status, RcStatus::Valid);
+}
+
+TEST(ConsentRp, IncrementalUpdatesProcessCleanly) {
+    Fixture f;
+    RelyingParty alice = f.makeRp("alice");
+    alice.sync(f.repo.snapshot(), f.clock.now());
+
+    f.clock.advance(1);
+    f.sprint->issueRoa("extra", 1240, {{pfx("63.161.0.0/16"), 20}}, f.repo, f.clock.now());
+    f.clock.advance(1);
+    f.sprint->deleteRoa("as1239", f.repo, f.clock.now());
+    alice.sync(f.repo.snapshot(), f.clock.now());
+
+    EXPECT_EQ(alice.alarms().count(), 0u)
+        << (alice.alarms().count() ? alice.alarms().all()[0].str() : "");
+    const RpkiState state = alice.roaState();
+    EXPECT_TRUE(state.contains({pfx("63.161.0.0/16"), 20, 1240}));
+    EXPECT_FALSE(state.contains({pfx("63.160.0.0/12"), 24, 1239}));
+}
+
+TEST(ConsentRp, MultipleUpdatesBetweenSyncsReconstructed) {
+    // Alice skips several manifest updates; the preserved manifests let
+    // her reconstruct and verify every intermediate state.
+    Fixture f;
+    RelyingParty alice = f.makeRp("alice");
+    alice.sync(f.repo.snapshot(), f.clock.now());
+
+    f.sprint->issueRoa("r1", 1, {{pfx("63.160.1.0/24"), 24}}, f.repo, f.clock.now());
+    f.sprint->issueRoa("r2", 2, {{pfx("63.160.2.0/24"), 24}}, f.repo, f.clock.now());
+    f.sprint->deleteRoa("r1", f.repo, f.clock.now());
+    f.sprint->issueRoa("r3", 3, {{pfx("63.160.3.0/24"), 24}}, f.repo, f.clock.now());
+    f.clock.advance(1);
+    alice.sync(f.repo.snapshot(), f.clock.now());
+
+    EXPECT_EQ(alice.alarms().count(), 0u)
+        << (alice.alarms().count() ? alice.alarms().all()[0].str() : "");
+    const RpkiState state = alice.roaState();
+    EXPECT_FALSE(state.contains({pfx("63.160.1.0/24"), 24, 1}));
+    EXPECT_TRUE(state.contains({pfx("63.160.2.0/24"), 24, 2}));
+    EXPECT_TRUE(state.contains({pfx("63.160.3.0/24"), 24, 3}));
+}
+
+TEST(ConsentRp, ConsensualRevocationRaisesNoAlarm) {
+    Fixture f;
+    RelyingParty alice = f.makeRp("alice");
+    alice.sync(f.repo.snapshot(), f.clock.now());
+
+    f.clock.advance(1);
+    const auto deads = f.dir.collectRevocationConsent(*f.continental);
+    f.sprint->revokeChild("continental", deads, f.repo, f.clock.now());
+    alice.sync(f.repo.snapshot(), f.clock.now());
+
+    EXPECT_FALSE(alice.alarms().has(AlarmType::UnilateralRevocation));
+    EXPECT_EQ(alice.alarms().count(), 0u)
+        << (alice.alarms().count() ? alice.alarms().all()[0].str() : "");
+    EXPECT_TRUE(alice.sawDeadFor(f.continental->cert().uri, f.continental->cert().serial));
+    ASSERT_NE(alice.findRc(f.continental->cert().uri), nullptr);
+    EXPECT_EQ(alice.findRc(f.continental->cert().uri)->status, RcStatus::NoLongerValid);
+    EXPECT_EQ(alice.validRoas().size(), 1u);  // continental's ROA is gone
+}
+
+TEST(ConsentRp, RevocationWithoutConsentIsRefusedByHonestAuthority) {
+    Fixture f;
+    EXPECT_THROW(f.sprint->revokeChild("continental", {}, f.repo, f.clock.now()),
+                 ProtocolError);
+    // Partial consent (target only, missing none here since continental is
+    // a leaf) — test a subtree case: revoke sprint missing continental's.
+    std::vector<DeadObject> incomplete = {
+        f.sprint->signDead(true, ResourceSet{}, {})};
+    EXPECT_THROW(f.rir->revokeChild("sprint", incomplete, f.repo, f.clock.now()),
+                 ProtocolError);
+}
+
+TEST(ConsentRp, UnilateralRevocationRaisesAccountableAlarm) {
+    Fixture f;
+    RelyingParty alice = f.makeRp("alice");
+    alice.sync(f.repo.snapshot(), f.clock.now());
+
+    f.clock.advance(1);
+    f.sprint->unsafeUnilateralRevokeChild("continental", f.repo, f.clock.now());
+    alice.sync(f.repo.snapshot(), f.clock.now());
+
+    const auto alarms = alice.alarms().ofType(AlarmType::UnilateralRevocation);
+    ASSERT_FALSE(alarms.empty());
+    EXPECT_TRUE(alarms[0].accountable);
+    EXPECT_EQ(alarms[0].victim, f.continental->cert().uri);
+    EXPECT_EQ(alarms[0].perpetrator, f.sprint->cert().uri);
+    EXPECT_EQ(alice.findRc(f.continental->cert().uri)->status, RcStatus::NoLongerValid);
+}
+
+TEST(ConsentRp, UnilateralRevocationOfSubtreeBlamesPerpetrator) {
+    // Revoking sprint without consent whacks continental too; Theorem 5.1
+    // condition 4: the alarm blames an ancestor of the victim.
+    Fixture f;
+    RelyingParty alice = f.makeRp("alice");
+    alice.sync(f.repo.snapshot(), f.clock.now());
+
+    f.clock.advance(1);
+    f.rir->unsafeUnilateralRevokeChild("sprint", f.repo, f.clock.now());
+    alice.sync(f.repo.snapshot(), f.clock.now());
+
+    const auto alarms = alice.alarms().ofType(AlarmType::UnilateralRevocation);
+    ASSERT_FALSE(alarms.empty());
+    EXPECT_EQ(alarms[0].victim, f.sprint->cert().uri);
+    EXPECT_EQ(alarms[0].perpetrator, f.rir->cert().uri);
+    EXPECT_TRUE(alarms[0].accountable);
+    // The descendant is no-longer-valid as well.
+    EXPECT_EQ(alice.findRc(f.continental->cert().uri)->status, RcStatus::NoLongerValid);
+    EXPECT_TRUE(alice.validRoas().empty());
+}
+
+TEST(ConsentRp, NarrowingWithConsentNoAlarm) {
+    Fixture f;
+    RelyingParty alice = f.makeRp("alice");
+    alice.sync(f.repo.snapshot(), f.clock.now());
+
+    f.clock.advance(1);
+    const ResourceSet removed = ResourceSet::ofPrefixes({pfx("63.174.16.0/20")});
+    const auto deads = f.dir.collectNarrowingConsent(*f.continental, removed);
+    f.sprint->narrowChild("continental", removed, deads, f.repo, f.clock.now());
+    alice.sync(f.repo.snapshot(), f.clock.now());
+
+    EXPECT_EQ(alice.alarms().count(), 0u)
+        << (alice.alarms().count() ? alice.alarms().all()[0].str() : "");
+    EXPECT_TRUE(alice.sawDeadForResources(f.continental->cert().uri, removed));
+    // The narrowed RC remains valid with fewer resources.
+    const auto* rec = alice.findRc(f.continental->cert().uri);
+    ASSERT_NE(rec, nullptr);
+    EXPECT_EQ(rec->status, RcStatus::Valid);
+    EXPECT_FALSE(rec->cert.resources.containsPrefix(pfx("63.174.16.0/20")));
+    EXPECT_TRUE(rec->cert.resources.containsPrefix(pfx("63.168.93.0/24")));
+}
+
+TEST(ConsentRp, UnilateralNarrowingRaisesAlarm) {
+    Fixture f;
+    RelyingParty alice = f.makeRp("alice");
+    alice.sync(f.repo.snapshot(), f.clock.now());
+
+    f.clock.advance(1);
+    f.sprint->unsafeUnilateralNarrowChild(
+        "continental", ResourceSet::ofPrefixes({pfx("63.174.16.0/20")}), f.repo, f.clock.now());
+    alice.sync(f.repo.snapshot(), f.clock.now());
+
+    const auto alarms = alice.alarms().ofType(AlarmType::UnilateralRevocation);
+    ASSERT_FALSE(alarms.empty());
+    EXPECT_EQ(alarms[0].victim, f.continental->cert().uri);
+    EXPECT_TRUE(alarms[0].accountable);
+}
+
+TEST(ConsentRp, BroadeningNeedsNoConsent) {
+    Fixture f;
+    RelyingParty alice = f.makeRp("alice");
+    alice.sync(f.repo.snapshot(), f.clock.now());
+
+    f.clock.advance(1);
+    f.rir->broadenChild("sprint", ResourceSet::ofPrefixes({pfx("63.128.0.0/12")}), f.repo,
+                        f.clock.now());
+    alice.sync(f.repo.snapshot(), f.clock.now());
+    EXPECT_EQ(alice.alarms().count(), 0u)
+        << (alice.alarms().count() ? alice.alarms().all()[0].str() : "");
+    EXPECT_TRUE(
+        alice.findRc(f.sprint->cert().uri)->cert.resources.containsPrefix(pfx("63.128.0.0/12")));
+}
+
+TEST(ConsentRp, OversizedChildRaisesChildTooBroad) {
+    // Counterexample 2 ingredient: a manifest logging an invalid object
+    // must raise an alarm.
+    Fixture f;
+    RelyingParty alice = f.makeRp("alice");
+    alice.sync(f.repo.snapshot(), f.clock.now());
+
+    f.clock.advance(1);
+    const PublicKey someKey = Signer::generate(999, 2).publicKey();
+    f.sprint->unsafeIssueOversizedChild("greedy", someKey,
+                                        ResourceSet::ofPrefixes({pfx("64.0.0.0/8")}), f.repo,
+                                        f.clock.now());
+    alice.sync(f.repo.snapshot(), f.clock.now());
+
+    const auto alarms = alice.alarms().ofType(AlarmType::ChildTooBroad);
+    ASSERT_FALSE(alarms.empty());
+    EXPECT_TRUE(alarms[0].accountable);
+    EXPECT_EQ(alarms[0].perpetrator, f.sprint->cert().uri);
+    // The oversized RC is never-was-valid.
+    const auto* rec = alice.findRc(f.sprint->pubPointUri() + "greedy.cer");
+    ASSERT_NE(rec, nullptr);
+    EXPECT_EQ(rec->status, RcStatus::NeverWasValid);
+}
+
+TEST(ConsentRp, KeyRolloverRunsCleanly) {
+    Fixture f;
+    RelyingParty alice = f.makeRp("alice");
+    alice.sync(f.repo.snapshot(), f.clock.now());
+
+    // Manual stepping with RP syncs in between (as deployment would).
+    f.clock.advance(1);
+    const std::string oldUri = f.sprint->cert().uri;
+    f.sprint->stageNewKey(f.repo, f.clock.now());
+    f.rir->rolloverStep1IssueSuccessor("sprint", f.repo, f.clock.now());
+    alice.sync(f.repo.snapshot(), f.clock.now());
+    EXPECT_EQ(alice.alarms().count(), 0u)
+        << (alice.alarms().count() ? alice.alarms().all()[0].str() : "");
+
+    f.clock.advance(f.dir.options().ts);
+    f.sprint->rolloverStep2Switch(f.repo, f.clock.now());
+    alice.sync(f.repo.snapshot(), f.clock.now());
+    EXPECT_EQ(alice.alarms().count(), 0u)
+        << (alice.alarms().count() ? alice.alarms().all()[0].str() : "");
+    ASSERT_NE(alice.findRc(oldUri), nullptr);
+    EXPECT_EQ(alice.findRc(oldUri)->status, RcStatus::RolledOver);
+    const std::string newUri = f.sprint->cert().uri;
+    EXPECT_NE(newUri, oldUri);
+    EXPECT_EQ(alice.findRc(newUri)->status, RcStatus::Valid);
+
+    f.clock.advance(f.dir.options().ts);
+    f.rir->rolloverStep3Finish("sprint", f.repo, f.clock.now());
+    alice.sync(f.repo.snapshot(), f.clock.now());
+    EXPECT_EQ(alice.alarms().count(), 0u)
+        << (alice.alarms().count() ? alice.alarms().all()[0].str() : "");
+
+    // Everything still validates: both ROAs present, via the new key.
+    EXPECT_EQ(alice.validRoas().size(), 2u);
+    EXPECT_EQ(alice.findRc(f.continental->cert().uri)->status, RcStatus::Valid);
+}
+
+TEST(ConsentRp, RolledRcDeletedWithoutRollAlarms) {
+    Fixture f;
+    RelyingParty alice = f.makeRp("alice");
+    alice.sync(f.repo.snapshot(), f.clock.now());
+
+    f.clock.advance(1);
+    const std::string oldUri = f.sprint->cert().uri;
+    f.sprint->stageNewKey(f.repo, f.clock.now());
+    f.rir->rolloverStep1IssueSuccessor("sprint", f.repo, f.clock.now());
+    alice.sync(f.repo.snapshot(), f.clock.now());
+    f.clock.advance(f.dir.options().ts);
+    f.sprint->rolloverStep2Switch(f.repo, f.clock.now());
+    alice.sync(f.repo.snapshot(), f.clock.now());
+    ASSERT_EQ(alice.findRc(oldUri)->status, RcStatus::RolledOver);
+
+    // The parent deletes the old RC WITHOUT publishing the .roll: that is a
+    // unilateral revocation of a rolled-over RC.
+    f.clock.advance(1);
+    // Emulate by removing the old RC file via the unsafe overwrite path:
+    // directly delete the file from the parent's point.
+    // (The honest step3 would publish the .roll.)
+    // We reach into the misbehaviour hook:
+    struct Evil {
+        static void dropOldRc(Authority& parent, const std::string& oldUri, Repository& repo,
+                              Time now) {
+            // find + remove via unilateral API on the *file* level: the old
+            // RC is not a registered child anymore, so use the generic
+            // delete through unsafeUnilateralRevokeChild's internals is not
+            // available; emulate by re-publishing without the file.
+            (void)parent;
+            (void)oldUri;
+            (void)repo;
+            (void)now;
+        }
+    };
+    // Simpler and fully within the API: rir performs step 3 but we corrupt
+    // the snapshot so the .roll is missing for Alice.
+    f.rir->rolloverStep3Finish("sprint", f.repo, f.clock.now());
+    Snapshot snap = f.repo.snapshot();
+    // Remove all .roll files from rir's point.
+    std::vector<std::string> rolls;
+    for (const auto& [name, bytes] : snap.points[f.rir->pubPointUri()]) {
+        if (name.find(".roll") != std::string::npos) rolls.push_back(name);
+    }
+    ASSERT_FALSE(rolls.empty());
+    for (const auto& r : rolls) dropFile(snap, f.rir->pubPointUri(), r);
+    alice.sync(snap, f.clock.now());
+
+    // The .roll is logged in the manifest but missing: missing-information
+    // alarm (unaccountable — could be transport loss).
+    EXPECT_TRUE(alice.alarms().has(AlarmType::MissingInformation));
+}
+
+TEST(ConsentRp, StaleManifestRaisesMissingInformation) {
+    Fixture f;
+    RelyingParty alice = f.makeRp("alice");
+    alice.sync(f.repo.snapshot(), f.clock.now());
+    EXPECT_EQ(alice.alarms().count(), 0u);
+
+    // Nobody refreshes; manifests expire after manifestLifetime (=10).
+    f.clock.advance(11);
+    alice.sync(f.repo.snapshot(), f.clock.now());
+    EXPECT_TRUE(alice.alarms().has(AlarmType::MissingInformation));
+    // Stale designation: objects are retained, not invalidated (§5.3.2).
+    EXPECT_EQ(alice.validRoas().size(), 2u);
+    EXPECT_TRUE(alice.findRc(f.sprint->cert().uri)->stale);
+}
+
+TEST(ConsentRp, MissingObjectRaisesMissingInformation) {
+    Fixture f;
+    RelyingParty alice = f.makeRp("alice");
+    alice.sync(f.repo.snapshot(), f.clock.now());
+
+    f.clock.advance(1);
+    f.sprint->issueRoa("newone", 99, {{pfx("63.160.9.0/24"), 24}}, f.repo, f.clock.now());
+    Snapshot snap = f.repo.snapshot();
+    ASSERT_TRUE(dropFile(snap, f.sprint->pubPointUri(), "newone.roa"));
+    alice.sync(snap, f.clock.now());
+
+    const auto alarms = alice.alarms().ofType(AlarmType::MissingInformation);
+    ASSERT_FALSE(alarms.empty());
+    EXPECT_FALSE(alarms[0].accountable);
+    EXPECT_NE(alarms[0].victim.find("newone.roa"), std::string::npos);
+}
+
+TEST(ConsentRp, CorruptedManifestIsUnaccountableMissingInfo) {
+    Fixture f;
+    RelyingParty alice = f.makeRp("alice");
+    alice.sync(f.repo.snapshot(), f.clock.now());
+
+    f.clock.advance(1);
+    f.sprint->issueRoa("x", 5, {{pfx("63.160.5.0/24"), 24}}, f.repo, f.clock.now());
+    Snapshot snap = f.repo.snapshot();
+    ASSERT_TRUE(corruptFile(snap, f.sprint->pubPointUri(), kManifestName, 50));
+    alice.sync(snap, f.clock.now());
+
+    EXPECT_TRUE(alice.alarms().has(AlarmType::MissingInformation));
+    // Whole point is stale; the previous ROA set is retained.
+    EXPECT_EQ(alice.validRoas().size(), 2u);
+}
+
+TEST(ConsentRp, ManifestEquivocationSameNumberIsAccountable) {
+    Fixture f;
+    RelyingParty alice = f.makeRp("alice");
+    alice.sync(f.repo.snapshot(), f.clock.now());
+
+    // The authority signs two different manifests with the same number and
+    // serves them to Alice at different times: provable misbehaviour.
+    f.clock.advance(1);
+    Authority& mirror = f.sprint->unsafeForkForMirrorWorld();
+    Repository repoB;
+    mirror.issueRoa("forked", 666, {{pfx("63.160.66.0/24"), 24}}, repoB, f.clock.now());
+    f.sprint->issueRoa("honest", 1241, {{pfx("63.160.66.0/24"), 24}}, f.repo, f.clock.now());
+
+    alice.sync(f.repo.snapshot(), f.clock.now());
+    ASSERT_EQ(alice.alarms().count(), 0u);
+
+    // Now Alice is served the mirrored point state (same manifest number,
+    // different contents).
+    Snapshot snap = f.repo.snapshot();
+    Snapshot mirrorSnap = repoB.snapshot();
+    ASSERT_TRUE(serveStalePoint(snap, mirrorSnap, f.sprint->pubPointUri()));
+    alice.sync(snap, f.clock.now());
+
+    const auto alarms = alice.alarms().ofType(AlarmType::InvalidSyntax);
+    ASSERT_FALSE(alarms.empty());
+    EXPECT_TRUE(alarms[0].accountable);
+    EXPECT_EQ(alarms[0].perpetrator, f.sprint->cert().uri);
+}
+
+TEST(ConsentRp, GlobalConsistencyCleanWhenSameView) {
+    Fixture f;
+    RelyingParty alice = f.makeRp("alice");
+    RelyingParty bob = f.makeRp("bob");
+    alice.sync(f.repo.snapshot(), f.clock.now());
+    bob.sync(f.repo.snapshot(), f.clock.now());
+    alice.globalConsistencyCheck(bob.exportManifestClaims(), f.clock.now());
+    bob.globalConsistencyCheck(alice.exportManifestClaims(), f.clock.now());
+    EXPECT_FALSE(alice.alarms().has(AlarmType::GlobalInconsistency));
+    EXPECT_FALSE(bob.alarms().has(AlarmType::GlobalInconsistency));
+}
+
+TEST(ConsentRp, GlobalConsistencyToleratesLag) {
+    // Bob is one update behind Alice (within tg): no alarm, because Alice's
+    // window retains the hash of the superseded manifest.
+    Fixture f;
+    RelyingParty alice = f.makeRp("alice");
+    RelyingParty bob = f.makeRp("bob");
+    alice.sync(f.repo.snapshot(), f.clock.now());
+    bob.sync(f.repo.snapshot(), f.clock.now());
+
+    f.clock.advance(1);
+    f.sprint->issueRoa("late", 77, {{pfx("63.160.77.0/24"), 24}}, f.repo, f.clock.now());
+    alice.sync(f.repo.snapshot(), f.clock.now());
+
+    alice.globalConsistencyCheck(bob.exportManifestClaims(), f.clock.now());
+    EXPECT_FALSE(alice.alarms().has(AlarmType::GlobalInconsistency));
+}
+
+TEST(ConsentRp, MirrorWorldCaughtByGlobalConsistency) {
+    // The §3.3 attack: the authority shows Alice one world and Bob another.
+    Fixture f;
+    RelyingParty alice = f.makeRp("alice");
+    RelyingParty bob = f.makeRp("bob");
+    alice.sync(f.repo.snapshot(), f.clock.now());
+    bob.sync(f.repo.snapshot(), f.clock.now());
+
+    f.clock.advance(1);
+    Authority& mirror = f.sprint->unsafeForkForMirrorWorld();
+    Repository repoB = f.repo;  // bob's view starts identical
+    f.sprint->issueRoa("forA", 1241, {{pfx("63.160.70.0/24"), 24}}, f.repo, f.clock.now());
+    mirror.deleteRoa("as1239", repoB, f.clock.now());
+
+    alice.sync(f.repo.snapshot(), f.clock.now());
+    bob.sync(repoB.snapshot(), f.clock.now());
+    EXPECT_EQ(alice.alarms().count(), 0u);
+    EXPECT_EQ(bob.alarms().count(), 0u);
+
+    // The views diverge; the global consistency check catches it in at
+    // least one direction.
+    alice.globalConsistencyCheck(bob.exportManifestClaims(), f.clock.now());
+    bob.globalConsistencyCheck(alice.exportManifestClaims(), f.clock.now());
+    const bool caught = alice.alarms().has(AlarmType::GlobalInconsistency) ||
+                        bob.alarms().has(AlarmType::GlobalInconsistency);
+    EXPECT_TRUE(caught);
+    // With identical numbers and diverging contents it is accountable.
+    bool accountable = false;
+    for (const auto& a : alice.alarms().ofType(AlarmType::GlobalInconsistency)) {
+        accountable |= a.accountable;
+    }
+    for (const auto& a : bob.alarms().ofType(AlarmType::GlobalInconsistency)) {
+        accountable |= a.accountable;
+    }
+    EXPECT_TRUE(accountable);
+}
+
+TEST(ConsentRp, KeyExhaustionForcesRollover) {
+    // The hash-based keys are bounded; an authority that keeps issuing
+    // eventually throws and must roll its key.
+    Repository repo;
+    AuthorityDirectory dir(7, AuthorityOptions{.ts = 2, .signerHeight = 3,  // 8 signatures
+                                               .manifestLifetime = 100});
+    SimClock clock;
+    Authority& ta = dir.createTrustAnchor("ta", ResourceSet::ofPrefixes({pfx("10.0.0.0/8")}),
+                                          repo, clock.now());
+    Authority& child =
+        dir.createChild(ta, "child", ResourceSet::ofPrefixes({pfx("10.1.0.0/16")}), repo,
+                        clock.now());
+    EXPECT_THROW(
+        {
+            for (int i = 0; i < 20; ++i) {
+                child.issueRoa("r" + std::to_string(i), 1, {{pfx("10.1.0.0/16"), 24}}, repo,
+                               clock.now());
+            }
+        },
+        KeyExhaustedError);
+}
+
+}  // namespace
+}  // namespace rpkic

@@ -1,0 +1,233 @@
+// Appendix C: timing of bulk updates — fast subtree creation/deletion,
+// slow (ts-per-level) broadening and narrowing, the broadened-too-early
+// race that produces a false child-too-broad impression at a lagging
+// relying party, and how the ts wait prevents it.
+#include <gtest/gtest.h>
+
+#include "consent/bulk.hpp"
+#include "rp/relying_party.hpp"
+
+namespace rpkic {
+namespace {
+
+using consent::Authority;
+using consent::AuthorityDirectory;
+using consent::AuthorityOptions;
+using consent::BulkReport;
+using rp::AlarmType;
+using rp::RelyingParty;
+using rp::RpOptions;
+
+IpPrefix pfx(const char* s) {
+    return IpPrefix::parse(s);
+}
+
+struct Fixture {
+    Repository repo;
+    AuthorityDirectory dir{5, AuthorityOptions{.ts = 3, .signerHeight = 6,
+                                               .manifestLifetime = 1000}};
+    SimClock clock;
+    Authority* root;
+
+    Fixture() {
+        root = &dir.createTrustAnchor(
+            "root", ResourceSet::ofPrefixes({pfx("10.0.0.0/8"), pfx("20.0.0.0/8")}), repo,
+            clock.now());
+    }
+
+    RelyingParty rp(const std::string& name) {
+        return RelyingParty(name, {root->cert()}, RpOptions{.ts = 3, .tg = 12});
+    }
+};
+
+TEST(Timing, NewSubtreeIsFast) {
+    Fixture f;
+    BulkReport report;
+    Authority& leaf = consent::createChainFast(
+        f.dir, *f.root, {"a", "b", "c"},
+        {ResourceSet::ofPrefixes({pfx("10.0.0.0/10")}),
+         ResourceSet::ofPrefixes({pfx("10.0.0.0/12")}),
+         ResourceSet::ofPrefixes({pfx("10.0.0.0/14")})},
+        f.repo, f.clock, &report);
+    EXPECT_EQ(report.elapsed, 0);  // "no matter how deep, done quickly"
+    leaf.issueRoa("r", 64500, {{pfx("10.0.0.0/14"), 24}}, f.repo, f.clock.now());
+
+    // A relying party discovers the whole chain in ONE sync.
+    RelyingParty alice = f.rp("alice");
+    alice.sync(f.repo.snapshot(), f.clock.now());
+    EXPECT_EQ(alice.alarms().count(), 0u)
+        << (alice.alarms().count() ? alice.alarms().all()[0].str() : "");
+    EXPECT_EQ(alice.validRoas().size(), 1u);
+    EXPECT_NE(alice.findRc(leaf.cert().uri), nullptr);
+}
+
+TEST(Timing, DeleteSubtreeIsFast) {
+    Fixture f;
+    consent::createChainFast(f.dir, *f.root, {"a", "b"},
+                             {ResourceSet::ofPrefixes({pfx("10.0.0.0/10")}),
+                              ResourceSet::ofPrefixes({pfx("10.0.0.0/12")})},
+                             f.repo, f.clock);
+    RelyingParty alice = f.rp("alice");
+    alice.sync(f.repo.snapshot(), f.clock.now());
+
+    f.clock.advance(1);
+    const BulkReport report = consent::deleteSubtreeFast(f.dir, *f.root, "a", f.repo, f.clock);
+    EXPECT_EQ(report.elapsed, 0);
+    EXPECT_EQ(report.manifestUpdates, 1u);  // all .deads in one update
+
+    alice.sync(f.repo.snapshot(), f.clock.now());
+    EXPECT_EQ(alice.alarms().count(), 0u)
+        << (alice.alarms().count() ? alice.alarms().all()[0].str() : "");
+    EXPECT_EQ(alice.findRc(f.dir.get("a").cert().uri)->status, rp::RcStatus::NoLongerValid);
+    EXPECT_EQ(alice.findRc(f.dir.get("b").cert().uri)->status, rp::RcStatus::NoLongerValid);
+}
+
+TEST(Timing, BroadenChainWaitsTsPerLevel) {
+    Fixture f;
+    consent::createChainFast(f.dir, *f.root, {"a", "b"},
+                             {ResourceSet::ofPrefixes({pfx("10.0.0.0/10")}),
+                              ResourceSet::ofPrefixes({pfx("10.0.0.0/12")})},
+                             f.repo, f.clock);
+    RelyingParty alice = f.rp("alice");
+    alice.sync(f.repo.snapshot(), f.clock.now());
+
+    const ResourceSet added = ResourceSet::ofPrefixes({pfx("20.0.0.0/12")});
+    const Time start = f.clock.now();
+    const BulkReport report =
+        consent::broadenChainTopDown(f.dir, *f.root, {"a", "b"}, added, f.repo, f.clock);
+    EXPECT_EQ(report.elapsed, 2 * 3);  // two levels, ts = 3 each
+    EXPECT_EQ(f.clock.now(), start + 6);
+
+    alice.sync(f.repo.snapshot(), f.clock.now());
+    EXPECT_EQ(alice.alarms().count(), 0u)
+        << (alice.alarms().count() ? alice.alarms().all()[0].str() : "");
+    EXPECT_TRUE(
+        alice.findRc(f.dir.get("b").cert().uri)->cert.resources.containsPrefix(pfx("20.0.0.0/12")));
+    // The leaf can now use the new space.
+    f.dir.get("b").issueRoa("new", 64501, {{pfx("20.0.0.0/12"), 24}}, f.repo, f.clock.now());
+    alice.sync(f.repo.snapshot(), f.clock.now());
+    EXPECT_EQ(alice.alarms().count(), 0u);
+}
+
+TEST(Timing, InheritChainBroadensWithoutWaits) {
+    Fixture f;
+    consent::createChainFast(f.dir, *f.root, {"a", "b"},
+                             {ResourceSet::ofPrefixes({pfx("10.0.0.0/10")}),
+                              ResourceSet::inherit()},
+                             f.repo, f.clock);
+    const BulkReport report = consent::broadenChainTopDown(
+        f.dir, *f.root, {"a", "b"}, ResourceSet::ofPrefixes({pfx("20.0.0.0/12")}), f.repo,
+        f.clock);
+    // Only "a" needs an explicit broadening + wait; "b" inherits.
+    EXPECT_EQ(report.elapsed, 3);
+    EXPECT_EQ(report.manifestUpdates, 1u);
+}
+
+TEST(Timing, NarrowChainBottomUpWithConsent) {
+    // Manual bottom-up narrowing with the relying party syncing within ts
+    // at every step, as the paper's timing model requires.
+    Fixture f;
+    consent::createChainFast(f.dir, *f.root, {"a", "b"},
+                             {ResourceSet::ofPrefixes({pfx("10.0.0.0/10")}),
+                              ResourceSet::ofPrefixes({pfx("10.0.0.0/12")})},
+                             f.repo, f.clock);
+    RelyingParty alice = f.rp("alice");
+    alice.sync(f.repo.snapshot(), f.clock.now());
+
+    const ResourceSet removed = ResourceSet::ofPrefixes({pfx("10.0.0.0/14")});
+
+    // Step 1 (deepest first): a narrows b, with b's consent.
+    f.clock.advance(1);
+    Authority& a = f.dir.get("a");
+    Authority& b = f.dir.get("b");
+    const auto deadsB = f.dir.collectNarrowingConsent(b, removed);
+    a.narrowChild("b", removed, deadsB, f.repo, f.clock.now());
+    alice.sync(f.repo.snapshot(), f.clock.now());
+    EXPECT_EQ(alice.alarms().count(), 0u)
+        << (alice.alarms().count() ? alice.alarms().all()[0].str() : "");
+
+    // Wait ts, then step 2: root narrows a. b no longer overlaps the
+    // removed space, so only a consents — and Alice, being in sync, agrees.
+    f.clock.advance(f.dir.options().ts);
+    const auto deadsA = f.dir.collectNarrowingConsent(a, removed);
+    EXPECT_EQ(deadsA.size(), 1u);
+    f.root->narrowChild("a", removed, deadsA, f.repo, f.clock.now());
+    alice.sync(f.repo.snapshot(), f.clock.now());
+
+    EXPECT_EQ(alice.alarms().count(), 0u)
+        << (alice.alarms().count() ? alice.alarms().all()[0].str() : "");
+    EXPECT_FALSE(
+        alice.findRc(b.cert().uri)->cert.resources.containsPrefix(pfx("10.0.0.0/14")));
+    EXPECT_TRUE(alice.sawDeadForResources(b.cert().uri, removed));
+}
+
+TEST(Timing, NarrowChainHelperAndTheLateRpCaveat) {
+    // The bulk helper performs the same steps with ts waits. A relying
+    // party that does NOT keep up (syncing only at the end, > ts late)
+    // processes the root's chain before the child's point and cannot yet
+    // know the descendant consented — exactly the false-alarm case the
+    // paper warns about ("Otherwise, she may raise false alarms when
+    // authorities don't misbehave", §5.4).
+    Fixture f;
+    consent::createChainFast(f.dir, *f.root, {"a", "b"},
+                             {ResourceSet::ofPrefixes({pfx("10.0.0.0/10")}),
+                              ResourceSet::ofPrefixes({pfx("10.0.0.0/12")})},
+                             f.repo, f.clock);
+    RelyingParty lateRp = f.rp("late");
+    lateRp.sync(f.repo.snapshot(), f.clock.now());
+
+    const ResourceSet removed = ResourceSet::ofPrefixes({pfx("10.0.0.0/14")});
+    const BulkReport report =
+        consent::narrowChainBottomUp(f.dir, *f.root, {"a", "b"}, removed, f.repo, f.clock);
+    EXPECT_EQ(report.elapsed, 2 * 3);
+    EXPECT_EQ(report.manifestUpdates, 2u);
+
+    lateRp.sync(f.repo.snapshot(), f.clock.now());  // 2*ts late: out of window
+    EXPECT_TRUE(lateRp.alarms().has(AlarmType::UnilateralRevocation))
+        << "a relying party violating its ts sync obligation may raise false alarms";
+
+    // A fresh relying party (initial sync of the final state) is clean.
+    RelyingParty fresh = f.rp("fresh");
+    fresh.sync(f.repo.snapshot(), f.clock.now());
+    EXPECT_EQ(fresh.alarms().count(), 0u)
+        << (fresh.alarms().count() ? fresh.alarms().all()[0].str() : "");
+    EXPECT_FALSE(fresh.findRc(f.dir.get("b").cert().uri)
+                     ->cert.resources.containsPrefix(pfx("10.0.0.0/14")));
+}
+
+TEST(Timing, BroadenedTooEarlyRaceConfusesLaggingRp) {
+    // The race Appendix C's ts wait prevents: the child uses broadened
+    // space while a relying party still holds the parent's OLD state. The
+    // child's new RC appears too broad from that stale viewpoint.
+    Fixture f;
+    consent::createChainFast(f.dir, *f.root, {"a", "b"},
+                             {ResourceSet::ofPrefixes({pfx("10.0.0.0/10")}),
+                              ResourceSet::ofPrefixes({pfx("10.0.0.0/12")})},
+                             f.repo, f.clock);
+    RelyingParty alice = f.rp("alice");
+    alice.sync(f.repo.snapshot(), f.clock.now());
+    const Snapshot staleRoot = f.repo.snapshot();  // root's point, old resources for "a"
+
+    // Violation: broaden a AND have a immediately broaden b (no ts wait).
+    f.clock.advance(1);
+    const ResourceSet added = ResourceSet::ofPrefixes({pfx("20.0.0.0/12")});
+    f.root->broadenChild("a", added, f.repo, f.clock.now());
+    f.dir.get("a").broadenChild("b", added, f.repo, f.clock.now());
+
+    // Alice's fetch of the root's point is delayed (she is within ts of her
+    // last sync, so this is a legal schedule): she sees the NEW "a" point
+    // but the OLD root point.
+    Snapshot snap = f.repo.snapshot();
+    ASSERT_TRUE(serveStalePoint(snap, staleRoot, f.root->pubPointUri()));
+    alice.sync(snap, f.clock.now());
+    EXPECT_TRUE(alice.alarms().has(AlarmType::ChildTooBroad))
+        << "the race must surface as a (false) child-too-broad impression";
+
+    // With the proper ts discipline a fresh relying party never sees it.
+    RelyingParty bob = f.rp("bob");
+    bob.sync(f.repo.snapshot(), f.clock.now());
+    EXPECT_FALSE(bob.alarms().has(AlarmType::ChildTooBroad));
+}
+
+}  // namespace
+}  // namespace rpkic

@@ -1,0 +1,161 @@
+// WOTS, Merkle-tree, and XMSS-style signature behaviour: correctness,
+// tamper rejection, key exhaustion, and serialization round-trips.
+#include <gtest/gtest.h>
+
+#include "crypto/merkle.hpp"
+#include "crypto/wots.hpp"
+#include "crypto/xmss.hpp"
+#include "util/errors.hpp"
+
+namespace rpkic {
+namespace {
+
+TEST(Wots, MessageDigitsChecksum) {
+    const Digest msg = sha256("checksum test");
+    const auto digits = wots::messageDigits(msg);
+    // The message digits must be the hex nibbles of the digest.
+    for (int i = 0; i < 32; ++i) {
+        EXPECT_EQ(digits[2 * i], msg.bytes[i] >> 4);
+        EXPECT_EQ(digits[2 * i + 1], msg.bytes[i] & 0x0f);
+    }
+    // Checksum digits must encode sum(15 - digit).
+    std::uint32_t checksum = 0;
+    for (int i = 0; i < wots::kMsgChains; ++i) checksum += 15u - digits[i];
+    std::uint32_t decoded = 0;
+    for (int i = 0; i < wots::kChecksumChains; ++i) decoded = (decoded << 4) | digits[wots::kMsgChains + i];
+    EXPECT_EQ(decoded, checksum);
+}
+
+TEST(Wots, SignVerifyRoundTrip) {
+    const Digest secretSeed = sha256("secret");
+    const Digest publicSeed = sha256("public");
+    const Digest msg = sha256("message");
+    const Digest pk = wots::derivePublicKey(secretSeed, publicSeed, 7);
+    const auto sig = wots::sign(secretSeed, publicSeed, 7, msg);
+    EXPECT_EQ(wots::publicKeyFromSignature(publicSeed, 7, msg, sig), pk);
+}
+
+TEST(Wots, WrongMessageFailsVerification) {
+    const Digest secretSeed = sha256("secret");
+    const Digest publicSeed = sha256("public");
+    const Digest pk = wots::derivePublicKey(secretSeed, publicSeed, 0);
+    const auto sig = wots::sign(secretSeed, publicSeed, 0, sha256("message A"));
+    EXPECT_NE(wots::publicKeyFromSignature(publicSeed, 0, sha256("message B"), sig), pk);
+}
+
+TEST(Wots, LeafIndexDomainSeparation) {
+    const Digest secretSeed = sha256("secret");
+    const Digest publicSeed = sha256("public");
+    EXPECT_NE(wots::derivePublicKey(secretSeed, publicSeed, 0),
+              wots::derivePublicKey(secretSeed, publicSeed, 1));
+}
+
+TEST(Merkle, SingleLeaf) {
+    const Digest leaf = sha256("only");
+    MerkleTree t({leaf});
+    EXPECT_EQ(t.root(), leaf);
+    EXPECT_EQ(t.height(), 0);
+    EXPECT_TRUE(t.path(0).empty());
+}
+
+TEST(Merkle, PathsVerifyForAllLeaves) {
+    std::vector<Digest> leaves;
+    for (int i = 0; i < 16; ++i) leaves.push_back(sha256("leaf " + std::to_string(i)));
+    MerkleTree t(leaves);
+    for (std::size_t i = 0; i < 16; ++i) {
+        EXPECT_EQ(merkleRootFromPath(leaves[i], i, t.path(i)), t.root()) << "leaf " << i;
+    }
+}
+
+TEST(Merkle, WrongIndexFailsPathVerification) {
+    std::vector<Digest> leaves;
+    for (int i = 0; i < 8; ++i) leaves.push_back(sha256("leaf " + std::to_string(i)));
+    MerkleTree t(leaves);
+    EXPECT_NE(merkleRootFromPath(leaves[3], 2, t.path(3)), t.root());
+}
+
+TEST(Merkle, RejectsNonPowerOfTwo) {
+    std::vector<Digest> leaves(3, sha256("x"));
+    EXPECT_THROW(MerkleTree{leaves}, UsageError);
+    EXPECT_THROW(MerkleTree{std::vector<Digest>{}}, UsageError);
+}
+
+TEST(Xmss, SignVerifyManyMessages) {
+    Signer signer = Signer::generate(42, 4);
+    const PublicKey pub = signer.publicKey();
+    for (int i = 0; i < 16; ++i) {
+        const std::string msg = "manifest update " + std::to_string(i);
+        const Bytes sig = signer.sign(msg);
+        EXPECT_TRUE(verify(pub, msg, ByteView(sig.data(), sig.size()))) << i;
+        EXPECT_FALSE(verify(pub, msg + "x", ByteView(sig.data(), sig.size()))) << i;
+    }
+}
+
+TEST(Xmss, KeyExhaustionThrows) {
+    Signer signer = Signer::generate(1, 1);  // 2 signatures only
+    (void)signer.sign("one");
+    (void)signer.sign("two");
+    EXPECT_EQ(signer.signaturesRemaining(), 0u);
+    EXPECT_THROW((void)signer.sign("three"), KeyExhaustedError);
+}
+
+TEST(Xmss, SignaturesUseDistinctLeaves) {
+    Signer signer = Signer::generate(7, 3);
+    const Bytes s1 = signer.sign("m");
+    const Bytes s2 = signer.sign("m");
+    const auto d1 = SignatureData::fromBytes(ByteView(s1.data(), s1.size()));
+    const auto d2 = SignatureData::fromBytes(ByteView(s2.data(), s2.size()));
+    EXPECT_EQ(d1.leafIndex, 0u);
+    EXPECT_EQ(d2.leafIndex, 1u);
+}
+
+TEST(Xmss, DifferentSeedsDifferentKeys) {
+    EXPECT_NE(Signer::generate(1, 2).publicKey(), Signer::generate(2, 2).publicKey());
+}
+
+TEST(Xmss, DeterministicFromSeed) {
+    EXPECT_EQ(Signer::generate(99, 3).publicKey(), Signer::generate(99, 3).publicKey());
+}
+
+TEST(Xmss, PublicKeySerializationRoundTrip) {
+    const PublicKey pub = Signer::generate(5, 2).publicKey();
+    const Bytes b = pub.toBytes();
+    EXPECT_EQ(PublicKey::fromBytes(ByteView(b.data(), b.size())), pub);
+}
+
+TEST(Xmss, RejectsTamperedSignatureBytes) {
+    Signer signer = Signer::generate(3, 2);
+    const std::string msg = "tamper target";
+    Bytes sig = signer.sign(msg);
+    const PublicKey pub = signer.publicKey();
+    ASSERT_TRUE(verify(pub, msg, ByteView(sig.data(), sig.size())));
+
+    // Flip one bit anywhere: must always fail.
+    for (std::size_t i = 0; i < sig.size(); i += 97) {
+        Bytes mutated = sig;
+        mutated[i] ^= 0x01;
+        EXPECT_FALSE(verify(pub, msg, ByteView(mutated.data(), mutated.size()))) << "byte " << i;
+    }
+    // Truncation must fail, not crash.
+    Bytes truncated(sig.begin(), sig.begin() + static_cast<long>(sig.size() / 2));
+    EXPECT_FALSE(verify(pub, msg, ByteView(truncated.data(), truncated.size())));
+    EXPECT_FALSE(verify(pub, msg, ByteView{}));
+}
+
+TEST(Xmss, CrossKeyVerificationFails) {
+    Signer a = Signer::generate(10, 2);
+    Signer b = Signer::generate(11, 2);
+    const Bytes sig = a.sign("cross");
+    EXPECT_FALSE(verify(b.publicKey(), "cross", ByteView(sig.data(), sig.size())));
+}
+
+TEST(Xmss, MalformedPublicKeyRejected) {
+    Bytes tooShort(10, 0);
+    EXPECT_THROW(PublicKey::fromBytes(ByteView(tooShort.data(), tooShort.size())), ParseError);
+    Bytes badHeight = Signer::generate(1, 2).publicKey().toBytes();
+    badHeight[64] = 0;
+    EXPECT_THROW(PublicKey::fromBytes(ByteView(badHeight.data(), badHeight.size())), ParseError);
+}
+
+}  // namespace
+}  // namespace rpkic

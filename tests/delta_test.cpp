@@ -1,0 +1,130 @@
+// Delta synchronization: correctness (apply(from, delta(from,to)) == to),
+// including a randomized property sweep, plus RP-equivalence: syncing from
+// a delta-reconstructed snapshot behaves exactly like syncing from the
+// real one.
+#include "rpki/delta.hpp"
+
+#include <gtest/gtest.h>
+
+#include "consent/authority.hpp"
+#include "rp/relying_party.hpp"
+#include "util/rng.hpp"
+
+namespace rpkic {
+namespace {
+
+TEST(Delta, EmptyForIdenticalSnapshots) {
+    Repository repo;
+    repo.putFile("p", "a", {1});
+    const Snapshot snap = repo.snapshot();
+    EXPECT_TRUE(computeDelta(snap, snap).empty());
+}
+
+TEST(Delta, PutsAndDeletes) {
+    Repository a;
+    a.putFile("p", "keep", {1});
+    a.putFile("p", "change", {2});
+    a.putFile("p", "remove", {3});
+    Repository b;
+    b.putFile("p", "keep", {1});
+    b.putFile("p", "change", {9, 9});
+    b.putFile("q", "fresh", {4});
+
+    const SnapshotDelta delta = computeDelta(a.snapshot(), b.snapshot());
+    EXPECT_EQ(delta.putCount(), 2u);     // change + fresh
+    EXPECT_EQ(delta.deleteCount(), 1u);  // remove
+
+    Snapshot applied = a.snapshot();
+    applyDelta(applied, delta);
+    EXPECT_EQ(applied.points, b.snapshot().points);
+}
+
+TEST(Delta, EmptyingAPointRemovesIt) {
+    Repository a;
+    a.putFile("p", "only", {1});
+    const Repository b;  // empty
+    Snapshot applied = a.snapshot();
+    applyDelta(applied, computeDelta(a.snapshot(), b.snapshot()));
+    EXPECT_TRUE(applied.points.empty());
+}
+
+TEST(Delta, WireSizeFavoursSmallChanges) {
+    Repository repo;
+    for (int i = 0; i < 50; ++i) {
+        repo.putFile("p", "f" + std::to_string(i), Bytes(1000, 0x55));
+    }
+    const Snapshot before = repo.snapshot();
+    repo.putFile("p", "f0", Bytes(1000, 0x66));  // one file changes
+    const Snapshot after = repo.snapshot();
+
+    const SnapshotDelta delta = computeDelta(before, after);
+    EXPECT_EQ(delta.changes.size(), 1u);
+    EXPECT_LT(delta.wireSize() * 10, snapshotWireSize(after))
+        << "delta transfer must be a small fraction of the full pull";
+}
+
+TEST(Delta, RandomizedRoundTripProperty) {
+    Rng rng(77);
+    for (int iter = 0; iter < 30; ++iter) {
+        Repository a;
+        Repository b;
+        for (int i = 0; i < 30; ++i) {
+            const std::string point = "p" + std::to_string(rng.nextBelow(4));
+            const std::string file = "f" + std::to_string(rng.nextBelow(10));
+            Bytes contents(rng.nextBelow(20) + 1);
+            for (auto& byte : contents) byte = static_cast<std::uint8_t>(rng.nextU64());
+            if (rng.nextBool(0.6)) a.putFile(point, file, contents);
+            if (rng.nextBool(0.6)) b.putFile(point, file, std::move(contents));
+        }
+        Snapshot applied = a.snapshot();
+        applyDelta(applied, computeDelta(a.snapshot(), b.snapshot()));
+        // Canonicalize: drop empty points that Repository may carry.
+        for (auto it = applied.points.begin(); it != applied.points.end();) {
+            if (it->second.empty()) it = applied.points.erase(it);
+            else ++it;
+        }
+        Snapshot expected = b.snapshot();
+        for (auto it = expected.points.begin(); it != expected.points.end();) {
+            if (it->second.empty()) it = expected.points.erase(it);
+            else ++it;
+        }
+        EXPECT_EQ(applied.points, expected.points) << "iter " << iter;
+    }
+}
+
+TEST(Delta, RelyingPartySyncsIdenticallyFromReconstructedSnapshot) {
+    using consent::AuthorityOptions;
+    Repository repo;
+    consent::AuthorityDirectory dir(81, AuthorityOptions{.ts = 3, .signerHeight = 6,
+                                                         .manifestLifetime = 100});
+    SimClock clock;
+    auto& root = dir.createTrustAnchor(
+        "root", ResourceSet::ofPrefixes({IpPrefix::parse("10.0.0.0/8")}), repo, clock.now());
+    auto& org = dir.createChild(root, "org",
+                                ResourceSet::ofPrefixes({IpPrefix::parse("10.1.0.0/16")}),
+                                repo, clock.now());
+    const Snapshot day0 = repo.snapshot();
+
+    clock.advance(1);
+    org.issueRoa("r", 64500, {{IpPrefix::parse("10.1.0.0/20"), 24}}, repo, clock.now());
+    const Snapshot day1 = repo.snapshot();
+
+    // Alice pulls day0 fully, then day1 as a delta.
+    Snapshot reconstructed = day0;
+    applyDelta(reconstructed, computeDelta(day0, day1));
+
+    rp::RelyingParty viaDelta("viaDelta", {root.cert()}, rp::RpOptions{.ts = 3, .tg = 6});
+    rp::RelyingParty direct("direct", {root.cert()}, rp::RpOptions{.ts = 3, .tg = 6});
+    viaDelta.sync(day0, 0);
+    viaDelta.sync(reconstructed, 1);
+    direct.sync(day0, 0);
+    direct.sync(day1, 1);
+
+    EXPECT_EQ(viaDelta.alarms().count(), 0u);
+    EXPECT_EQ(direct.alarms().count(), 0u);
+    EXPECT_EQ(viaDelta.roaState(), direct.roaState());
+    EXPECT_EQ(viaDelta.exportManifestClaims().size(), direct.exportManifestClaims().size());
+}
+
+}  // namespace
+}  // namespace rpkic

@@ -1,0 +1,127 @@
+// IPv6 triangles in the detector: classification, diff pair counts, and a
+// property sweep against a brute-force oracle on a confined v6 subtree.
+#include <gtest/gtest.h>
+
+#include "detector/diff.hpp"
+#include "util/rng.hpp"
+
+namespace rpkic {
+namespace {
+
+IpPrefix pfx(const char* s) {
+    return IpPrefix::parse(s);
+}
+
+RpkiState state(std::vector<RoaTuple> tuples) {
+    return RpkiState(std::move(tuples));
+}
+
+TEST(DetectorV6, TriangleMembership) {
+    const PrefixValidityIndex idx(state({{pfx("2c0f:f668::/32"), 40, 37600}}));
+    const TriangleSet6& valid = idx.validTriangles6(37600);
+    EXPECT_TRUE(valid.containsPrefix(pfx("2c0f:f668::/32")));
+    EXPECT_TRUE(valid.containsPrefix(pfx("2c0f:f668:8000::/33")));
+    EXPECT_TRUE(valid.containsPrefix(pfx("2c0f:f668:ff00::/40")));
+    EXPECT_FALSE(valid.containsPrefix(pfx("2c0f:f668:ff80::/41")))
+        << "below maxLength";
+    EXPECT_FALSE(valid.containsPrefix(pfx("2c0f:f669::/32")));
+    // Known triangle reaches the bottom.
+    EXPECT_TRUE(idx.knownTriangles6().containsPrefix(
+        pfx("2c0f:f668::1/128")));
+}
+
+TEST(DetectorV6, TrianglePairCounts) {
+    // /32 with maxLength 35: levels 32..35 -> 1+2+4+8 = 15 prefixes.
+    const PrefixValidityIndex idx(state({{pfx("2c0f:f668::/32"), 35, 1}}));
+    EXPECT_EQ(idx.validTriangles6(1).prefixCount(), 15u);
+    EXPECT_DOUBLE_EQ(idx.validTriangles6(1).prefixCountDouble(), 15.0);
+}
+
+TEST(DetectorV6, DiffCountsWhackedRoa) {
+    // Case Study 3's second act, in reverse: the v6 ROA disappears.
+    const RpkiState before = state({{pfx("2c0f:f668::/32"), 33, 37600}});
+    const RpkiState after = state({});
+    const DowngradeReport report = diffStates(before, after);
+    // Levels 32 and 33: 1 + 2 = 3 pairs, valid -> unknown.
+    EXPECT_EQ(report.validToUnknownPairs, 3u);
+    EXPECT_EQ(report.validToInvalidPairs, 0u);
+    ASSERT_EQ(report.tupleTransitions.size(), 1u);
+    EXPECT_EQ(report.tupleTransitions[0].after, RouteValidity::Unknown);
+}
+
+TEST(DetectorV6, DiffCountsCoveredWhack) {
+    const RpkiState before = state({
+        {pfx("2c0f:f668::/32"), 32, 1},
+        {pfx("2c0f:f668::/48"), 48, 2},
+    });
+    const RpkiState after = state({{pfx("2c0f:f668::/32"), 32, 1}});
+    const DowngradeReport report = diffStates(before, after);
+    EXPECT_EQ(report.validToInvalidPairs, 1u) << "the /48 is still covered by the /32";
+    EXPECT_EQ(report.validToUnknownPairs, 0u);
+}
+
+TEST(DetectorV6, MixedFamilyStatesStayIndependent) {
+    const RpkiState before = state({
+        {pfx("10.0.0.0/16"), 16, 1},
+        {pfx("2c0f:f668::/32"), 32, 1},
+    });
+    const RpkiState after = state({{pfx("10.0.0.0/16"), 16, 1}});
+    const DowngradeReport report = diffStates(before, after);
+    EXPECT_EQ(report.validToUnknownPairs, 1u) << "only the v6 tuple was whacked";
+    const PrefixValidityIndex idx(after);
+    EXPECT_EQ(idx.classify({pfx("10.0.0.0/16"), 1}), RouteValidity::Valid);
+    EXPECT_EQ(idx.classify({pfx("2c0f:f668::/32"), 1}), RouteValidity::Unknown);
+}
+
+// --- brute-force property sweep under 2c0f:f668::/112 (levels 112..120) ---
+
+RouteValidity oracleClassify(const std::vector<RoaTuple>& tuples, const Route& r) {
+    bool covered = false;
+    for (const auto& t : tuples) {
+        if (!t.prefix.covers(r.prefix)) continue;
+        covered = true;
+        if (t.asn == r.origin && r.prefix.length <= t.maxLength) return RouteValidity::Valid;
+    }
+    return covered ? RouteValidity::Invalid : RouteValidity::Unknown;
+}
+
+class DetectorV6Property : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DetectorV6Property, ClassifyMatchesBruteForce) {
+    Rng rng(GetParam());
+    const IpPrefix root = pfx("2c0f:f668::/112");
+    std::vector<IpPrefix> universe;
+    for (int len = 112; len <= 120; ++len) {
+        const std::uint64_t count = 1ULL << (len - 112);
+        for (std::uint64_t i = 0; i < count; ++i) {
+            IpPrefix p = root;
+            p.addr = root.firstAddress() | (U128{0, i} << (128 - len));
+            p.length = static_cast<std::uint8_t>(len);
+            universe.push_back(p);
+        }
+    }
+    const std::vector<Asn> asns = {1, 2};
+
+    for (int iter = 0; iter < 6; ++iter) {
+        std::vector<RoaTuple> tuples;
+        const int n = static_cast<int>(rng.nextInRange(0, 8));
+        for (int i = 0; i < n; ++i) {
+            const IpPrefix& p = universe[static_cast<std::size_t>(rng.nextBelow(universe.size()))];
+            const auto maxLen = static_cast<std::uint8_t>(rng.nextInRange(p.length, 122));
+            tuples.push_back({p, maxLen, asns[static_cast<std::size_t>(rng.nextBelow(2))]});
+        }
+        const RpkiState s(std::move(tuples));
+        const PrefixValidityIndex idx(s);
+        for (const auto& p : universe) {
+            for (const Asn a : asns) {
+                const Route r{p, a};
+                ASSERT_EQ(idx.classify(r), oracleClassify(s.tuples(), r)) << r.str();
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DetectorV6Property, ::testing::Values(7, 14, 21, 28));
+
+}  // namespace
+}  // namespace rpkic

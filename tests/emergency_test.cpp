@@ -1,0 +1,136 @@
+// Paper §5.1: "During emergencies (disputes, lost/stolen keys) when it is
+// impossible to obtain consent from the subject of the RC, the issuer can
+// just unilaterally revoke the RC; these actions will be visible to
+// relying parties, who will raise alarms and investigate the situation
+// out-of-band."
+//
+// The design's point is not to make emergency response impossible — it is
+// to make it VISIBLE. These tests pin that behaviour down.
+#include <gtest/gtest.h>
+
+#include "consent/authority.hpp"
+#include "rp/relying_party.hpp"
+
+namespace rpkic {
+namespace {
+
+using consent::Authority;
+using consent::AuthorityDirectory;
+using consent::AuthorityOptions;
+using rp::AlarmType;
+using rp::RcStatus;
+using rp::RelyingParty;
+using rp::RpOptions;
+
+IpPrefix pfx(const char* s) {
+    return IpPrefix::parse(s);
+}
+
+TEST(Emergency, LostKeyRevocationIsPossibleAndVisible) {
+    Repository repo;
+    AuthorityDirectory dir(71, AuthorityOptions{.ts = 3, .signerHeight = 6,
+                                                .manifestLifetime = 100});
+    SimClock clock;
+    Authority& rir = dir.createTrustAnchor("rir", ResourceSet::ofPrefixes({pfx("10.0.0.0/8")}),
+                                           repo, clock.now());
+    Authority& org = dir.createChild(rir, "org", ResourceSet::ofPrefixes({pfx("10.1.0.0/16")}),
+                                     repo, clock.now());
+    org.issueRoa("site", 64500, {{pfx("10.1.0.0/20"), 24}}, repo, clock.now());
+
+    RelyingParty alice("alice", {rir.cert()}, RpOptions{.ts = 3, .tg = 6});
+    alice.sync(repo.snapshot(), clock.now());
+
+    // org's key is stolen. No .dead can be trusted from it; the RIR revokes
+    // unilaterally. The operation SUCCEEDS...
+    clock.advance(1);
+    rir.unsafeUnilateralRevokeChild("org", repo, clock.now());
+    alice.sync(repo.snapshot(), clock.now());
+
+    // ...the compromised space is out of the valid set...
+    EXPECT_TRUE(alice.validRoas().empty());
+    EXPECT_EQ(alice.findRc(org.cert().uri)->status, RcStatus::NoLongerValid);
+
+    // ...and the action is on the record: an accountable alarm that names
+    // the RIR, which the RIR can answer out of band ("yes — key theft").
+    const auto alarms = alice.alarms().ofType(AlarmType::UnilateralRevocation);
+    ASSERT_FALSE(alarms.empty());
+    EXPECT_TRUE(alarms[0].accountable);
+    EXPECT_EQ(alarms[0].perpetrator, rir.cert().uri);
+    EXPECT_EQ(alarms[0].victim, org.cert().uri);
+}
+
+TEST(Emergency, ReissueAfterEmergencyRestoresService) {
+    Repository repo;
+    AuthorityDirectory dir(72, AuthorityOptions{.ts = 3, .signerHeight = 6,
+                                                .manifestLifetime = 100});
+    SimClock clock;
+    Authority& rir = dir.createTrustAnchor("rir", ResourceSet::ofPrefixes({pfx("10.0.0.0/8")}),
+                                           repo, clock.now());
+    Authority& org = dir.createChild(rir, "org", ResourceSet::ofPrefixes({pfx("10.1.0.0/16")}),
+                                     repo, clock.now());
+    org.issueRoa("site", 64500, {{pfx("10.1.0.0/20"), 24}}, repo, clock.now());
+
+    RelyingParty alice("alice", {rir.cert()}, RpOptions{.ts = 3, .tg = 6});
+    alice.sync(repo.snapshot(), clock.now());
+
+    clock.advance(1);
+    rir.unsafeUnilateralRevokeChild("org", repo, clock.now());
+    alice.sync(repo.snapshot(), clock.now());
+    ASSERT_TRUE(alice.validRoas().empty());
+
+    // The holder comes back with a fresh key under a new name/URI and
+    // reissues its ROA: service restored, the alarm remains on the record.
+    clock.advance(1);
+    Authority& org2 = dir.createChild(rir, "org-fresh",
+                                      ResourceSet::ofPrefixes({pfx("10.1.0.0/16")}), repo,
+                                      clock.now());
+    org2.issueRoa("site", 64500, {{pfx("10.1.0.0/20"), 24}}, repo, clock.now());
+    const std::size_t alarmsAfterEmergency = alice.alarms().count();
+    alice.sync(repo.snapshot(), clock.now());
+
+    EXPECT_EQ(alice.validRoas().size(), 1u);
+    EXPECT_EQ(alice.findRc(org2.cert().uri)->status, RcStatus::Valid);
+    EXPECT_EQ(alice.alarms().count(), alarmsAfterEmergency)
+        << "recovery itself raises nothing new";
+}
+
+TEST(Emergency, DisputeVsConsentAreDistinguishable) {
+    // Two revocations side by side: one consensual, one not. A third party
+    // reading Alice's alarm log can tell exactly which one was disputed —
+    // the transparency the paper is after.
+    Repository repo;
+    AuthorityDirectory dir(73, AuthorityOptions{.ts = 3, .signerHeight = 6,
+                                                .manifestLifetime = 100});
+    SimClock clock;
+    Authority& rir = dir.createTrustAnchor("rir", ResourceSet::ofPrefixes({pfx("10.0.0.0/8")}),
+                                           repo, clock.now());
+    Authority& good = dir.createChild(rir, "amicable",
+                                      ResourceSet::ofPrefixes({pfx("10.1.0.0/16")}), repo,
+                                      clock.now());
+    Authority& bad = dir.createChild(rir, "disputed",
+                                     ResourceSet::ofPrefixes({pfx("10.2.0.0/16")}), repo,
+                                     clock.now());
+
+    RelyingParty alice("alice", {rir.cert()}, RpOptions{.ts = 3, .tg = 6});
+    alice.sync(repo.snapshot(), clock.now());
+
+    clock.advance(1);
+    const auto deads = dir.collectRevocationConsent(good);
+    rir.revokeChild("amicable", deads, repo, clock.now());
+    rir.unsafeUnilateralRevokeChild("disputed", repo, clock.now());
+    alice.sync(repo.snapshot(), clock.now());
+
+    // Both are gone...
+    EXPECT_EQ(alice.findRc(good.cert().uri)->status, RcStatus::NoLongerValid);
+    EXPECT_EQ(alice.findRc(bad.cert().uri)->status, RcStatus::NoLongerValid);
+    // ...but only the disputed one is in the alarm log.
+    const auto alarms = alice.alarms().ofType(AlarmType::UnilateralRevocation);
+    ASSERT_EQ(alarms.size(), 1u);
+    EXPECT_EQ(alarms[0].victim, bad.cert().uri);
+    // And Alice holds the consensual one's .dead as proof of the opposite.
+    EXPECT_TRUE(alice.sawDeadFor(good.cert().uri, good.cert().serial));
+    EXPECT_FALSE(alice.sawDeadFor(bad.cert().uri, bad.cert().serial));
+}
+
+}  // namespace
+}  // namespace rpkic

@@ -1,0 +1,115 @@
+// Filesystem persistence: snapshot <-> directory round-trips, safety
+// checks on names, trust-anchor files, and an on-disk validation pass.
+#include "rpki/fs_repository.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "util/errors.hpp"
+#include "vanilla/classic_tree.hpp"
+#include "vanilla/validation.hpp"
+
+namespace rpkic {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct TempDir {
+    fs::path path;
+    TempDir() : path(fs::temp_directory_path() /
+                     ("rpkic_fs_test_" + std::to_string(::getpid()))) {
+        fs::remove_all(path);
+        fs::create_directories(path);
+    }
+    ~TempDir() { fs::remove_all(path); }
+    std::string str() const { return path.string(); }
+};
+
+TEST(FsRepository, PointDirectoryNames) {
+    EXPECT_EQ(pointDirectoryName("rpki://sprint/"), "sprint");
+    EXPECT_EQ(pointDirectoryName("rpki://ripe-im0/"), "ripe-im0");
+    EXPECT_EQ(pointUriForDirectory("sprint"), "rpki://sprint/");
+    EXPECT_THROW((void)pointDirectoryName("rpki://../etc/"), ParseError);
+    EXPECT_THROW((void)pointDirectoryName("rpki:///"), ParseError);
+    EXPECT_THROW((void)pointUriForDirectory(".hidden"), ParseError);
+}
+
+TEST(FsRepository, SnapshotRoundTrip) {
+    TempDir dir;
+    Repository repo;
+    repo.putFile("rpki://a/", "x.roa", {1, 2, 3});
+    repo.putFile("rpki://a/", "manifest.mft", {4, 5});
+    repo.putFile("rpki://b/", "y.cer", {6});
+    const Snapshot original = repo.snapshot();
+
+    writeSnapshotToDisk(original, dir.str());
+    const Snapshot back = readSnapshotFromDisk(dir.str());
+    EXPECT_EQ(back.points, original.points);
+}
+
+TEST(FsRepository, RewriteReplacesStaleFiles) {
+    TempDir dir;
+    Repository repo;
+    repo.putFile("rpki://a/", "old.roa", {1});
+    writeSnapshotToDisk(repo.snapshot(), dir.str());
+
+    Repository repo2;
+    repo2.putFile("rpki://a/", "new.roa", {2});
+    writeSnapshotToDisk(repo2.snapshot(), dir.str());
+
+    const Snapshot back = readSnapshotFromDisk(dir.str());
+    EXPECT_EQ(back.file("rpki://a/", "old.roa"), nullptr) << "old file must be gone";
+    ASSERT_NE(back.file("rpki://a/", "new.roa"), nullptr);
+}
+
+TEST(FsRepository, UnsafeFilenamesRejectedOnWrite) {
+    TempDir dir;
+    Repository repo;
+    repo.putFile("rpki://a/", "../escape", {1});
+    EXPECT_THROW(writeSnapshotToDisk(repo.snapshot(), dir.str()), ParseError);
+}
+
+TEST(FsRepository, TrustAnchorFileRoundTrip) {
+    TempDir dir;
+    vanilla::ClassicTree tree;
+    tree.addTrustAnchor("ta", ResourceSet::ofPrefixes({IpPrefix::parse("10.0.0.0/8")}));
+    const ResourceCert ta = tree.trustAnchors()[0];
+
+    const std::string path = dir.str() + "/ta.cer";
+    writeTrustAnchorFile(ta, path);
+    const ResourceCert back = readTrustAnchorFile(path);
+    EXPECT_EQ(back.encode(), ta.encode());
+
+    // Tampered files are rejected.
+    {
+        ResourceCert tampered = ta;
+        tampered.serial = 999;
+        writeTrustAnchorFile(tampered, dir.str() + "/bad.cer");
+        EXPECT_THROW((void)readTrustAnchorFile(dir.str() + "/bad.cer"), ParseError);
+    }
+    EXPECT_THROW((void)readTrustAnchorFile(dir.str() + "/missing.cer"), Error);
+}
+
+TEST(FsRepository, ValidationWorksFromDisk) {
+    // Publish a small tree to disk, read it back, validate — the
+    // rpkic-validate code path.
+    TempDir dir;
+    vanilla::ClassicTree tree;
+    tree.addTrustAnchor("ta", ResourceSet::ofPrefixes({IpPrefix::parse("10.0.0.0/8")}));
+    tree.addChild("ta", "org", ResourceSet::ofPrefixes({IpPrefix::parse("10.1.0.0/16")}));
+    tree.addRoa("org", "r", 64500, {{IpPrefix::parse("10.1.0.0/16"), 24}});
+    Repository repo;
+    tree.publish(repo, 0);
+    writeSnapshotToDisk(repo.snapshot(), dir.str());
+
+    const Snapshot fromDisk = readSnapshotFromDisk(dir.str());
+    const vanilla::Result result =
+        vanilla::validateSnapshot(fromDisk, tree.trustAnchors(), vanilla::Options{.now = 0});
+    EXPECT_TRUE(result.problems.empty())
+        << (result.problems.empty() ? "" : result.problems[0].str());
+    EXPECT_EQ(result.roas.size(), 1u);
+}
+
+}  // namespace
+}  // namespace rpkic

@@ -1,0 +1,178 @@
+// Robustness: decoders must never crash or accept silently-wrong data.
+// Random truncation, bit-flips, and byte garbage against every object type
+// must either round-trip (if the mutation missed the object) or raise
+// ParseError — these are bytes fetched from untrusted repositories.
+#include <gtest/gtest.h>
+
+#include "crypto/xmss.hpp"
+#include "rpki/objects.hpp"
+#include "util/rng.hpp"
+
+namespace rpkic {
+namespace {
+
+IpPrefix pfx(const char* s) {
+    return IpPrefix::parse(s);
+}
+
+/// Sample instances of each object type with non-trivial contents.
+std::vector<Bytes> sampleObjects() {
+    std::vector<Bytes> out;
+
+    ResourceCert c;
+    c.subjectName = "Sprint";
+    c.uri = "rpki://arin/sprint.cer";
+    c.serial = 42;
+    c.subjectKey = Signer::generate(7, 2).publicKey();
+    c.parentUri = "rpki://arin/arin.cer";
+    c.pubPointUri = "rpki://sprint/";
+    c.resources = ResourceSet::ofPrefixes({pfx("63.160.0.0/12"), pfx("2c0f::/16")});
+    c.resources.addAsnRange(100, 200);
+    c.signature = {1, 2, 3, 4, 5};
+    out.push_back(c.encode());
+
+    Roa r;
+    r.uri = "rpki://sprint/as7341.roa";
+    r.serial = 9;
+    r.parentUri = c.uri;
+    r.asn = 7341;
+    r.prefixes = {{pfx("63.168.93.0/24"), 24}, {pfx("2c0f:f668::/32"), 48}};
+    r.signature = {9};
+    out.push_back(r.encode());
+
+    Manifest m;
+    m.issuerRcUri = c.uri;
+    m.pubPointUri = "rpki://sprint/";
+    m.number = 17;
+    m.entries = {{"a.roa", sha256("a"), 3}, {"b.cer", sha256("b"), 17}};
+    m.prevManifestHash = sha256("prev");
+    m.parentManifestHash = sha256("parent");
+    m.highestChildSerial = 12;
+    m.tag = ManifestTag::PostRollover;
+    m.rolloverTargetUri = "rpki://arin/sprint-v2.cer";
+    m.rolloverTargetRcHash = sha256("v2");
+    m.signature = {5, 5};
+    out.push_back(m.encode());
+
+    Crl crl;
+    crl.issuerRcUri = c.uri;
+    crl.revokedSerials = {4, 8, 15, 16, 23, 42};
+    crl.signature = {1};
+    out.push_back(crl.encode());
+
+    DeadObject d;
+    d.rcUri = "rpki://sprint/etb.cer";
+    d.rcSerial = 5;
+    d.rcHash = sha256("rc");
+    d.signerManifestHash = sha256("mft");
+    d.childDeadHashes = {sha256("c1"), sha256("c2")};
+    d.fullRevocation = false;
+    d.removedResources = ResourceSet::ofPrefixes({pfx("63.174.16.0/20")});
+    d.signature = {7, 7, 7};
+    out.push_back(d.encode());
+
+    RollObject roll;
+    roll.rcUri = c.uri;
+    roll.rcSerial = 42;
+    roll.postRolloverManifestHash = sha256("post");
+    roll.signature = {2};
+    out.push_back(roll.encode());
+
+    HintsFile h;
+    h.entries = {{"a.roa", "a.roa.~5", sha256("v1"), 2, 5}};
+    out.push_back(h.encode());
+
+    return out;
+}
+
+/// Decodes by dispatching on the type byte; returns true on success.
+bool tryDecode(const Bytes& wire) {
+    const ByteView view(wire.data(), wire.size());
+    switch (objectTypeOf(view)) {
+        case ObjectType::ResourceCert: (void)ResourceCert::decode(view); return true;
+        case ObjectType::Roa: (void)Roa::decode(view); return true;
+        case ObjectType::Manifest: (void)Manifest::decode(view); return true;
+        case ObjectType::Crl: (void)Crl::decode(view); return true;
+        case ObjectType::Dead: (void)DeadObject::decode(view); return true;
+        case ObjectType::Roll: (void)RollObject::decode(view); return true;
+        case ObjectType::Hints: (void)HintsFile::decode(view); return true;
+    }
+    return false;
+}
+
+class FuzzDecode : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzDecode, MutationsNeverCrashDecoders) {
+    Rng rng(GetParam());
+    const std::vector<Bytes> samples = sampleObjects();
+    int parseErrors = 0;
+    int accepted = 0;
+    for (int iter = 0; iter < 400; ++iter) {
+        Bytes wire = samples[static_cast<std::size_t>(rng.nextBelow(samples.size()))];
+        const int mutations = static_cast<int>(rng.nextInRange(1, 6));
+        for (int mutationIndex = 0; mutationIndex < mutations; ++mutationIndex) {
+            switch (rng.nextBelow(3)) {
+                case 0:  // bit flip
+                    if (!wire.empty()) {
+                        wire[static_cast<std::size_t>(rng.nextBelow(wire.size()))] ^=
+                            static_cast<std::uint8_t>(1u << rng.nextBelow(8));
+                    }
+                    break;
+                case 1:  // truncate
+                    wire.resize(static_cast<std::size_t>(rng.nextBelow(wire.size() + 1)));
+                    break;
+                case 2:  // append garbage
+                    for (int j = 0; j < 4; ++j) {
+                        wire.push_back(static_cast<std::uint8_t>(rng.nextU64()));
+                    }
+                    break;
+            }
+        }
+        try {
+            if (tryDecode(wire)) ++accepted;
+        } catch (const ParseError&) {
+            ++parseErrors;  // the only acceptable failure mode
+        }
+    }
+    // Most mutations must be rejected (bit flips inside hash/signature
+    // payload bytes can legitimately decode).
+    EXPECT_GT(parseErrors, 100) << "mutations were mostly accepted?";
+    (void)accepted;
+}
+
+TEST_P(FuzzDecode, PureGarbageNeverCrashes) {
+    Rng rng(GetParam() ^ 0xdead);
+    for (int iter = 0; iter < 300; ++iter) {
+        Bytes junk(static_cast<std::size_t>(rng.nextBelow(300)));
+        for (auto& b : junk) b = static_cast<std::uint8_t>(rng.nextU64());
+        try {
+            (void)tryDecode(junk);
+        } catch (const ParseError&) {
+        }
+    }
+    SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzDecode, ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(FuzzDecode, MutatedSignaturesNeverVerify) {
+    // Signature forgery via byte-level mutation must always fail.
+    Rng rng(99);
+    Signer signer = Signer::generate(123, 3);
+    const std::string msg = "the exact message";
+    const Bytes sig = signer.sign(msg);
+    const PublicKey pub = signer.publicKey();
+    for (int iter = 0; iter < 300; ++iter) {
+        Bytes mutated = sig;
+        const int flips = static_cast<int>(rng.nextInRange(1, 4));
+        for (int f = 0; f < flips; ++f) {
+            mutated[static_cast<std::size_t>(rng.nextBelow(mutated.size()))] ^=
+                static_cast<std::uint8_t>(1u << rng.nextBelow(8));
+        }
+        if (mutated == sig) continue;
+        EXPECT_FALSE(verify(pub, msg, ByteView(mutated.data(), mutated.size())));
+    }
+}
+
+}  // namespace
+}  // namespace rpkic

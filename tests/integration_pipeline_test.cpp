@@ -1,0 +1,113 @@
+// End-to-end integration across every layer: the census model publishes a
+// signed object tree; the vanilla validator extracts the valid-ROA set;
+// the detector indexes and diffs it; the visualizer renders an incident;
+// and the BGP substrate measures the routing impact — the full pipeline a
+// monitoring deployment would run.
+#include <gtest/gtest.h>
+
+#include "bgp/bgp.hpp"
+#include "detector/diff.hpp"
+#include "detector/state_io.hpp"
+#include "model/census.hpp"
+#include "vanilla/validation.hpp"
+#include "viz/prefix_tree_viz.hpp"
+
+namespace rpkic {
+namespace {
+
+IpPrefix pfx(const char* s) {
+    return IpPrefix::parse(s);
+}
+
+TEST(IntegrationPipeline, CensusToDetectorToBgp) {
+    // --- 1. Build + publish + validate a scaled census ---------------------
+    model::CensusConfig config;
+    config.scale = 0.03;
+    config.pairTarget = 600;
+    config.publishBudget = 4;  // this test republishes the tree three times
+    model::Census census = model::buildProductionCensus(config);
+    Repository repo;
+    census.tree.publish(repo, 0);
+    const vanilla::Result day0 = vanilla::validateSnapshot(
+        repo.snapshot(), census.tree.trustAnchors(), vanilla::Options{.now = 0});
+    ASSERT_TRUE(day0.problems.empty())
+        << (day0.problems.empty() ? "" : day0.problems[0].str());
+    const RpkiState state0 = day0.roaState();
+    ASSERT_GT(state0.size(), 10u);
+
+    // --- 2. An incident: one leaf's ROA is whacked, a covering ROA exists --
+    // Pick a leaf with a ROA and delete it after adding a covering ROA at
+    // the RIR level for a different AS.
+    std::string victimLeaf;
+    for (const auto& name : census.tree.nodeNames()) {
+        if (name.find("-org") == std::string::npos) continue;
+        victimLeaf = name;  // any org leaf; the census may not have given it ROAs
+        break;
+    }
+    ASSERT_FALSE(victimLeaf.empty());
+    // Deterministic victim: issue our own ROA pair on that leaf.
+    const IpPrefix victimBlock = census.tree.certOf(victimLeaf).resources.v4().empty()
+                                     ? pfx("10.99.0.0/24")
+                                     : [&] {
+                                           const auto iv = census.tree.certOf(victimLeaf)
+                                                               .resources.v4()
+                                                               .intervals()
+                                                               .front();
+                                           return IpPrefix::v4(
+                                               static_cast<std::uint32_t>(iv.lo), 24);
+                                       }();
+    census.tree.addRoa(victimLeaf, "victim-roa", 64999, {{victimBlock, 24}});
+    IpPrefix covering = victimBlock;
+    covering.length = 20;
+    covering = covering.canonicalized();
+    census.tree.addRoa(victimLeaf, "covering-roa", 65000, {{covering, 24}});
+    census.tree.publish(repo, 1);
+    const vanilla::Result day1 = vanilla::validateSnapshot(
+        repo.snapshot(), census.tree.trustAnchors(), vanilla::Options{.now = 1});
+    ASSERT_TRUE(day1.problems.empty());
+
+    census.tree.deleteRoa(victimLeaf, "victim-roa");
+    census.tree.publish(repo, 2);
+    const vanilla::Result day2 = vanilla::validateSnapshot(
+        repo.snapshot(), census.tree.trustAnchors(), vanilla::Options{.now = 2});
+    ASSERT_TRUE(day2.problems.empty());
+
+    // --- 3. Detector flags the downgrade ------------------------------------
+    const PrefixValidityIndex idx1(day1.roaState());
+    const PrefixValidityIndex idx2(day2.roaState());
+    const DowngradeReport report = diffStates(idx1, idx2);
+    EXPECT_GE(report.validToInvalidPairs, 1u);
+    bool sawVictim = false;
+    for (const auto& t : report.tupleTransitions) {
+        if (t.route.origin == 64999 && t.after == RouteValidity::Invalid) sawVictim = true;
+    }
+    EXPECT_TRUE(sawVictim);
+
+    // --- 4. Visualizer renders the incident ---------------------------------
+    IpPrefix vizRoot = victimBlock;
+    vizRoot.length = 18;
+    vizRoot = vizRoot.canonicalized();
+    const viz::PrefixTreeViz viz(idx1, idx2, viz::VizConfig{vizRoot, 6, 64999});
+    EXPECT_GT(viz.countState(viz::NodeState::Invalid) +
+                  viz.countState(viz::NodeState::DowngradedToInvalid),
+              0u);
+    EXPECT_NE(viz.renderSvg().find("</svg>"), std::string::npos);
+
+    // --- 5. BGP impact under drop-invalid ------------------------------------
+    Rng rng(5);
+    const bgp::AsGraph graph = bgp::AsGraph::randomTopology(60, 2, rng);
+    auto classifier = [&idx2](const Route& r) { return idx2.classify(r); };
+    bgp::RoutingSim sim(graph, bgp::LocalPolicy::DropInvalid, classifier);
+    const std::vector<bgp::Announcement> anns = {{victimBlock, 1}};
+    // AS 1 announces the victim block, which the manipulated RPKI now
+    // classifies invalid: with drop-invalid the prefix goes offline.
+    sim.announce(anns);
+    EXPECT_DOUBLE_EQ(sim.fractionReaching(1, victimBlock), 0.0);
+
+    // --- 6. State round-trips through the text format -----------------------
+    const RpkiState reparsed = parseStateText(stateToText(day2.roaState()));
+    EXPECT_EQ(reparsed, day2.roaState());
+}
+
+}  // namespace
+}  // namespace rpkic

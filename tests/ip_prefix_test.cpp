@@ -1,0 +1,130 @@
+// IpPrefix parsing, printing, cover semantics (paper §2.1), and U128
+// arithmetic.
+#include "ip/prefix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/errors.hpp"
+
+namespace rpkic {
+namespace {
+
+TEST(U128, Arithmetic) {
+    const U128 a{0, ~0ULL};
+    const U128 oneHi{1, 0};
+    const U128 fiveHi{5, 0};
+    const U128 topBit{0x8000000000000000ULL, 0};
+    EXPECT_EQ(a + U128(1), oneHi);
+    EXPECT_EQ(oneHi - U128(1), a);
+    EXPECT_EQ(U128(5) << 64, fiveHi);
+    EXPECT_EQ(fiveHi >> 64, U128(5));
+    EXPECT_EQ(U128::max() >> 127, U128(1));
+    EXPECT_EQ(U128(1) << 127, topBit);
+    EXPECT_LT(U128(1), oneHi);
+    EXPECT_EQ(~U128(0), U128::max());
+}
+
+TEST(IpPrefix, ParseAndPrintV4) {
+    const IpPrefix p = IpPrefix::parse("63.160.0.0/12");
+    EXPECT_EQ(p.family, IpFamily::v4);
+    EXPECT_EQ(p.length, 12);
+    EXPECT_EQ(p.str(), "63.160.0.0/12");
+    EXPECT_EQ(IpPrefix::parse("0.0.0.0/0").str(), "0.0.0.0/0");
+    EXPECT_EQ(IpPrefix::parse("255.255.255.255/32").str(), "255.255.255.255/32");
+}
+
+TEST(IpPrefix, ParseRejectsMalformedV4) {
+    EXPECT_THROW(IpPrefix::parse("10.0.0.0"), ParseError);
+    EXPECT_THROW(IpPrefix::parse("10.0.0/8"), ParseError);
+    EXPECT_THROW(IpPrefix::parse("10.0.0.256/8"), ParseError);
+    EXPECT_THROW(IpPrefix::parse("10.0.0.0/33"), ParseError);
+    EXPECT_THROW(IpPrefix::parse("10.0.0.0/-1"), ParseError);
+    EXPECT_THROW(IpPrefix::parse("10.0.0.0.0/8"), ParseError);
+}
+
+TEST(IpPrefix, ParseAndPrintV6) {
+    const IpPrefix p = IpPrefix::parse("2c0f:f668::/32");
+    EXPECT_EQ(p.family, IpFamily::v6);
+    EXPECT_EQ(p.length, 32);
+    EXPECT_EQ(p.str(), "2c0f:f668::/32");
+    EXPECT_EQ(IpPrefix::parse("::/0").str(), "::/0");
+    const IpPrefix full = IpPrefix::parse("1:2:3:4:5:6:7:8/128");
+    EXPECT_EQ(full.str(), "1:2:3:4:5:6:7:8/128");
+}
+
+TEST(IpPrefix, ParseRejectsMalformedV6) {
+    EXPECT_THROW(IpPrefix::parse("1::2::3/64"), ParseError);
+    EXPECT_THROW(IpPrefix::parse("1:2:3:4:5:6:7:8:9/64"), ParseError);
+    EXPECT_THROW(IpPrefix::parse("12345::/64"), ParseError);
+    EXPECT_THROW(IpPrefix::parse("2c0f:f668::/129"), ParseError);
+}
+
+TEST(IpPrefix, CoverRelationFromPaper) {
+    // "63.160.0.0/12 covers 63.160.1.0/24" and "P = pi" also counts.
+    const IpPrefix p12 = IpPrefix::parse("63.160.0.0/12");
+    const IpPrefix p24 = IpPrefix::parse("63.160.1.0/24");
+    EXPECT_TRUE(p12.covers(p24));
+    EXPECT_FALSE(p24.covers(p12));
+    EXPECT_TRUE(p12.covers(p12));
+    EXPECT_FALSE(p12.covers(IpPrefix::parse("63.128.0.0/12")));
+    // Cross-family never covers.
+    EXPECT_FALSE(p12.covers(IpPrefix::parse("::/0")));
+    EXPECT_FALSE(IpPrefix::parse("::/0").covers(p12));
+}
+
+TEST(IpPrefix, CaseStudy2Coverage) {
+    // Case Study 2: 79.139.96.0/19 covers 79.139.96.0/24.
+    EXPECT_TRUE(IpPrefix::parse("79.139.96.0/19").covers(IpPrefix::parse("79.139.96.0/24")));
+    EXPECT_TRUE(IpPrefix::parse("79.139.96.0/20").covers(IpPrefix::parse("79.139.96.0/24")));
+}
+
+TEST(IpPrefix, Canonicalization) {
+    const IpPrefix messy = IpPrefix::v4(0x0a0000ffu, 24);
+    EXPECT_TRUE(messy.isCanonical());  // v4() canonicalizes
+    EXPECT_EQ(messy.str(), "10.0.0.0/24");
+
+    IpPrefix raw;
+    raw.family = IpFamily::v4;
+    raw.addr = U128{0, 0x0a0000ffu};
+    raw.length = 24;
+    EXPECT_FALSE(raw.isCanonical());
+    EXPECT_TRUE(raw.canonicalized().isCanonical());
+}
+
+TEST(IpPrefix, FirstLastAddressCount) {
+    const IpPrefix p = IpPrefix::parse("173.251.0.0/17");
+    EXPECT_EQ(p.firstAddress().toU64(), 0xADFB0000ULL);
+    EXPECT_EQ(p.lastAddress().toU64(), 0xADFB7FFFULL);
+    EXPECT_DOUBLE_EQ(p.addressCount(), 32768.0);
+    EXPECT_DOUBLE_EQ(IpPrefix::parse("0.0.0.0/0").addressCount(), 4294967296.0);
+}
+
+TEST(IpPrefix, Children) {
+    const IpPrefix p = IpPrefix::parse("10.0.0.0/8");
+    EXPECT_EQ(p.child(0).str(), "10.0.0.0/9");
+    EXPECT_EQ(p.child(1).str(), "10.128.0.0/9");
+    EXPECT_THROW(IpPrefix::parse("1.2.3.4/32").child(0), UsageError);
+}
+
+TEST(IpPrefix, Overlaps) {
+    const IpPrefix a = IpPrefix::parse("10.0.0.0/8");
+    const IpPrefix b = IpPrefix::parse("10.5.0.0/16");
+    const IpPrefix c = IpPrefix::parse("11.0.0.0/8");
+    EXPECT_TRUE(a.overlaps(b));
+    EXPECT_TRUE(b.overlaps(a));
+    EXPECT_FALSE(a.overlaps(c));
+}
+
+TEST(Route, Formatting) {
+    const Route r{IpPrefix::parse("173.251.91.0/24"), 53725};
+    EXPECT_EQ(r.str(), "173.251.91.0/24 AS53725");
+}
+
+TEST(RouteValidity, Names) {
+    EXPECT_EQ(toString(RouteValidity::Valid), "valid");
+    EXPECT_EQ(toString(RouteValidity::Unknown), "unknown");
+    EXPECT_EQ(toString(RouteValidity::Invalid), "invalid");
+}
+
+}  // namespace
+}  // namespace rpkic

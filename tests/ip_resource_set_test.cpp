@@ -1,0 +1,129 @@
+// ResourceSet: RFC 3779 subset semantics, inherit handling, set algebra.
+#include "ip/resource_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/errors.hpp"
+
+namespace rpkic {
+namespace {
+
+IpPrefix pfx(const char* s) {
+    return IpPrefix::parse(s);
+}
+
+TEST(ResourceSet, EmptyAndInherit) {
+    ResourceSet empty;
+    EXPECT_TRUE(empty.empty());
+    EXPECT_FALSE(empty.isInherit());
+
+    const ResourceSet inh = ResourceSet::inherit();
+    EXPECT_TRUE(inh.isInherit());
+    EXPECT_FALSE(inh.empty());
+    EXPECT_THROW((void)inh.containsPrefix(pfx("10.0.0.0/8")), UsageError);
+}
+
+TEST(ResourceSet, ContainsPrefix) {
+    const ResourceSet r = ResourceSet::ofPrefixes({pfx("10.0.0.0/8"), pfx("192.168.0.0/16")});
+    EXPECT_TRUE(r.containsPrefix(pfx("10.0.0.0/8")));
+    EXPECT_TRUE(r.containsPrefix(pfx("10.42.0.0/16")));
+    EXPECT_TRUE(r.containsPrefix(pfx("192.168.7.0/24")));
+    EXPECT_FALSE(r.containsPrefix(pfx("11.0.0.0/8")));
+    EXPECT_FALSE(r.containsPrefix(pfx("0.0.0.0/0")));
+}
+
+TEST(ResourceSet, SubsetIsRangeBasedNotPrefixBased) {
+    // Two /9s together equal the /8: subset must hold even though neither
+    // /9 equals the /8 as a prefix.
+    ResourceSet child = ResourceSet::ofPrefixes({pfx("10.0.0.0/9"), pfx("10.128.0.0/9")});
+    const ResourceSet parent = ResourceSet::ofPrefixes({pfx("10.0.0.0/8")});
+    EXPECT_TRUE(child.subsetOf(parent));
+    EXPECT_TRUE(parent.subsetOf(child));  // ranges are equal
+
+    child.addPrefix(pfx("11.0.0.0/24"));
+    EXPECT_FALSE(child.subsetOf(parent));
+}
+
+TEST(ResourceSet, SubsetWithAsns) {
+    ResourceSet parent = ResourceSet::ofPrefixes({pfx("10.0.0.0/8")});
+    parent.addAsnRange(100, 200);
+    ResourceSet child = ResourceSet::ofPrefixes({pfx("10.1.0.0/16")});
+    child.addAsn(150);
+    EXPECT_TRUE(child.subsetOf(parent));
+    child.addAsn(300);
+    EXPECT_FALSE(child.subsetOf(parent));
+}
+
+TEST(ResourceSet, InheritSubsetRules) {
+    const ResourceSet inh = ResourceSet::inherit();
+    const ResourceSet concrete = ResourceSet::ofPrefixes({pfx("10.0.0.0/8")});
+    EXPECT_TRUE(inh.subsetOf(concrete));
+    EXPECT_TRUE(inh.subsetOf(inh));
+    EXPECT_FALSE(concrete.subsetOf(inh));
+}
+
+TEST(ResourceSet, EffectiveResourcesResolution) {
+    const ResourceSet parentEff = ResourceSet::ofPrefixes({pfx("10.0.0.0/8")});
+    const ResourceSet own = ResourceSet::ofPrefixes({pfx("10.1.0.0/16")});
+    EXPECT_EQ(&effectiveResources(own, parentEff), &own);
+    EXPECT_EQ(&effectiveResources(ResourceSet::inherit(), parentEff), &parentEff);
+}
+
+TEST(ResourceSet, MixedFamilies) {
+    ResourceSet r;
+    r.addPrefix(pfx("196.6.174.0/23"));
+    r.addPrefix(pfx("2c0f:f668::/32"));
+    EXPECT_TRUE(r.containsPrefix(pfx("196.6.174.0/24")));
+    EXPECT_TRUE(r.containsPrefix(pfx("2c0f:f668:1234::/48")));
+    EXPECT_FALSE(r.containsPrefix(pfx("2c0f:f669::/32")));
+
+    // Case Study 3: overwriting an RC's v4 resources with v6 resources
+    // means the old ROA prefix is no longer covered.
+    const ResourceSet overwritten = ResourceSet::ofPrefixes({pfx("2c0f:f668::/32")});
+    const ResourceSet roaNeeds = ResourceSet::ofPrefixes({pfx("196.6.174.0/23")});
+    EXPECT_FALSE(roaNeeds.subsetOf(overwritten));
+}
+
+TEST(ResourceSet, SubtractAndOverlap) {
+    const ResourceSet a = ResourceSet::ofPrefixes({pfx("10.0.0.0/8")});
+    const ResourceSet b = ResourceSet::ofPrefixes({pfx("10.0.0.0/9")});
+    const ResourceSet diff = a.subtract(b);
+    EXPECT_TRUE(diff.containsPrefix(pfx("10.128.0.0/9")));
+    EXPECT_FALSE(diff.containsPrefix(pfx("10.0.0.0/9")));
+    EXPECT_TRUE(a.overlaps(b));
+    EXPECT_FALSE(diff.overlaps(b));
+}
+
+TEST(ResourceSet, UnionAndIntersect) {
+    const ResourceSet a = ResourceSet::ofPrefixes({pfx("10.0.0.0/9")});
+    const ResourceSet b = ResourceSet::ofPrefixes({pfx("10.128.0.0/9")});
+    const ResourceSet u = a.unionWith(b);
+    EXPECT_TRUE(u.containsPrefix(pfx("10.0.0.0/8")));
+    EXPECT_TRUE(a.intersect(b).empty());
+}
+
+TEST(ResourceSet, V4AddressCount) {
+    const ResourceSet r = ResourceSet::ofPrefixes({pfx("10.0.0.0/24"), pfx("10.0.1.0/24")});
+    EXPECT_EQ(r.v4AddressCount(), 512u);
+}
+
+TEST(ResourceSet, StringForm) {
+    ResourceSet r = ResourceSet::ofPrefixes({pfx("10.0.0.0/24")});
+    r.addAsn(65000);
+    const std::string s = r.str();
+    EXPECT_NE(s.find("10.0.0.0-10.0.0.255"), std::string::npos);
+    EXPECT_NE(s.find("AS65000"), std::string::npos);
+    EXPECT_EQ(ResourceSet::inherit().str(), "{inherit}");
+}
+
+TEST(ResourceSet, InheritGuards) {
+    ResourceSet inh = ResourceSet::inherit();
+    EXPECT_THROW(inh.addPrefix(pfx("10.0.0.0/8")), UsageError);
+    EXPECT_THROW(inh.addAsn(1), UsageError);
+    const ResourceSet concrete = ResourceSet::ofPrefixes({pfx("10.0.0.0/8")});
+    EXPECT_THROW((void)inh.unionWith(concrete), UsageError);
+    EXPECT_THROW((void)concrete.overlaps(inh), UsageError);
+}
+
+}  // namespace
+}  // namespace rpkic

@@ -1,0 +1,208 @@
+// Model generators: the census validates end-to-end through the vanilla
+// validator at reduced scale; the deployment model reproduces the Table-9
+// distribution; the trace carries the case studies at the right dates.
+#include <gtest/gtest.h>
+
+#include "detector/diff.hpp"
+#include "model/census.hpp"
+#include "model/deployment.hpp"
+#include "model/trace.hpp"
+#include "vanilla/validation.hpp"
+
+namespace rpkic {
+namespace {
+
+using model::buildDeploymentModel;
+using model::buildProductionCensus;
+using model::generateTrace;
+
+IpPrefix pfx(const char* s) {
+    return IpPrefix::parse(s);
+}
+
+TEST(Census, SmallScaleValidatesCleanly) {
+    model::CensusConfig config;
+    config.scale = 0.02;
+    config.pairTarget = 400;
+    model::Census census = buildProductionCensus(config);
+
+    Repository repo;
+    census.tree.publish(repo, 0);
+    const vanilla::Result result = vanilla::validateSnapshot(
+        repo.snapshot(), census.tree.trustAnchors(), vanilla::Options{.now = 0});
+    EXPECT_TRUE(result.problems.empty())
+        << (result.problems.empty() ? "" : result.problems[0].str());
+    // 5 trust anchors at depth 0.
+    EXPECT_EQ(result.certCountAtDepth(0), 5u);
+    EXPECT_GT(result.roas.size(), 0u);
+    EXPECT_EQ(result.roas.size(), census.totalRoaObjects);
+
+    // Every validated ROA tuple classifies Valid for its own AS.
+    const RpkiState roaState = result.roaState();
+    const PrefixValidityIndex idx(roaState);
+    for (const auto& t : roaState.tuples()) {
+        EXPECT_EQ(idx.classify(t.announcedRoute()), RouteValidity::Valid) << t.str();
+    }
+}
+
+TEST(Census, ConsentDistributionMatchesTable8Shape) {
+    // The distribution is deterministic; evaluate it at full scale without
+    // paying for key generation.
+    model::Census stats{vanilla::ClassicTree(vanilla::ClassicTreeOptions{}), {}, {}, 0, 0, 0, 0};
+    stats.consent = model::table8Histogram(1.0);
+
+    // Paper: mean 1.6 (ours ~1.77 from bucket representatives, see
+    // table8Histogram docs); 93 % of leaves need <= 3 consenting ASes.
+    EXPECT_NEAR(stats.meanConsentingAses(), 1.77, 0.2);
+    EXPECT_NEAR(stats.fractionNeedingAtMost(3), 0.93, 0.02);
+
+    // And the built tree at reduced scale carries the same shape
+    // (min-1 rounding inflates rare rows; tolerance is wider).
+    model::CensusConfig config;
+    config.scale = 0.25;
+    config.pairTarget = 5000;
+    const model::Census census = buildProductionCensus(config);
+    EXPECT_NEAR(census.fractionNeedingAtMost(3), 0.9, 0.07);
+    EXPECT_GT(census.totalRoaObjects, 400u);
+    // The pair target is itself scaled by `scale` (5000 * 0.25 = 1250),
+    // and integer prefix-per-ROA division undershoots somewhat.
+    EXPECT_NEAR(static_cast<double>(census.totalPairs), 1250, 450);
+}
+
+TEST(Deployment, Table9DistributionShape) {
+    model::DeploymentConfig config;
+    // The three named outliers are fixed-size, so very small scales skew the
+    // mean; 0.2 (~23k allocations) is cheap (no crypto) and representative.
+    config.scale = 0.2;
+    const model::DeploymentModel m = buildDeploymentModel(config);
+
+    EXPECT_NEAR(m.meanAsesPerAllocation(), 1.5, 0.35);
+    const auto hist = m.consentHistogram();
+    // Bucket proportions: the 1-10 bucket dominates by ~99.4 %.
+    const double total = static_cast<double>(m.allocationCount());
+    EXPECT_GT(static_cast<double>(hist[0]) / total, 0.98);
+    EXPECT_GT(hist[1], 0u);
+    EXPECT_GE(hist[4], 3u);  // the named outliers survive any scale
+
+    // The paper's named outliers.
+    const auto out = m.outliers(200);
+    ASSERT_GE(out.size(), 3u);
+    EXPECT_EQ(out[0]->holder, "Sprint");
+    EXPECT_EQ(out[0]->asns.size(), 1073u);
+    EXPECT_EQ(out[0]->prefix.str(), "12.0.0.0/8");
+    EXPECT_EQ(out[1]->holder, "Cogent");
+    EXPECT_EQ(out[2]->holder, "Verizon");
+    EXPECT_EQ(out[2]->asns.size(), 598u);
+}
+
+TEST(Deployment, RoaStateBuildsWhenRequested) {
+    model::DeploymentConfig config;
+    config.scale = 0.005;
+    config.buildRoaState = true;
+    const model::DeploymentModel m = buildDeploymentModel(config);
+    EXPECT_GT(m.roaState.size(), m.allocationCount());
+    const PrefixValidityIndex idx(m.roaState);
+    EXPECT_GT(idx.invalidFootprintAddresses(), 0u);
+}
+
+TEST(Trace, SpansTheMeasurementWindow) {
+    const model::Trace trace = generateTrace({});
+    ASSERT_EQ(trace.days(), 91);
+    EXPECT_EQ(trace.entries[0].date, "2013-10-23");
+    EXPECT_EQ(trace.entries[51].date, "2013-12-13");
+    EXPECT_EQ(trace.entries[58].date, "2013-12-20");
+    EXPECT_EQ(trace.entries[74].date, "2014-01-05");
+    // Collector gaps exist.
+    const auto gaps = std::count_if(trace.entries.begin(), trace.entries.end(),
+                                    [](const auto& e) { return !e.collected; });
+    EXPECT_EQ(gaps, 3);
+}
+
+TEST(Trace, BaselineNearTwentyThousandPairs) {
+    const model::Trace trace = generateTrace({});
+    EXPECT_NEAR(static_cast<double>(trace.entries[0].state.size()), 19000, 600);
+    // Growth: January state larger than October's.
+    EXPECT_GT(trace.entries[82].state.size(), trace.entries[0].state.size());
+}
+
+TEST(Trace, CaseStudy1DowngradesAppearOnDec13) {
+    const model::Trace trace = generateTrace({});
+    const auto& before = trace.entries[50].state;
+    const auto& after = trace.entries[51].state;
+    const PrefixValidityIndex idxA(after);
+    EXPECT_EQ(idxA.classify({pfx("173.251.91.0/24"), 53725}), RouteValidity::Invalid);
+    const PrefixValidityIndex idxB(before);
+    EXPECT_EQ(idxB.classify({pfx("173.251.91.0/24"), 53725}), RouteValidity::Unknown);
+}
+
+TEST(Trace, CaseStudy2ValidToInvalidOnDec19) {
+    const model::Trace trace = generateTrace({});
+    const DowngradeReport report =
+        diffStates(trace.entries[56].state, trace.entries[57].state);
+    bool found = false;
+    for (const auto& t : report.tupleTransitions) {
+        if (t.route.str() == "79.139.96.0/24 AS51813") {
+            found = true;
+            EXPECT_EQ(t.before, RouteValidity::Valid);
+            EXPECT_EQ(t.after, RouteValidity::Invalid);
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Trace, LacnicDipOnDec20) {
+    const model::Trace trace = generateTrace({});
+    const auto& dayBefore = trace.entries[57].state;
+    const auto& outage = trace.entries[58].state;
+    const auto& dayAfter = trace.entries[59].state;
+
+    // 4,217 LACNIC pairs disappear for exactly one day (routine growth
+    // continues elsewhere, so total sizes are not directly comparable).
+    const auto lacnicCount = [](const RpkiState& s) {
+        std::size_t n = 0;
+        for (const auto& t : s.tuples()) {
+            if (t.prefix.family == IpFamily::v4 &&
+                t.prefix.firstAddress().toU64() >= 0xB9000000ull &&
+                t.prefix.firstAddress().toU64() < 0xC1000000ull) {
+                ++n;
+            }
+        }
+        return n;
+    };
+    EXPECT_EQ(lacnicCount(dayBefore), 4217u);
+    EXPECT_EQ(lacnicCount(outage), 0u);
+    EXPECT_EQ(lacnicCount(dayAfter), 4217u);
+
+    const DowngradeReport report = diffStates(dayBefore, outage);
+    // valid -> unknown dominates (no covering ROAs remain for LACNIC space).
+    EXPECT_GT(report.validToUnknownPairs, 4000u);
+    // And Figure 4's metric dips.
+    EXPECT_LT(report.invalidAddressesAfter, report.invalidAddressesBefore);
+}
+
+TEST(Trace, ConsentOverheadStatsMatchSection57) {
+    const model::Trace trace = generateTrace({});
+    const auto& s = trace.stats;
+    EXPECT_EQ(s.bulkRestructured, 3336u);
+    ASSERT_GT(s.modifyOrRevokeEvents(), 0u);
+    const double renewalShare =
+        static_cast<double>(s.renewals) / static_cast<double>(s.modifyOrRevokeEvents());
+    EXPECT_NEAR(renewalShare, 0.80, 0.1);
+    const double deadShare =
+        static_cast<double>(s.needingDead) / static_cast<double>(s.modifyOrRevokeEvents());
+    EXPECT_LT(deadShare, 0.06);
+}
+
+TEST(Trace, DeterministicForSameSeed) {
+    const model::Trace a = generateTrace({});
+    const model::Trace b = generateTrace({});
+    ASSERT_EQ(a.days(), b.days());
+    for (int d = 0; d < a.days(); d += 13) {
+        EXPECT_EQ(a.entries[static_cast<std::size_t>(d)].state,
+                  b.entries[static_cast<std::size_t>(d)].state)
+            << "day " << d;
+    }
+}
+
+}  // namespace
+}  // namespace rpkic

@@ -1,0 +1,283 @@
+// Object model: encode/decode round-trips, strict rejection of malformed
+// input, signing/verification, manifest helpers, repository + failure
+// injection.
+#include "rpki/objects.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rpki/repository.hpp"
+#include "rpki/signing.hpp"
+#include "util/errors.hpp"
+
+namespace rpkic {
+namespace {
+
+IpPrefix pfx(const char* s) {
+    return IpPrefix::parse(s);
+}
+
+ResourceCert sampleCert() {
+    ResourceCert c;
+    c.subjectName = "Sprint";
+    c.uri = "rpki://arin/sprint.cer";
+    c.serial = 42;
+    c.subjectKey = Signer::generate(7, 2).publicKey();
+    c.parentUri = "rpki://arin/arin.cer";
+    c.pubPointUri = "rpki://sprint/";
+    c.resources = ResourceSet::ofPrefixes({pfx("63.160.0.0/12")});
+    c.notBefore = 100;
+    c.notAfter = 900;
+    c.signature = {1, 2, 3};
+    return c;
+}
+
+Roa sampleRoa() {
+    Roa r;
+    r.uri = "rpki://sprint/as7341.roa";
+    r.serial = 9;
+    r.parentUri = "rpki://arin/sprint.cer";
+    r.asn = 7341;
+    r.prefixes = {{pfx("63.168.93.0/24"), 24}, {pfx("63.174.16.0/20"), 24}};
+    r.notBefore = 0;
+    r.notAfter = 1000;
+    r.signature = {9, 9};
+    return r;
+}
+
+Manifest sampleManifest() {
+    Manifest m;
+    m.issuerRcUri = "rpki://arin/sprint.cer";
+    m.pubPointUri = "rpki://sprint/";
+    m.number = 17;
+    m.thisUpdate = 500;
+    m.nextUpdate = 600;
+    m.entries = {{"a.roa", sha256("a"), 3}, {"b.cer", sha256("b"), 17}};
+    m.prevManifestHash = sha256("prev");
+    m.parentManifestHash = sha256("parent");
+    m.highestChildSerial = 12;
+    m.tag = ManifestTag::Normal;
+    m.signature = {5};
+    return m;
+}
+
+template <typename T>
+void expectRoundTrip(const T& obj) {
+    const Bytes wire = obj.encode();
+    const T back = T::decode(ByteView(wire.data(), wire.size()));
+    EXPECT_EQ(back.encode(), wire);
+}
+
+TEST(Objects, ResourceCertRoundTrip) {
+    const ResourceCert c = sampleCert();
+    expectRoundTrip(c);
+    const Bytes wire = c.encode();
+    const ResourceCert back = ResourceCert::decode(ByteView(wire.data(), wire.size()));
+    EXPECT_EQ(back.subjectName, "Sprint");
+    EXPECT_EQ(back.serial, 42u);
+    EXPECT_EQ(back.resources, c.resources);
+    EXPECT_FALSE(back.isTrustAnchor());
+}
+
+TEST(Objects, TrustAnchorDetection) {
+    ResourceCert c = sampleCert();
+    c.parentUri.clear();
+    EXPECT_TRUE(c.isTrustAnchor());
+}
+
+TEST(Objects, InheritResourcesRoundTrip) {
+    ResourceCert c = sampleCert();
+    c.resources = ResourceSet::inherit();
+    expectRoundTrip(c);
+}
+
+TEST(Objects, RoaRoundTrip) {
+    expectRoundTrip(sampleRoa());
+    const Roa r = sampleRoa();
+    const Bytes wire = r.encode();
+    const Roa back = Roa::decode(ByteView(wire.data(), wire.size()));
+    EXPECT_EQ(back.asn, 7341u);
+    ASSERT_EQ(back.prefixes.size(), 2u);
+    EXPECT_EQ(back.prefixes[1].prefix.str(), "63.174.16.0/20");
+    EXPECT_EQ(back.prefixes[1].maxLength, 24);
+}
+
+TEST(Objects, RoaRejectsBadMaxLength) {
+    Roa r = sampleRoa();
+    r.prefixes[0].maxLength = 20;  // < prefix length 24
+    const Bytes wire = r.encode();
+    EXPECT_THROW(Roa::decode(ByteView(wire.data(), wire.size())), ParseError);
+}
+
+TEST(Objects, ManifestRoundTripAndLookup) {
+    const Manifest m = sampleManifest();
+    expectRoundTrip(m);
+    const Bytes wire = m.encode();
+    const Manifest back = Manifest::decode(ByteView(wire.data(), wire.size()));
+    EXPECT_TRUE(back.logs("a.roa"));
+    EXPECT_FALSE(back.logs("z.roa"));
+    ASSERT_NE(back.findEntry("b.cer"), nullptr);
+    EXPECT_EQ(back.findEntry("b.cer")->firstAppeared, 17u);
+}
+
+TEST(Objects, ManifestRejectsUnsortedEntries) {
+    Manifest m = sampleManifest();
+    std::swap(m.entries[0], m.entries[1]);
+    const Bytes wire = m.encode();
+    EXPECT_THROW(Manifest::decode(ByteView(wire.data(), wire.size())), ParseError);
+}
+
+TEST(Objects, ManifestRejectsDuplicateEntries) {
+    Manifest m = sampleManifest();
+    m.entries[1] = m.entries[0];
+    const Bytes wire = m.encode();
+    EXPECT_THROW(Manifest::decode(ByteView(wire.data(), wire.size())), ParseError);
+}
+
+TEST(Objects, BodyHashExcludesSignature) {
+    Manifest m = sampleManifest();
+    const Digest h1 = m.bodyHash();
+    m.signature = {42, 42, 42};
+    EXPECT_EQ(m.bodyHash(), h1);
+    const Digest f1 = fileHashOf(ByteView(m.encode().data(), m.encode().size()));
+    m.signature = {43};
+    const Bytes w2 = m.encode();
+    EXPECT_NE(fileHashOf(ByteView(w2.data(), w2.size())), f1);
+}
+
+TEST(Objects, CrlRoundTrip) {
+    Crl c;
+    c.issuerRcUri = "rpki://arin/sprint.cer";
+    c.number = 3;
+    c.thisUpdate = 10;
+    c.nextUpdate = 20;
+    c.revokedSerials = {4, 8, 15};
+    c.signature = {1};
+    expectRoundTrip(c);
+    EXPECT_TRUE(c.revokes(8));
+    EXPECT_FALSE(c.revokes(16));
+}
+
+TEST(Objects, DeadObjectRoundTrip) {
+    DeadObject d;
+    d.rcUri = "rpki://sprint/etb.cer";
+    d.rcSerial = 5;
+    d.rcHash = sha256("rc");
+    d.signerManifestHash = sha256("mft");
+    d.childDeadHashes = {sha256("child1"), sha256("child2")};
+    d.fullRevocation = false;
+    d.removedResources = ResourceSet::ofPrefixes({pfx("63.174.16.0/20")});
+    d.signature = {7};
+    expectRoundTrip(d);
+}
+
+TEST(Objects, RollObjectRoundTrip) {
+    RollObject r;
+    r.rcUri = "rpki://arin/sprint.cer";
+    r.rcSerial = 42;
+    r.postRolloverManifestHash = sha256("post");
+    r.signature = {2};
+    expectRoundTrip(r);
+}
+
+TEST(Objects, HintsRoundTrip) {
+    HintsFile h;
+    h.entries = {{"a.roa", "a.roa.~5", sha256("v1"), 2, 5}};
+    const Bytes wire = h.encode();
+    const HintsFile back = HintsFile::decode(ByteView(wire.data(), wire.size()));
+    EXPECT_EQ(back.entries, h.entries);
+}
+
+TEST(Objects, TypeDispatch) {
+    EXPECT_EQ(objectTypeOf(ByteView(sampleCert().encode().data(), 1)), ObjectType::ResourceCert);
+    const Bytes roa = sampleRoa().encode();
+    EXPECT_EQ(objectTypeOf(ByteView(roa.data(), roa.size())), ObjectType::Roa);
+    EXPECT_THROW(objectTypeOf(ByteView{}), ParseError);
+    const Bytes junk = {0x7f};
+    EXPECT_THROW(objectTypeOf(ByteView(junk.data(), junk.size())), ParseError);
+}
+
+TEST(Objects, CrossTypeDecodeRejected) {
+    const Bytes roa = sampleRoa().encode();
+    EXPECT_THROW(ResourceCert::decode(ByteView(roa.data(), roa.size())), ParseError);
+}
+
+TEST(Objects, TruncationRejectedEverywhere) {
+    const Bytes wire = sampleManifest().encode();
+    for (std::size_t len = 0; len < wire.size(); len += 11) {
+        EXPECT_THROW(Manifest::decode(ByteView(wire.data(), len)), ParseError) << len;
+    }
+    Bytes extended = wire;
+    extended.push_back(0);
+    EXPECT_THROW(Manifest::decode(ByteView(extended.data(), extended.size())), ParseError);
+}
+
+TEST(Signing, SignVerifyObjects) {
+    Signer signer = Signer::generate(11, 3);
+    ResourceCert c = sampleCert();
+    signObject(c, signer);
+    EXPECT_TRUE(verifyObject(c, signer.publicKey()));
+    c.serial += 1;  // any body mutation must break the signature
+    EXPECT_FALSE(verifyObject(c, signer.publicKey()));
+}
+
+TEST(Signing, SignatureSurvivesRoundTrip) {
+    Signer signer = Signer::generate(12, 3);
+    Manifest m = sampleManifest();
+    signObject(m, signer);
+    const Bytes wire = m.encode();
+    const Manifest back = Manifest::decode(ByteView(wire.data(), wire.size()));
+    EXPECT_TRUE(verifyObject(back, signer.publicKey()));
+}
+
+TEST(Repository, PutGetRemove) {
+    Repository repo;
+    repo.putFile("rpki://sprint/", "a.roa", {1, 2});
+    EXPECT_NE(repo.file("rpki://sprint/", "a.roa"), nullptr);
+    EXPECT_EQ(repo.file("rpki://sprint/", "b.roa"), nullptr);
+    EXPECT_EQ(repo.file("rpki://other/", "a.roa"), nullptr);
+    repo.removeFile("rpki://sprint/", "a.roa");
+    EXPECT_EQ(repo.file("rpki://sprint/", "a.roa"), nullptr);
+    repo.putFile("rpki://sprint/", "x", {1});
+    repo.removePoint("rpki://sprint/");
+    EXPECT_EQ(repo.point("rpki://sprint/"), nullptr);
+}
+
+TEST(Repository, SnapshotIsIndependentCopy) {
+    Repository repo;
+    repo.putFile("p", "f", {1});
+    Snapshot snap = repo.snapshot();
+    repo.putFile("p", "f", {2});
+    EXPECT_EQ((*snap.file("p", "f"))[0], 1);
+    EXPECT_EQ(snap.totalFiles(), 1u);
+    EXPECT_EQ(snap.totalBytes(), 1u);
+}
+
+TEST(Repository, FailureInjection) {
+    Repository repo;
+    repo.putFile("p", "f", {0xAA, 0xBB});
+    Snapshot snap = repo.snapshot();
+
+    Snapshot dropped = snap;
+    EXPECT_TRUE(dropFile(dropped, "p", "f"));
+    EXPECT_EQ(dropped.file("p", "f"), nullptr);
+    EXPECT_FALSE(dropFile(dropped, "p", "f"));
+
+    Snapshot corrupted = snap;
+    EXPECT_TRUE(corruptFile(corrupted, "p", "f", 1));
+    EXPECT_EQ((*corrupted.file("p", "f"))[1], 0xBA);
+
+    Repository repo2;
+    repo2.putFile("p", "f", {0x11});
+    Snapshot newer = repo2.snapshot();
+    EXPECT_TRUE(serveStalePoint(newer, snap, "p"));
+    EXPECT_EQ((*newer.file("p", "f"))[0], 0xAA);
+
+    Rng rng(1);
+    Snapshot randomHit = snap;
+    const auto victim = corruptRandomFile(randomHit, rng);
+    ASSERT_TRUE(victim.has_value());
+    EXPECT_NE(*randomHit.file(victim->first, victim->second), *snap.file("p", "f"));
+}
+
+}  // namespace
+}  // namespace rpkic

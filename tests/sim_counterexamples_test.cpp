@@ -1,0 +1,38 @@
+// §5.6 "On the necessity of our modifications": the two counterexample
+// attacks succeed against weakened relying parties and are caught by the
+// full procedures.
+#include <gtest/gtest.h>
+
+#include "sim/driver.hpp"
+
+namespace rpkic {
+namespace {
+
+TEST(Counterexample1, IntermediateStateCheckingIsNecessary) {
+    const sim::CounterexampleResult r = sim::runCounterexample1(17);
+    // The naive relying party (diffing odd states only) never notices the
+    // un-consented narrowings: Y -> Y at identical resources.
+    EXPECT_EQ(r.alarmsWithoutIntermediateChecks, 0u);
+    // The full §5.4 procedures reconstruct every even state and catch each
+    // of the three narrowings.
+    EXPECT_GE(r.alarmsWithIntermediateChecks, 3u);
+}
+
+TEST(Counterexample2, InvalidLoggedObjectsMustAlarm) {
+    const sim::CounterexampleResult r = sim::runCounterexample2(23);
+    // Alice, who saw the manifest logging the oversized RC, alarms.
+    EXPECT_GE(r.alarmsWithIntermediateChecks, 1u);
+    // Bob, who first synced after the broadening, sees Y as valid and has
+    // nothing to alarm about — exactly the Alice/Bob divergence the
+    // "manifests must log only valid objects" rule makes detectable.
+    EXPECT_EQ(r.alarmsWithoutIntermediateChecks, 0u);
+    // Alice's alarm is accountable (she can publish the manifest + RC).
+    bool accountable = false;
+    for (const auto& a : r.alarms) {
+        if (a.type == rp::AlarmType::ChildTooBroad) accountable |= a.accountable;
+    }
+    EXPECT_TRUE(accountable);
+}
+
+}  // namespace
+}  // namespace rpkic

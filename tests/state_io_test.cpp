@@ -1,0 +1,68 @@
+// State text-format parsing/serialization round-trips and error handling.
+#include "detector/state_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/errors.hpp"
+
+namespace rpkic {
+namespace {
+
+TEST(StateIo, ParsesCanonicalFormat) {
+    const RpkiState s = parseStateText(
+        "# production RPKI excerpt\n"
+        "79.139.96.0/19-20 AS43782\n"
+        "79.139.96.0/24 AS51813\n"
+        "\n"
+        "2c0f:f668::/32 37600  # bare ASN + trailing comment\n");
+    EXPECT_EQ(s.size(), 3u);
+    EXPECT_TRUE(s.contains({IpPrefix::parse("79.139.96.0/19"), 20, 43782}));
+    EXPECT_TRUE(s.contains({IpPrefix::parse("79.139.96.0/24"), 24, 51813}));
+    EXPECT_TRUE(s.contains({IpPrefix::parse("2c0f:f668::/32"), 32, 37600}));
+}
+
+TEST(StateIo, DefaultMaxLengthIsPrefixLength) {
+    const RpkiState s = parseStateText("10.0.0.0/16 AS1\n");
+    EXPECT_EQ(s.tuples()[0].maxLength, 16);
+}
+
+TEST(StateIo, RoundTripIsCanonical) {
+    const RpkiState s = parseStateText(
+        "10.0.0.0/16-24 AS5\n"
+        "9.0.0.0/8 AS2\n"
+        "10.0.0.0/16-24 AS5\n");  // duplicate collapses
+    const std::string text = stateToText(s);
+    EXPECT_EQ(parseStateText(text), s);
+    EXPECT_EQ(text, "9.0.0.0/8 AS2\n10.0.0.0/16-24 AS5\n");  // sorted, deduped
+}
+
+TEST(StateIo, RejectsMalformedLines) {
+    EXPECT_THROW(parseStateText("10.0.0.0/16\n"), ParseError);           // no ASN
+    EXPECT_THROW(parseStateText("10.0.0.0/16 AS1 junk\n"), ParseError);  // trailing
+    EXPECT_THROW(parseStateText("10.0.0.0/16 ASx\n"), ParseError);       // bad ASN
+    EXPECT_THROW(parseStateText("10.0.0.0/16-12 AS1\n"), ParseError);    // maxLen < len
+    EXPECT_THROW(parseStateText("10.0.0.0/16-129 AS1\n"), ParseError);   // maxLen > 128
+    EXPECT_THROW(parseStateText("10.0.0.0/16-33 AS1\n"), ParseError);    // maxLen > v4 width
+    EXPECT_THROW(parseStateText("not-a-prefix AS1\n"), ParseError);
+    EXPECT_THROW(parseStateText("10.0.0.0/16 AS99999999999\n"), ParseError);
+}
+
+TEST(StateIo, ErrorsCarryLineNumbers) {
+    try {
+        parseStateText("10.0.0.0/8 AS1\n\nbroken\n");
+        FAIL() << "should have thrown";
+    } catch (const ParseError& e) {
+        EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos) << e.what();
+    }
+}
+
+TEST(StateIo, FileRoundTrip) {
+    const RpkiState s = parseStateText("10.0.0.0/16-20 AS7\n");
+    const std::string path = "/tmp/rpkic_state_io_test.state";
+    saveStateFile(path, s);
+    EXPECT_EQ(loadStateFile(path), s);
+    EXPECT_THROW(loadStateFile("/nonexistent/dir/x.state"), Error);
+}
+
+}  // namespace
+}  // namespace rpkic

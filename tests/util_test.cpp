@@ -1,0 +1,111 @@
+// util: RNG determinism/uniformity, simulated clock, trace dates.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace rpkic {
+namespace {
+
+TEST(Rng, DeterministicPerSeed) {
+    Rng a(42), b(42), c(43);
+    for (int i = 0; i < 100; ++i) {
+        const auto va = a.nextU64();
+        EXPECT_EQ(va, b.nextU64());
+        (void)c.nextU64();
+    }
+    Rng a2(42), c2(43);
+    EXPECT_NE(a2.nextU64(), c2.nextU64());
+}
+
+TEST(Rng, NextBelowInRange) {
+    Rng rng(7);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = rng.nextBelow(10);
+        ASSERT_LT(v, 10u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 10u) << "all residues hit";
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.nextBelow(1), 0u);
+}
+
+TEST(Rng, NextInRangeInclusive) {
+    Rng rng(8);
+    bool sawLo = false;
+    bool sawHi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = rng.nextInRange(5, 8);
+        ASSERT_GE(v, 5u);
+        ASSERT_LE(v, 8u);
+        sawLo |= v == 5;
+        sawHi |= v == 8;
+    }
+    EXPECT_TRUE(sawLo);
+    EXPECT_TRUE(sawHi);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+    Rng rng(9);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double d = rng.nextDouble();
+        ASSERT_GE(d, 0.0);
+        ASSERT_LT(d, 1.0);
+        sum += d;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliRoughlyCalibrated) {
+    Rng rng(10);
+    int heads = 0;
+    for (int i = 0; i < 10000; ++i) heads += rng.nextBool(0.3) ? 1 : 0;
+    EXPECT_NEAR(heads / 10000.0, 0.3, 0.02);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+    Rng rng(11);
+    std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+    std::vector<int> shuffled = v;
+    rng.shuffle(shuffled);
+    std::sort(shuffled.begin(), shuffled.end());
+    EXPECT_EQ(shuffled, v);
+}
+
+TEST(Rng, PickReturnsElement) {
+    Rng rng(12);
+    const std::vector<int> v = {10, 20, 30};
+    for (int i = 0; i < 50; ++i) {
+        const int p = rng.pick(v);
+        EXPECT_TRUE(p == 10 || p == 20 || p == 30);
+    }
+}
+
+TEST(SimClock, MonotoneAdvancement) {
+    SimClock clock(5);
+    EXPECT_EQ(clock.now(), 5);
+    clock.advance(3);
+    EXPECT_EQ(clock.now(), 8);
+    clock.advanceTo(6);  // never goes backwards
+    EXPECT_EQ(clock.now(), 8);
+    clock.advanceTo(12);
+    EXPECT_EQ(clock.now(), 12);
+}
+
+TEST(TraceDates, PaperLandmarks) {
+    EXPECT_EQ(traceDateString(0), "2013-10-23");   // trace start
+    EXPECT_EQ(traceDateString(8), "2013-10-31");
+    EXPECT_EQ(traceDateString(9), "2013-11-01");
+    EXPECT_EQ(traceDateString(51), "2013-12-13");  // Case Study 1
+    EXPECT_EQ(traceDateString(57), "2013-12-19");  // Case Study 2
+    EXPECT_EQ(traceDateString(58), "2013-12-20");  // Case Study 4
+    EXPECT_EQ(traceDateString(74), "2014-01-05");  // Case Study 3
+    EXPECT_EQ(traceDateString(82), "2014-01-13");  // census date
+    EXPECT_EQ(traceDateString(90), "2014-01-21");  // trace end
+}
+
+}  // namespace
+}  // namespace rpkic

@@ -1,0 +1,144 @@
+// Gao-Rexford routing: valley-free export/selection semantics, and the
+// Table-3 conclusions under the economic model.
+#include "bgp/valley_free.hpp"
+
+#include <gtest/gtest.h>
+
+#include "detector/validity_index.hpp"
+
+namespace rpkic {
+namespace {
+
+using bgp::Announcement;
+using bgp::AsHierarchy;
+using bgp::LocalPolicy;
+using bgp::RouteClass;
+using bgp::ValleyFreeSim;
+
+IpPrefix pfx(const char* s) {
+    return IpPrefix::parse(s);
+}
+
+bgp::Classifier noRpki() {
+    auto idx = std::make_shared<PrefixValidityIndex>(RpkiState{});
+    return [idx](const Route& r) { return idx->classify(r); };
+}
+
+/// Two tier-1 peers (1, 2); mid-tier 3 (customer of 1), 4 (customer of 2);
+/// stubs 5 (customer of 3) and 6 (customer of 4).
+AsHierarchy diamond() {
+    AsHierarchy t;
+    t.addPeer(1, 2);
+    t.addCustomerProvider(3, 1);
+    t.addCustomerProvider(4, 2);
+    t.addCustomerProvider(5, 3);
+    t.addCustomerProvider(6, 4);
+    return t;
+}
+
+TEST(ValleyFree, RouteClassesAssignedCorrectly) {
+    const AsHierarchy t = diamond();
+    ValleyFreeSim sim(t, LocalPolicy::AcceptAll, noRpki());
+    const std::vector<Announcement> anns = {{pfx("10.5.0.0/16"), 5}};
+    sim.announce(anns);
+
+    // 3 and 1 learn via customers; 2 via its peer 1; 4 and 6 via providers.
+    ASSERT_NE(sim.routeForPrefix(3, pfx("10.5.0.0/16")), nullptr);
+    EXPECT_EQ(sim.routeForPrefix(3, pfx("10.5.0.0/16"))->routeClass, RouteClass::Customer);
+    EXPECT_EQ(sim.routeForPrefix(1, pfx("10.5.0.0/16"))->routeClass, RouteClass::Customer);
+    EXPECT_EQ(sim.routeForPrefix(2, pfx("10.5.0.0/16"))->routeClass, RouteClass::Peer);
+    EXPECT_EQ(sim.routeForPrefix(4, pfx("10.5.0.0/16"))->routeClass, RouteClass::Provider);
+    EXPECT_EQ(sim.routeForPrefix(6, pfx("10.5.0.0/16"))->routeClass, RouteClass::Provider);
+}
+
+TEST(ValleyFree, NoValleyPaths) {
+    // A route learned from one peer must not be exported to another peer:
+    // with tier-1s 1-2-7 (7 peers only with 2), a route from 3 (customer
+    // of 1) reaches 2 via peering but must NOT reach 7 (that would be a
+    // valley: peer -> peer).
+    AsHierarchy t;
+    t.addPeer(1, 2);
+    t.addPeer(2, 7);
+    t.addCustomerProvider(3, 1);
+    ValleyFreeSim sim(t, LocalPolicy::AcceptAll, noRpki());
+    const std::vector<Announcement> anns = {{pfx("10.3.0.0/16"), 3}};
+    sim.announce(anns);
+    EXPECT_NE(sim.routeForPrefix(2, pfx("10.3.0.0/16")), nullptr);
+    EXPECT_EQ(sim.routeForPrefix(7, pfx("10.3.0.0/16")), nullptr)
+        << "peer-learned routes must not propagate to other peers";
+}
+
+TEST(ValleyFree, CustomerRoutePreferredOverShorterProviderRoute) {
+    // AS 1 hears 10.9.0.0/16 from its customer chain (length 2) and could
+    // hear it shorter via a peer — customer must win.
+    AsHierarchy t;
+    t.addPeer(1, 2);
+    t.addCustomerProvider(3, 1);
+    t.addCustomerProvider(9, 3);   // 9 is a customer-of-customer of 1
+    t.addCustomerProvider(9, 2);   // and a direct customer of 2
+    ValleyFreeSim sim(t, LocalPolicy::AcceptAll, noRpki());
+    const std::vector<Announcement> anns = {{pfx("10.9.0.0/16"), 9}};
+    sim.announce(anns);
+    const auto* at1 = sim.routeForPrefix(1, pfx("10.9.0.0/16"));
+    ASSERT_NE(at1, nullptr);
+    EXPECT_EQ(at1->routeClass, RouteClass::Customer);
+    EXPECT_EQ(at1->pathLength, 2);
+}
+
+TEST(ValleyFree, RandomThreeTierFullReachability) {
+    Rng rng(9);
+    const AsHierarchy t = AsHierarchy::randomThreeTier(4, 20, 150, rng);
+    EXPECT_EQ(t.nodeCount(), 174u);
+    ValleyFreeSim sim(t, LocalPolicy::AcceptAll, noRpki());
+    // A stub's announcement reaches every AS (valley-free but connected).
+    const Asn stub = 4 + 20 + 1;
+    const std::vector<Announcement> anns = {{pfx("10.0.0.0/16"), stub}};
+    sim.announce(anns);
+    std::size_t reached = 0;
+    for (const Asn asn : t.nodes()) {
+        if (sim.routeForPrefix(asn, pfx("10.0.0.0/16")) != nullptr) ++reached;
+    }
+    EXPECT_EQ(reached, t.nodeCount());
+}
+
+TEST(ValleyFree, Table3MatrixHoldsUnderGaoRexford) {
+    Rng rng(17);
+    const AsHierarchy t = AsHierarchy::randomThreeTier(4, 20, 150, rng);
+    const Asn victim = 4 + 20 + 3;
+    const Asn attacker = 4 + 20 + 90;
+    const IpPrefix victimPrefix = pfx("10.0.0.0/16");
+    const IpPrefix subPrefix = pfx("10.0.7.0/24");
+
+    auto healthy = std::make_shared<PrefixValidityIndex>(
+        RpkiState({{victimPrefix, 16, victim}}));
+    auto whacked = std::make_shared<PrefixValidityIndex>(
+        RpkiState({{pfx("10.0.0.0/12"), 12, 9999}}));
+    const bgp::Classifier healthyC = [healthy](const Route& r) { return healthy->classify(r); };
+    const bgp::Classifier whackedC = [whacked](const Route& r) { return whacked->classify(r); };
+
+    const bgp::HijackScenario prefixHijack{victimPrefix, victim, victimPrefix, attacker,
+                                           subPrefix};
+    const bgp::HijackScenario subprefixHijack{victimPrefix, victim, subPrefix, attacker,
+                                              subPrefix};
+    const bgp::HijackScenario whackedOnly{victimPrefix, victim, std::nullopt, 0, subPrefix};
+
+    // Same qualitative matrix as the shortest-path model.
+    EXPECT_DOUBLE_EQ(
+        runScenarioValleyFree(t, LocalPolicy::DropInvalid, healthyC, prefixHijack), 1.0);
+    EXPECT_DOUBLE_EQ(
+        runScenarioValleyFree(t, LocalPolicy::DropInvalid, healthyC, subprefixHijack), 1.0);
+    EXPECT_DOUBLE_EQ(
+        runScenarioValleyFree(t, LocalPolicy::DropInvalid, whackedC, whackedOnly), 0.0);
+    EXPECT_DOUBLE_EQ(
+        runScenarioValleyFree(t, LocalPolicy::DeprefInvalid, healthyC, subprefixHijack), 0.0);
+    EXPECT_DOUBLE_EQ(
+        runScenarioValleyFree(t, LocalPolicy::DeprefInvalid, whackedC, whackedOnly), 1.0);
+    // Under accept-all a prefix hijack splits the topology.
+    const double acceptAll =
+        runScenarioValleyFree(t, LocalPolicy::AcceptAll, healthyC, prefixHijack);
+    EXPECT_GT(acceptAll, 0.0);
+    EXPECT_LT(acceptAll, 1.0);
+}
+
+}  // namespace
+}  // namespace rpkic

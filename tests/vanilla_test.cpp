@@ -1,0 +1,283 @@
+// The classic (current-spec) RPKI pipeline end to end: tree construction,
+// publication, rcynic-style validation, and the paper's four case studies
+// reproduced as integration tests (§3.2).
+#include "vanilla/validation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "detector/diff.hpp"
+#include "vanilla/classic_tree.hpp"
+
+namespace rpkic {
+namespace {
+
+using vanilla::ClassicTree;
+using vanilla::ClassicTreeOptions;
+using vanilla::Options;
+using vanilla::ProblemKind;
+using vanilla::Result;
+using vanilla::validateSnapshot;
+
+IpPrefix pfx(const char* s) {
+    return IpPrefix::parse(s);
+}
+
+/// ARIN -> Sprint -> (ROAs), the shape of Figure 1.
+ClassicTree figure1Tree() {
+    ClassicTree tree;
+    tree.addTrustAnchor("arin", ResourceSet::ofPrefixes({pfx("0.0.0.0/0")}));
+    tree.addChild("arin", "sprint", ResourceSet::ofPrefixes({pfx("63.160.0.0/12")}));
+    tree.addRoa("sprint", "as1239", 1239, {{pfx("63.160.0.0/12"), 24}});
+    tree.addChild("sprint", "continental",
+                  ResourceSet::ofPrefixes({pfx("63.168.93.0/24"), pfx("63.174.16.0/20")}));
+    tree.addRoa("continental", "as7341", 7341,
+                {{pfx("63.168.93.0/24"), 24}, {pfx("63.174.16.0/20"), 24}});
+    return tree;
+}
+
+Result validateTree(ClassicTree& tree, Time now) {
+    Repository repo;
+    tree.publish(repo, now);
+    return validateSnapshot(repo.snapshot(), tree.trustAnchors(), Options{.now = now});
+}
+
+TEST(Vanilla, HappyPathValidatesWholeTree) {
+    ClassicTree tree = figure1Tree();
+    const Result r = validateTree(tree, 0);
+    EXPECT_TRUE(r.problems.empty()) << (r.problems.empty() ? "" : r.problems[0].str());
+    EXPECT_EQ(r.certs.size(), 3u);  // arin, sprint, continental
+    EXPECT_EQ(r.roas.size(), 2u);
+    EXPECT_EQ(r.certCountAtDepth(0), 1u);
+    EXPECT_EQ(r.certCountAtDepth(1), 1u);
+    EXPECT_EQ(r.certCountAtDepth(2), 1u);
+    EXPECT_EQ(r.roaCountAtDepth(2), 1u);
+    EXPECT_EQ(r.roaCountAtDepth(3), 1u);
+
+    // Route classification off the validated ROA set.
+    const PrefixValidityIndex idx(r.roaState());
+    EXPECT_EQ(idx.classify({pfx("63.174.16.0/20"), 7341}), RouteValidity::Valid);
+    EXPECT_EQ(idx.classify({pfx("63.174.16.0/20"), 666}), RouteValidity::Invalid);
+}
+
+TEST(Vanilla, InheritResourcesResolveThroughParent) {
+    ClassicTree tree;
+    tree.addTrustAnchor("ripe", ResourceSet::ofPrefixes({pfx("5.0.0.0/8")}));
+    tree.addChild("ripe", "intermediate", ResourceSet::inherit());
+    tree.addRoa("intermediate", "r1", 3333, {{pfx("5.5.0.0/16"), 24}});
+    const Result r = validateTree(tree, 0);
+    EXPECT_TRUE(r.problems.empty());
+    EXPECT_EQ(r.roas.size(), 1u);
+}
+
+TEST(Vanilla, ChildExceedingParentResourcesRejected) {
+    ClassicTree tree;
+    tree.addTrustAnchor("ta", ResourceSet::ofPrefixes({pfx("10.0.0.0/8")}));
+    tree.addChild("ta", "greedy", ResourceSet::ofPrefixes({pfx("11.0.0.0/8")}));
+    const Result r = validateTree(tree, 0);
+    EXPECT_TRUE(r.hasProblem(ProblemKind::NotCoveredByParent));
+    EXPECT_EQ(r.certs.size(), 1u);  // only the TA
+}
+
+TEST(Vanilla, RoaOutsideIssuerResourcesRejected) {
+    ClassicTree tree;
+    tree.addTrustAnchor("ta", ResourceSet::ofPrefixes({pfx("10.0.0.0/8")}));
+    tree.addRoa("ta", "bogon", 1, {{pfx("12.0.0.0/8"), 8}});
+    const Result r = validateTree(tree, 0);
+    EXPECT_TRUE(r.hasProblem(ProblemKind::NotCoveredByParent));
+    EXPECT_TRUE(r.roas.empty());
+}
+
+TEST(Vanilla, RevokedChildIsWhacked) {
+    ClassicTree tree = figure1Tree();
+    tree.revokeChild("sprint", "continental");
+    const Result r = validateTree(tree, 0);
+    EXPECT_TRUE(r.hasProblem(ProblemKind::Revoked));
+    EXPECT_EQ(r.certs.size(), 2u);
+    EXPECT_EQ(r.roas.size(), 1u);  // continental's ROA gone with it
+}
+
+TEST(Vanilla, CaseStudy1AddedRoaMisconfiguration) {
+    // A new ROA (173.251.0.0/17, max 24, AS 6128) downgrades legitimate
+    // /24 routes from unknown to invalid.
+    ClassicTree tree;
+    tree.addTrustAnchor("arin", ResourceSet::ofPrefixes({pfx("0.0.0.0/0")}));
+    tree.addChild("arin", "org6128", ResourceSet::ofPrefixes({pfx("173.251.0.0/17")}));
+
+    Repository repo;
+    tree.publish(repo, 0);
+    const Result before =
+        validateSnapshot(repo.snapshot(), tree.trustAnchors(), Options{.now = 0});
+
+    tree.addRoa("org6128", "misconfig", 6128, {{pfx("173.251.0.0/17"), 24}});
+    tree.publish(repo, 1);
+    const Result after =
+        validateSnapshot(repo.snapshot(), tree.trustAnchors(), Options{.now = 1});
+
+    const DowngradeReport report = diffStates(before.roaState(), after.roaState());
+    const PrefixValidityIndex idx(after.roaState());
+    EXPECT_EQ(idx.classify({pfx("173.251.91.0/24"), 53725}), RouteValidity::Invalid);
+    EXPECT_EQ(idx.classify({pfx("173.251.54.0/24"), 13599}), RouteValidity::Invalid);
+    EXPECT_EQ(report.invalidAddressesAfter - report.invalidAddressesBefore, 32768u);
+}
+
+TEST(Vanilla, CaseStudy2DeletedRoa) {
+    // Deleting a ROA whose prefix has a covering ROA downgrades the route
+    // valid -> invalid, with no alarm in the classic RPKI.
+    ClassicTree tree;
+    tree.addTrustAnchor("ripe", ResourceSet::ofPrefixes({pfx("79.0.0.0/8")}));
+    tree.addChild("ripe", "ruIsp", ResourceSet::ofPrefixes({pfx("79.139.96.0/19")}));
+    tree.addRoa("ruIsp", "covering", 43782, {{pfx("79.139.96.0/19"), 20}});
+    tree.addRoa("ruIsp", "victim", 51813, {{pfx("79.139.96.0/24"), 24}});
+
+    Repository repo;
+    tree.publish(repo, 0);
+    const Result before =
+        validateSnapshot(repo.snapshot(), tree.trustAnchors(), Options{.now = 0});
+    ASSERT_TRUE(before.problems.empty());
+
+    tree.deleteRoa("ruIsp", "victim");
+    tree.publish(repo, 1);
+    const Result after =
+        validateSnapshot(repo.snapshot(), tree.trustAnchors(), Options{.now = 1});
+    // Manifest is consistent with the deletion: relying parties accept the
+    // change without complaint.
+    EXPECT_TRUE(after.problems.empty());
+
+    const DowngradeReport report = diffStates(before.roaState(), after.roaState());
+    EXPECT_EQ(report.validToInvalidPairs, 1u);
+    ASSERT_FALSE(report.tupleTransitions.empty());
+    EXPECT_EQ(report.tupleTransitions[0].route.str(), "79.139.96.0/24 AS51813");
+    EXPECT_EQ(report.tupleTransitions[0].after, RouteValidity::Invalid);
+}
+
+TEST(Vanilla, CaseStudy3OverwrittenParentRc) {
+    // An RC allocated 196.6.174.0/23 is overwritten with one for an IPv6
+    // prefix; the ROA under it (still in the publication point) is whacked
+    // because it is no longer covered.
+    ClassicTree tree;
+    tree.addTrustAnchor("afrinic", ResourceSet::ofPrefixes(
+                                       {pfx("196.0.0.0/8"), pfx("2c0f::/16")}));
+    tree.addChild("afrinic", "ng-backbone", ResourceSet::ofPrefixes({pfx("196.6.174.0/23")}));
+    tree.addRoa("ng-backbone", "victim", 37688, {{pfx("196.6.174.0/23"), 24}});
+
+    Repository repo;
+    tree.publish(repo, 0);
+    const Result before =
+        validateSnapshot(repo.snapshot(), tree.trustAnchors(), Options{.now = 0});
+    ASSERT_TRUE(before.problems.empty());
+    ASSERT_EQ(before.roas.size(), 1u);
+
+    tree.overwriteChildResources("afrinic", "ng-backbone",
+                                 ResourceSet::ofPrefixes({pfx("2c0f:f668::/32")}));
+    tree.publish(repo, 1);
+    const Result after =
+        validateSnapshot(repo.snapshot(), tree.trustAnchors(), Options{.now = 1});
+    EXPECT_TRUE(after.hasProblem(ProblemKind::NotCoveredByParent));
+    EXPECT_TRUE(after.roas.empty());
+
+    // Jan 6: the overwritten RC issues IPv6 ROAs to a different AS.
+    tree.addRoa("ng-backbone", "mu-isp", 37600, {{pfx("2c0f:f668::/32"), 32}});
+    tree.publish(repo, 2);
+    const Result later =
+        validateSnapshot(repo.snapshot(), tree.trustAnchors(), Options{.now = 2});
+    EXPECT_EQ(later.roas.size(), 1u);
+    EXPECT_EQ(later.roas[0].roa.asn, 37600u);
+}
+
+TEST(Vanilla, CaseStudy4StaleManifestWhacksSubtree) {
+    // LACNIC's intermediate RC manifests expire; the relying party rejects
+    // the whole subtree and its routes downgrade valid -> unknown.
+    ClassicTree tree;
+    tree.addTrustAnchor("lacnic", ResourceSet::ofPrefixes({pfx("200.0.0.0/8")}));
+    tree.addChild("lacnic", "intermediate", ResourceSet::inherit());
+    tree.addRoa("intermediate", "r1", 28000, {{pfx("200.1.0.0/16"), 24}});
+    tree.addRoa("intermediate", "r2", 28001, {{pfx("200.2.0.0/16"), 24}});
+
+    Repository repo;
+    tree.publish(repo, 0);
+    const Result day0 = validateSnapshot(repo.snapshot(), tree.trustAnchors(), Options{.now = 0});
+    ASSERT_TRUE(day0.problems.empty());
+    ASSERT_EQ(day0.roas.size(), 2u);
+
+    // The intermediate stops republishing; a day later its manifest is stale.
+    tree.freeze("intermediate");
+    tree.publish(repo, 1);
+    const Result day1 = validateSnapshot(repo.snapshot(), tree.trustAnchors(), Options{.now = 1});
+    EXPECT_TRUE(day1.hasProblem(ProblemKind::StaleManifest));
+    EXPECT_TRUE(day1.roas.empty());
+
+    // Routes downgrade valid -> unknown (not invalid): no covering ROA
+    // remains. That is the Figure-4 Dec-20 dip.
+    const DowngradeReport report = diffStates(day0.roaState(), day1.roaState());
+    EXPECT_GT(report.validToUnknownPairs, 0u);
+    EXPECT_EQ(report.validToInvalidPairs, 0u);
+    EXPECT_LT(report.invalidAddressesAfter, report.invalidAddressesBefore);
+
+    // Under the lenient policy the subtree is still processed.
+    const Result lenient = validateSnapshot(
+        repo.snapshot(), tree.trustAnchors(),
+        Options{.now = 1, .staleManifestIsFatal = false});
+    EXPECT_TRUE(lenient.hasProblem(ProblemKind::StaleManifest));
+    EXPECT_EQ(lenient.roas.size(), 2u);
+}
+
+TEST(Vanilla, CorruptedRoaIsWhacked) {
+    // §3.2.2: a third party corrupting one bit whacks the ROA (hash
+    // mismatch against the manifest).
+    ClassicTree tree = figure1Tree();
+    Repository repo;
+    tree.publish(repo, 0);
+    Snapshot snap = repo.snapshot();
+    ASSERT_TRUE(corruptFile(snap, tree.pubPointOf("continental"), "as7341.roa", 40));
+    const Result r = validateSnapshot(snap, tree.trustAnchors(), Options{.now = 0});
+    EXPECT_TRUE(r.hasProblem(ProblemKind::HashMismatch));
+    EXPECT_EQ(r.roas.size(), 1u);  // sprint's ROA survives
+}
+
+TEST(Vanilla, DroppedObjectRaisesMissing) {
+    ClassicTree tree = figure1Tree();
+    Repository repo;
+    tree.publish(repo, 0);
+    Snapshot snap = repo.snapshot();
+    ASSERT_TRUE(dropFile(snap, tree.pubPointOf("continental"), "as7341.roa"));
+    const Result r = validateSnapshot(snap, tree.trustAnchors(), Options{.now = 0});
+    EXPECT_TRUE(r.hasProblem(ProblemKind::MissingObject));
+}
+
+TEST(Vanilla, MissingPointReported) {
+    ClassicTree tree = figure1Tree();
+    Repository repo;
+    tree.publish(repo, 0);
+    Snapshot snap = repo.snapshot();
+    snap.points.erase(tree.pubPointOf("continental"));
+    const Result r = validateSnapshot(snap, tree.trustAnchors(), Options{.now = 0});
+    EXPECT_TRUE(r.hasProblem(ProblemKind::MissingPoint));
+}
+
+TEST(Vanilla, CorruptManifestInvalidatesPoint) {
+    ClassicTree tree = figure1Tree();
+    Repository repo;
+    tree.publish(repo, 0);
+    Snapshot snap = repo.snapshot();
+    ASSERT_TRUE(corruptFile(snap, tree.pubPointOf("sprint"), kManifestName, 10));
+    const Result r = validateSnapshot(snap, tree.trustAnchors(), Options{.now = 0});
+    EXPECT_TRUE(r.hasProblem(ProblemKind::InvalidManifest) ||
+                r.hasProblem(ProblemKind::MalformedObject));
+    // Sprint's subtree is gone.
+    EXPECT_EQ(r.roas.size(), 0u);
+}
+
+TEST(Vanilla, TrustAnchorMustBeSelfConsistent) {
+    ClassicTree tree = figure1Tree();
+    Repository repo;
+    tree.publish(repo, 0);
+    std::vector<ResourceCert> tas = tree.trustAnchors();
+    tas[0].serial += 1;  // breaks the self-signature
+    const vanilla::Result r =
+        validateSnapshot(repo.snapshot(), tas, Options{.now = 0});
+    EXPECT_TRUE(r.hasProblem(ProblemKind::BadSignature));
+    EXPECT_TRUE(r.certs.empty());
+}
+
+}  // namespace
+}  // namespace rpkic

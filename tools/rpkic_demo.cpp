@@ -1,0 +1,109 @@
+// rpkic-demo: writes a self-contained demo to DIR so the whole monitoring
+// pipeline can be driven from a shell:
+//
+//   rpkic-demo /tmp/demo
+//   rpkic-validate /tmp/demo/repo-day0 --ta /tmp/demo/ta.cer --out day0.state
+//   rpkic-validate /tmp/demo/repo-day1 --ta /tmp/demo/ta.cer --out day1.state --now 1
+//   rpkic-detector day0.state day1.state
+//   rpkic-viz day0.state day1.state --root 79.139.96.0/20 --as 51813 --svg cs2.svg
+//
+// The demo reproduces the paper's Case Study 2: day 0 holds a ROA for
+// (79.139.96.0/24, AS 51813) plus a covering ROA (79.139.96.0/19-20,
+// AS 43782); on day 1 the /24 ROA is deleted, downgrading the route from
+// valid to INVALID.
+// With --consent, the demo instead writes a REDESIGNED-RPKI scenario for
+// rpkic-audit: day 0 is healthy, day 1 contains a unilateral (no .dead)
+// revocation that the audit flags as accountable:
+//
+//   rpkic-demo --consent /tmp/cdemo
+//   rpkic-audit --ta /tmp/cdemo/ta.cer /tmp/cdemo/snap-day0 /tmp/cdemo/snap-day1
+#include <cstdio>
+#include <string>
+
+#include "consent/authority.hpp"
+#include "rpki/fs_repository.hpp"
+#include "util/errors.hpp"
+#include "vanilla/classic_tree.hpp"
+
+using namespace rpkic;
+
+namespace {
+
+int writeConsentDemo(const std::string& dir) {
+    Repository repo;
+    consent::AuthorityDirectory authorities(
+        2026, consent::AuthorityOptions{.ts = 4, .signerHeight = 6, .manifestLifetime = 50});
+    SimClock clock;
+    auto& rir = authorities.createTrustAnchor(
+        "rir", ResourceSet::ofPrefixes({IpPrefix::parse("79.0.0.0/8")}), repo, clock.now());
+    auto& isp = authorities.createChild(
+        rir, "ru-isp", ResourceSet::ofPrefixes({IpPrefix::parse("79.139.96.0/19")}), repo,
+        clock.now());
+    auto& customer = authorities.createChild(
+        isp, "customer", ResourceSet::ofPrefixes({IpPrefix::parse("79.139.96.0/24")}), repo,
+        clock.now());
+    customer.issueRoa("site", 51813, {{IpPrefix::parse("79.139.96.0/24"), 24}}, repo,
+                      clock.now());
+    writeSnapshotToDisk(repo.snapshot(), dir + "/snap-day0");
+
+    // Day 1: the ISP takes its customer down WITHOUT consent.
+    clock.advance(1);
+    isp.unsafeUnilateralRevokeChild("customer", repo, clock.now());
+    writeSnapshotToDisk(repo.snapshot(), dir + "/snap-day1");
+
+    writeTrustAnchorFile(rir.cert(), dir + "/ta.cer");
+    std::printf("wrote %s/snap-day0, %s/snap-day1 and %s/ta.cer\n", dir.c_str(), dir.c_str(),
+                dir.c_str());
+    std::printf("next:\n  rpkic-audit --ta %s/ta.cer %s/snap-day0 %s/snap-day1\n", dir.c_str(),
+                dir.c_str(), dir.c_str());
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    bool consentMode = false;
+    std::string dir;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--consent") consentMode = true;
+        else if (dir.empty()) dir = arg;
+    }
+    if (dir.empty()) {
+        std::fprintf(stderr, "usage: rpkic-demo [--consent] OUTPUT_DIR\n");
+        return 1;
+    }
+
+    try {
+        if (consentMode) return writeConsentDemo(dir);
+        vanilla::ClassicTree tree;
+        tree.addTrustAnchor("ripe", ResourceSet::ofPrefixes({IpPrefix::parse("79.0.0.0/8")}));
+        tree.addChild("ripe", "ru-isp",
+                      ResourceSet::ofPrefixes({IpPrefix::parse("79.139.96.0/19")}));
+        tree.addRoa("ru-isp", "covering", 43782, {{IpPrefix::parse("79.139.96.0/19"), 20}});
+        tree.addRoa("ru-isp", "victim", 51813, {{IpPrefix::parse("79.139.96.0/24"), 24}});
+
+        Repository repo;
+        tree.publish(repo, 0);
+        writeSnapshotToDisk(repo.snapshot(), dir + "/repo-day0");
+
+        // Day 1: the victim ROA is silently deleted (Case Study 2).
+        tree.deleteRoa("ru-isp", "victim");
+        tree.publish(repo, 1);
+        writeSnapshotToDisk(repo.snapshot(), dir + "/repo-day1");
+
+        writeTrustAnchorFile(tree.trustAnchors()[0], dir + "/ta.cer");
+
+        std::printf("wrote %s/repo-day0, %s/repo-day1 and %s/ta.cer\n", dir.c_str(),
+                    dir.c_str(), dir.c_str());
+        std::printf("next:\n"
+                    "  rpkic-validate %s/repo-day0 --ta %s/ta.cer --out day0.state\n"
+                    "  rpkic-validate %s/repo-day1 --ta %s/ta.cer --now 1 --out day1.state\n"
+                    "  rpkic-detector day0.state day1.state\n",
+                    dir.c_str(), dir.c_str(), dir.c_str(), dir.c_str());
+        return 0;
+    } catch (const Error& e) {
+        std::fprintf(stderr, "rpkic-demo: %s\n", e.what());
+        return 1;
+    }
+}

@@ -1,0 +1,96 @@
+// rpkic-detector: the paper's §4.1 downgrade detector as a command-line
+// tool, in the spirit of the authors' released RPKI_Downgrade_Detector.
+//
+//   rpkic-detector PREV.state CUR.state [--examples N] [--quiet]
+//
+// State files hold one "prefix[-maxLength] ASN" tuple per line (the valid
+// ROAs of an RPKI snapshot, e.g. produced by a validator run). The tool
+// diffs the two snapshots over the space of ALL possible routes and prints
+// the downgrade report. Exit status: 0 = no downgrades, 2 = downgrades
+// detected (so it can gate a monitoring pipeline), 1 = usage/parse error.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "detector/diff.hpp"
+#include "detector/state_io.hpp"
+#include "util/errors.hpp"
+
+using namespace rpkic;
+
+namespace {
+
+int usage() {
+    std::fprintf(stderr,
+                 "usage: rpkic-detector PREV.state CUR.state [--examples N] [--quiet]\n"
+                 "  state file format: one 'prefix[-maxLength] ASN' per line, '#' comments\n");
+    return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::string prevPath;
+    std::string curPath;
+    std::size_t examples = 8;
+    bool quiet = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--examples" && i + 1 < argc) {
+            examples = static_cast<std::size_t>(std::atoi(argv[++i]));
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else if (prevPath.empty()) {
+            prevPath = arg;
+        } else if (curPath.empty()) {
+            curPath = arg;
+        } else {
+            return usage();
+        }
+    }
+    if (prevPath.empty() || curPath.empty()) return usage();
+
+    try {
+        const RpkiState prev = loadStateFile(prevPath);
+        const RpkiState cur = loadStateFile(curPath);
+        const DowngradeReport report = diffStates(prev, cur, examples);
+
+        std::printf("states: %zu -> %zu ROA tuples\n", prev.size(), cur.size());
+        std::printf("valid->invalid pairs:   %llu\n",
+                    static_cast<unsigned long long>(report.validToInvalidPairs));
+        std::printf("valid->unknown pairs:   %llu\n",
+                    static_cast<unsigned long long>(report.validToUnknownPairs));
+        std::printf("unknown->invalid pairs: %llu\n",
+                    static_cast<unsigned long long>(report.unknownToInvalidPairs));
+        std::printf("unknown->valid pairs:   %llu\n",
+                    static_cast<unsigned long long>(report.unknownToValidPairs));
+        std::printf("invalid addresses:      %llu -> %llu\n",
+                    static_cast<unsigned long long>(report.invalidAddressesBefore),
+                    static_cast<unsigned long long>(report.invalidAddressesAfter));
+
+        if (!quiet) {
+            for (const auto& t : report.tupleTransitions) {
+                std::printf("%s route %s: %s -> %s\n",
+                            t.isDowngrade() ? "DOWNGRADE" : "change   ",
+                            t.route.str().c_str(), std::string(toString(t.before)).c_str(),
+                            std::string(toString(t.after)).c_str());
+            }
+            for (const auto& as : report.perAs) {
+                if (as.exampleLostValid.empty()) continue;
+                std::printf("AS%u lost validity for:", as.asn);
+                for (const auto& p : as.exampleLostValid) {
+                    std::printf(" %s", p.str().c_str());
+                }
+                std::printf("\n");
+            }
+            for (const auto& c : report.competingRoas) {
+                std::printf("COMPETING ROA: %s contests %s\n", c.added.str().c_str(),
+                            c.existing.str().c_str());
+            }
+        }
+        return report.hasDowngrades() ? 2 : 0;
+    } catch (const Error& e) {
+        std::fprintf(stderr, "rpkic-detector: %s\n", e.what());
+        return 1;
+    }
+}
