@@ -1,0 +1,96 @@
+// Ablation: what the retry/backoff sync engine buys under delivery chaos.
+//
+// Sweeps fault rate x retry budget over seeded soak runs (sim/chaos_soak)
+// and reports, per cell, the fraction of fault hits the retry discipline
+// absorbed without any alarm, the point-rounds spent on stale cache, the
+// worst stale streak (the paper's §5.3.2 "revert to an older set" window),
+// the mean rounds to recover, and the alarm load. The budget-0 column is
+// the naive one-shot fetcher every row of the paper's delivery threat
+// model (§3.2.2) is aimed at; the gap to budget 2-3 is what transport
+// discipline is worth before transparency machinery ever gets involved.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "sim/chaos_soak.hpp"
+
+using namespace rpkic;
+using namespace rpkic::bench;
+
+namespace {
+
+struct Cell {
+    double absorbedFrac = 0.0;       // absorbed / fault hits
+    double failedRoundsPerRun = 0.0; // point-rounds on stale cache
+    double worstStreak = 0.0;        // max consecutive stale rounds (mean over seeds)
+    double meanRecovery = 0.0;       // rounds failed before recovery
+    double alarmsPerRun = 0.0;
+    bool allPassed = true;
+};
+
+Cell sweepCell(double faultRate, std::uint32_t retryBudget, std::uint64_t seeds) {
+    Cell c;
+    double recWeighted = 0.0;
+    std::uint64_t recCount = 0;
+    std::uint64_t hits = 0, absorbed = 0, failedRounds = 0, alarms = 0;
+    for (std::uint64_t s = 0; s < seeds; ++s) {
+        sim::SoakConfig cfg;
+        cfg.seed = 1000 + s;
+        cfg.rounds = 30;
+        cfg.faultRate = faultRate;
+        cfg.retryBudget = retryBudget;
+        const sim::SoakResult r = sim::runSoak(cfg);
+        if (!r.passed) c.allPassed = false;
+        hits += r.stats.faultApplications;
+        absorbed += r.stats.faultsAbsorbed;
+        failedRounds += r.stats.pointRoundsFailed;
+        alarms += r.stats.alarms;
+        c.worstStreak += static_cast<double>(r.stats.maxStaleStreak);
+        recWeighted += r.stats.meanRecoveryRounds * static_cast<double>(r.stats.recoveries);
+        recCount += r.stats.recoveries;
+    }
+    const double n = static_cast<double>(seeds);
+    c.absorbedFrac = hits == 0 ? 0.0 : static_cast<double>(absorbed) / static_cast<double>(hits);
+    c.failedRoundsPerRun = static_cast<double>(failedRounds) / n;
+    c.worstStreak /= n;
+    c.meanRecovery = recCount == 0 ? 0.0 : recWeighted / static_cast<double>(recCount);
+    c.alarmsPerRun = static_cast<double>(alarms) / n;
+    return c;
+}
+
+}  // namespace
+
+int main() {
+    heading("Ablation: retry budget vs delivery-fault rate (chaos soak)");
+    std::printf(
+        "10 seeds x 30 rounds per cell; driver adversarial probability 0.15.\n"
+        "absorbed%% = fault applications healed by retries with no alarm;\n"
+        "stale-rounds = point-rounds served from retained cache per run;\n"
+        "worst-streak = consecutive stale rounds (stale-window size).\n");
+
+    const std::vector<double> faultRates = {0.1, 0.25, 0.5};
+    const std::vector<std::uint32_t> budgets = {0, 1, 2, 3};
+    const std::uint64_t seeds = 10;
+
+    for (const double rate : faultRates) {
+        subheading("fault rate " + num(rate, 2));
+        row({"retry budget", "absorbed%", "stale-rounds", "worst-streak", "recovery",
+             "alarms/run"});
+        separator(6);
+        for (const std::uint32_t budget : budgets) {
+            const Cell c = sweepCell(rate, budget, seeds);
+            row({num(static_cast<double>(budget), 0), num(c.absorbedFrac * 100.0, 1),
+                 num(c.failedRoundsPerRun, 1), num(c.worstStreak, 1), num(c.meanRecovery, 2),
+                 num(c.alarmsPerRun, 1)});
+            if (!c.allPassed) {
+                std::printf("  (invariant violations in this cell — investigate with "
+                            "rpkic-soak)\n");
+            }
+        }
+    }
+
+    std::printf("\nReading: the budget-0 row is the naive one-shot fetcher; every\n"
+                "absorbed fault in the budget>=1 rows would have been a stale round\n"
+                "plus a missing-information alarm without the sync engine.\n");
+    return 0;
+}

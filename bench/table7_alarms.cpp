@@ -6,6 +6,7 @@
 
 #include "bench_util.hpp"
 #include "consent/authority.hpp"
+#include "rpki/chaos.hpp"
 #include "rp/relying_party.hpp"
 #include "sim/driver.hpp"
 

@@ -182,14 +182,17 @@ Digest Authority::parentManifestHashNow() const {
 }
 
 void Authority::stagePut(const std::string& filename, Bytes bytes, Time now) {
-    const auto it = files_.find(filename);
-    if (it != files_.end()) {
+    // `filename` may alias the files_ key about to be erased (callers
+    // re-stage objects they found by walking files_); pin a copy before
+    // mutating the map.
+    const std::string name = filename;
+    if (files_.count(name) > 0) {
         // Overwrite: preserve the old version (§5.3.2 "Hints for
         // disappearance").
-        stageRemove(filename, now);
+        stageRemove(name, now);
     }
-    files_[filename] = std::move(bytes);
-    firstAppeared_[filename] = manifest_.number + 1;
+    files_[name] = std::move(bytes);
+    firstAppeared_[name] = manifest_.number + 1;
 }
 
 void Authority::stageRemove(const std::string& filename, Time now) {
@@ -203,8 +206,9 @@ void Authority::stageRemove(const std::string& filename, Time now) {
                         firstAppeared_[filename], lastLogged};
     pf.preservedAt = now;
     preserved_[preservedName] = std::move(pf);
-    files_.erase(it);
+    // Erase by-name maps BEFORE files_: `filename` may alias it->first.
     firstAppeared_.erase(filename);
+    files_.erase(it);
 }
 
 void Authority::prunePreserved(Time now) {
@@ -638,7 +642,10 @@ void Authority::rolloverStep2Switch(Repository& repo, Time now) {
     cert_ = successor;
     oldCertBeforeRollover_ = oldCert;
 
-    for (auto& [filename, bytes] : files_) {
+    // Re-sign pass. Collect the worklist first: stagePut mutates files_
+    // (preserve + erase + insert), which would invalidate a live iterator.
+    std::vector<std::pair<std::string, Bytes>> restaged;
+    for (const auto& [filename, bytes] : files_) {
         const ObjectType type = objectTypeOf(ByteView(bytes.data(), bytes.size()));
         if (type == ObjectType::ResourceCert) {
             ResourceCert c = ResourceCert::decode(ByteView(bytes.data(), bytes.size()));
@@ -648,14 +655,15 @@ void Authority::rolloverStep2Switch(Repository& repo, Time now) {
             for (Authority* ch : children_) {
                 if (ch->cert_.uri == c.uri) ch->cert_ = c;
             }
-            stagePut(filename, c.encode(), now);
+            restaged.emplace_back(filename, c.encode());
         } else if (type == ObjectType::Roa) {
             Roa r = Roa::decode(ByteView(bytes.data(), bytes.size()));
             r.parentUri = cert_.uri;
             signObject(r, signer_);
-            stagePut(filename, r.encode(), now);
+            restaged.emplace_back(filename, r.encode());
         }
     }
+    for (auto& [filename, wire] : restaged) stagePut(filename, std::move(wire), now);
     // mB': the first manifest of B', successor of the post-rollover
     // manifest (it hash-chains to it).
     publishUpdate(repo, now);

@@ -1,0 +1,198 @@
+#include "rp/sync_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/errors.hpp"
+
+namespace rpkic::rp {
+
+std::string_view toString(FetchOutcome o) {
+    switch (o) {
+        case FetchOutcome::Ok: return "ok";
+        case FetchOutcome::Unreachable: return "unreachable";
+        case FetchOutcome::ManifestMissing: return "manifest-missing";
+        case FetchOutcome::ManifestUndecodable: return "manifest-undecodable";
+        case FetchOutcome::LoggedObjectMissing: return "logged-object-missing";
+        case FetchOutcome::LoggedObjectMismatch: return "logged-object-mismatch";
+        case FetchOutcome::Regressed: return "regressed";
+    }
+    return "?";
+}
+
+std::string_view toString(PointHealth h) {
+    switch (h) {
+        case PointHealth::Healthy: return "healthy";
+        case PointHealth::Degraded: return "degraded";
+        case PointHealth::Stale: return "stale";
+        case PointHealth::Quarantined: return "quarantined";
+    }
+    return "?";
+}
+
+SyncEngine::SyncEngine(RelyingParty& rp, SnapshotSource& source, SyncPolicy policy)
+    : rp_(&rp), source_(&source), policy_(policy) {
+    if (policy_.maxAttempts == 0) policy_.maxAttempts = 1;
+}
+
+PointHealth SyncEngine::healthOf(const std::string& pointUri) const {
+    const auto it = points_.find(pointUri);
+    return it == points_.end() ? PointHealth::Healthy : it->second.health;
+}
+
+const PointTelemetry* SyncEngine::telemetryFor(const std::string& pointUri) const {
+    const auto it = points_.find(pointUri);
+    return it == points_.end() ? nullptr : &it->second;
+}
+
+FetchOutcome SyncEngine::probe(const PointTelemetry& pt, const FileMap& files) const {
+    const auto mftIt = files.find(kManifestName);
+    if (mftIt == files.end()) return FetchOutcome::ManifestMissing;
+
+    Manifest m;
+    try {
+        m = Manifest::decode(ByteView(mftIt->second.data(), mftIt->second.size()));
+    } catch (const ParseError&) {
+        return FetchOutcome::ManifestUndecodable;
+    }
+
+    // Stalloris defence: refuse state older than what we already accepted.
+    // (Equal numbers pass: an unchanged point is normal, and an equivocating
+    // same-number-different-hash manifest is accountable evidence the
+    // relying party must see, not something to retry away.)
+    if (pt.sawManifest && m.number < pt.highestManifestNumber) return FetchOutcome::Regressed;
+
+    // Transfer-integrity probe: everything the manifest logs must be
+    // present and hash-correct. An honest point always satisfies this (the
+    // authority publishes exactly what it logs); any miss is delivery loss
+    // or corruption — a retryable transport failure, not evidence.
+    for (const ManifestEntry& entry : m.entries) {
+        const auto it = files.find(entry.filename);
+        if (it != files.end()) {
+            if (fileHashOf(ByteView(it->second.data(), it->second.size())) == entry.fileHash) {
+                continue;
+            }
+            // Wrong bytes under the right name: fall through to the
+            // preserved-copy scan before judging.
+        }
+        bool foundElsewhere = false;
+        for (const auto& [name, bytes] : files) {
+            if (fileHashOf(ByteView(bytes.data(), bytes.size())) == entry.fileHash) {
+                foundElsewhere = true;
+                break;
+            }
+        }
+        if (foundElsewhere) continue;
+        return it == files.end() ? FetchOutcome::LoggedObjectMissing
+                                 : FetchOutcome::LoggedObjectMismatch;
+    }
+    return FetchOutcome::Ok;
+}
+
+SyncReport SyncEngine::syncRound(Time now) {
+    SyncReport report;
+    report.round = round_;
+    report.when = now;
+
+    const std::vector<std::string> listed = source_->listPoints(round_);
+    report.pointsListed = listed.size();
+
+    Snapshot assembled;
+    for (const std::string& pointUri : listed) {
+        PointTelemetry& pt = points_[pointUri];
+        const std::uint32_t budget =
+            pt.health == PointHealth::Quarantined ? 1u : policy_.maxAttempts;
+
+        bool delivered = false;
+        std::uint32_t retriesUsed = 0;
+        std::uint64_t acceptedNumber = 0;
+        for (std::uint32_t attempt = 0; attempt < budget; ++attempt) {
+            ++pt.attempts;
+            ++report.attempts;
+            if (attempt > 0) {
+                ++pt.retries;
+                ++report.retries;
+                ++retriesUsed;
+                const Duration backoff = static_cast<Duration>(std::llround(
+                    static_cast<double>(policy_.initialBackoff) *
+                    std::pow(policy_.backoffMultiplier, static_cast<double>(attempt - 1))));
+                pt.backoffSpent += backoff;
+                report.backoffSpent += backoff;
+            }
+
+            auto files = source_->fetchPoint(pointUri, round_, attempt);
+            FetchOutcome outcome = FetchOutcome::Unreachable;
+            if (files.has_value()) outcome = probe(pt, *files);
+            if (outcome != FetchOutcome::Ok) {
+                ++pt.rejections[outcome];
+                continue;
+            }
+            // Accepted. Record the regression floor from the probed head.
+            const auto mftIt = files->find(kManifestName);
+            try {
+                const Manifest m =
+                    Manifest::decode(ByteView(mftIt->second.data(), mftIt->second.size()));
+                acceptedNumber = m.number;
+            } catch (const ParseError&) {
+                acceptedNumber = pt.highestManifestNumber;  // probe already decoded it
+            }
+            assembled.points.emplace(pointUri, std::move(*files));
+            delivered = true;
+            break;
+        }
+
+        if (delivered) {
+            ++pt.roundsDelivered;
+            ++report.pointsDelivered;
+            pt.faultsAbsorbed += retriesUsed;
+            report.faultsAbsorbed += retriesUsed;
+            if (pt.currentStaleStreak > 0) {
+                ++pt.recoveries;
+                pt.recoveryRoundsSum += pt.currentStaleStreak;
+                pt.currentStaleStreak = 0;
+            }
+            const bool wasQuarantined = pt.health == PointHealth::Quarantined;
+            pt.consecutiveFailures = 0;
+            pt.health = (retriesUsed > 0 || wasQuarantined) ? PointHealth::Degraded
+                                                            : PointHealth::Healthy;
+            if (!pt.sawManifest || acceptedNumber > pt.highestManifestNumber) {
+                pt.highestManifestNumber = acceptedNumber;
+            }
+            pt.sawManifest = true;
+        } else {
+            ++pt.roundsFailed;
+            ++report.pointsFailed;
+            ++totals_.pointRoundsFailed;
+            ++pt.consecutiveFailures;
+            ++pt.currentStaleStreak;
+            pt.longestStaleStreak = std::max(pt.longestStaleStreak, pt.currentStaleStreak);
+            pt.health = pt.consecutiveFailures >= policy_.quarantineAfter
+                            ? PointHealth::Quarantined
+                            : PointHealth::Stale;
+            report.failedPoints.push_back(pointUri);
+        }
+    }
+
+    for (const auto& [uri, pt] : points_) {
+        if (pt.health == PointHealth::Quarantined) ++report.pointsQuarantined;
+    }
+
+    // All-or-nothing delivery done; escalate what remains. Every alarm the
+    // relying party raises now is post-budget by construction.
+    const std::size_t alarmsBefore = rp_->alarms().count();
+    rp_->sync(assembled, now);
+    report.alarmsRaised = rp_->alarms().count() - alarmsBefore;
+    report.validRoas = rp_->validRoas().size();
+
+    ++round_;
+    ++totals_.rounds;
+    totals_.attempts += report.attempts;
+    totals_.retries += report.retries;
+    totals_.faultsAbsorbed += report.faultsAbsorbed;
+    totals_.alarmsRaised += report.alarmsRaised;
+    totals_.backoffSpent += report.backoffSpent;
+    reports_.push_back(report);
+    return report;
+}
+
+}  // namespace rpkic::rp

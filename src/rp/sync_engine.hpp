@@ -1,0 +1,161 @@
+// Resilient sync layer between a SnapshotSource and a RelyingParty.
+//
+// RelyingParty::sync gets exactly one snapshot per round; under delivery
+// faults (paper §3.2.2) that means a single dropped transfer immediately
+// degrades the relying party to stale data and a missing-information
+// alarm. Real relying parties retry. The SyncEngine adds the missing
+// transport discipline:
+//
+//  * bounded retry with exponential backoff, per publication point;
+//  * a pre-acceptance probe: a fetched point is handed to the relying
+//    party only if its manifest decodes AND every object the manifest
+//    logs is present with the logged hash AND the manifest number did not
+//    regress below what the engine already accepted (Stalloris-style
+//    stale serving is refused, not silently ignored). A failed probe is a
+//    failed attempt — retried, not escalated;
+//  * all-or-nothing delivery: a point that exhausts its retry budget is
+//    omitted from the assembled snapshot entirely, so the relying party
+//    keeps its retained state (§5.3.2 graceful degradation) and raises
+//    exactly the unaccountable missing-information alarms the paper
+//    prescribes — never an accountable accusation built from a partial
+//    transfer;
+//  * per-point health (Healthy / Degraded / Stale / Quarantined) with a
+//    reduced attempt budget for quarantined points (a sustained staller
+//    cannot consume the full retry budget every round — the Stalloris
+//    resource-exhaustion lesson);
+//  * telemetry counters and a per-round SyncReport for soak harnesses
+//    and monitoring.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "rp/relying_party.hpp"
+#include "rpki/chaos.hpp"
+
+namespace rpkic::rp {
+
+/// Why a fetch attempt was rejected (telemetry; Ok means accepted).
+enum class FetchOutcome : std::uint8_t {
+    Ok = 0,
+    Unreachable,           ///< source returned nothing
+    ManifestMissing,       ///< point answered but withheld manifest.mft
+    ManifestUndecodable,   ///< manifest bytes do not parse (corruption)
+    LoggedObjectMissing,   ///< manifest logs a file the point did not serve
+    LoggedObjectMismatch,  ///< served bytes do not hash to the logged value
+    Regressed,             ///< manifest number below an already-accepted one
+};
+
+std::string_view toString(FetchOutcome o);
+
+enum class PointHealth : std::uint8_t {
+    Healthy,      ///< last round: accepted on the first attempt
+    Degraded,     ///< last round: accepted, but only after retries
+    Stale,        ///< last round: retry budget exhausted, cache retained
+    Quarantined,  ///< persistently failing; attempt budget reduced to 1
+};
+
+std::string_view toString(PointHealth h);
+
+struct SyncPolicy {
+    /// Fetch attempts per point per round (1 = no retries).
+    std::uint32_t maxAttempts = 3;
+    /// Backoff before retry k (k >= 1) is
+    /// initialBackoff * backoffMultiplier^(k-1), accumulated as telemetry
+    /// (retries happen within one simulated tick; the cost is accounted,
+    /// not clocked).
+    Duration initialBackoff = 1;
+    double backoffMultiplier = 2.0;
+    /// Consecutive fully-failed rounds before a point is quarantined.
+    std::uint32_t quarantineAfter = 3;
+};
+
+struct PointTelemetry {
+    std::uint64_t attempts = 0;
+    std::uint64_t retries = 0;
+    /// Failed attempts inside rounds that ultimately succeeded: faults the
+    /// retry discipline absorbed without any alarm.
+    std::uint64_t faultsAbsorbed = 0;
+    std::uint64_t roundsFailed = 0;     ///< rounds with the budget exhausted
+    std::uint64_t roundsDelivered = 0;  ///< rounds the point was accepted
+    std::uint32_t consecutiveFailures = 0;
+    Duration backoffSpent = 0;
+    PointHealth health = PointHealth::Healthy;
+    /// Highest manifest number ever accepted (regression floor).
+    std::uint64_t highestManifestNumber = 0;
+    bool sawManifest = false;
+    /// Current stale streak bookkeeping for recovery-time metrics.
+    std::uint32_t currentStaleStreak = 0;
+    std::uint32_t longestStaleStreak = 0;
+    std::uint64_t recoveries = 0;       ///< failures followed by a success
+    std::uint64_t recoveryRoundsSum = 0;  ///< total rounds spent failed before recovery
+    std::map<FetchOutcome, std::uint64_t> rejections;  ///< by probe outcome
+};
+
+/// What one SyncEngine round did.
+struct SyncReport {
+    std::uint64_t round = 0;
+    Time when = 0;
+    std::size_t pointsListed = 0;
+    std::size_t pointsDelivered = 0;
+    std::size_t pointsFailed = 0;
+    std::size_t pointsQuarantined = 0;  ///< in quarantine after this round
+    std::uint64_t attempts = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t faultsAbsorbed = 0;
+    Duration backoffSpent = 0;
+    /// Alarms the relying party raised during this round's sync()
+    /// (escalations: every one of these is post-retry-budget).
+    std::size_t alarmsRaised = 0;
+    std::size_t validRoas = 0;
+    std::vector<std::string> failedPoints;
+};
+
+/// Aggregate counters across all rounds (sum of per-point telemetry plus
+/// engine-level totals).
+struct EngineTotals {
+    std::uint64_t rounds = 0;
+    std::uint64_t attempts = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t faultsAbsorbed = 0;
+    std::uint64_t pointRoundsFailed = 0;
+    std::uint64_t alarmsRaised = 0;
+    Duration backoffSpent = 0;
+};
+
+class SyncEngine {
+public:
+    SyncEngine(RelyingParty& rp, SnapshotSource& source, SyncPolicy policy = {});
+
+    /// Runs one sync round at simulated time `now`: fetches every listed
+    /// point with retry/backoff, probes, assembles the accepted points
+    /// into a snapshot, and hands it to the relying party. Never throws on
+    /// delivery faults (they are the job); propagates only programming
+    /// errors.
+    SyncReport syncRound(Time now);
+
+    std::uint64_t round() const { return round_; }
+    const RelyingParty& relyingParty() const { return *rp_; }
+
+    PointHealth healthOf(const std::string& pointUri) const;
+    const PointTelemetry* telemetryFor(const std::string& pointUri) const;
+    const std::map<std::string, PointTelemetry>& telemetry() const { return points_; }
+    const EngineTotals& totals() const { return totals_; }
+    const std::vector<SyncReport>& reports() const { return reports_; }
+
+private:
+    /// Validates a fetched FileMap before it may reach the relying party.
+    FetchOutcome probe(const PointTelemetry& pt, const FileMap& files) const;
+
+    RelyingParty* rp_;
+    SnapshotSource* source_;
+    SyncPolicy policy_;
+    std::uint64_t round_ = 0;
+    std::map<std::string, PointTelemetry> points_;
+    EngineTotals totals_;
+    std::vector<SyncReport> reports_;
+};
+
+}  // namespace rpkic::rp

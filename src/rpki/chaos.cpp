@@ -1,0 +1,408 @@
+#include "rpki/chaos.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <sstream>
+
+#include "rpki/encoding.hpp"
+#include "rpki/objects.hpp"
+#include "util/errors.hpp"
+
+namespace rpkic {
+
+// ===========================================================================
+// Sources
+
+Snapshot SnapshotSource::fetchAll(std::uint64_t round) {
+    Snapshot out;
+    for (const std::string& uri : listPoints(round)) {
+        auto files = fetchPoint(uri, round, /*attempt=*/0);
+        if (files.has_value()) out.points.emplace(uri, std::move(*files));
+    }
+    return out;
+}
+
+std::vector<std::string> RepositorySource::listPoints(std::uint64_t round) {
+    (void)round;
+    std::vector<std::string> out;
+    for (const auto& [uri, files] : repo_->snapshot().points) out.push_back(uri);
+    return out;
+}
+
+std::optional<FileMap> RepositorySource::fetchPoint(const std::string& pointUri,
+                                                    std::uint64_t round, std::uint32_t attempt) {
+    (void)round;
+    (void)attempt;
+    const FileMap* fm = repo_->point(pointUri);
+    if (fm == nullptr) return std::nullopt;
+    return *fm;  // copy: the caller may mutate / outlive the repo state
+}
+
+// ===========================================================================
+// Fault plans
+
+std::string_view toString(FaultKind k) {
+    switch (k) {
+        case FaultKind::DropFile: return "drop-file";
+        case FaultKind::Corrupt: return "corrupt";
+        case FaultKind::Truncate: return "truncate";
+        case FaultKind::DropPoint: return "drop-point";
+        case FaultKind::WithholdManifest: return "withhold-manifest";
+        case FaultKind::ServeStale: return "serve-stale";
+        case FaultKind::Flap: return "flap";
+    }
+    return "?";
+}
+
+FaultKind faultKindFromString(std::string_view s) {
+    for (int k = 0; k <= static_cast<int>(FaultKind::Flap); ++k) {
+        if (s == toString(static_cast<FaultKind>(k))) return static_cast<FaultKind>(k);
+    }
+    throw ParseError("unknown fault kind: " + std::string(s));
+}
+
+namespace {
+
+bool kindIsFileScoped(FaultKind k) {
+    return k == FaultKind::DropFile || k == FaultKind::Corrupt || k == FaultKind::Truncate;
+}
+
+std::uint64_t parseU64Field(std::string_view value, const char* field) {
+    std::uint64_t out = 0;
+    const auto [ptr, ec] = std::from_chars(value.data(), value.data() + value.size(), out);
+    if (ec != std::errc() || ptr != value.data() + value.size()) {
+        throw ParseError(std::string("bad numeric value for '") + field + "' in fault plan");
+    }
+    return out;
+}
+
+/// Splits "key=value" (value may contain '='? no: keys are known, values
+/// never contain spaces; points/filenames with spaces are rejected).
+std::pair<std::string_view, std::string_view> splitKv(std::string_view token) {
+    const auto eq = token.find('=');
+    if (eq == std::string_view::npos) {
+        throw ParseError("fault-plan token is not key=value: " + std::string(token));
+    }
+    return {token.substr(0, eq), token.substr(eq + 1)};
+}
+
+}  // namespace
+
+std::string Fault::str() const {
+    std::ostringstream os;
+    os << "fault kind=" << toString(kind) << " point=" << pointUri;
+    if (!filename.empty()) os << " file=" << filename;
+    os << " round=" << round << " rounds=" << rounds << " attempts=";
+    if (attempts == kAllAttempts) {
+        os << "all";
+    } else {
+        os << attempts;
+    }
+    os << " param=" << param;
+    return os.str();
+}
+
+std::string FaultPlan::serialize() const {
+    std::ostringstream os;
+    os << "faultplan v1 seed=" << seed << " rounds=" << rounds << " retry=" << retryBudget
+       << " adversarial-ppm=" << adversarialPpm << " stall-horizon=" << stallHorizon << "\n";
+    for (const Fault& f : faults) os << f.str() << "\n";
+    return os.str();
+}
+
+FaultPlan FaultPlan::parse(std::string_view text) {
+    FaultPlan plan;
+    bool sawHeader = false;
+    std::size_t pos = 0;
+    while (pos <= text.size()) {
+        const auto nl = text.find('\n', pos);
+        std::string_view line =
+            text.substr(pos, nl == std::string_view::npos ? text.size() - pos : nl - pos);
+        pos = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
+
+        // Tokenize on single spaces; skip blank lines and comments.
+        std::vector<std::string_view> tokens;
+        std::size_t t = 0;
+        while (t < line.size()) {
+            while (t < line.size() && line[t] == ' ') ++t;
+            std::size_t e = t;
+            while (e < line.size() && line[e] != ' ') ++e;
+            if (e > t) tokens.push_back(line.substr(t, e - t));
+            t = e;
+        }
+        if (tokens.empty() || tokens.front().starts_with('#')) continue;
+
+        if (tokens.front() == "faultplan") {
+            if (sawHeader) throw ParseError("duplicate fault-plan header");
+            if (tokens.size() < 2 || tokens[1] != "v1") {
+                throw ParseError("unsupported fault-plan version");
+            }
+            for (std::size_t i = 2; i < tokens.size(); ++i) {
+                const auto [key, value] = splitKv(tokens[i]);
+                if (key == "seed") {
+                    plan.seed = parseU64Field(value, "seed");
+                } else if (key == "rounds") {
+                    plan.rounds = parseU64Field(value, "rounds");
+                } else if (key == "retry") {
+                    plan.retryBudget =
+                        static_cast<std::uint32_t>(parseU64Field(value, "retry"));
+                } else if (key == "adversarial-ppm") {
+                    plan.adversarialPpm =
+                        static_cast<std::uint32_t>(parseU64Field(value, "adversarial-ppm"));
+                } else if (key == "stall-horizon") {
+                    plan.stallHorizon = parseU64Field(value, "stall-horizon");
+                } else {
+                    throw ParseError("unknown fault-plan header field: " + std::string(key));
+                }
+            }
+            sawHeader = true;
+            continue;
+        }
+        if (tokens.front() != "fault") {
+            throw ParseError("unexpected fault-plan line: " + std::string(line));
+        }
+        if (!sawHeader) throw ParseError("fault before fault-plan header");
+
+        Fault f;
+        bool sawKind = false, sawPoint = false;
+        for (std::size_t i = 1; i < tokens.size(); ++i) {
+            const auto [key, value] = splitKv(tokens[i]);
+            if (key == "kind") {
+                f.kind = faultKindFromString(value);
+                sawKind = true;
+            } else if (key == "point") {
+                f.pointUri = std::string(value);
+                sawPoint = true;
+            } else if (key == "file") {
+                f.filename = std::string(value);
+            } else if (key == "round") {
+                f.round = parseU64Field(value, "round");
+            } else if (key == "rounds") {
+                f.rounds = static_cast<std::uint32_t>(parseU64Field(value, "rounds"));
+            } else if (key == "attempts") {
+                f.attempts = value == "all"
+                                 ? Fault::kAllAttempts
+                                 : static_cast<std::uint32_t>(parseU64Field(value, "attempts"));
+            } else if (key == "param") {
+                f.param = parseU64Field(value, "param");
+            } else {
+                throw ParseError("unknown fault field: " + std::string(key));
+            }
+        }
+        if (!sawKind || !sawPoint) throw ParseError("fault lacks kind= or point=");
+        if (kindIsFileScoped(f.kind) && f.filename.empty()) {
+            throw ParseError("file-scoped fault lacks file=");
+        }
+        if (f.rounds == 0) throw ParseError("fault with rounds=0 is inert");
+        plan.faults.push_back(std::move(f));
+    }
+    if (!sawHeader) throw ParseError("missing fault-plan header");
+    return plan;
+}
+
+namespace {
+constexpr std::uint32_t kPlanMagic = 0x46504c31;  // "FPL1"
+}  // namespace
+
+Bytes FaultPlan::encode() const {
+    Encoder e;
+    e.u32(kPlanMagic);
+    e.u64(seed);
+    e.u64(rounds);
+    e.u32(retryBudget);
+    e.u32(adversarialPpm);
+    e.u64(stallHorizon);
+    e.u32(static_cast<std::uint32_t>(faults.size()));
+    for (const Fault& f : faults) {
+        e.u8(static_cast<std::uint8_t>(f.kind));
+        e.str(f.pointUri);
+        e.str(f.filename);
+        e.u64(f.round);
+        e.u32(f.rounds);
+        e.u32(f.attempts);
+        e.u64(f.param);
+    }
+    return e.take();
+}
+
+FaultPlan FaultPlan::decode(ByteView data) {
+    Decoder d(data);
+    if (d.u32() != kPlanMagic) throw ParseError("not a fault plan (bad magic)");
+    FaultPlan plan;
+    plan.seed = d.u64();
+    plan.rounds = d.u64();
+    plan.retryBudget = d.u32();
+    plan.adversarialPpm = d.u32();
+    plan.stallHorizon = d.u64();
+    const std::uint32_t n = d.u32();
+    if (n > 10000000) throw ParseError("implausible fault count");
+    for (std::uint32_t i = 0; i < n; ++i) {
+        Fault f;
+        const std::uint8_t kind = d.u8();
+        if (kind > static_cast<std::uint8_t>(FaultKind::Flap)) {
+            throw ParseError("bad fault kind in plan");
+        }
+        f.kind = static_cast<FaultKind>(kind);
+        f.pointUri = d.str();
+        f.filename = d.str();
+        f.round = d.u64();
+        f.rounds = d.u32();
+        f.attempts = d.u32();
+        f.param = d.u64();
+        plan.faults.push_back(std::move(f));
+    }
+    d.expectEnd();
+    return plan;
+}
+
+// ===========================================================================
+// Chaos source
+
+ChaosSource::ChaosSource(SnapshotSource& inner, FaultPlan plan)
+    : inner_(&inner), plan_(std::move(plan)) {}
+
+std::vector<std::string> ChaosSource::listPoints(std::uint64_t round) {
+    // Faults make points unreachable, not unadvertised: the relying party
+    // still knows the point exists and fails to fetch it.
+    return inner_->listPoints(round);
+}
+
+void ChaosSource::recordHistory(const std::string& pointUri, std::uint64_t round,
+                                const FileMap* honest) {
+    auto& perRound = history_[pointUri];
+    if (honest != nullptr) perRound.emplace(round, *honest);
+    // Trim anything older than the stall horizon: serve-stale pins are
+    // bounded, so soak memory stays bounded too.
+    while (!perRound.empty() && perRound.begin()->first + plan_.stallHorizon < round) {
+        perRound.erase(perRound.begin());
+    }
+}
+
+std::optional<FileMap> ChaosSource::fetchPoint(const std::string& pointUri, std::uint64_t round,
+                                               std::uint32_t attempt) {
+    std::optional<FileMap> honest = inner_->fetchPoint(pointUri, round, attempt);
+    if (attempt == 0) {
+        recordHistory(pointUri, round, honest.has_value() ? &*honest : nullptr);
+    }
+
+    // Unreachability faults first: they swallow the whole attempt.
+    for (const Fault& f : plan_.faults) {
+        if (f.pointUri != pointUri || !f.activeAt(round, attempt)) continue;
+        if (f.kind == FaultKind::DropPoint) {
+            ++applications_;
+            return std::nullopt;
+        }
+        if (f.kind == FaultKind::Flap) {
+            const std::uint64_t halfPeriod = std::max<std::uint64_t>(1, f.param);
+            if (((round - f.round) / halfPeriod) % 2 == 0) {  // down first
+                ++applications_;
+                return std::nullopt;
+            }
+        }
+    }
+    if (!honest.has_value()) return std::nullopt;
+
+    FileMap files = std::move(*honest);
+
+    // Stale pinning replaces the whole point state before file-level faults.
+    for (const Fault& f : plan_.faults) {
+        if (f.pointUri != pointUri || !f.activeAt(round, attempt)) continue;
+        if (f.kind != FaultKind::ServeStale) continue;
+        const auto histIt = history_.find(pointUri);
+        if (histIt == history_.end()) continue;
+        const auto roundIt = histIt->second.find(f.param);
+        if (roundIt == histIt->second.end()) continue;  // pin round unrecorded
+        files = roundIt->second;
+        ++applications_;
+    }
+
+    // File-level faults.
+    for (const Fault& f : plan_.faults) {
+        if (f.pointUri != pointUri || !f.activeAt(round, attempt)) continue;
+        switch (f.kind) {
+            case FaultKind::WithholdManifest:
+                if (files.erase(kManifestName) > 0) ++applications_;
+                break;
+            case FaultKind::DropFile:
+                if (files.erase(f.filename) > 0) ++applications_;
+                break;
+            case FaultKind::Corrupt: {
+                const auto it = files.find(f.filename);
+                if (it != files.end() && !it->second.empty()) {
+                    const std::uint64_t bit = f.param % (it->second.size() * 8);
+                    it->second[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+                    ++applications_;
+                }
+                break;
+            }
+            case FaultKind::Truncate: {
+                const auto it = files.find(f.filename);
+                if (it != files.end() && it->second.size() > f.param) {
+                    it->second.resize(f.param);
+                    ++applications_;
+                }
+                break;
+            }
+            case FaultKind::DropPoint:
+            case FaultKind::ServeStale:
+            case FaultKind::Flap:
+                break;  // handled above
+        }
+    }
+    return files;
+}
+
+// ===========================================================================
+// Legacy single-snapshot injectors
+
+bool dropFile(Snapshot& snap, const std::string& pointUri, const std::string& filename) {
+    const auto it = snap.points.find(pointUri);
+    if (it == snap.points.end()) return false;
+    return it->second.erase(filename) > 0;
+}
+
+bool corruptFile(Snapshot& snap, const std::string& pointUri, const std::string& filename,
+                 std::size_t byteIndex) {
+    const auto it = snap.points.find(pointUri);
+    if (it == snap.points.end()) return false;
+    const auto fit = it->second.find(filename);
+    if (fit == it->second.end() || fit->second.empty()) return false;
+    fit->second[byteIndex % fit->second.size()] ^= 0x01;
+    return true;
+}
+
+bool truncateFile(Snapshot& snap, const std::string& pointUri, const std::string& filename,
+                  std::size_t keepBytes) {
+    const auto it = snap.points.find(pointUri);
+    if (it == snap.points.end()) return false;
+    const auto fit = it->second.find(filename);
+    if (fit == it->second.end() || fit->second.size() <= keepBytes) return false;
+    fit->second.resize(keepBytes);
+    return true;
+}
+
+bool serveStalePoint(Snapshot& snap, const Snapshot& stale, const std::string& pointUri) {
+    const FileMap* old = stale.point(pointUri);
+    if (old == nullptr) return false;
+    snap.points[pointUri] = *old;
+    return true;
+}
+
+std::optional<CorruptionReceipt> corruptRandomFile(Snapshot& snap, Rng& rng) {
+    std::vector<std::pair<std::string, std::string>> all;
+    for (const auto& [uri, files] : snap.points) {
+        for (const auto& [name, contents] : files) {
+            if (!contents.empty()) all.emplace_back(uri, name);
+        }
+    }
+    if (all.empty()) return std::nullopt;
+    const auto& victim = all[static_cast<std::size_t>(rng.nextBelow(all.size()))];
+    Bytes& bytes = snap.points[victim.first][victim.second];
+    // nextBelow is rejection-sampled: no modulo bias, and the index is the
+    // one actually flipped — callers can log it and replay the mutation.
+    const std::size_t byteIndex = static_cast<std::size_t>(rng.nextBelow(bytes.size()));
+    bytes[byteIndex] ^= 0x01;
+    return CorruptionReceipt{victim.first, victim.second, byteIndex};
+}
+
+}  // namespace rpkic

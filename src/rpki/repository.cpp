@@ -43,41 +43,4 @@ const Bytes* Repository::file(const std::string& pointUri, const std::string& fi
     return it == fm->end() ? nullptr : &it->second;
 }
 
-bool dropFile(Snapshot& snap, const std::string& pointUri, const std::string& filename) {
-    const auto it = snap.points.find(pointUri);
-    if (it == snap.points.end()) return false;
-    return it->second.erase(filename) > 0;
-}
-
-bool corruptFile(Snapshot& snap, const std::string& pointUri, const std::string& filename,
-                 std::size_t byteIndex) {
-    const auto it = snap.points.find(pointUri);
-    if (it == snap.points.end()) return false;
-    const auto fit = it->second.find(filename);
-    if (fit == it->second.end() || fit->second.empty()) return false;
-    fit->second[byteIndex % fit->second.size()] ^= 0x01;
-    return true;
-}
-
-bool serveStalePoint(Snapshot& snap, const Snapshot& stale, const std::string& pointUri) {
-    const FileMap* old = stale.point(pointUri);
-    if (old == nullptr) return false;
-    snap.points[pointUri] = *old;
-    return true;
-}
-
-std::optional<std::pair<std::string, std::string>> corruptRandomFile(Snapshot& snap, Rng& rng) {
-    std::vector<std::pair<std::string, std::string>> all;
-    for (const auto& [uri, files] : snap.points) {
-        for (const auto& [name, contents] : files) {
-            if (!contents.empty()) all.emplace_back(uri, name);
-        }
-    }
-    if (all.empty()) return std::nullopt;
-    const auto& victim = all[static_cast<std::size_t>(rng.nextBelow(all.size()))];
-    corruptFile(snap, victim.first, victim.second,
-                static_cast<std::size_t>(rng.nextU64()));
-    return victim;
-}
-
 }  // namespace rpkic

@@ -4,17 +4,16 @@
 // parties pull them into local caches (paper §2.1). We model a repository
 // as a map from publication-point URI to a directory of named files, and a
 // relying party's pull as taking a Snapshot. Threats to object *delivery*
-// (paper §3.2.2) are modeled as mutations of a snapshot: dropping files,
-// corrupting bytes, serving stale state — the relying-party code cannot
-// tell the difference, which is exactly the point.
+// (paper §3.2.2) are modeled as mutations of what a fetch returns: the
+// relying-party code cannot tell a misbehaving authority from a lossy
+// transfer, which is exactly the point. The fault injectors and the
+// schedule-level chaos engine live in rpki/chaos.hpp.
 #pragma once
 
 #include <map>
-#include <optional>
 #include <string>
 
 #include "util/bytes.hpp"
-#include "util/rng.hpp"
 
 namespace rpkic {
 
@@ -60,24 +59,5 @@ public:
 private:
     std::map<std::string, FileMap> points_;
 };
-
-// --- Delivery-threat injection (paper §3.2.2) ------------------------------
-
-/// Removes one file from a snapshot, as a lossy transfer would.
-/// Returns false if the file was not present.
-bool dropFile(Snapshot& snap, const std::string& pointUri, const std::string& filename);
-
-/// Flips one bit of a file, as in "a third party ... can whack a ROA just
-/// by corrupting a single bit". Returns false if the file was not present.
-bool corruptFile(Snapshot& snap, const std::string& pointUri, const std::string& filename,
-                 std::size_t byteIndex = 0);
-
-/// Replaces one publication point of `snap` with its state from `stale`,
-/// modeling a repository that serves outdated data for that point.
-bool serveStalePoint(Snapshot& snap, const Snapshot& stale, const std::string& pointUri);
-
-/// Corrupts one random file in the snapshot (for failure-injection sweeps).
-/// Returns the (pointUri, filename) hit, or nullopt if the snapshot is empty.
-std::optional<std::pair<std::string, std::string>> corruptRandomFile(Snapshot& snap, Rng& rng);
 
 }  // namespace rpkic

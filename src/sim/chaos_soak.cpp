@@ -1,0 +1,381 @@
+#include "sim/chaos_soak.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "util/errors.hpp"
+
+namespace rpkic::sim {
+
+namespace {
+
+using rp::AlarmType;
+using rp::RcStatus;
+using rp::RelyingParty;
+using rp::RpOptions;
+using rp::SyncEngine;
+using rp::SyncPolicy;
+
+std::string roaKey(const Roa& r) {
+    return r.uri + "|" + std::to_string(r.serial) + "|" + std::to_string(r.asn);
+}
+
+/// Scans a relying party for consent to the disappearance of `uri`
+/// (simulation serials are small; mirror of the Theorem-5.1 test oracle).
+bool sawAnyDeadFor(const RelyingParty& alice, const std::string& uri) {
+    for (std::uint64_t s = 0; s < 64; ++s) {
+        if (alice.sawDeadFor(uri, s)) return true;
+    }
+    return false;
+}
+
+bool hasUnilateralAlarmFor(const RelyingParty& alice, const std::string& uri) {
+    for (const auto& a : alice.alarms().ofType(AlarmType::UnilateralRevocation)) {
+        if (a.victim == uri) return true;
+    }
+    return false;
+}
+
+/// A takedown is consented-to or alarmed if the RC itself OR any cached
+/// ancestor carries the evidence: the relying party invalidates whole
+/// subtrees while the .dead / UnilateralRevocation alarm names only the
+/// topmost victim (Deleted RC and Overwritten RC procedures).
+bool takedownExcused(const RelyingParty& alice, const std::string& startUri) {
+    std::string uri = startUri;
+    for (int depth = 0; depth < 64 && !uri.empty(); ++depth) {
+        if (sawAnyDeadFor(alice, uri)) return true;
+        if (hasUnilateralAlarmFor(alice, uri)) return true;
+        if (alice.successorOf(uri) != nullptr) return true;  // rollover completed
+        const rp::RcRecord* rec = alice.findRc(uri);
+        if (rec == nullptr) break;
+        uri = rec->cert.parentUri;
+    }
+    return false;
+}
+
+/// True if the chaotic relying party's view of `startUri`'s delivery chain
+/// is visibly behind the fault-free twin: an RC or publication point on
+/// the chain is flagged stale, or the chaos-facing engine accepted an
+/// older manifest than the twin for a chain point (a serve-stale pin that
+/// passed the probe: indistinguishable from "no change" until the pinned
+/// manifest expires, which is exactly the exposure §5.3.2 bounds with
+/// manifest lifetimes). Under such lag the chaotic relying party may hold
+/// mosaic state no honest global snapshot ever equalled; what it must
+/// never do is differ from the twin while every chain point is current.
+bool chainLagging(const RelyingParty& chaotic, const SyncEngine& engine,
+                  const SyncEngine& twinEngine, const std::string& startUri) {
+    const auto pointLags = [&](const std::string& p) {
+        if (p.empty()) return false;
+        if (chaotic.isPointStale(p)) return true;
+        const rp::PointTelemetry* mine = engine.telemetryFor(p);
+        const rp::PointTelemetry* theirs = twinEngine.telemetryFor(p);
+        if (theirs == nullptr || !theirs->sawManifest) return false;
+        return mine == nullptr || !mine->sawManifest ||
+               mine->highestManifestNumber < theirs->highestManifestNumber;
+    };
+    std::string uri = startUri;
+    for (int depth = 0; depth < 64 && !uri.empty(); ++depth) {
+        const rp::RcRecord* rec = chaotic.findRc(uri);
+        if (rec == nullptr) return true;  // incomplete chain: missing information
+        if (rec->stale) return true;
+        if (pointLags(rec->pointUri) || pointLags(rec->cert.pubPointUri)) return true;
+        uri = rec->cert.parentUri;
+    }
+    return false;
+}
+
+struct Violations {
+    std::vector<std::string>& out;
+    std::uint64_t round;
+
+    void add(const std::string& what) {
+        std::ostringstream os;
+        os << "round " << round << ": " << what;
+        out.push_back(os.str());
+    }
+};
+
+/// Draws one fault for (pointUri, round) or nothing. Deterministic in rng.
+std::optional<Fault> drawFault(Rng& rng, const SoakConfig& cfg, std::uint64_t round,
+                               const std::string& pointUri, const FileMap& files) {
+    if (!rng.nextBool(cfg.faultRate)) return std::nullopt;
+
+    Fault f;
+    f.pointUri = pointUri;
+    f.round = round;
+
+    const std::uint64_t roll = rng.nextBelow(100);
+    if (roll < 25) {
+        f.kind = FaultKind::DropFile;
+    } else if (roll < 45) {
+        f.kind = FaultKind::Corrupt;
+    } else if (roll < 55) {
+        f.kind = FaultKind::Truncate;
+    } else if (roll < 70) {
+        f.kind = FaultKind::DropPoint;
+    } else if (roll < 80) {
+        f.kind = FaultKind::WithholdManifest;
+    } else if (roll < 95) {
+        f.kind = FaultKind::ServeStale;
+    } else {
+        f.kind = FaultKind::Flap;
+    }
+    if (f.kind == FaultKind::ServeStale && round == 0) f.kind = FaultKind::DropPoint;
+
+    switch (f.kind) {
+        case FaultKind::DropFile:
+        case FaultKind::Corrupt:
+        case FaultKind::Truncate: {
+            if (files.empty()) return std::nullopt;
+            auto it = files.begin();
+            std::advance(it, static_cast<long>(rng.nextBelow(files.size())));
+            if (it->second.empty()) return std::nullopt;
+            f.filename = it->first;
+            if (f.kind == FaultKind::Corrupt) {
+                f.param = rng.nextBelow(it->second.size() * 8);
+            } else if (f.kind == FaultKind::Truncate) {
+                f.param = rng.nextBelow(it->second.size());
+            }
+            break;
+        }
+        case FaultKind::ServeStale: {
+            const std::uint64_t reach = std::min<std::uint64_t>(round, cfg.stallHorizon);
+            f.param = round - 1 - rng.nextBelow(reach);
+            break;
+        }
+        case FaultKind::Flap:
+            f.param = 1 + rng.nextBelow(2);
+            break;
+        case FaultKind::DropPoint:
+        case FaultKind::WithholdManifest:
+            break;
+    }
+
+    if (f.kind == FaultKind::Flap) {
+        f.rounds = 2 + static_cast<std::uint32_t>(rng.nextBelow(5));
+        f.attempts = Fault::kAllAttempts;
+    } else {
+        f.rounds = rng.nextBool(0.6) ? 1 : 2 + static_cast<std::uint32_t>(rng.nextBelow(3));
+        // Transient faults stay within the retry budget: the engine can
+        // absorb them. Persistent ones survive every attempt.
+        const bool transient = rng.nextBool(0.45);
+        f.attempts = transient && cfg.retryBudget > 0
+                         ? 1 + static_cast<std::uint32_t>(rng.nextBelow(cfg.retryBudget))
+                         : Fault::kAllAttempts;
+    }
+    return f;
+}
+
+SoakResult runSoakImpl(const SoakConfig& cfg, const FaultPlan* replay) {
+    SoakResult result;
+    result.seed = cfg.seed;
+
+    // --- world ---------------------------------------------------------------
+    DriverConfig driverConfig;
+    driverConfig.seed = cfg.seed;
+    driverConfig.adversarialProbability = cfg.adversarialProbability;
+    driverConfig.authority.manifestLifetime = static_cast<Duration>(cfg.rounds) + 50;
+    RandomScheduleDriver driver(driverConfig);
+
+    RepositorySource honest(driver.repo());
+
+    FaultPlan header;
+    if (replay != nullptr) {
+        header = *replay;
+    } else {
+        header.seed = cfg.seed;
+        header.rounds = cfg.rounds;
+        header.retryBudget = cfg.retryBudget;
+        header.adversarialPpm =
+            static_cast<std::uint32_t>(std::llround(cfg.adversarialProbability * 1e6));
+        header.stallHorizon = cfg.stallHorizon;
+    }
+    ChaosSource chaos(honest, std::move(header));
+
+    const RpOptions rpOptions{.ts = 4, .tg = 8, .checkIntermediateStates = true};
+    RelyingParty chaotic("chaotic", driver.trustAnchors(), rpOptions);
+    RelyingParty twin("twin", driver.trustAnchors(), rpOptions);
+
+    SyncPolicy policy;
+    policy.maxAttempts = cfg.retryBudget + 1;
+    SyncEngine engine(chaotic, chaos, policy);
+    SyncEngine twinEngine(twin, honest, policy);
+
+    Rng faultRng(cfg.seed * 0x9e3779b97f4a7c15ull + 0xc4a05u);
+
+    // --- oracles -------------------------------------------------------------
+    std::set<std::string> twinEverValid;   // roaKey over all rounds
+    std::set<std::string> chaoticWatched;  // RC uris ever Valid for chaotic
+    std::size_t alarmsChecked = 0;         // I5 incremental cursor
+    const bool honestWorld = cfg.adversarialProbability == 0.0;
+
+    for (std::uint64_t r = 0; r < cfg.rounds; ++r) {
+        const Time now = static_cast<Time>(r);
+        Violations v{result.violations, r};
+
+        if (r > 0) driver.step(now);
+
+        if (replay == nullptr) {
+            // Schedule this round's faults against the points that exist
+            // right now (std::map order keeps the draw deterministic).
+            for (const auto& [uri, files] : driver.repo().snapshot().points) {
+                auto f = drawFault(faultRng, cfg, r, uri, files);
+                if (f.has_value()) chaos.addFault(std::move(*f));
+            }
+        }
+
+        // --- I1: the pipeline must absorb anything the plan throws at it ---
+        bool roundOk = true;
+        try {
+            engine.syncRound(now);
+        } catch (const std::exception& e) {
+            v.add(std::string("exception escaped chaotic sync: ") + e.what());
+            roundOk = false;
+        }
+        try {
+            twinEngine.syncRound(now);
+        } catch (const std::exception& e) {
+            v.add(std::string("exception escaped fault-free twin sync: ") + e.what());
+            roundOk = false;
+        }
+        if (!roundOk) break;  // state after an escape is undefined; stop here
+
+        const std::vector<Roa> twinValid = twin.validRoas();
+        std::set<std::string> twinNow;
+        for (const Roa& roa : twinValid) {
+            twinNow.insert(roaKey(roa));
+            twinEverValid.insert(roaKey(roa));
+        }
+
+        // --- I2 / I3: nothing fabricated; retained state is flagged ---
+        bool allDelivered = engine.reports().back().pointsFailed == 0;
+        for (const Roa& roa : chaotic.validRoas()) {
+            const std::string key = roaKey(roa);
+            if (twinNow.count(key) > 0) continue;
+            // Not current in the twin: only a visibly lagging or stale
+            // delivery chain may explain the difference (§5.3.2 — the
+            // exposure window manifest expiry bounds). From fresh data the
+            // chaotic relying party must agree with the twin.
+            if (chainLagging(chaotic, engine, twinEngine, roa.parentUri)) continue;
+            if (twinEverValid.count(key) == 0) {
+                v.add("false-valid ROA " + key +
+                      " from a current chain (never valid in the fault-free twin)");
+            } else {
+                v.add("silently retained ROA " + key +
+                      " (twin dropped it; no stale flag or lag on its chain)");
+            }
+        }
+
+        // --- I4: no silent takedown (Theorem 5.1 status oracle) ---
+        for (const auto& [uri, rec] : chaotic.rcRecords()) {
+            if (rec.status == RcStatus::Valid) chaoticWatched.insert(uri);
+        }
+        for (const std::string& uri : chaoticWatched) {
+            const rp::RcRecord* rec = chaotic.findRc(uri);
+            if (rec == nullptr) {
+                v.add("watched RC record vanished: " + uri);
+                continue;
+            }
+            if (rec->status != RcStatus::NoLongerValid) continue;
+            if (takedownExcused(chaotic, uri)) continue;
+            v.add("silent takedown of " + uri +
+                  " (NoLongerValid without .dead, alarm, or successor on its chain)");
+        }
+
+        // --- I7: twin and chaotic live in the same world ---
+        if (cfg.globalCheckEvery > 0 && (r + 1) % cfg.globalCheckEvery == 0) {
+            chaotic.globalConsistencyCheck(twin.exportManifestClaims(), now);
+            twin.globalConsistencyCheck(chaotic.exportManifestClaims(), now);
+        }
+
+        // --- I5 / I6 / I7: alarm-class audit over the new alarms ---
+        const auto& all = chaotic.alarms().all();
+        for (; alarmsChecked < all.size(); ++alarmsChecked) {
+            const rp::Alarm& a = all[alarmsChecked];
+            switch (a.type) {
+                case AlarmType::MissingInformation:
+                    if (a.accountable || !a.perpetrator.empty()) {
+                        v.add("missing-information alarm became accountable: " + a.str());
+                    }
+                    break;
+                case AlarmType::InvalidSyntax:
+                case AlarmType::ChildTooBroad:
+                    if (!a.accountable || a.perpetrator.empty()) {
+                        v.add("structural alarm lost its accountability: " + a.str());
+                    }
+                    break;
+                case AlarmType::GlobalInconsistency:
+                    if (a.accountable) {
+                        v.add("accountable global inconsistency inside one world: " + a.str());
+                    }
+                    break;
+                case AlarmType::BadKeyRollover:
+                case AlarmType::UnilateralRevocation:
+                    break;  // accountability legitimately depends on staleness
+            }
+            if (a.accountable && a.perpetrator.empty()) {
+                v.add("accountable alarm names no perpetrator: " + a.str());
+            }
+            if (honestWorld && a.accountable) {
+                v.add("chaos fabricated an accountable accusation in an honest world: " +
+                      a.str());
+            }
+        }
+
+        if (allDelivered && !(chaotic.roaState() == twin.roaState())) {
+            ++result.stats.divergentCleanRounds;
+        }
+    }
+
+    // --- stats ---------------------------------------------------------------
+    result.plan = chaos.plan();
+    SoakStats& s = result.stats;
+    s.faultsScheduled = result.plan.faults.size();
+    s.faultApplications = chaos.faultApplications();
+    s.attempts = engine.totals().attempts;
+    s.retries = engine.totals().retries;
+    s.faultsAbsorbed = engine.totals().faultsAbsorbed;
+    s.pointRoundsFailed = engine.totals().pointRoundsFailed;
+    for (const auto& [uri, pt] : engine.telemetry()) {
+        s.maxStaleStreak = std::max(s.maxStaleStreak, pt.longestStaleStreak);
+        s.recoveries += pt.recoveries;
+        s.meanRecoveryRounds += static_cast<double>(pt.recoveryRoundsSum);
+    }
+    s.meanRecoveryRounds =
+        s.recoveries == 0 ? 0.0 : s.meanRecoveryRounds / static_cast<double>(s.recoveries);
+    s.alarms = chaotic.alarms().count();
+    for (const auto& a : chaotic.alarms().all()) {
+        if (a.accountable) ++s.accountableAlarms;
+    }
+    s.twinAlarms = twin.alarms().count();
+    s.validRoasFinal = chaotic.validRoas().size();
+    s.twinValidRoasFinal = twin.validRoas().size();
+
+    result.passed = result.violations.empty();
+    return result;
+}
+
+}  // namespace
+
+SoakConfig configFromPlan(const FaultPlan& plan) {
+    SoakConfig cfg;
+    cfg.seed = plan.seed;
+    cfg.rounds = static_cast<std::uint32_t>(plan.rounds);
+    cfg.retryBudget = plan.retryBudget;
+    cfg.adversarialProbability = static_cast<double>(plan.adversarialPpm) / 1e6;
+    cfg.stallHorizon = plan.stallHorizon;
+    cfg.faultRate = 0.0;  // faults come from the plan, not the generator
+    return cfg;
+}
+
+SoakResult runSoak(const SoakConfig& cfg) {
+    return runSoakImpl(cfg, nullptr);
+}
+
+SoakResult runSoakWithPlan(const FaultPlan& plan) {
+    return runSoakImpl(configFromPlan(plan), &plan);
+}
+
+}  // namespace rpkic::sim

@@ -1,0 +1,102 @@
+// Chaos soak harness over the relying-party pipeline.
+//
+// Runs the randomized authority-hierarchy driver (sim/driver.hpp) with a
+// seeded FaultPlan injected between the repository and a SyncEngine-backed
+// relying party, and checks robustness invariants every round against a
+// fault-free "twin" relying party syncing the same honest world:
+//
+//  I1  no exception escapes the sync pipeline;
+//  I2  no fabrication from fresh data: a ROA the chaotic relying party
+//      holds valid that was never valid for the fault-free twin must sit
+//      behind a delivery chain that is visibly stale or lagging the twin
+//      (serve-stale pins can assemble mosaic states; §5.3.2 bounds that
+//      exposure with manifest expiry — from current data, never);
+//  I3  graceful degradation is flagged: a retained ROA the twin no longer
+//      holds valid must sit behind a stale or lagging chain (§5.3.2
+//      "revert to an older set" is visible, not silent);
+//  I4  no silent takedown (Theorem 5.1 status oracle): an RC that was
+//      valid and is now NoLongerValid had a .dead consent, a
+//      unilateral-revocation alarm, or a rollover successor somewhere on
+//      its cached issuer chain (subtree invalidations name the topmost
+//      victim);
+//  I5  Table-7 accountability classes hold for every alarm (missing
+//      information is never accountable and never names a perpetrator;
+//      invalid-syntax and child-too-broad are always accountable; every
+//      accountable alarm names its perpetrator);
+//  I6  chaos fabricates no evidence: with an all-honest driver, the
+//      chaotic relying party raises no accountable alarms at all;
+//  I7  the twin and the chaotic relying party live in the same world: the
+//      periodic global consistency check between them never raises an
+//      *accountable* inconsistency (Theorems 5.2/5.3 under faults).
+//
+// A failing run returns its FaultPlan; `rpkic-soak --plan FILE` replays it
+// and reproduces the identical alarm/invariant outcome.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rpki/chaos.hpp"
+#include "rp/sync_engine.hpp"
+#include "sim/driver.hpp"
+
+namespace rpkic::sim {
+
+struct SoakConfig {
+    std::uint64_t seed = 1;
+    std::uint32_t rounds = 40;
+    /// Retries after the first attempt (SyncPolicy.maxAttempts = budget+1).
+    std::uint32_t retryBudget = 2;
+    /// Per-point per-round probability that a fault is scheduled.
+    double faultRate = 0.35;
+    /// Driver misbehaviour probability (0 = all-honest authorities, which
+    /// arms invariant I6).
+    double adversarialProbability = 0.15;
+    /// Serve-stale pins reach at most this many rounds back.
+    std::uint64_t stallHorizon = 8;
+    /// Twin <-> chaotic global consistency check cadence (rounds).
+    std::uint32_t globalCheckEvery = 5;
+};
+
+/// Reconstructs the configuration a plan was generated under, so replays
+/// run the identical experiment.
+SoakConfig configFromPlan(const FaultPlan& plan);
+
+struct SoakStats {
+    std::uint64_t faultsScheduled = 0;     ///< plan entries
+    std::uint64_t faultApplications = 0;   ///< fault hits across attempts
+    std::uint64_t attempts = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t faultsAbsorbed = 0;      ///< healed by retry, no alarm
+    std::uint64_t pointRoundsFailed = 0;   ///< budget exhausted
+    std::uint32_t maxStaleStreak = 0;      ///< worst consecutive failed rounds
+    std::uint64_t recoveries = 0;
+    double meanRecoveryRounds = 0.0;       ///< mean failed-streak before recovery
+    std::uint64_t alarms = 0;              ///< chaotic relying party, total
+    std::uint64_t accountableAlarms = 0;
+    std::uint64_t twinAlarms = 0;          ///< fault-free baseline
+    std::size_t validRoasFinal = 0;
+    std::size_t twinValidRoasFinal = 0;
+    /// Rounds where every point was delivered yet the chaotic and twin
+    /// valid-ROA states differ (lag diagnostics; not an invariant).
+    std::uint64_t divergentCleanRounds = 0;
+};
+
+struct SoakResult {
+    std::uint64_t seed = 0;
+    bool passed = false;
+    std::vector<std::string> violations;  ///< empty iff passed
+    FaultPlan plan;                       ///< replayable schedule
+    SoakStats stats;
+};
+
+/// Runs one soak: generates a FaultPlan from cfg.seed round by round (so
+/// faults target publication points that actually exist as the simulated
+/// hierarchy evolves) and checks invariants I1-I7.
+SoakResult runSoak(const SoakConfig& cfg);
+
+/// Replays a serialized plan: no generation, identical outcome.
+SoakResult runSoakWithPlan(const FaultPlan& plan);
+
+}  // namespace rpkic::sim

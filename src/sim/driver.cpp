@@ -222,6 +222,13 @@ const OpLogEntry& RandomScheduleDriver::step(Time now) {
     } catch (const KeyExhaustedError&) {
         record(now, "key exhausted; operation skipped (rollover would be scheduled)", false);
         return log_.back();
+    } catch (const Error& e) {
+        // Precondition races (e.g. an op drawn against a child revoked
+        // earlier in the schedule). Authority operations verify requireLive()
+        // before mutating, so a throw here left no partial state; long soak
+        // schedules must survive it.
+        record(now, std::string("operation skipped: ") + e.what(), false);
+        return log_.back();
     }
 }
 

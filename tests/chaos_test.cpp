@@ -1,0 +1,333 @@
+// Chaos engine + resilient sync: fault plans round-trip, the sync engine
+// absorbs transient faults without alarms, Stalloris-style stale serving
+// is refused and surfaces as visible staleness (never a silent validity
+// revert), and the soak harness is reproducible from a serialized plan.
+#include <gtest/gtest.h>
+
+#include "consent/authority.hpp"
+#include "rp/relying_party.hpp"
+#include "rp/sync_engine.hpp"
+#include "rpki/chaos.hpp"
+#include "sim/chaos_soak.hpp"
+#include "util/errors.hpp"
+
+namespace rpkic {
+namespace {
+
+using consent::Authority;
+using consent::AuthorityDirectory;
+using consent::AuthorityOptions;
+using rp::AlarmType;
+using rp::FetchOutcome;
+using rp::PointHealth;
+using rp::RelyingParty;
+using rp::RpOptions;
+using rp::SyncEngine;
+using rp::SyncPolicy;
+
+IpPrefix pfx(const char* s) {
+    return IpPrefix::parse(s);
+}
+
+// ---------------------------------------------------------------------------
+// FaultPlan serialization
+
+FaultPlan samplePlan() {
+    FaultPlan plan;
+    plan.seed = 42;
+    plan.rounds = 30;
+    plan.retryBudget = 2;
+    plan.adversarialPpm = 150000;
+    plan.stallHorizon = 6;
+    plan.faults.push_back({FaultKind::DropFile, "rpki://org/", "r1.roa", 3, 1, 1, 0});
+    plan.faults.push_back(
+        {FaultKind::Corrupt, "rpki://org/", "manifest.mft", 5, 2, Fault::kAllAttempts, 17});
+    plan.faults.push_back({FaultKind::Truncate, "rpki://isp/", "x.cer", 7, 1, 2, 9});
+    plan.faults.push_back(
+        {FaultKind::DropPoint, "rpki://isp/", "", 8, 3, Fault::kAllAttempts, 0});
+    plan.faults.push_back({FaultKind::WithholdManifest, "rpki://org/", "", 9, 1, 1, 0});
+    plan.faults.push_back(
+        {FaultKind::ServeStale, "rpki://org/", "", 12, 4, Fault::kAllAttempts, 10});
+    plan.faults.push_back({FaultKind::Flap, "rpki://isp/", "", 15, 6, Fault::kAllAttempts, 2});
+    return plan;
+}
+
+TEST(FaultPlan, TextRoundTripsExactly) {
+    const FaultPlan plan = samplePlan();
+    const std::string text = plan.serialize();
+    const FaultPlan back = FaultPlan::parse(text);
+    EXPECT_EQ(back, plan);
+    // Canonical: serializing again is byte-identical.
+    EXPECT_EQ(back.serialize(), text);
+}
+
+TEST(FaultPlan, TlvRoundTripsExactly) {
+    const FaultPlan plan = samplePlan();
+    const Bytes wire = plan.encode();
+    const FaultPlan back = FaultPlan::decode(ByteView(wire.data(), wire.size()));
+    EXPECT_EQ(back, plan);
+    EXPECT_EQ(back.encode(), wire);
+}
+
+TEST(FaultPlan, MalformedInputsRaiseParseError) {
+    EXPECT_THROW((void)FaultPlan::parse("not a fault plan"), ParseError);
+    EXPECT_THROW((void)FaultPlan::parse("faultplan v2 seed=1 rounds=1"), ParseError);
+    EXPECT_THROW(
+        (void)FaultPlan::parse(samplePlan().serialize() + "fault kind=meteor point=x\n"),
+        ParseError);
+    const Bytes wire = samplePlan().encode();
+    for (const std::size_t cut : {std::size_t{0}, std::size_t{3}, wire.size() / 2}) {
+        EXPECT_THROW((void)FaultPlan::decode(ByteView(wire.data(), cut)), ParseError);
+    }
+    Bytes garbled = wire;
+    garbled[0] ^= 0xff;  // magic
+    EXPECT_THROW((void)FaultPlan::decode(ByteView(garbled.data(), garbled.size())),
+                 ParseError);
+}
+
+TEST(FaultPlan, ActivationWindows) {
+    Fault f;
+    f.round = 4;
+    f.rounds = 2;
+    f.attempts = 1;
+    EXPECT_FALSE(f.activeAt(3, 0));
+    EXPECT_TRUE(f.activeAt(4, 0));
+    EXPECT_FALSE(f.activeAt(4, 1));  // transient: retry heals it
+    EXPECT_TRUE(f.activeAt(5, 0));
+    EXPECT_FALSE(f.activeAt(6, 0));
+    f.attempts = Fault::kAllAttempts;
+    EXPECT_TRUE(f.activeAt(5, 7));  // persistent: survives every retry
+}
+
+// ---------------------------------------------------------------------------
+// SyncEngine under scheduled faults
+
+struct World {
+    Repository repo;
+    AuthorityDirectory dir{121,
+                           AuthorityOptions{.ts = 4, .signerHeight = 6,
+                                            .manifestLifetime = 1000}};
+    SimClock clock;
+    Authority* root;
+    Authority* org;
+
+    World() {
+        root = &dir.createTrustAnchor("root", ResourceSet::ofPrefixes({pfx("10.0.0.0/8")}),
+                                      repo, clock.now());
+        org = &dir.createChild(*root, "org", ResourceSet::ofPrefixes({pfx("10.1.0.0/16")}),
+                               repo, clock.now());
+        org->issueRoa("r1", 64500, {{pfx("10.1.0.0/20"), 24}}, repo, clock.now());
+    }
+};
+
+TEST(SyncEngine, TransientFaultsAreAbsorbedWithoutAlarms) {
+    World w;
+    RepositorySource honest(w.repo);
+    ChaosSource chaos(honest, FaultPlan{});
+    const std::string orgPoint = w.org->cert().pubPointUri;
+    // A glitch on the first attempt of rounds 1 and 2: one retry heals it.
+    chaos.addFault({FaultKind::DropPoint, orgPoint, "", 1, 2, 1, 0});
+
+    RelyingParty alice("alice", {w.root->cert()}, RpOptions{.ts = 4, .tg = 8});
+    SyncEngine engine(alice, chaos, SyncPolicy{.maxAttempts = 3});
+
+    for (int round = 0; round < 4; ++round) {
+        engine.syncRound(w.clock.now());
+        // Health is a per-round verdict: Degraded while retries were
+        // needed (rounds 1-2), Healthy on clean first-attempt rounds.
+        EXPECT_EQ(engine.healthOf(orgPoint),
+                  (round == 1 || round == 2) ? PointHealth::Degraded : PointHealth::Healthy)
+            << "round " << round;
+        w.clock.advance(1);
+        w.org->refreshManifest(w.repo, w.clock.now());
+    }
+
+    const rp::PointTelemetry* pt = engine.telemetryFor(orgPoint);
+    ASSERT_NE(pt, nullptr);
+    EXPECT_EQ(pt->roundsDelivered, 4u);       // every round ultimately delivered
+    EXPECT_EQ(pt->roundsFailed, 0u);
+    EXPECT_EQ(pt->retries, 2u);               // one retry per glitched round
+    EXPECT_EQ(pt->faultsAbsorbed, 2u);
+    EXPECT_GT(pt->backoffSpent, 0);
+    EXPECT_EQ(pt->rejections.at(FetchOutcome::Unreachable), 2u);
+    EXPECT_EQ(engine.totals().retries, 2u);
+    EXPECT_EQ(engine.totals().faultsAbsorbed, 2u);
+
+    // Absorbed faults are invisible to the relying party: no alarms, no
+    // staleness, full validity.
+    EXPECT_EQ(alice.alarms().count(), 0u);
+    EXPECT_FALSE(alice.isPointStale(orgPoint));
+    EXPECT_EQ(alice.validRoas().size(), 1u);
+}
+
+TEST(SyncEngine, BudgetExhaustionDegradesGracefullyAndQuarantines) {
+    World w;
+    RepositorySource honest(w.repo);
+    ChaosSource chaos(honest, FaultPlan{});
+    const std::string orgPoint = w.org->cert().pubPointUri;
+    // Persistently unreachable from round 1 for 4 rounds.
+    chaos.addFault({FaultKind::DropPoint, orgPoint, "", 1, 4, Fault::kAllAttempts, 0});
+
+    RelyingParty alice("alice", {w.root->cert()}, RpOptions{.ts = 4, .tg = 8});
+    SyncEngine engine(alice, chaos, SyncPolicy{.maxAttempts = 3, .quarantineAfter = 3});
+
+    engine.syncRound(w.clock.now());  // round 0: honest
+    ASSERT_EQ(alice.validRoas().size(), 1u);
+
+    std::vector<PointHealth> healthByRound;
+    std::vector<std::uint64_t> attemptsByRound;
+    for (int round = 1; round <= 4; ++round) {
+        w.clock.advance(1);
+        const rp::SyncReport rep = engine.syncRound(w.clock.now());
+        healthByRound.push_back(engine.healthOf(orgPoint));
+        attemptsByRound.push_back(rep.attempts);
+        // §5.3.2 graceful degradation: the cache keeps serving.
+        EXPECT_EQ(alice.validRoas().size(), 1u) << "round " << round;
+    }
+    EXPECT_EQ(healthByRound[0], PointHealth::Stale);
+    EXPECT_EQ(healthByRound[1], PointHealth::Stale);
+    EXPECT_EQ(healthByRound[2], PointHealth::Quarantined);
+    EXPECT_EQ(healthByRound[3], PointHealth::Quarantined);
+    // Quarantine cuts the attempt budget to 1 (Stalloris resource lesson).
+    // Per-round attempts include root's point, delivered first try (+1).
+    EXPECT_EQ(attemptsByRound[0], 4u);  // org: full budget of 3
+    EXPECT_EQ(attemptsByRound[3], 2u);  // org: quarantined, 1 attempt
+    // The relying party knows, via the prescribed unaccountable channel.
+    EXPECT_TRUE(alice.isPointStale(orgPoint));
+    EXPECT_TRUE(alice.alarms().has(AlarmType::MissingInformation));
+    for (const auto& a : alice.alarms().all()) {
+        EXPECT_FALSE(a.accountable) << a.str();
+    }
+
+    // Round 5: the fault window ends; one clean round recovers the point.
+    w.clock.advance(1);
+    engine.syncRound(w.clock.now());
+    EXPECT_EQ(engine.healthOf(orgPoint), PointHealth::Degraded);  // just out of quarantine
+    EXPECT_FALSE(alice.isPointStale(orgPoint));
+    const rp::PointTelemetry* pt = engine.telemetryFor(orgPoint);
+    ASSERT_NE(pt, nullptr);
+    EXPECT_EQ(pt->recoveries, 1u);
+    EXPECT_EQ(pt->longestStaleStreak, 4u);
+}
+
+TEST(SyncEngine, StallorisStaleServingIsRefusedNeverSilent) {
+    // The Stalloris pattern: after the relying party has seen manifest
+    // number N, the repository alternates serving the old state (a pin to
+    // an earlier round) and withholding the manifest. The engine must
+    // refuse both — leaving the point visibly stale with a
+    // missing-information alarm — and must never silently revert validity
+    // to the older object set.
+    World w;
+    RepositorySource honest(w.repo);
+    ChaosSource chaos(honest, FaultPlan{});
+    const std::string orgPoint = w.org->cert().pubPointUri;
+    chaos.addFault({FaultKind::ServeStale, orgPoint, "", 2, 1, Fault::kAllAttempts, 0});
+    chaos.addFault(
+        {FaultKind::WithholdManifest, orgPoint, "", 3, 1, Fault::kAllAttempts, 0});
+    chaos.addFault({FaultKind::ServeStale, orgPoint, "", 4, 1, Fault::kAllAttempts, 0});
+
+    RelyingParty alice("alice", {w.root->cert()}, RpOptions{.ts = 4, .tg = 8});
+    // quarantineAfter above the window so the full budget is probed.
+    SyncEngine engine(alice, chaos, SyncPolicy{.maxAttempts = 2, .quarantineAfter = 5});
+
+    engine.syncRound(w.clock.now());  // round 0: r1 valid
+    ASSERT_EQ(alice.validRoas().size(), 1u);
+
+    w.clock.advance(1);  // round 1: r2 published; engine accepts the new manifest
+    w.org->issueRoa("r2", 64501, {{pfx("10.1.16.0/20"), 24}}, w.repo, w.clock.now());
+    engine.syncRound(w.clock.now());
+    ASSERT_EQ(alice.validRoas().size(), 2u);
+
+    for (int round = 2; round <= 4; ++round) {  // the Stalloris rounds
+        w.clock.advance(1);
+        engine.syncRound(w.clock.now());
+        // Never a silent revert: both ROAs stay valid from the cache.
+        EXPECT_EQ(alice.validRoas().size(), 2u) << "round " << round;
+        // And never silent: the point is flagged stale.
+        EXPECT_TRUE(alice.isPointStale(orgPoint)) << "round " << round;
+        EXPECT_EQ(engine.healthOf(orgPoint), PointHealth::Stale) << "round " << round;
+    }
+
+    const rp::PointTelemetry* pt = engine.telemetryFor(orgPoint);
+    ASSERT_NE(pt, nullptr);
+    EXPECT_EQ(pt->rejections.at(FetchOutcome::Regressed), 4u);        // 2 stale rounds x 2
+    EXPECT_EQ(pt->rejections.at(FetchOutcome::ManifestMissing), 2u);  // withhold round
+    EXPECT_TRUE(alice.alarms().has(AlarmType::MissingInformation));
+    for (const auto& a : alice.alarms().all()) {
+        EXPECT_FALSE(a.accountable) << a.str();  // nothing accusable happened
+    }
+
+    // Round 5: honest again; the pin is gone and the point recovers.
+    w.clock.advance(1);
+    engine.syncRound(w.clock.now());
+    EXPECT_FALSE(alice.isPointStale(orgPoint));
+    EXPECT_EQ(alice.validRoas().size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Soak harness
+
+TEST(ChaosSoak, SeedsPassAndPlansReplayIdentically) {
+    for (const std::uint64_t seed : {1ull, 7ull, 23ull}) {
+        sim::SoakConfig cfg;
+        cfg.seed = seed;
+        cfg.rounds = 15;
+        const sim::SoakResult first = sim::runSoak(cfg);
+        EXPECT_TRUE(first.passed) << "seed " << seed << ": " << first.violations.size()
+                                  << " violations";
+        EXPECT_GT(first.stats.faultApplications, 0u) << "chaos never fired?";
+
+        // Text round-trip, then replay: the outcome must be identical.
+        const FaultPlan parsed = FaultPlan::parse(first.plan.serialize());
+        EXPECT_EQ(parsed, first.plan);
+        const sim::SoakResult again = sim::runSoakWithPlan(parsed);
+        EXPECT_EQ(again.passed, first.passed);
+        EXPECT_EQ(again.violations, first.violations);
+        EXPECT_EQ(again.stats.faultApplications, first.stats.faultApplications);
+        EXPECT_EQ(again.stats.attempts, first.stats.attempts);
+        EXPECT_EQ(again.stats.retries, first.stats.retries);
+        EXPECT_EQ(again.stats.faultsAbsorbed, first.stats.faultsAbsorbed);
+        EXPECT_EQ(again.stats.pointRoundsFailed, first.stats.pointRoundsFailed);
+        EXPECT_EQ(again.stats.alarms, first.stats.alarms);
+        EXPECT_EQ(again.stats.accountableAlarms, first.stats.accountableAlarms);
+        EXPECT_EQ(again.stats.validRoasFinal, first.stats.validRoasFinal);
+        EXPECT_EQ(again.plan, first.plan);
+    }
+}
+
+TEST(ChaosSoak, RetryBudgetZeroDemonstrablyDegrades) {
+    sim::SoakConfig strong;
+    strong.seed = 11;
+    strong.rounds = 20;
+    strong.retryBudget = 2;
+    sim::SoakConfig weak = strong;
+    weak.retryBudget = 0;
+
+    const sim::SoakResult s = sim::runSoak(strong);
+    const sim::SoakResult w = sim::runSoak(weak);
+    EXPECT_TRUE(s.passed);
+    EXPECT_TRUE(w.passed);  // transparency invariants hold even weakened
+    // ...but delivery is demonstrably worse: no absorbed faults, more
+    // rounds on stale cache.
+    EXPECT_GT(s.stats.faultsAbsorbed, 0u);
+    EXPECT_EQ(w.stats.faultsAbsorbed, 0u);
+    EXPECT_EQ(w.stats.retries, 0u);
+    EXPECT_GT(w.stats.pointRoundsFailed, s.stats.pointRoundsFailed);
+}
+
+TEST(ChaosSoak, HonestWorldRaisesNoAccountableAlarms) {
+    // Invariant I6 armed: all-honest authorities, full chaos. Every alarm
+    // must stay in the unaccountable (missing-information) class.
+    sim::SoakConfig cfg;
+    cfg.seed = 5;
+    cfg.rounds = 20;
+    cfg.adversarialProbability = 0.0;
+    cfg.faultRate = 0.5;
+    const sim::SoakResult r = sim::runSoak(cfg);
+    EXPECT_TRUE(r.passed) << (r.violations.empty() ? "" : r.violations.front());
+    EXPECT_EQ(r.stats.accountableAlarms, 0u);
+    EXPECT_GT(r.stats.faultApplications, 0u);
+}
+
+}  // namespace
+}  // namespace rpkic

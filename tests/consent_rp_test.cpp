@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "consent/authority.hpp"
+#include "rpki/chaos.hpp"
 #include "rp/relying_party.hpp"
 #include "util/errors.hpp"
 

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "consent/bulk.hpp"
+#include "rpki/chaos.hpp"
 #include "rp/relying_party.hpp"
 
 namespace rpkic {

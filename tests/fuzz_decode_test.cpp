@@ -4,7 +4,9 @@
 // ParseError — these are bytes fetched from untrusted repositories.
 #include <gtest/gtest.h>
 
+#include "consent/authority.hpp"
 #include "crypto/xmss.hpp"
+#include "rp/relying_party.hpp"
 #include "rpki/objects.hpp"
 #include "util/rng.hpp"
 
@@ -154,6 +156,80 @@ TEST_P(FuzzDecode, PureGarbageNeverCrashes) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzDecode, ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+/// Builds a realistic relying-party cache blob: a small consent-mode
+/// hierarchy synced twice (so manifest history, hints and alarms are all
+/// populated), then serialized.
+Bytes realisticStateBlob() {
+    Repository repo;
+    consent::AuthorityDirectory dir(
+        77, consent::AuthorityOptions{.ts = 4, .signerHeight = 6, .manifestLifetime = 1000});
+    SimClock clock;
+    auto& root = dir.createTrustAnchor(
+        "root", ResourceSet::ofPrefixes({pfx("10.0.0.0/8")}), repo, clock.now());
+    auto& org = dir.createChild(root, "org", ResourceSet::ofPrefixes({pfx("10.1.0.0/16")}),
+                                repo, clock.now());
+    org.issueRoa("r1", 64500, {{pfx("10.1.0.0/20"), 24}}, repo, clock.now());
+    rp::RelyingParty alice("alice", {root.cert()}, rp::RpOptions{.ts = 4, .tg = 8});
+    alice.sync(repo.snapshot(), clock.now());
+    clock.advance(1);
+    org.issueRoa("r2", 64501, {{pfx("10.1.16.0/20"), 24}}, repo, clock.now());
+    root.unsafeUnilateralRevokeChild("org", repo, clock.now());  // populate alarms
+    alice.sync(repo.snapshot(), clock.now());
+    return alice.serializeState();
+}
+
+class FuzzStateBlob : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzStateBlob, MutatedCacheLoadsFullyOrThrows) {
+    // The cache file is the one input a relying party reads that chaos can
+    // reach at rest (disk corruption, torn writes). Mutations must either
+    // raise ParseError or deserialize into a fully-functional relying
+    // party — never crash, never a half-loaded state that later faults.
+    const Bytes blob = realisticStateBlob();
+    Rng rng(GetParam() * 0x9e3779b97f4a7c15ull + 1);
+    int parseErrors = 0;
+    int accepted = 0;
+    for (int iter = 0; iter < 150; ++iter) {
+        Bytes wire = blob;
+        const int mutations = static_cast<int>(rng.nextInRange(1, 6));
+        for (int m = 0; m < mutations; ++m) {
+            switch (rng.nextBelow(3)) {
+                case 0:  // bit flip
+                    wire[static_cast<std::size_t>(rng.nextBelow(wire.size()))] ^=
+                        static_cast<std::uint8_t>(1u << rng.nextBelow(8));
+                    break;
+                case 1:  // truncate (torn write)
+                    wire.resize(static_cast<std::size_t>(rng.nextBelow(wire.size() + 1)));
+                    break;
+                case 2:  // append garbage
+                    for (int j = 0; j < 8; ++j) {
+                        wire.push_back(static_cast<std::uint8_t>(rng.nextU64()));
+                    }
+                    break;
+            }
+        }
+        if (wire == blob) continue;
+        try {
+            rp::RelyingParty restored =
+                rp::RelyingParty::deserializeState(ByteView(wire.data(), wire.size()));
+            // Whatever decoded must be a *complete* state: exercising it
+            // must not throw, and it must re-serialize canonically.
+            (void)restored.validRoas();
+            (void)restored.roaState();
+            (void)restored.exportManifestClaims();
+            const Bytes again = restored.serializeState();
+            EXPECT_EQ(again, restored.serializeState());
+            ++accepted;
+        } catch (const ParseError&) {
+            ++parseErrors;  // the only acceptable failure mode
+        }
+    }
+    EXPECT_GT(parseErrors, 50) << "cache mutations were mostly accepted?";
+    (void)accepted;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzStateBlob, ::testing::Values(1, 2, 3, 4));
 
 TEST(FuzzDecode, MutatedSignaturesNeverVerify) {
     // Signature forgery via byte-level mutation must always fail.

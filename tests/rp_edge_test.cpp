@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "consent/authority.hpp"
+#include "rpki/chaos.hpp"
 #include "rp/relying_party.hpp"
 
 namespace rpkic {

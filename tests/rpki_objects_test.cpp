@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "rpki/chaos.hpp"
 #include "rpki/repository.hpp"
 #include "rpki/signing.hpp"
 #include "util/errors.hpp"
@@ -272,11 +273,25 @@ TEST(Repository, FailureInjection) {
     EXPECT_TRUE(serveStalePoint(newer, snap, "p"));
     EXPECT_EQ((*newer.file("p", "f"))[0], 0xAA);
 
+    Snapshot shortRead = snap;
+    EXPECT_TRUE(truncateFile(shortRead, "p", "f", 1));
+    EXPECT_EQ(shortRead.file("p", "f")->size(), 1u);
+    EXPECT_EQ((*shortRead.file("p", "f"))[0], 0xAA);
+    EXPECT_FALSE(truncateFile(shortRead, "p", "f", 1));  // already that short
+    EXPECT_FALSE(truncateFile(shortRead, "p", "missing", 0));
+
     Rng rng(1);
     Snapshot randomHit = snap;
     const auto victim = corruptRandomFile(randomHit, rng);
     ASSERT_TRUE(victim.has_value());
-    EXPECT_NE(*randomHit.file(victim->first, victim->second), *snap.file("p", "f"));
+    EXPECT_NE(*randomHit.file(victim->pointUri, victim->filename), *snap.file("p", "f"));
+    // The receipt names the byte actually flipped: applying the same flip
+    // to a fresh copy reproduces the corrupted snapshot exactly.
+    Snapshot replayed = snap;
+    ASSERT_LT(victim->byteIndex, snap.file("p", "f")->size());
+    ASSERT_TRUE(corruptFile(replayed, victim->pointUri, victim->filename, victim->byteIndex));
+    EXPECT_EQ(*replayed.file(victim->pointUri, victim->filename),
+              *randomHit.file(victim->pointUri, victim->filename));
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "detector/diff.hpp"
+#include "rpki/chaos.hpp"
 #include "vanilla/classic_tree.hpp"
 
 namespace rpkic {

@@ -1,0 +1,194 @@
+// rpkic-soak: chaos soak harness over the relying-party pipeline.
+//
+// Runs N seeded fault schedules (sim/chaos_soak.hpp) against the random
+// authority-hierarchy driver, checking robustness invariants I1-I7 every
+// round against a fault-free twin relying party. Any failing run prints
+// its serialized FaultPlan (and writes it to soak-fail-seed<N>.plan);
+// replaying the plan reproduces the identical outcome:
+//
+//   rpkic-soak --seeds 200                     # the full gauntlet
+//   rpkic-soak --smoke                         # CI: 32 seeds, short runs
+//   rpkic-soak --plan soak-fail-seed7.plan     # bit-identical replay
+//   rpkic-soak --seeds 20 --compare            # retry budget 2 vs 0 table
+//
+// Options:
+//   --seeds N          number of seeds to sweep (default 20)
+//   --seed-base B      first seed (default 1)
+//   --rounds N         sync rounds per run (default 40)
+//   --fault-rate X     per-point per-round fault probability (default 0.35)
+//   --retry-budget N   retries after the first attempt (default 2)
+//   --adversarial X    driver misbehaviour probability (default 0.15)
+//   --smoke            shorthand for --seeds 32 --rounds 25
+//   --compare          also run every seed with retry budget 0 and print
+//                      the degradation table (weakened run must be worse)
+//   --plan FILE        replay one serialized plan instead of sweeping
+//   --quiet            only the summary line and failures
+//
+// Exit status: 0 = all invariants held, 2 = violations, 1 = usage/IO error.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/chaos_soak.hpp"
+#include "util/errors.hpp"
+
+using namespace rpkic;
+using namespace rpkic::sim;
+
+namespace {
+
+void printResult(const SoakResult& r, bool quiet) {
+    const SoakStats& s = r.stats;
+    if (!quiet) {
+        std::printf(
+            "seed %-6llu %s  faults=%llu hits=%llu attempts=%llu retries=%llu "
+            "absorbed=%llu failed-rounds=%llu worst-streak=%u recoveries=%llu "
+            "mean-recovery=%.2f alarms=%llu (accountable=%llu, twin=%llu) "
+            "roas=%zu/%zu\n",
+            static_cast<unsigned long long>(r.seed), r.passed ? "ok  " : "FAIL",
+            static_cast<unsigned long long>(s.faultsScheduled),
+            static_cast<unsigned long long>(s.faultApplications),
+            static_cast<unsigned long long>(s.attempts),
+            static_cast<unsigned long long>(s.retries),
+            static_cast<unsigned long long>(s.faultsAbsorbed),
+            static_cast<unsigned long long>(s.pointRoundsFailed), s.maxStaleStreak,
+            static_cast<unsigned long long>(s.recoveries), s.meanRecoveryRounds,
+            static_cast<unsigned long long>(s.alarms),
+            static_cast<unsigned long long>(s.accountableAlarms),
+            static_cast<unsigned long long>(s.twinAlarms), s.validRoasFinal,
+            s.twinValidRoasFinal);
+    }
+    if (!r.passed) {
+        std::printf("seed %llu VIOLATIONS:\n", static_cast<unsigned long long>(r.seed));
+        for (const std::string& v : r.violations) std::printf("  %s\n", v.c_str());
+        const std::string planFile =
+            "soak-fail-seed" + std::to_string(r.seed) + ".plan";
+        const std::string text = r.plan.serialize();
+        std::ofstream out(planFile, std::ios::binary);
+        if (out) {
+            out << text;
+            std::printf("  plan written to %s — replay with: rpkic-soak --plan %s\n",
+                        planFile.c_str(), planFile.c_str());
+        } else {
+            std::printf("  (could not write %s; plan follows)\n%s", planFile.c_str(),
+                        text.c_str());
+        }
+    }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    SoakConfig cfg;
+    std::uint64_t seeds = 20;
+    std::uint64_t seedBase = 1;
+    bool compare = false;
+    bool quiet = false;
+    std::string planPath;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&](const char* what) -> const char* {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "rpkic-soak: %s requires a value\n", what);
+                std::exit(1);
+            }
+            return argv[++i];
+        };
+        if (arg == "--seeds") {
+            seeds = std::strtoull(next("--seeds"), nullptr, 10);
+        } else if (arg == "--seed-base") {
+            seedBase = std::strtoull(next("--seed-base"), nullptr, 10);
+        } else if (arg == "--rounds") {
+            cfg.rounds = static_cast<std::uint32_t>(std::strtoul(next("--rounds"), nullptr, 10));
+        } else if (arg == "--fault-rate") {
+            cfg.faultRate = std::strtod(next("--fault-rate"), nullptr);
+        } else if (arg == "--retry-budget") {
+            cfg.retryBudget =
+                static_cast<std::uint32_t>(std::strtoul(next("--retry-budget"), nullptr, 10));
+        } else if (arg == "--adversarial") {
+            cfg.adversarialProbability = std::strtod(next("--adversarial"), nullptr);
+        } else if (arg == "--smoke") {
+            seeds = 32;
+            cfg.rounds = 25;
+        } else if (arg == "--compare") {
+            compare = true;
+        } else if (arg == "--plan") {
+            planPath = next("--plan");
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else {
+            std::fprintf(stderr,
+                         "usage: rpkic-soak [--seeds N] [--seed-base B] [--rounds N]\n"
+                         "                  [--fault-rate X] [--retry-budget N] "
+                         "[--adversarial X]\n"
+                         "                  [--smoke] [--compare] [--plan FILE] [--quiet]\n");
+            return 1;
+        }
+    }
+
+    if (!planPath.empty()) {
+        std::ifstream in(planPath, std::ios::binary);
+        if (!in) {
+            std::fprintf(stderr, "rpkic-soak: cannot open %s\n", planPath.c_str());
+            return 1;
+        }
+        std::stringstream buf;
+        buf << in.rdbuf();
+        FaultPlan plan;
+        try {
+            plan = FaultPlan::parse(buf.str());
+        } catch (const ParseError& e) {
+            std::fprintf(stderr, "rpkic-soak: %s: %s\n", planPath.c_str(), e.what());
+            return 1;
+        }
+        std::printf("replaying %s: seed=%llu rounds=%llu faults=%zu\n", planPath.c_str(),
+                    static_cast<unsigned long long>(plan.seed),
+                    static_cast<unsigned long long>(plan.rounds), plan.faults.size());
+        const SoakResult r = runSoakWithPlan(plan);
+        printResult(r, /*quiet=*/false);
+        return r.passed ? 0 : 2;
+    }
+
+    std::uint64_t failures = 0;
+    std::uint64_t totalAlarms = 0, totalAbsorbed = 0, totalFailedRounds = 0, totalHits = 0;
+    for (std::uint64_t s = 0; s < seeds; ++s) {
+        cfg.seed = seedBase + s;
+        const SoakResult r = runSoak(cfg);
+        printResult(r, quiet);
+        if (!r.passed) ++failures;
+        totalAlarms += r.stats.alarms;
+        totalAbsorbed += r.stats.faultsAbsorbed;
+        totalFailedRounds += r.stats.pointRoundsFailed;
+        totalHits += r.stats.faultApplications;
+
+        if (compare) {
+            SoakConfig weak = cfg;
+            weak.retryBudget = 0;
+            const SoakResult w = runSoak(weak);
+            std::printf(
+                "  compare seed %-6llu budget=%u: failed-rounds=%llu alarms=%llu "
+                "roas=%zu | budget=0: failed-rounds=%llu alarms=%llu roas=%zu%s\n",
+                static_cast<unsigned long long>(cfg.seed), cfg.retryBudget,
+                static_cast<unsigned long long>(r.stats.pointRoundsFailed),
+                static_cast<unsigned long long>(r.stats.alarms), r.stats.validRoasFinal,
+                static_cast<unsigned long long>(w.stats.pointRoundsFailed),
+                static_cast<unsigned long long>(w.stats.alarms), w.stats.validRoasFinal,
+                w.passed ? "" : "  [weakened run FAILED invariants]");
+        }
+    }
+
+    std::printf(
+        "soak: %llu/%llu seeds passed  (fault hits=%llu, absorbed=%llu, "
+        "point-rounds failed=%llu, alarms=%llu)\n",
+        static_cast<unsigned long long>(seeds - failures),
+        static_cast<unsigned long long>(seeds), static_cast<unsigned long long>(totalHits),
+        static_cast<unsigned long long>(totalAbsorbed),
+        static_cast<unsigned long long>(totalFailedRounds),
+        static_cast<unsigned long long>(totalAlarms));
+    return failures == 0 ? 0 : 2;
+}
