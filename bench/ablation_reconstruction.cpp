@@ -3,7 +3,6 @@
 //     (intermediate-state reconstruction, §5.3.2/§5.4);
 //  2. repository storage overhead vs the preservation window ts (preserved
 //     object versions + manifests + hints).
-#include <chrono>
 #include <cstdio>
 
 #include "bench_util.hpp"
@@ -53,11 +52,9 @@ int main() {
             }
         }
         const Snapshot snap = repo.snapshot();
-        const auto t0 = std::chrono::steady_clock::now();
+        Stopwatch syncTimer;
         alice.sync(snap, clock.now());
-        const auto t1 = std::chrono::steady_clock::now();
-        row({num(static_cast<std::uint64_t>(missed)),
-             num(std::chrono::duration<double, std::milli>(t1 - t0).count(), 2),
+        row({num(static_cast<std::uint64_t>(missed)), num(syncTimer.elapsedMs(), 2),
              num(static_cast<std::uint64_t>(alice.alarms().count()))});
     }
     std::printf("Catch-up verifies one head signature plus one body hash and one\n"

@@ -1,12 +1,32 @@
 // Shared console-output helpers for the experiment harnesses: aligned
-// tables and "paper vs measured" comparison rows.
+// tables, "paper vs measured" comparison rows, and a stopwatch that reads
+// the observability layer's injectable clock.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <vector>
 
+#include "obs/clock.hpp"
+
 namespace rpkic::bench {
+
+/// Bench timer on obs::timeSource(): benches, metrics histograms, and
+/// traces all read the same clock. Installing a LogicalTimeSource (as the
+/// determinism tests do) therefore makes bench timings reproducible too;
+/// by default this is the steady wall clock.
+class Stopwatch {
+public:
+    Stopwatch() : startNanos_(obs::nowNanos()) {}
+    void reset() { startNanos_ = obs::nowNanos(); }
+    std::uint64_t elapsedNanos() const { return obs::nowNanos() - startNanos_; }
+    double elapsedMs() const { return static_cast<double>(elapsedNanos()) / 1e6; }
+    double elapsedSeconds() const { return static_cast<double>(elapsedNanos()) / 1e9; }
+
+private:
+    std::uint64_t startNanos_;
+};
 
 inline void heading(const std::string& title) {
     std::printf("\n================================================================\n");

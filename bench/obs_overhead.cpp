@@ -1,0 +1,210 @@
+// obs_overhead: quantifies the cost of the rpkiscope instrumentation
+// layer (src/obs/) on the two hot paths it touches:
+//
+//   detector  — PrefixValidityIndex build + diffStates + classify sweep
+//               (RC_OBS_SPAN + RC_OBS_TIMED around build/diff);
+//   rp-soak   — a short fixed-seed chaos soak through SyncEngine +
+//               RelyingParty (spans, procedure timers, alarm counters).
+//
+// Each workload runs with instrumentation runtime-ENABLED and
+// runtime-DISABLED (obs::setRuntimeEnabled toggles the one relaxed atomic
+// every RC_OBS_* site loads); the reported overhead is the enabled/disabled
+// ratio. With -DRC_OBSERVABILITY=OFF the macros compile to nothing and the
+// two modes are byte-for-byte the same code — the binary reports the
+// compile mode so CI can verify both claims:
+//
+//   obs_overhead [--iters N] [--trials K] [--json-out FILE]
+//
+// --json-out writes a BENCH_obs.json machine-readable summary. Exit status
+// is always 0: the <3% regression guard is applied by the consumer (CI
+// compares against the committed threshold), not by the bench itself.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "detector/diff.hpp"
+#include "obs/obs.hpp"
+#include "sim/chaos_soak.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace rpkic;
+using bench::Stopwatch;
+
+RpkiState randomState(std::size_t n, std::uint64_t seed) {
+    Rng rng(seed);
+    std::vector<RoaTuple> tuples;
+    tuples.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const int len = static_cast<int>(rng.nextInRange(10, 24));
+        const auto addr =
+            static_cast<std::uint32_t>(rng.nextU64()) & ~((1u << (32 - len)) - 1u);
+        const auto maxLen = static_cast<std::uint8_t>(
+            rng.nextInRange(static_cast<std::uint64_t>(len), std::min(24, len + 8)));
+        tuples.push_back({IpPrefix::v4(addr, len), maxLen,
+                          static_cast<Asn>(rng.nextInRange(1, 8000))});
+    }
+    return RpkiState(std::move(tuples));
+}
+
+/// One full detector pass: build both indexes, diff, classify a sweep.
+void detectorWorkload(const RpkiState& prev, const RpkiState& cur) {
+    const PrefixValidityIndex prevIdx(prev);
+    const PrefixValidityIndex curIdx(cur);
+    const DowngradeReport report = diffStates(prevIdx, curIdx, 4);
+    Rng rng(7);
+    std::uint64_t sink = report.validToInvalidPairs;
+    for (int i = 0; i < 2000; ++i) {
+        const Route r{IpPrefix::v4(static_cast<std::uint32_t>(rng.nextU64()), 24),
+                      static_cast<Asn>(rng.nextInRange(1, 8000))};
+        sink += static_cast<std::uint64_t>(curIdx.classify(r));
+    }
+    // Defeat dead-code elimination without a benchmark library.
+    [[maybe_unused]] static volatile std::uint64_t guard;
+    guard = sink;
+}
+
+void soakWorkload() {
+    sim::SoakConfig cfg;
+    cfg.seed = 11;
+    cfg.rounds = 6;
+    cfg.retryBudget = 1;
+    const sim::SoakResult r = sim::runSoak(cfg);
+    [[maybe_unused]] static volatile std::uint64_t guard;
+    guard = r.stats.attempts;
+}
+
+/// Times `iters` runs of `fn` once.
+template <typename Fn>
+double oneTrialMs(int iters, Fn&& fn) {
+    Stopwatch timer;
+    for (int i = 0; i < iters; ++i) fn();
+    return timer.elapsedMs();
+}
+
+struct Measurement {
+    std::string name;
+    double enabledMs = 0.0;
+    double disabledMs = 0.0;
+
+    double overheadPct() const {
+        if (disabledMs <= 0.0) return 0.0;
+        return (enabledMs / disabledMs - 1.0) * 100.0;
+    }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    // Many short trials beat few long ones for the min estimator: scheduler
+    // preemptions land inside a ~100ms block far less often than inside a
+    // multi-second one, so the per-mode minima converge to quiet-machine
+    // numbers even on noisy CI runners.
+    int iters = 1;
+    int trials = 30;
+    std::string jsonOut;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--iters" && i + 1 < argc) {
+            iters = std::atoi(argv[++i]);
+        } else if (arg == "--trials" && i + 1 < argc) {
+            trials = std::atoi(argv[++i]);
+        } else if (arg == "--json-out" && i + 1 < argc) {
+            jsonOut = argv[++i];
+        } else {
+            std::fprintf(stderr,
+                         "usage: obs_overhead [--iters N] [--trials K] [--json-out FILE]\n");
+            return 1;
+        }
+    }
+
+    bench::heading("rpkiscope instrumentation overhead");
+    std::printf("compile mode: RC_OBSERVABILITY=%s, iters=%d, trials=%d\n",
+                obs::compiledIn() ? "ON" : "OFF", iters, trials);
+
+    const RpkiState prev = randomState(20000, 42);
+    std::vector<RoaTuple> tuples = prev.tuples();
+    Rng churn(43);
+    for (int i = 0; i < 20 && !tuples.empty(); ++i) {
+        tuples.erase(tuples.begin() + static_cast<long>(churn.nextBelow(tuples.size())));
+    }
+    const RpkiState cur(std::move(tuples));
+
+    std::vector<Measurement> results;
+
+    const auto measure = [&](const char* name, auto&& fn) {
+        Measurement m;
+        m.name = name;
+        // Warm-up primes caches and registers every lazily-created metric
+        // family, so neither mode pays one-time registration inside the
+        // timed region.
+        obs::setRuntimeEnabled(true);
+        fn();
+        obs::setRuntimeEnabled(false);
+        fn();
+        // Interleave enabled/disabled trials (alternating which goes
+        // first) and take the per-mode minimum: slow drift — thermal,
+        // background load — then hits both modes equally instead of
+        // biasing whichever phase happened to run first.
+        double bestEnabled = -1.0;
+        double bestDisabled = -1.0;
+        for (int t = 0; t < trials; ++t) {
+            for (int phase = 0; phase < 2; ++phase) {
+                const bool enabled = (t % 2 == 0) == (phase == 0);
+                obs::setRuntimeEnabled(enabled);
+                const double ms = oneTrialMs(iters, fn);
+                double& best = enabled ? bestEnabled : bestDisabled;
+                if (best < 0.0 || ms < best) best = ms;
+            }
+        }
+        m.enabledMs = bestEnabled;
+        m.disabledMs = bestDisabled;
+        obs::setRuntimeEnabled(true);
+        results.push_back(m);
+    };
+
+    measure("detector", [&] { detectorWorkload(prev, cur); });
+    measure("rp-soak", [] { soakWorkload(); });
+
+    bench::subheading("results (best total ms over trials)");
+    bench::row({"workload", "enabled-ms", "disabled-ms", "overhead"});
+    bench::separator(4);
+    for (const auto& m : results) {
+        bench::row({m.name, bench::num(m.enabledMs, 2), bench::num(m.disabledMs, 2),
+                    bench::num(m.overheadPct(), 2) + "%"});
+    }
+    if (!obs::compiledIn()) {
+        std::printf("\nmacros compiled out: both modes run identical code; any\n"
+                    "difference above is measurement noise.\n");
+    }
+
+    if (!jsonOut.empty()) {
+        std::ofstream out(jsonOut, std::ios::binary);
+        if (!out) {
+            std::fprintf(stderr, "obs_overhead: cannot write %s\n", jsonOut.c_str());
+            return 1;
+        }
+        out << "{\n  \"bench\": \"obs_overhead\",\n";
+        out << "  \"compiled_in\": " << (obs::compiledIn() ? "true" : "false") << ",\n";
+        out << "  \"iters\": " << iters << ",\n  \"trials\": " << trials << ",\n";
+        out << "  \"workloads\": [\n";
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            const auto& m = results[i];
+            char buf[256];
+            std::snprintf(buf, sizeof buf,
+                          "    {\"name\": \"%s\", \"enabled_ms\": %.3f, "
+                          "\"disabled_ms\": %.3f, \"overhead_pct\": %.3f}%s\n",
+                          m.name.c_str(), m.enabledMs, m.disabledMs, m.overheadPct(),
+                          i + 1 < results.size() ? "," : "");
+            out << buf;
+        }
+        out << "  ]\n}\n";
+        std::printf("\njson written to %s\n", jsonOut.c_str());
+    }
+    return 0;
+}

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
 #include "rpki/signing.hpp"
 #include "util/errors.hpp"
 
@@ -33,6 +34,22 @@ std::string rollFileFor(const std::string& childFile) {
 
 Digest fileHash(const Bytes& b) {
     return fileHashOf(ByteView(b.data(), b.size()));
+}
+
+/// Authority-side instruments live in the global registry and are looked
+/// up per call (coarse operations; never cached, so Registry::reset() in
+/// harnesses cannot dangle them). Labels carry the operation, not the
+/// authority name: hierarchies are large and per-authority series would
+/// explode cardinality.
+[[maybe_unused]] obs::Counter& authorityOps(const char* op) {
+    return obs::Registry::global().counter(
+        "rc_authority_ops_total", "Authority publication-point operations", {{"op", op}});
+}
+
+[[maybe_unused]] obs::Counter& rolloverSteps(const char* step) {
+    return obs::Registry::global().counter(
+        "rc_authority_rollover_steps_total", "Key rollover protocol steps executed (B.2.2)",
+        {{"step", step}});
 }
 
 }  // namespace
@@ -182,6 +199,7 @@ Digest Authority::parentManifestHashNow() const {
 }
 
 void Authority::stagePut(const std::string& filename, Bytes bytes, Time now) {
+    RC_OBS_COUNT(authorityOps("stage-put"), 1);
     // `filename` may alias the files_ key about to be erased (callers
     // re-stage objects they found by walking files_); pin a copy before
     // mutating the map.
@@ -196,6 +214,7 @@ void Authority::stagePut(const std::string& filename, Bytes bytes, Time now) {
 }
 
 void Authority::stageRemove(const std::string& filename, Time now) {
+    RC_OBS_COUNT(authorityOps("stage-remove"), 1);
     const auto it = files_.find(filename);
     if (it == files_.end()) throw UsageError("no such file to remove: " + filename);
     const std::uint64_t lastLogged = manifest_.number;
@@ -225,6 +244,10 @@ void Authority::prunePreserved(Time now) {
 }
 
 void Authority::publishUpdate(Repository& repo, Time now) {
+    RC_OBS_SPAN("authority.publish", "authority");
+    RC_OBS_COUNT(authorityOps("publish"), 1);
+    RC_OBS_TIMED(&obs::Registry::global().histogram(
+        "rc_authority_publish_seconds", "Time to assemble, sign, and write one manifest update"));
     Manifest next;
     if (cert_.uri.empty()) throw UsageError(name_ + " has no RC yet; cannot publish");
     next.issuerRcUri = cert_.uri;
@@ -388,6 +411,7 @@ std::vector<std::string> Authority::roaLabels() const {
 
 DeadObject Authority::signDead(bool fullRevocation, const ResourceSet& removedResources,
                                const std::vector<DeadObject>& childDeads) {
+    RC_OBS_COUNT(authorityOps("sign-dead"), 1);
     DeadObject d;
     d.rcUri = cert_.uri;
     d.rcSerial = cert_.serial;
@@ -552,6 +576,7 @@ void Authority::broadenChild(const std::string& childName, const ResourceSet& ad
 // Key rollover (Appendix A)
 
 void Authority::stageNewKey(Repository& repo, Time now) {
+    RC_OBS_COUNT(rolloverSteps("stage-new-key"), 1);
     requireLive();
     stagedSigner_.emplace(Signer::generate(dir_.nextSeed(), options_.signerHeight));
 
@@ -572,6 +597,7 @@ void Authority::stageNewKey(Repository& repo, Time now) {
 
 void Authority::rolloverStep1IssueSuccessor(const std::string& childName, Repository& repo,
                                             Time now) {
+    RC_OBS_COUNT(rolloverSteps("issue-successor"), 1);
     requireLive();
     Authority* child = findChild(childName);
     if (!child->stagedSigner_.has_value()) {
@@ -598,6 +624,7 @@ void Authority::rolloverStep1IssueSuccessor(const std::string& childName, Reposi
 }
 
 void Authority::rolloverStep2Switch(Repository& repo, Time now) {
+    RC_OBS_COUNT(rolloverSteps("switch"), 1);
     requireLive();
     if (!stagedSigner_.has_value() || pendingRolloverTargetFile_.empty()) {
         throw UsageError("rollover step 1 has not completed for " + name_);
@@ -671,6 +698,7 @@ void Authority::rolloverStep2Switch(Repository& repo, Time now) {
 }
 
 void Authority::rolloverStep3Finish(const std::string& childName, Repository& repo, Time now) {
+    RC_OBS_COUNT(rolloverSteps("finish"), 1);
     requireLive();
     Authority* child = findChild(childName);
     if (!child->oldCertBeforeRollover_.has_value()) {

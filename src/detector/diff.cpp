@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
+
 namespace rpkic {
 
 std::vector<IpPrefix> samplePrefixes(const TriangleSet& t, std::size_t maxCount) {
@@ -34,6 +36,9 @@ std::vector<Asn> trackedAsns(const PrefixValidityIndex& a, const PrefixValidityI
 
 DowngradeReport diffStates(const PrefixValidityIndex& prev, const PrefixValidityIndex& cur,
                            std::size_t maxExamples) {
+    RC_OBS_SPAN("detector.diff", "detector");
+    RC_OBS_TIMED(&obs::Registry::global().histogram(
+        "rc_detector_diff_seconds", "Time to diff two validity indexes"));
     DowngradeReport report;
     report.invalidAddressesBefore = prev.invalidFootprintAddresses();
     report.invalidAddressesAfter = cur.invalidFootprintAddresses();
@@ -126,6 +131,21 @@ DowngradeReport diffStates(const PrefixValidityIndex& prev, const PrefixValidity
         const RouteValidity after = cur.classify(route);
         if (before != after) report.tupleTransitions.push_back({route, before, after});
     }
+
+    // Downgrade counts by kind (paper §6: the transitions that can strand
+    // legitimate routes). Registered lazily; the registry dedupes.
+    [[maybe_unused]] const auto downgrades = [](const char* kind) -> obs::Counter& {
+        return obs::Registry::global().counter(
+            "rc_detector_downgrades_total",
+            "Prefix-AS pairs whose validity was downgraded by a state change",
+            {{"kind", kind}});
+    };
+    RC_OBS_COUNT(downgrades("valid-to-invalid"), report.validToInvalidPairs);
+    RC_OBS_COUNT(downgrades("valid-to-unknown"), report.validToUnknownPairs);
+    RC_OBS_COUNT(downgrades("unknown-to-invalid"), report.unknownToInvalidPairs);
+    RC_OBS_COUNT(obs::Registry::global().counter(
+                     "rc_detector_diffs_total", "State diffs computed by the detector"),
+                 1);
     return report;
 }
 

@@ -3,12 +3,21 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/obs.hpp"
+
 namespace rpkic {
 
 const TriangleSet PrefixValidityIndex::kEmptyTriangles{};
 const TriangleSet6 PrefixValidityIndex::kEmptyTriangles6{};
 
 PrefixValidityIndex::PrefixValidityIndex(const RpkiState& state) : state_(state) {
+    // Index construction is the detector's coarse hot path (one build per
+    // observed state); classify() is ns-scale and deliberately carries no
+    // per-call instrumentation.
+    RC_OBS_SPAN("detector.index.build", "detector");
+    RC_OBS_TIMED(&obs::Registry::global().histogram(
+        "rc_detector_index_build_seconds",
+        "Time to build a PrefixValidityIndex from an RpkiState"));
     TriangleSet::RawLevels knownRaw;
     TriangleSet6::RawLevels known6Raw;
     std::unordered_map<Asn, TriangleSet::RawLevels> validRaw;

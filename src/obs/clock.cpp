@@ -1,0 +1,41 @@
+#include "obs/clock.hpp"
+
+#include <chrono>
+
+namespace rpkic::obs {
+
+namespace {
+
+SteadyTimeSource& steadyInstance() {
+    static SteadyTimeSource instance;
+    return instance;
+}
+
+std::atomic<TimeSource*>& currentSource() {
+    static std::atomic<TimeSource*> current{&steadyInstance()};
+    return current;
+}
+
+}  // namespace
+
+std::uint64_t SteadyTimeSource::nowNanos() {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+TimeSource& timeSource() {
+    return *currentSource().load(std::memory_order_acquire);
+}
+
+void setTimeSource(TimeSource* source) {
+    currentSource().store(source != nullptr ? source : &steadyInstance(),
+                          std::memory_order_release);
+}
+
+std::uint64_t nowNanos() {
+    return timeSource().nowNanos();
+}
+
+}  // namespace rpkic::obs

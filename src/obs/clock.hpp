@@ -1,0 +1,61 @@
+// The observability time source.
+//
+// Every timestamp the metrics / tracing layer records flows through one
+// injectable TimeSource. Production uses the steady wall clock; tests,
+// benches, and the deterministic soak harness install a LogicalTimeSource
+// so two runs of the same seed produce byte-identical metric dumps and
+// traces (the acceptance property of docs/OBSERVABILITY.md). The bench
+// harness timers (bench/bench_util.hpp) route through the same source, so
+// traces and bench numbers always share one notion of time.
+//
+// The protocol's *simulated* clock (util/time.hpp) is unrelated: that one
+// drives manifest expiry and sync windows; this one drives measurement.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace rpkic::obs {
+
+/// Nanosecond timestamp provider. Implementations must be monotone.
+class TimeSource {
+public:
+    virtual ~TimeSource() = default;
+    virtual std::uint64_t nowNanos() = 0;
+};
+
+/// Reads std::chrono::steady_clock (the default).
+class SteadyTimeSource final : public TimeSource {
+public:
+    std::uint64_t nowNanos() override;
+};
+
+/// Deterministic logical time: starts at `startNanos` and advances by
+/// `stepNanos` on every read. With a fixed call sequence (fixed seed), all
+/// derived durations are reproducible bit-for-bit.
+class LogicalTimeSource final : public TimeSource {
+public:
+    explicit LogicalTimeSource(std::uint64_t stepNanos = 1000, std::uint64_t startNanos = 0)
+        : step_(stepNanos == 0 ? 1 : stepNanos), now_(startNanos) {}
+
+    std::uint64_t nowNanos() override { return now_.fetch_add(step_) + step_; }
+
+    std::uint64_t reads() const { return now_.load() / step_; }
+
+private:
+    std::uint64_t step_;
+    std::atomic<std::uint64_t> now_;
+};
+
+/// The process-wide source all instrumentation reads. Never null.
+TimeSource& timeSource();
+
+/// Installs `source` as the process-wide time source (nullptr restores the
+/// steady default). The caller keeps ownership and must keep the object
+/// alive until it is uninstalled.
+void setTimeSource(TimeSource* source);
+
+/// Shorthand for timeSource().nowNanos().
+std::uint64_t nowNanos();
+
+}  // namespace rpkic::obs

@@ -1,0 +1,130 @@
+#include "obs/log.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+namespace rpkic::obs {
+
+std::string_view toString(LogLevel level) {
+    switch (level) {
+        case LogLevel::Trace: return "trace";
+        case LogLevel::Debug: return "debug";
+        case LogLevel::Info: return "info";
+        case LogLevel::Warn: return "warn";
+        case LogLevel::Error: return "error";
+        case LogLevel::Off: return "off";
+    }
+    return "?";
+}
+
+LogLevel logLevelFromString(std::string_view text) {
+    std::string lower(text);
+    std::transform(lower.begin(), lower.end(), lower.begin(),
+                   [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+    if (lower == "trace") return LogLevel::Trace;
+    if (lower == "debug") return LogLevel::Debug;
+    if (lower == "info") return LogLevel::Info;
+    if (lower == "warn" || lower == "warning") return LogLevel::Warn;
+    if (lower == "error") return LogLevel::Error;
+    return LogLevel::Off;
+}
+
+namespace {
+
+/// Values with spaces, quotes, or '=' get quoted; embedded quotes and
+/// backslashes escaped; newlines flattened.
+std::string renderValue(const std::string& v) {
+    const bool needsQuotes =
+        v.empty() || v.find_first_of(" =\"\n\t") != std::string::npos;
+    if (!needsQuotes) return v;
+    std::string out = "\"";
+    for (const char c : v) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            default: out += c;
+        }
+    }
+    out += "\"";
+    return out;
+}
+
+}  // namespace
+
+Logger::Logger() {
+    sink_ = [](const std::string& line) { std::fprintf(stderr, "%s\n", line.c_str()); };
+    // The environment can lower the threshold without code changes
+    // (tools also expose --log-level): RC_LOG=debug ./tools/rpkic-soak ...
+    if (const char* env = std::getenv("RC_LOG"); env != nullptr && *env != '\0') {
+        level_ = logLevelFromString(env);
+    }
+}
+
+void Logger::setSink(std::function<void(const std::string&)> sink) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (sink) {
+        sink_ = std::move(sink);
+    } else {
+        sink_ = [](const std::string& line) { std::fprintf(stderr, "%s\n", line.c_str()); };
+    }
+}
+
+void Logger::setRateLimit(std::uint32_t burst, std::uint64_t windowNanos) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    burst_ = burst;
+    windowNanos_ = windowNanos == 0 ? 1 : windowNanos;
+}
+
+void Logger::log(LogLevel level, std::string_view component, std::string_view event,
+                 const LogFields& fields) {
+    std::function<void(const std::string&)> sink;
+    std::string line;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (level < level_ || level_ == LogLevel::Off || level == LogLevel::Off) return;
+
+        std::uint64_t flushSuppressed = 0;
+        if (burst_ > 0) {
+            const std::uint64_t now = nowNanos();
+            Bucket& bucket = buckets_[std::string(component) + "|" + std::string(event)];
+            if (now - bucket.windowStart >= windowNanos_) {
+                flushSuppressed = bucket.suppressed;
+                bucket.windowStart = now;
+                bucket.emitted = 0;
+                bucket.suppressed = 0;
+            }
+            if (bucket.emitted >= burst_) {
+                ++bucket.suppressed;
+                ++suppressedTotal_;
+                return;
+            }
+            ++bucket.emitted;
+        }
+
+        line = "level=" + std::string(toString(level)) + " comp=" + std::string(component) +
+               " event=" + std::string(event);
+        for (const auto& [k, v] : fields) {
+            line += " " + k + "=" + renderValue(v);
+        }
+        if (flushSuppressed > 0) {
+            line += " suppressed_prior=" + std::to_string(flushSuppressed);
+        }
+        sink = sink_;
+    }
+    sink(line);
+}
+
+Logger& Logger::global() {
+    static Logger instance;
+    return instance;
+}
+
+void log(LogLevel level, std::string_view component, std::string_view event,
+         const LogFields& fields) {
+    Logger::global().log(level, component, event, fields);
+}
+
+}  // namespace rpkic::obs

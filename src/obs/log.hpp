@@ -1,0 +1,101 @@
+// rpkiscope logging: a leveled, rate-limitable structured logger.
+//
+// Library code never writes to stdout (that belongs to the tools' primary
+// output) and never printf-debugs: diagnostics go through this logger as
+// structured key=value events on stderr (or an injected sink). Every
+// event names its component and event type, so operators can grep and
+// rate-limit by event, and tests can assert on what was (not) logged.
+//
+//   obs::log(obs::LogLevel::Warn, "sync", "point-quarantined",
+//            {{"point", uri}, {"failures", std::to_string(n)}});
+//
+// renders as
+//
+//   level=warn comp=sync event=point-quarantined point=rpki://a/ failures=3
+//
+// Rate limiting is per (component, event) key: at most `burst` lines per
+// `windowNanos` window (obs clock); suppressed lines are counted and the
+// count is reported when the window rolls over.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/clock.hpp"
+
+namespace rpkic::obs {
+
+enum class LogLevel : std::uint8_t { Trace = 0, Debug, Info, Warn, Error, Off };
+
+std::string_view toString(LogLevel level);
+/// Parses "trace|debug|info|warn|error|off" (case-insensitive). Returns
+/// Off for unknown strings.
+LogLevel logLevelFromString(std::string_view text);
+
+using LogFields = std::vector<std::pair<std::string, std::string>>;
+
+class Logger {
+public:
+    Logger();
+
+    void setLevel(LogLevel level) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        level_ = level;
+    }
+    LogLevel level() const {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return level_;
+    }
+
+    /// Replaces the sink (default: one line to stderr). The sink receives
+    /// the fully rendered line without trailing newline.
+    void setSink(std::function<void(const std::string&)> sink);
+
+    /// Rate limit: at most `burst` lines per (component, event) per
+    /// `windowNanos`. burst = 0 disables limiting.
+    void setRateLimit(std::uint32_t burst, std::uint64_t windowNanos);
+
+    bool enabled(LogLevel level) const {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return level >= level_ && level_ != LogLevel::Off;
+    }
+
+    void log(LogLevel level, std::string_view component, std::string_view event,
+             const LogFields& fields = {});
+
+    /// Lines suppressed by the rate limiter since construction.
+    std::uint64_t suppressed() const {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return suppressedTotal_;
+    }
+
+    static Logger& global();
+
+private:
+    struct Bucket {
+        std::uint64_t windowStart = 0;
+        std::uint32_t emitted = 0;
+        std::uint64_t suppressed = 0;
+    };
+
+    mutable std::mutex mutex_;
+    LogLevel level_ = LogLevel::Warn;
+    std::function<void(const std::string&)> sink_;
+    std::uint32_t burst_ = 32;
+    std::uint64_t windowNanos_ = 1'000'000'000ull;
+    std::map<std::string, Bucket> buckets_;
+    std::uint64_t suppressedTotal_ = 0;
+};
+
+/// Logs through the global logger.
+void log(LogLevel level, std::string_view component, std::string_view event,
+         const LogFields& fields = {});
+
+}  // namespace rpkic::obs

@@ -1,0 +1,168 @@
+// rpkiscope metrics: a zero-dependency registry of counters, gauges, and
+// log-bucketed histograms with Prometheus text exposition and JSON dump.
+//
+// Design:
+//  * Instruments are registered once per (name, labels) pair and returned
+//    by reference; references stay valid until Registry::reset(). Hot
+//    paths cache the reference and touch one relaxed atomic per event.
+//  * Exposition is fully deterministic: families sorted by name, series
+//    sorted by canonical label string, doubles rendered with a fixed
+//    format. Two runs with identical event sequences (same seed, logical
+//    clock) produce byte-identical dumps — the property the chaos soak's
+//    determinism check rides on.
+//  * lintPrometheus() is the same checker CI runs over the soak's
+//    --metrics-out artifact: it validates names, label escaping, HELP/TYPE
+//    headers, histogram bucket monotonicity, and counter naming.
+//
+// The metric name catalogue lives in docs/OBSERVABILITY.md.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rpkic::obs {
+
+/// Label set as (name, value) pairs; canonicalized (sorted by name) on
+/// registration.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonically increasing 64-bit counter.
+class Counter {
+public:
+    void inc(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+    std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/// Signed instantaneous value.
+class Gauge {
+public:
+    void set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+    void add(std::int64_t d) { value_.fetch_add(d, std::memory_order_relaxed); }
+    std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+private:
+    std::atomic<std::int64_t> value_{0};
+};
+
+/// Log-bucketed histogram layout: finite upper bounds are
+/// firstBound * growth^i for i in [0, bucketCount), plus the implicit
+/// +Inf bucket. The default spans 1µs .. ~4.3s in factor-2 steps when
+/// observations are in seconds.
+struct HistogramSpec {
+    double firstBound = 1e-6;
+    double growth = 2.0;
+    int bucketCount = 32;
+
+    bool operator==(const HistogramSpec&) const = default;
+};
+
+class Histogram {
+public:
+    explicit Histogram(HistogramSpec spec);
+
+    void observe(double v);
+    void observeNanos(std::uint64_t nanos) { observe(static_cast<double>(nanos) * 1e-9); }
+
+    const std::vector<double>& bounds() const { return bounds_; }
+    /// Count in bucket i (0..bucketCount inclusive; the last is +Inf).
+    std::uint64_t bucketCount(std::size_t i) const {
+        return counts_[i].load(std::memory_order_relaxed);
+    }
+    std::uint64_t totalCount() const { return count_.load(std::memory_order_relaxed); }
+    double sum() const;
+    const HistogramSpec& spec() const { return spec_; }
+
+private:
+    HistogramSpec spec_;
+    std::vector<double> bounds_;                    // finite upper bounds, ascending
+    std::vector<std::atomic<std::uint64_t>> counts_;  // bounds_.size() + 1 (+Inf)
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<double> sum_{0.0};
+};
+
+/// Instrument registry. Thread-safe; lookup takes a mutex, so hot paths
+/// must cache the returned reference.
+class Registry {
+public:
+    Registry() = default;
+    Registry(const Registry&) = delete;
+    Registry& operator=(const Registry&) = delete;
+
+    /// Registers (or finds) a counter. Throws LogicError if `name` is
+    /// already registered as a different type or is not a valid metric
+    /// name (counters must end in "_total").
+    Counter& counter(const std::string& name, const std::string& help,
+                     const Labels& labels = {});
+    Gauge& gauge(const std::string& name, const std::string& help, const Labels& labels = {});
+    Histogram& histogram(const std::string& name, const std::string& help,
+                         const Labels& labels = {}, HistogramSpec spec = {});
+
+    /// Prometheus text exposition format 0.0.4. Deterministic.
+    std::string renderPrometheus() const;
+    /// The same data as a JSON object. Deterministic.
+    std::string renderJson() const;
+
+    /// Drops every instrument. Invalidates all references previously
+    /// returned — callers must not hold cached instruments across reset()
+    /// (tests only; production registries live for the process).
+    void reset();
+
+    std::size_t familyCount() const;
+
+    /// The process-wide default registry the instrumentation layer uses.
+    static Registry& global();
+
+private:
+    enum class Kind : std::uint8_t { Counter, Gauge, Histogram };
+
+    struct Family {
+        Kind kind;
+        std::string help;
+        HistogramSpec spec;  // histograms only
+        std::map<std::string, std::unique_ptr<Counter>> counters;     // by label key
+        std::map<std::string, std::unique_ptr<Gauge>> gauges;         // by label key
+        std::map<std::string, std::unique_ptr<Histogram>> histograms; // by label key
+    };
+
+    Family& familyFor(const std::string& name, const std::string& help, Kind kind,
+                      const HistogramSpec* spec);
+
+    mutable std::mutex mutex_;
+    std::map<std::string, Family> families_;
+};
+
+/// True iff `name` is a valid Prometheus metric name.
+bool isValidMetricName(const std::string& name);
+/// True iff `name` is a valid Prometheus label name.
+bool isValidLabelName(const std::string& name);
+/// Escapes a label value for exposition (backslash, quote, newline).
+std::string escapeLabelValue(const std::string& value);
+/// Canonical `{a="x",b="y"}` rendering of a sorted label set ("" if empty).
+std::string renderLabels(const Labels& labels);
+
+/// One parsed exposition sample (lint/test helper).
+struct PromSample {
+    std::string name;        ///< sample name as written (incl. _bucket etc.)
+    std::string labels;      ///< canonical text between the braces ("" if none)
+    double value = 0.0;
+};
+
+/// Parses exposition text into samples. Throws ParseError on syntax errors.
+std::vector<PromSample> parsePrometheus(const std::string& text);
+
+/// Lints exposition text: returns a list of problems (empty = clean).
+/// Checks line syntax, metric/label names, label-value escaping, HELP/TYPE
+/// presence and order, counter naming + non-negativity, histogram bucket
+/// cumulativity and +Inf/_count agreement, and duplicate series.
+std::vector<std::string> lintPrometheus(const std::string& text);
+
+}  // namespace rpkic::obs

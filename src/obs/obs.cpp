@@ -1,0 +1,17 @@
+#include "obs/obs.hpp"
+
+namespace rpkic::obs {
+
+namespace {
+std::atomic<bool> gRuntimeEnabled{true};
+}  // namespace
+
+bool runtimeEnabled() {
+    return gRuntimeEnabled.load(std::memory_order_relaxed);
+}
+
+void setRuntimeEnabled(bool on) {
+    gRuntimeEnabled.store(on, std::memory_order_relaxed);
+}
+
+}  // namespace rpkic::obs

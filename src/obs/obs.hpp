@@ -1,0 +1,108 @@
+// rpkiscope umbrella: metrics + tracing + logging, and the hot-path
+// instrumentation macros.
+//
+// Two gates keep the layer honest about cost (bench/obs_overhead measures
+// both):
+//
+//  * compile-time — the CMake option RC_OBSERVABILITY (default ON) defines
+//    RC_OBSERVABILITY_ENABLED; with -DRC_OBSERVABILITY=OFF every RC_OBS_*
+//    macro expands to nothing and the hot paths carry zero instrumentation
+//    bytes;
+//  * runtime — obs::runtimeEnabled() is one relaxed atomic load; macros
+//    short-circuit on it, so even an instrumented binary can switch the
+//    layer off and pay only a predictable branch.
+//
+// The structural metrics (sync telemetry, alarm counts) are NOT behind the
+// macros: they are part of the engine's contract (SyncEngine accessors are
+// views over them) and cost one counter increment on cold paths. The
+// macros guard what sits on hot loops: span timers and latency histograms.
+#pragma once
+
+#include "obs/clock.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+#ifndef RC_OBSERVABILITY_ENABLED
+#define RC_OBSERVABILITY_ENABLED 1
+#endif
+
+namespace rpkic::obs {
+
+/// Global runtime switch for the macro-gated instrumentation.
+bool runtimeEnabled();
+void setRuntimeEnabled(bool on);
+
+/// True iff the RC_OBS_* macros were compiled in (RC_OBSERVABILITY=ON).
+constexpr bool compiledIn() {
+#if RC_OBSERVABILITY_ENABLED
+    return true;
+#else
+    return false;
+#endif
+}
+
+/// RAII latency timer: observes elapsed seconds into a histogram on
+/// destruction. A null histogram disables the timer (no clock reads).
+class ScopedTimer {
+public:
+    explicit ScopedTimer(Histogram* hist)
+        : hist_(hist), startNanos_(hist != nullptr ? nowNanos() : 0) {}
+    ScopedTimer(const ScopedTimer&) = delete;
+    ScopedTimer& operator=(const ScopedTimer&) = delete;
+    ~ScopedTimer() {
+        if (hist_ != nullptr) hist_->observeNanos(nowNanos() - startNanos_);
+    }
+
+private:
+    Histogram* hist_;
+    std::uint64_t startNanos_;
+};
+
+}  // namespace rpkic::obs
+
+// --- instrumentation macros -------------------------------------------------
+// Token-pasting helpers so multiple macros can coexist in one scope.
+#define RC_OBS_CONCAT_INNER(a, b) a##b
+#define RC_OBS_CONCAT(a, b) RC_OBS_CONCAT_INNER(a, b)
+
+#if RC_OBSERVABILITY_ENABLED
+
+/// Opens a trace span for the enclosing scope (records only while the
+/// global tracer is enabled).
+#define RC_OBS_SPAN(name, cat) \
+    auto RC_OBS_CONCAT(rcObsSpan_, __LINE__) = ::rpkic::obs::Tracer::global().span(name, cat)
+
+/// Times the enclosing scope into `histPtr` (a Histogram*; may be null).
+#define RC_OBS_TIMED(histPtr)                                   \
+    ::rpkic::obs::ScopedTimer RC_OBS_CONCAT(rcObsTimer_, __LINE__)( \
+        ::rpkic::obs::runtimeEnabled() ? (histPtr) : nullptr)
+
+/// Increments a cached Counter& by n when the layer is runtime-enabled.
+#define RC_OBS_COUNT(counterRef, n)                          \
+    do {                                                     \
+        if (::rpkic::obs::runtimeEnabled()) (counterRef).inc(n); \
+    } while (0)
+
+/// Observes a value into a cached Histogram& when runtime-enabled.
+#define RC_OBS_OBSERVE(histRef, v)                                 \
+    do {                                                           \
+        if (::rpkic::obs::runtimeEnabled()) (histRef).observe(v);  \
+    } while (0)
+
+#else  // RC_OBSERVABILITY compiled out: macros vanish entirely.
+
+#define RC_OBS_SPAN(name, cat) \
+    do {                       \
+    } while (0)
+#define RC_OBS_TIMED(histPtr) \
+    do {                      \
+    } while (0)
+#define RC_OBS_COUNT(counterRef, n) \
+    do {                            \
+    } while (0)
+#define RC_OBS_OBSERVE(histRef, v) \
+    do {                           \
+    } while (0)
+
+#endif  // RC_OBSERVABILITY_ENABLED

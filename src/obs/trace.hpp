@@ -1,0 +1,109 @@
+// rpkiscope tracing: span-based tracer writing Chrome trace-event JSON.
+//
+// Spans are RAII guards around a region of interest; completed spans are
+// recorded as "X" (complete) events in a bounded ring buffer — when the
+// buffer is full the oldest events are overwritten and a drop counter
+// ticks, so tracing never grows without bound under a long soak. The
+// export (renderChromeTrace) is the Trace Event Format that
+// chrome://tracing, Perfetto, and speedscope all load.
+//
+// Timestamps come from obs::timeSource(); install a LogicalTimeSource to
+// make traces byte-identical across runs of the same seed.
+//
+// The tracer is disabled by default (zero instrumentation cost beyond one
+// relaxed load per RC_OBS_SPAN site); tools enable it when the user asks
+// for --trace-out.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/clock.hpp"
+
+namespace rpkic::obs {
+
+/// One completed span ("X" event in Chrome trace-event terms).
+struct TraceEvent {
+    const char* name = "";  ///< static string (instrumentation literals)
+    const char* cat = "";   ///< category, e.g. "sync", "rp", "detector"
+    std::uint64_t tsNanos = 0;
+    std::uint64_t durNanos = 0;
+    std::uint64_t seq = 0;  ///< monotone sequence number (stable sort key)
+};
+
+class Tracer;
+
+/// RAII span guard. Records one event on destruction (if the tracer was
+/// enabled when the guard was constructed).
+class SpanGuard {
+public:
+    SpanGuard() = default;
+    SpanGuard(Tracer* tracer, const char* name, const char* cat);
+    SpanGuard(const SpanGuard&) = delete;
+    SpanGuard& operator=(const SpanGuard&) = delete;
+    SpanGuard(SpanGuard&& o) noexcept
+        : tracer_(o.tracer_), name_(o.name_), cat_(o.cat_), startNanos_(o.startNanos_) {
+        o.tracer_ = nullptr;
+    }
+    ~SpanGuard();
+
+private:
+    Tracer* tracer_ = nullptr;
+    const char* name_ = "";
+    const char* cat_ = "";
+    std::uint64_t startNanos_ = 0;
+};
+
+class Tracer {
+public:
+    explicit Tracer(std::size_t capacity = 1 << 16);
+
+    /// Starts a span; records it when the guard dies. Cheap no-op while
+    /// the tracer is disabled.
+    SpanGuard span(const char* name, const char* cat) {
+        if (!enabled_.load(std::memory_order_relaxed)) return SpanGuard();
+        return SpanGuard(this, name, cat);
+    }
+
+    void setEnabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+    bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+    /// Record a completed span directly (the guard calls this).
+    void record(const char* name, const char* cat, std::uint64_t tsNanos,
+                std::uint64_t durNanos);
+
+    /// Ring capacity in events.
+    std::size_t capacity() const { return capacity_; }
+    /// Events currently retained (<= capacity).
+    std::size_t size() const;
+    /// Events overwritten because the ring was full.
+    std::uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+    /// Retained events in chronological (sequence) order.
+    std::vector<TraceEvent> snapshot() const;
+
+    /// Chrome trace-event JSON (the object form with "traceEvents", which
+    /// Perfetto and chrome://tracing both accept). Timestamps are emitted
+    /// in microseconds with nanosecond precision kept as fractions.
+    std::string renderChromeTrace() const;
+
+    /// Clears retained events and the drop counter (tests).
+    void clear();
+
+    /// The process-wide tracer the instrumentation layer uses.
+    static Tracer& global();
+
+private:
+    std::atomic<bool> enabled_{false};
+    std::size_t capacity_;
+    mutable std::mutex mutex_;
+    std::vector<TraceEvent> ring_;
+    std::size_t next_ = 0;    ///< ring write cursor
+    std::uint64_t seq_ = 0;   ///< total events ever recorded
+    std::atomic<std::uint64_t> dropped_{0};
+};
+
+}  // namespace rpkic::obs

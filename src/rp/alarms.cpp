@@ -26,6 +26,30 @@ std::string Alarm::str() const {
     return out;
 }
 
+void AlarmLog::attachMetrics(obs::Registry* registry, std::string entity) {
+    registry_ = registry;
+    entity_ = std::move(entity);
+    for (auto& byType : counters_) byType = {nullptr, nullptr};
+}
+
+void AlarmLog::raise(Alarm alarm) {
+    if (registry_ != nullptr) {
+        const auto t = static_cast<std::size_t>(alarm.type);
+        const std::size_t acc = alarm.accountable ? 1 : 0;
+        obs::Counter*& c = counters_.at(t)[acc];
+        if (c == nullptr) {
+            c = &registry_->counter(
+                "rc_alarms_total",
+                "Alarms raised, by Table-7 class and accountability verdict",
+                {{"entity", entity_},
+                 {"class", std::string(toString(alarm.type))},
+                 {"accountable", alarm.accountable ? "true" : "false"}});
+        }
+        c->inc();
+    }
+    alarms_.push_back(std::move(alarm));
+}
+
 std::vector<Alarm> AlarmLog::ofType(AlarmType t) const {
     std::vector<Alarm> out;
     std::copy_if(alarms_.begin(), alarms_.end(), std::back_inserter(out),

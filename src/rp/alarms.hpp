@@ -7,11 +7,13 @@
 // (authority? repository? network?).
 #pragma once
 
+#include <array>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "crypto/sha256.hpp"
+#include "obs/obs.hpp"
 #include "util/time.hpp"
 
 namespace rpkic::rp {
@@ -39,9 +41,23 @@ struct Alarm {
 };
 
 /// Append-only alarm log with query helpers.
+///
+/// When attached to a metrics registry, every raise() increments
+/// rc_alarms_total{entity, class, accountable} — one series per Table-7
+/// alarm class and accountability verdict, labelled with the relying
+/// party that raised it (see docs/OBSERVABILITY.md).
 class AlarmLog {
 public:
-    void raise(Alarm alarm) { alarms_.push_back(std::move(alarm)); }
+    /// Routes future raise() calls into rc_alarms_total counters in
+    /// `registry`, labelled entity=`entity`. nullptr detaches.
+    void attachMetrics(obs::Registry* registry, std::string entity);
+
+    void raise(Alarm alarm);
+
+    /// Appends WITHOUT touching metrics. Cache deserialization replays
+    /// alarms that were already counted when first raised; counting them
+    /// again would double-book the rc_alarms_total series.
+    void restore(Alarm alarm) { alarms_.push_back(std::move(alarm)); }
 
     const std::vector<Alarm>& all() const { return alarms_; }
     std::vector<Alarm> ofType(AlarmType t) const;
@@ -52,6 +68,10 @@ public:
 
 private:
     std::vector<Alarm> alarms_;
+    obs::Registry* registry_ = nullptr;
+    std::string entity_;
+    /// Lazily created counters, indexed [alarm type][accountable].
+    std::array<std::array<obs::Counter*, 2>, 6> counters_{};
 };
 
 }  // namespace rpkic::rp

@@ -161,7 +161,10 @@ RelyingParty RelyingParty::deserializeState(ByteView data) {
         a.accountable = d.boolean();
         a.detail = d.str();
         a.raisedAt = d.i64();
-        rp.alarms_.raise(std::move(a));
+        // restore(), not raise(): these alarms were counted in
+        // rc_alarms_total when first raised; replaying a cache must not
+        // book them again.
+        rp.alarms_.restore(std::move(a));
     }
 
     const std::uint32_t nDead = d.u32();

@@ -36,8 +36,34 @@ std::string_view toString(RcStatus s) {
 }
 
 RelyingParty::RelyingParty(std::string name, std::vector<ResourceCert> trustAnchors,
-                           RpOptions options)
-    : name_(std::move(name)), options_(options), trustAnchors_(std::move(trustAnchors)) {
+                           RpOptions options, obs::Registry* registry)
+    : name_(std::move(name)),
+      options_(options),
+      trustAnchors_(std::move(trustAnchors)),
+      registry_(registry != nullptr ? registry : &obs::Registry::global()) {
+    alarms_.attachMetrics(registry_, name_);
+    const obs::Labels rp{{"rp", name_}};
+    syncsTotal_ = &registry_->counter("rc_rp_syncs_total", "Completed sync() passes", rp);
+    transitionsTotal_ = &registry_->counter(
+        "rc_rp_transitions_total", "Manifest-to-manifest transitions processed", rp);
+    const auto procHist = [&](const char* procedure) {
+        return &registry_->histogram("rc_rp_procedure_seconds",
+                                     "Latency of the Table-10 RC procedures (RC1-RC4)",
+                                     {{"rp", name_}, {"procedure", procedure}});
+    };
+    procNew_ = procHist("new");
+    procDeleted_ = procHist("deleted");
+    procOverwritten_ = procHist("overwritten");
+    procRollover_ = procHist("rollover");
+    obs::HistogramSpec depthSpec;
+    depthSpec.firstBound = 1.0;
+    depthSpec.growth = 2.0;
+    depthSpec.bucketCount = 12;
+    chainDepth_ = &registry_->histogram(
+        "rc_rp_chain_depth",
+        "Manifests reconstructed per point sync (horizontal chain depth, paper 5.3.2)", rp,
+        depthSpec);
+
     for (const auto& ta : trustAnchors_) {
         RcRecord rec;
         rec.cert = ta;
@@ -84,6 +110,7 @@ bool RelyingParty::sawDeadForResources(const std::string& rcUri, const ResourceS
 // Sync driver
 
 void RelyingParty::sync(const Snapshot& snap, Time now) {
+    RC_OBS_COUNT(*syncsTotal_, 1);
     lastSyncTime_ = now;
 
     // Breadth-first over publication points, ancestors before descendants
@@ -136,6 +163,7 @@ void RelyingParty::markPointStale(PointCache& pc, const std::string& pointUri, T
 
 void RelyingParty::processPoint(const std::string& pointUri, const std::string& ownerUri,
                                 const Snapshot& snap, Time now) {
+    RC_OBS_SPAN("rp.point", "rp");
     (void)ownerUri;  // the manifest names its issuer; the hint is advisory
     PointCache& pc = points_[pointUri];
 
@@ -244,6 +272,9 @@ void RelyingParty::processPoint(const std::string& pointUri, const std::string& 
         }
     }
 
+    // Chain verified: record how deep the §5.3.2 reconstruction had to go.
+    RC_OBS_OBSERVE(*chainDepth_, static_cast<double>(chain.size() - 1));
+
     for (std::size_t i = 1; i < chain.size(); ++i) {
         processTransition(pc, pointUri, chain[i - 1], chain[i], snap, now);
         hashWindow_.push_back({now, pointUri, chain[i].number, chain[i].bodyHash()});
@@ -325,6 +356,8 @@ void RelyingParty::initialPointSync(PointCache& pc, const std::string& pointUri,
 void RelyingParty::processTransition(PointCache& pc, const std::string& pointUri,
                                      const Manifest& prev, const Manifest& cur,
                                      const Snapshot& snap, Time now) {
+    RC_OBS_SPAN("rp.transition", "rp");
+    RC_OBS_COUNT(*transitionsTotal_, 1);
     // --- key rollover interlude (Appendix B.2.3) ---
     if (cur.tag == ManifestTag::PostRollover) {
         const auto successor = checkRollover(pointUri, cur, now);
@@ -554,6 +587,7 @@ void RelyingParty::processTransition(PointCache& pc, const std::string& pointUri
 
 void RelyingParty::newRcProcedure(TransitionContext& ctx, const std::string& filename,
                                   const ResourceCert& cert) {
+    RC_OBS_TIMED(procNew_);
     const Bytes wire = cert.encode();
     RcRecord rec;
     rec.cert = cert;
@@ -595,6 +629,7 @@ void RelyingParty::newRcProcedure(TransitionContext& ctx, const std::string& fil
 
 void RelyingParty::deletedRcProcedure(TransitionContext& ctx, const std::string& filename,
                                       const ResourceCert& cert, const Bytes& certBytes) {
+    RC_OBS_TIMED(procDeleted_);
     (void)filename;  // the alarm names the RC by URI, not by file position
     const auto recIt = rcs_.find(cert.uri);
     const bool wasStale = recIt != rcs_.end() && recIt->second.stale;
@@ -698,6 +733,7 @@ void RelyingParty::deletedRcProcedure(TransitionContext& ctx, const std::string&
 void RelyingParty::overwrittenRcProcedure(TransitionContext& ctx, const std::string& filename,
                                           const ResourceCert& oldCert, const Bytes& oldBytes,
                                           const ResourceCert& newCert) {
+    RC_OBS_TIMED(procOverwritten_);
     // Table 10: a *never-was-valid* RC that changes goes through the New
     // RC procedure — there is nothing valid to consent about.
     const RcRecord* prior = findRc(oldCert.uri);
@@ -792,6 +828,7 @@ void RelyingParty::overwrittenRcProcedure(TransitionContext& ctx, const std::str
 
 std::optional<std::string> RelyingParty::checkRollover(const std::string& pointUri,
                                                        const Manifest& post, Time now) {
+    RC_OBS_TIMED(procRollover_);
     const std::string& oldUri = post.issuerRcUri;
     // Check0: well-formed post-rollover payload.
     if (post.rolloverTargetUri.empty() || post.rolloverTargetRcHash.isZero()) {

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "detector/state.hpp"
+#include "obs/obs.hpp"
 #include "rp/alarms.hpp"
 #include "rpki/objects.hpp"
 #include "rpki/repository.hpp"
@@ -79,8 +80,11 @@ struct ManifestClaim {
 
 class RelyingParty {
 public:
+    /// `registry` receives the rc_rp_* / rc_alarms_total metric families,
+    /// labelled with this relying party's name; nullptr means
+    /// obs::Registry::global().
     RelyingParty(std::string name, std::vector<ResourceCert> trustAnchors,
-                 RpOptions options = {});
+                 RpOptions options = {}, obs::Registry* registry = nullptr);
 
     /// Pulls the snapshot and runs the local consistency check on every
     /// reachable publication point (ancestors before descendants).
@@ -205,6 +209,18 @@ private:
     std::map<std::string, std::string> successors_;  // old RC uri -> new RC uri
     std::deque<ObtainedHash> hashWindow_;
     Time lastSyncTime_ = 0;
+
+    // -- instruments (owned by registry_; see docs/OBSERVABILITY.md) --
+    obs::Registry* registry_ = nullptr;
+    obs::Counter* syncsTotal_ = nullptr;
+    obs::Counter* transitionsTotal_ = nullptr;
+    /// Table-10 procedure latencies (RC1-RC4 ~ new/deleted/overwritten/rolled).
+    obs::Histogram* procNew_ = nullptr;
+    obs::Histogram* procDeleted_ = nullptr;
+    obs::Histogram* procOverwritten_ = nullptr;
+    obs::Histogram* procRollover_ = nullptr;
+    /// Manifests reconstructed per point sync (§5.3.2 chain depth).
+    obs::Histogram* chainDepth_ = nullptr;
 };
 
 }  // namespace rpkic::rp

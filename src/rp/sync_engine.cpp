@@ -30,9 +30,96 @@ std::string_view toString(PointHealth h) {
     return "?";
 }
 
-SyncEngine::SyncEngine(RelyingParty& rp, SnapshotSource& source, SyncPolicy policy)
-    : rp_(&rp), source_(&source), policy_(policy) {
+SyncEngine::SyncEngine(RelyingParty& rp, SnapshotSource& source, SyncPolicy policy,
+                       obs::Registry* registry)
+    : rp_(&rp),
+      source_(&source),
+      policy_(policy),
+      registry_(registry != nullptr ? registry : &obs::Registry::global()) {
     if (policy_.maxAttempts == 0) policy_.maxAttempts = 1;
+    const obs::Labels rpLabel{{"rp", rp_->name()}};
+    roundsTotal_ = &registry_->counter("rc_sync_rounds_total",
+                                       "Sync rounds the engine has run", rpLabel);
+    alarmsEscalated_ =
+        &registry_->counter("rc_sync_alarms_escalated_total",
+                            "Alarms the relying party raised during engine-driven syncs "
+                            "(every one is post-retry-budget)",
+                            rpLabel);
+    fetchLatency_ = &registry_->histogram(
+        "rc_sync_point_delivery_seconds",
+        "Wall time to resolve one publication point (all attempts and probes)", rpLabel);
+    for (std::size_t h = 0; h < healthGauges_.size(); ++h) {
+        healthGauges_[h] = &registry_->gauge(
+            "rc_sync_points",
+            "Publication points by current health class",
+            {{"rp", rp_->name()},
+             {"health", std::string(toString(static_cast<PointHealth>(h)))}});
+    }
+}
+
+SyncEngine::PointState& SyncEngine::stateFor(const std::string& pointUri) {
+    const auto it = points_.find(pointUri);
+    if (it != points_.end()) return it->second;
+
+    PointState ps;
+    const obs::Labels labels{{"rp", rp_->name()}, {"point", pointUri}};
+    ps.attempts = &registry_->counter("rc_sync_attempts_total",
+                                      "Fetch attempts, including retries", labels);
+    ps.retries =
+        &registry_->counter("rc_sync_retries_total", "Fetch attempts after the first", labels);
+    ps.faultsAbsorbed = &registry_->counter(
+        "rc_sync_faults_absorbed_total",
+        "Failed attempts inside rounds that ultimately delivered (faults the retry "
+        "discipline healed without any alarm)",
+        labels);
+    ps.roundsFailed = &registry_->counter(
+        "rc_sync_point_rounds_failed_total",
+        "Point-rounds where the attempt budget was exhausted (cache retained)", labels);
+    ps.roundsDelivered = &registry_->counter("rc_sync_point_rounds_delivered_total",
+                                             "Point-rounds where the point was accepted",
+                                             labels);
+    ps.backoffTicks = &registry_->counter(
+        "rc_sync_backoff_ticks_total", "Simulated backoff ticks accumulated before retries",
+        labels);
+    ps.recoveries = &registry_->counter(
+        "rc_sync_recoveries_total", "Failed streaks that ended in a successful delivery",
+        labels);
+    ps.recoveryRounds = &registry_->counter(
+        "rc_sync_recovery_rounds_total",
+        "Total rounds spent in failed streaks that later recovered", labels);
+    return points_.emplace(pointUri, std::move(ps)).first->second;
+}
+
+obs::Counter& SyncEngine::rejectionCounter(PointState& ps, const std::string& pointUri,
+                                           FetchOutcome o) {
+    const auto idx = static_cast<std::size_t>(o);
+    if (ps.rejections[idx] == nullptr) {
+        ps.rejections[idx] = &registry_->counter(
+            "rc_sync_rejections_total", "Fetch attempts rejected, by probe outcome",
+            {{"rp", rp_->name()},
+             {"point", pointUri},
+             {"outcome", std::string(toString(o))}});
+    }
+    return *ps.rejections[idx];
+}
+
+void SyncEngine::recordHealthTransition(PointHealth from, PointHealth to) {
+    if (from == to) return;
+    registry_
+        ->counter("rc_sync_health_transitions_total",
+                  "Publication-point health transitions",
+                  {{"rp", rp_->name()},
+                   {"from", std::string(toString(from))},
+                   {"to", std::string(toString(to))}})
+        .inc();
+}
+
+void SyncEngine::refreshHealthGauges() {
+    std::array<std::int64_t, 4> counts{};
+    for (const auto& [uri, ps] : points_) {
+        ++counts[static_cast<std::size_t>(ps.health)];
+    }
+    for (std::size_t h = 0; h < healthGauges_.size(); ++h) healthGauges_[h]->set(counts[h]);
 }
 
 PointHealth SyncEngine::healthOf(const std::string& pointUri) const {
@@ -40,12 +127,60 @@ PointHealth SyncEngine::healthOf(const std::string& pointUri) const {
     return it == points_.end() ? PointHealth::Healthy : it->second.health;
 }
 
-const PointTelemetry* SyncEngine::telemetryFor(const std::string& pointUri) const {
-    const auto it = points_.find(pointUri);
-    return it == points_.end() ? nullptr : &it->second;
+PointTelemetry SyncEngine::materialize(const PointState& ps) const {
+    PointTelemetry pt;
+    pt.attempts = ps.attempts->value();
+    pt.retries = ps.retries->value();
+    pt.faultsAbsorbed = ps.faultsAbsorbed->value();
+    pt.roundsFailed = ps.roundsFailed->value();
+    pt.roundsDelivered = ps.roundsDelivered->value();
+    pt.consecutiveFailures = ps.consecutiveFailures;
+    pt.backoffSpent = static_cast<Duration>(ps.backoffTicks->value());
+    pt.health = ps.health;
+    pt.highestManifestNumber = ps.highestManifestNumber;
+    pt.sawManifest = ps.sawManifest;
+    pt.currentStaleStreak = ps.currentStaleStreak;
+    pt.longestStaleStreak = ps.longestStaleStreak;
+    pt.recoveries = ps.recoveries->value();
+    pt.recoveryRoundsSum = ps.recoveryRounds->value();
+    for (std::size_t i = 0; i < ps.rejections.size(); ++i) {
+        if (ps.rejections[i] != nullptr && ps.rejections[i]->value() > 0) {
+            pt.rejections[static_cast<FetchOutcome>(i)] = ps.rejections[i]->value();
+        }
+    }
+    return pt;
 }
 
-FetchOutcome SyncEngine::probe(const PointTelemetry& pt, const FileMap& files) const {
+const PointTelemetry* SyncEngine::telemetryFor(const std::string& pointUri) const {
+    const auto it = points_.find(pointUri);
+    if (it == points_.end()) return nullptr;
+    PointTelemetry& view = telemetryView_[pointUri];
+    view = materialize(it->second);
+    return &view;
+}
+
+const std::map<std::string, PointTelemetry>& SyncEngine::telemetry() const {
+    telemetryView_.clear();
+    for (const auto& [uri, ps] : points_) telemetryView_.emplace(uri, materialize(ps));
+    return telemetryView_;
+}
+
+const EngineTotals& SyncEngine::totals() const {
+    EngineTotals t;
+    t.rounds = roundsTotal_->value();
+    t.alarmsRaised = alarmsEscalated_->value();
+    for (const auto& [uri, ps] : points_) {
+        t.attempts += ps.attempts->value();
+        t.retries += ps.retries->value();
+        t.faultsAbsorbed += ps.faultsAbsorbed->value();
+        t.pointRoundsFailed += ps.roundsFailed->value();
+        t.backoffSpent += static_cast<Duration>(ps.backoffTicks->value());
+    }
+    totalsView_ = t;
+    return totalsView_;
+}
+
+FetchOutcome SyncEngine::probe(const PointState& ps, const FileMap& files) const {
     const auto mftIt = files.find(kManifestName);
     if (mftIt == files.end()) return FetchOutcome::ManifestMissing;
 
@@ -60,7 +195,7 @@ FetchOutcome SyncEngine::probe(const PointTelemetry& pt, const FileMap& files) c
     // (Equal numbers pass: an unchanged point is normal, and an equivocating
     // same-number-different-hash manifest is accountable evidence the
     // relying party must see, not something to retry away.)
-    if (pt.sawManifest && m.number < pt.highestManifestNumber) return FetchOutcome::Regressed;
+    if (ps.sawManifest && m.number < ps.highestManifestNumber) return FetchOutcome::Regressed;
 
     // Transfer-integrity probe: everything the manifest logs must be
     // present and hash-correct. An honest point always satisfies this (the
@@ -90,6 +225,7 @@ FetchOutcome SyncEngine::probe(const PointTelemetry& pt, const FileMap& files) c
 }
 
 SyncReport SyncEngine::syncRound(Time now) {
+    RC_OBS_SPAN("sync.round", "sync");
     SyncReport report;
     report.round = round_;
     report.when = now;
@@ -99,32 +235,33 @@ SyncReport SyncEngine::syncRound(Time now) {
 
     Snapshot assembled;
     for (const std::string& pointUri : listed) {
-        PointTelemetry& pt = points_[pointUri];
+        RC_OBS_TIMED(fetchLatency_);
+        PointState& ps = stateFor(pointUri);
         const std::uint32_t budget =
-            pt.health == PointHealth::Quarantined ? 1u : policy_.maxAttempts;
+            ps.health == PointHealth::Quarantined ? 1u : policy_.maxAttempts;
 
         bool delivered = false;
         std::uint32_t retriesUsed = 0;
         std::uint64_t acceptedNumber = 0;
         for (std::uint32_t attempt = 0; attempt < budget; ++attempt) {
-            ++pt.attempts;
+            ps.attempts->inc();
             ++report.attempts;
             if (attempt > 0) {
-                ++pt.retries;
+                ps.retries->inc();
                 ++report.retries;
                 ++retriesUsed;
                 const Duration backoff = static_cast<Duration>(std::llround(
                     static_cast<double>(policy_.initialBackoff) *
                     std::pow(policy_.backoffMultiplier, static_cast<double>(attempt - 1))));
-                pt.backoffSpent += backoff;
+                ps.backoffTicks->inc(static_cast<std::uint64_t>(backoff));
                 report.backoffSpent += backoff;
             }
 
             auto files = source_->fetchPoint(pointUri, round_, attempt);
             FetchOutcome outcome = FetchOutcome::Unreachable;
-            if (files.has_value()) outcome = probe(pt, *files);
+            if (files.has_value()) outcome = probe(ps, *files);
             if (outcome != FetchOutcome::Ok) {
-                ++pt.rejections[outcome];
+                rejectionCounter(ps, pointUri, outcome).inc();
                 continue;
             }
             // Accepted. Record the regression floor from the probed head.
@@ -134,63 +271,82 @@ SyncReport SyncEngine::syncRound(Time now) {
                     Manifest::decode(ByteView(mftIt->second.data(), mftIt->second.size()));
                 acceptedNumber = m.number;
             } catch (const ParseError&) {
-                acceptedNumber = pt.highestManifestNumber;  // probe already decoded it
+                acceptedNumber = ps.highestManifestNumber;  // probe already decoded it
             }
             assembled.points.emplace(pointUri, std::move(*files));
             delivered = true;
             break;
         }
 
+        const PointHealth previousHealth = ps.health;
         if (delivered) {
-            ++pt.roundsDelivered;
+            ps.roundsDelivered->inc();
             ++report.pointsDelivered;
-            pt.faultsAbsorbed += retriesUsed;
+            ps.faultsAbsorbed->inc(retriesUsed);
             report.faultsAbsorbed += retriesUsed;
-            if (pt.currentStaleStreak > 0) {
-                ++pt.recoveries;
-                pt.recoveryRoundsSum += pt.currentStaleStreak;
-                pt.currentStaleStreak = 0;
+            if (ps.currentStaleStreak > 0) {
+                ps.recoveries->inc();
+                ps.recoveryRounds->inc(ps.currentStaleStreak);
+                obs::log(obs::LogLevel::Info, "sync", "point-recovered",
+                         {{"rp", rp_->name()},
+                          {"point", pointUri},
+                          {"failed_rounds", std::to_string(ps.currentStaleStreak)}});
+                ps.currentStaleStreak = 0;
             }
-            const bool wasQuarantined = pt.health == PointHealth::Quarantined;
-            pt.consecutiveFailures = 0;
-            pt.health = (retriesUsed > 0 || wasQuarantined) ? PointHealth::Degraded
+            const bool wasQuarantined = ps.health == PointHealth::Quarantined;
+            ps.consecutiveFailures = 0;
+            ps.health = (retriesUsed > 0 || wasQuarantined) ? PointHealth::Degraded
                                                             : PointHealth::Healthy;
-            if (!pt.sawManifest || acceptedNumber > pt.highestManifestNumber) {
-                pt.highestManifestNumber = acceptedNumber;
+            if (!ps.sawManifest || acceptedNumber > ps.highestManifestNumber) {
+                ps.highestManifestNumber = acceptedNumber;
             }
-            pt.sawManifest = true;
+            ps.sawManifest = true;
         } else {
-            ++pt.roundsFailed;
+            ps.roundsFailed->inc();
             ++report.pointsFailed;
-            ++totals_.pointRoundsFailed;
-            ++pt.consecutiveFailures;
-            ++pt.currentStaleStreak;
-            pt.longestStaleStreak = std::max(pt.longestStaleStreak, pt.currentStaleStreak);
-            pt.health = pt.consecutiveFailures >= policy_.quarantineAfter
+            ++ps.consecutiveFailures;
+            ++ps.currentStaleStreak;
+            ps.longestStaleStreak = std::max(ps.longestStaleStreak, ps.currentStaleStreak);
+            ps.health = ps.consecutiveFailures >= policy_.quarantineAfter
                             ? PointHealth::Quarantined
                             : PointHealth::Stale;
+            if (ps.health == PointHealth::Quarantined &&
+                previousHealth != PointHealth::Quarantined) {
+                obs::log(obs::LogLevel::Warn, "sync", "point-quarantined",
+                         {{"rp", rp_->name()},
+                          {"point", pointUri},
+                          {"consecutive_failures", std::to_string(ps.consecutiveFailures)}});
+            }
             report.failedPoints.push_back(pointUri);
         }
+        recordHealthTransition(previousHealth, ps.health);
     }
 
-    for (const auto& [uri, pt] : points_) {
-        if (pt.health == PointHealth::Quarantined) ++report.pointsQuarantined;
+    for (const auto& [uri, ps] : points_) {
+        if (ps.health == PointHealth::Quarantined) ++report.pointsQuarantined;
     }
+    refreshHealthGauges();
 
     // All-or-nothing delivery done; escalate what remains. Every alarm the
     // relying party raises now is post-budget by construction.
     const std::size_t alarmsBefore = rp_->alarms().count();
-    rp_->sync(assembled, now);
+    {
+        RC_OBS_SPAN("rp.sync", "rp");
+        rp_->sync(assembled, now);
+    }
     report.alarmsRaised = rp_->alarms().count() - alarmsBefore;
     report.validRoas = rp_->validRoas().size();
+    alarmsEscalated_->inc(report.alarmsRaised);
+
+    obs::log(obs::LogLevel::Debug, "sync", "round-complete",
+             {{"rp", rp_->name()},
+              {"round", std::to_string(round_)},
+              {"delivered", std::to_string(report.pointsDelivered)},
+              {"failed", std::to_string(report.pointsFailed)},
+              {"alarms", std::to_string(report.alarmsRaised)}});
 
     ++round_;
-    ++totals_.rounds;
-    totals_.attempts += report.attempts;
-    totals_.retries += report.retries;
-    totals_.faultsAbsorbed += report.faultsAbsorbed;
-    totals_.alarmsRaised += report.alarmsRaised;
-    totals_.backoffSpent += report.backoffSpent;
+    roundsTotal_->inc();
     reports_.push_back(report);
     return report;
 }

@@ -23,15 +23,21 @@
 //    reduced attempt budget for quarantined points (a sustained staller
 //    cannot consume the full retry budget every round — the Stalloris
 //    resource-exhaustion lesson);
-//  * telemetry counters and a per-round SyncReport for soak harnesses
-//    and monitoring.
+//  * telemetry: every counter lives in an obs::Registry (rc_sync_* metric
+//    families; see docs/OBSERVABILITY.md), so one Prometheus scrape of the
+//    registry shows exactly what the transport discipline did. The
+//    PointTelemetry / EngineTotals accessors below are materialized views
+//    over those registry counters — kept so harnesses and tests written
+//    against the original in-struct counters run unchanged.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "rp/relying_party.hpp"
 #include "rpki/chaos.hpp"
 
@@ -47,6 +53,8 @@ enum class FetchOutcome : std::uint8_t {
     LoggedObjectMismatch,  ///< served bytes do not hash to the logged value
     Regressed,             ///< manifest number below an already-accepted one
 };
+
+inline constexpr std::size_t kFetchOutcomeCount = 7;
 
 std::string_view toString(FetchOutcome o);
 
@@ -72,6 +80,8 @@ struct SyncPolicy {
     std::uint32_t quarantineAfter = 3;
 };
 
+/// Read-only view of one publication point's telemetry, materialized from
+/// the metrics registry (the single source of truth).
 struct PointTelemetry {
     std::uint64_t attempts = 0;
     std::uint64_t retries = 0;
@@ -114,7 +124,7 @@ struct SyncReport {
 };
 
 /// Aggregate counters across all rounds (sum of per-point telemetry plus
-/// engine-level totals).
+/// engine-level totals), materialized from the registry on access.
 struct EngineTotals {
     std::uint64_t rounds = 0;
     std::uint64_t attempts = 0;
@@ -127,7 +137,10 @@ struct EngineTotals {
 
 class SyncEngine {
 public:
-    SyncEngine(RelyingParty& rp, SnapshotSource& source, SyncPolicy policy = {});
+    /// `registry` receives the rc_sync_* metric families, labelled with
+    /// the relying party's name; nullptr means obs::Registry::global().
+    SyncEngine(RelyingParty& rp, SnapshotSource& source, SyncPolicy policy = {},
+               obs::Registry* registry = nullptr);
 
     /// Runs one sync round at simulated time `now`: fetches every listed
     /// point with retry/backoff, probes, assembles the accepted points
@@ -141,21 +154,60 @@ public:
 
     PointHealth healthOf(const std::string& pointUri) const;
     const PointTelemetry* telemetryFor(const std::string& pointUri) const;
-    const std::map<std::string, PointTelemetry>& telemetry() const { return points_; }
-    const EngineTotals& totals() const { return totals_; }
+    const std::map<std::string, PointTelemetry>& telemetry() const;
+    const EngineTotals& totals() const;
     const std::vector<SyncReport>& reports() const { return reports_; }
 
 private:
+    /// Registry-backed per-point counters (canonical storage) plus the
+    /// control state the retry/quarantine policy runs on.
+    struct PointState {
+        // Control state — drives policy decisions, serialized nowhere.
+        std::uint32_t consecutiveFailures = 0;
+        PointHealth health = PointHealth::Healthy;
+        std::uint64_t highestManifestNumber = 0;
+        bool sawManifest = false;
+        std::uint32_t currentStaleStreak = 0;
+        std::uint32_t longestStaleStreak = 0;
+        // Canonical counters, owned by the registry.
+        obs::Counter* attempts = nullptr;
+        obs::Counter* retries = nullptr;
+        obs::Counter* faultsAbsorbed = nullptr;
+        obs::Counter* roundsFailed = nullptr;
+        obs::Counter* roundsDelivered = nullptr;
+        obs::Counter* backoffTicks = nullptr;
+        obs::Counter* recoveries = nullptr;
+        obs::Counter* recoveryRounds = nullptr;
+        std::array<obs::Counter*, kFetchOutcomeCount> rejections{};
+    };
+
     /// Validates a fetched FileMap before it may reach the relying party.
-    FetchOutcome probe(const PointTelemetry& pt, const FileMap& files) const;
+    FetchOutcome probe(const PointState& ps, const FileMap& files) const;
+
+    PointState& stateFor(const std::string& pointUri);
+    obs::Counter& rejectionCounter(PointState& ps, const std::string& pointUri, FetchOutcome o);
+    void recordHealthTransition(PointHealth from, PointHealth to);
+    void refreshHealthGauges();
+    PointTelemetry materialize(const PointState& ps) const;
 
     RelyingParty* rp_;
     SnapshotSource* source_;
     SyncPolicy policy_;
+    obs::Registry* registry_;
     std::uint64_t round_ = 0;
-    std::map<std::string, PointTelemetry> points_;
-    EngineTotals totals_;
+    std::map<std::string, PointState> points_;
     std::vector<SyncReport> reports_;
+
+    // Engine-level instruments.
+    obs::Counter* roundsTotal_ = nullptr;
+    obs::Counter* alarmsEscalated_ = nullptr;
+    obs::Histogram* fetchLatency_ = nullptr;
+    std::array<obs::Gauge*, 4> healthGauges_{};  // by PointHealth
+
+    // Materialized views (registry reads on access; mutable caches so the
+    // original by-reference accessor signatures keep working).
+    mutable std::map<std::string, PointTelemetry> telemetryView_;
+    mutable EngineTotals totalsView_;
 };
 
 }  // namespace rpkic::rp

@@ -169,8 +169,14 @@ std::optional<Fault> drawFault(Rng& rng, const SoakConfig& cfg, std::uint64_t ro
 }
 
 SoakResult runSoakImpl(const SoakConfig& cfg, const FaultPlan* replay) {
+    RC_OBS_SPAN("soak.run", "soak");
     SoakResult result;
     result.seed = cfg.seed;
+
+    // Run-local registry unless the caller wants the exposition: repeated
+    // soaks in one process must each start from zero counters.
+    obs::Registry localRegistry;
+    obs::Registry* registry = cfg.registry != nullptr ? cfg.registry : &localRegistry;
 
     // --- world ---------------------------------------------------------------
     DriverConfig driverConfig;
@@ -195,13 +201,13 @@ SoakResult runSoakImpl(const SoakConfig& cfg, const FaultPlan* replay) {
     ChaosSource chaos(honest, std::move(header));
 
     const RpOptions rpOptions{.ts = 4, .tg = 8, .checkIntermediateStates = true};
-    RelyingParty chaotic("chaotic", driver.trustAnchors(), rpOptions);
-    RelyingParty twin("twin", driver.trustAnchors(), rpOptions);
+    RelyingParty chaotic("chaotic", driver.trustAnchors(), rpOptions, registry);
+    RelyingParty twin("twin", driver.trustAnchors(), rpOptions, registry);
 
     SyncPolicy policy;
     policy.maxAttempts = cfg.retryBudget + 1;
-    SyncEngine engine(chaotic, chaos, policy);
-    SyncEngine twinEngine(twin, honest, policy);
+    SyncEngine engine(chaotic, chaos, policy, registry);
+    SyncEngine twinEngine(twin, honest, policy, registry);
 
     Rng faultRng(cfg.seed * 0x9e3779b97f4a7c15ull + 0xc4a05u);
 
@@ -212,6 +218,7 @@ SoakResult runSoakImpl(const SoakConfig& cfg, const FaultPlan* replay) {
     const bool honestWorld = cfg.adversarialProbability == 0.0;
 
     for (std::uint64_t r = 0; r < cfg.rounds; ++r) {
+        RC_OBS_SPAN("soak.round", "soak");
         const Time now = static_cast<Time>(r);
         Violations v{result.violations, r};
 
@@ -352,6 +359,7 @@ SoakResult runSoakImpl(const SoakConfig& cfg, const FaultPlan* replay) {
     s.twinAlarms = twin.alarms().count();
     s.validRoasFinal = chaotic.validRoas().size();
     s.twinValidRoasFinal = twin.validRoas().size();
+    result.rounds = engine.reports();
 
     result.passed = result.violations.empty();
     return result;
@@ -374,8 +382,10 @@ SoakResult runSoak(const SoakConfig& cfg) {
     return runSoakImpl(cfg, nullptr);
 }
 
-SoakResult runSoakWithPlan(const FaultPlan& plan) {
-    return runSoakImpl(configFromPlan(plan), &plan);
+SoakResult runSoakWithPlan(const FaultPlan& plan, obs::Registry* registry) {
+    SoakConfig cfg = configFromPlan(plan);
+    cfg.registry = registry;
+    return runSoakImpl(cfg, &plan);
 }
 
 }  // namespace rpkic::sim

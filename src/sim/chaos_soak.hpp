@@ -37,6 +37,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "rpki/chaos.hpp"
 #include "rp/sync_engine.hpp"
 #include "sim/driver.hpp"
@@ -57,6 +58,11 @@ struct SoakConfig {
     std::uint64_t stallHorizon = 8;
     /// Twin <-> chaotic global consistency check cadence (rounds).
     std::uint32_t globalCheckEvery = 5;
+    /// Metrics registry the soak's engines record into. nullptr means a
+    /// registry local to the run (each soak starts from zero counters, so
+    /// repeated soaks in one process never bleed telemetry into each
+    /// other and same-seed runs dump byte-identical expositions).
+    obs::Registry* registry = nullptr;
 };
 
 /// Reconstructs the configuration a plan was generated under, so replays
@@ -89,6 +95,9 @@ struct SoakResult {
     std::vector<std::string> violations;  ///< empty iff passed
     FaultPlan plan;                       ///< replayable schedule
     SoakStats stats;
+    /// The chaotic engine's per-round sync reports (scoreboard data:
+    /// delivered/failed/retries/alarms per round).
+    std::vector<rp::SyncReport> rounds;
 };
 
 /// Runs one soak: generates a FaultPlan from cfg.seed round by round (so
@@ -97,6 +106,7 @@ struct SoakResult {
 SoakResult runSoak(const SoakConfig& cfg);
 
 /// Replays a serialized plan: no generation, identical outcome.
-SoakResult runSoakWithPlan(const FaultPlan& plan);
+/// `registry` overrides the run-local metrics registry (see SoakConfig).
+SoakResult runSoakWithPlan(const FaultPlan& plan, obs::Registry* registry = nullptr);
 
 }  // namespace rpkic::sim

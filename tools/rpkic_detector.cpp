@@ -2,6 +2,12 @@
 // tool, in the spirit of the authors' released RPKI_Downgrade_Detector.
 //
 //   rpkic-detector PREV.state CUR.state [--examples N] [--quiet]
+//                  [--metrics-out FILE] [--trace-out FILE]
+//
+// --metrics-out writes the Prometheus text exposition of the rc_detector_*
+// metrics after the diff (index build/diff timings on the deterministic
+// logical clock, downgrade counts by kind); --trace-out writes the span
+// trace as Chrome trace-event JSON (load in Perfetto).
 //
 // State files hold one "prefix[-maxLength] ASN" tuple per line (the valid
 // ROAs of an RPKI snapshot, e.g. produced by a validator run). The tool
@@ -10,10 +16,12 @@
 // detected (so it can gate a monitoring pipeline), 1 = usage/parse error.
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 
 #include "detector/diff.hpp"
 #include "detector/state_io.hpp"
+#include "obs/obs.hpp"
 #include "util/errors.hpp"
 
 using namespace rpkic;
@@ -23,8 +31,19 @@ namespace {
 int usage() {
     std::fprintf(stderr,
                  "usage: rpkic-detector PREV.state CUR.state [--examples N] [--quiet]\n"
+                 "                      [--metrics-out FILE] [--trace-out FILE]\n"
                  "  state file format: one 'prefix[-maxLength] ASN' per line, '#' comments\n");
     return 1;
+}
+
+bool writeFileOrComplain(const std::string& path, const std::string& content) {
+    std::ofstream out(path, std::ios::binary);
+    if (!out) {
+        std::fprintf(stderr, "rpkic-detector: cannot write %s\n", path.c_str());
+        return false;
+    }
+    out << content;
+    return true;
 }
 
 }  // namespace
@@ -34,12 +53,18 @@ int main(int argc, char** argv) {
     std::string curPath;
     std::size_t examples = 8;
     bool quiet = false;
+    std::string metricsOut;
+    std::string traceOut;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--examples" && i + 1 < argc) {
             examples = static_cast<std::size_t>(std::atoi(argv[++i]));
         } else if (arg == "--quiet") {
             quiet = true;
+        } else if (arg == "--metrics-out" && i + 1 < argc) {
+            metricsOut = argv[++i];
+        } else if (arg == "--trace-out" && i + 1 < argc) {
+            traceOut = argv[++i];
         } else if (prevPath.empty()) {
             prevPath = arg;
         } else if (curPath.empty()) {
@@ -49,6 +74,11 @@ int main(int argc, char** argv) {
         }
     }
     if (prevPath.empty() || curPath.empty()) return usage();
+
+    // Deterministic telemetry: identical inputs must dump identical bytes.
+    static obs::LogicalTimeSource logicalClock;
+    if (!metricsOut.empty() || !traceOut.empty()) obs::setTimeSource(&logicalClock);
+    if (!traceOut.empty()) obs::Tracer::global().setEnabled(true);
 
     try {
         const RpkiState prev = loadStateFile(prevPath);
@@ -87,6 +117,14 @@ int main(int argc, char** argv) {
                 std::printf("COMPETING ROA: %s contests %s\n", c.added.str().c_str(),
                             c.existing.str().c_str());
             }
+        }
+        if (!metricsOut.empty() &&
+            !writeFileOrComplain(metricsOut, obs::Registry::global().renderPrometheus())) {
+            return 1;
+        }
+        if (!traceOut.empty() &&
+            !writeFileOrComplain(traceOut, obs::Tracer::global().renderChromeTrace())) {
+            return 1;
         }
         return report.hasDowngrades() ? 2 : 0;
     } catch (const Error& e) {

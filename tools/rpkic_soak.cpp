@@ -23,6 +23,16 @@
 //                      the degradation table (weakened run must be worse)
 //   --plan FILE        replay one serialized plan instead of sweeping
 //   --quiet            only the summary line and failures
+//   --scoreboard       per-round table: delivered/failed/retries/absorbed/
+//                      alarms/valid-ROAs for every round of every run
+//   --metrics-out FILE write the Prometheus text exposition of all
+//                      rc_* metrics after the sweep (deterministic: the
+//                      run is switched to the logical clock, so two runs
+//                      of the same seed produce byte-identical files)
+//   --trace-out FILE   write a Chrome trace-event JSON of the run's spans
+//                      (load in Perfetto / chrome://tracing)
+//   --log-level LEVEL  structured-log threshold (trace|debug|info|warn|
+//                      error|off; default warn, also settable via RC_LOG)
 //
 // Exit status: 0 = all invariants held, 2 = violations, 1 = usage/IO error.
 #include <cstdio>
@@ -33,6 +43,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "sim/chaos_soak.hpp"
 #include "util/errors.hpp"
 
@@ -80,6 +91,29 @@ void printResult(const SoakResult& r, bool quiet) {
     }
 }
 
+void printScoreboard(const SoakResult& r) {
+    std::printf("  round | listed deliv fail quar | attempts retries absorbed | alarms roas\n");
+    for (const auto& round : r.rounds) {
+        std::printf("  %5llu | %6zu %5zu %4zu %4zu | %8llu %7llu %8llu | %6zu %4zu\n",
+                    static_cast<unsigned long long>(round.round), round.pointsListed,
+                    round.pointsDelivered, round.pointsFailed, round.pointsQuarantined,
+                    static_cast<unsigned long long>(round.attempts),
+                    static_cast<unsigned long long>(round.retries),
+                    static_cast<unsigned long long>(round.faultsAbsorbed), round.alarmsRaised,
+                    round.validRoas);
+    }
+}
+
+bool writeFileOrComplain(const std::string& path, const std::string& content) {
+    std::ofstream out(path, std::ios::binary);
+    if (!out) {
+        std::fprintf(stderr, "rpkic-soak: cannot write %s\n", path.c_str());
+        return false;
+    }
+    out << content;
+    return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -88,7 +122,10 @@ int main(int argc, char** argv) {
     std::uint64_t seedBase = 1;
     bool compare = false;
     bool quiet = false;
+    bool scoreboard = false;
     std::string planPath;
+    std::string metricsOut;
+    std::string traceOut;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -121,15 +158,55 @@ int main(int argc, char** argv) {
             planPath = next("--plan");
         } else if (arg == "--quiet") {
             quiet = true;
+        } else if (arg == "--scoreboard") {
+            scoreboard = true;
+        } else if (arg == "--metrics-out") {
+            metricsOut = next("--metrics-out");
+        } else if (arg == "--trace-out") {
+            traceOut = next("--trace-out");
+        } else if (arg == "--log-level") {
+            obs::Logger::global().setLevel(obs::logLevelFromString(next("--log-level")));
         } else {
             std::fprintf(stderr,
                          "usage: rpkic-soak [--seeds N] [--seed-base B] [--rounds N]\n"
                          "                  [--fault-rate X] [--retry-budget N] "
                          "[--adversarial X]\n"
-                         "                  [--smoke] [--compare] [--plan FILE] [--quiet]\n");
+                         "                  [--smoke] [--compare] [--plan FILE] [--quiet]\n"
+                         "                  [--scoreboard] [--metrics-out FILE] "
+                         "[--trace-out FILE]\n"
+                         "                  [--log-level LEVEL]\n");
             return 1;
         }
     }
+
+    // Exported telemetry must be reproducible: the same seed must dump the
+    // same bytes. Switch the whole process onto the deterministic logical
+    // clock before anything records a timestamp.
+    static obs::LogicalTimeSource logicalClock;
+    if (!metricsOut.empty() || !traceOut.empty()) {
+        obs::setTimeSource(&logicalClock);
+    }
+    if (!traceOut.empty()) obs::Tracer::global().setEnabled(true);
+
+    // With --metrics-out the soak records into the process-wide registry
+    // so alarms, sync telemetry, authority and detector counters all land
+    // in the same exposition (a nullptr registry would give each run a
+    // private registry that dies with it).
+    obs::Registry* exportRegistry = metricsOut.empty() ? nullptr : &obs::Registry::global();
+    cfg.registry = exportRegistry;
+
+    const auto writeExports = [&]() -> bool {
+        bool ok = true;
+        if (!metricsOut.empty()) {
+            ok = writeFileOrComplain(metricsOut, obs::Registry::global().renderPrometheus()) && ok;
+            if (ok && !quiet) std::printf("metrics written to %s\n", metricsOut.c_str());
+        }
+        if (!traceOut.empty()) {
+            ok = writeFileOrComplain(traceOut, obs::Tracer::global().renderChromeTrace()) && ok;
+            if (ok && !quiet) std::printf("trace written to %s\n", traceOut.c_str());
+        }
+        return ok;
+    };
 
     if (!planPath.empty()) {
         std::ifstream in(planPath, std::ios::binary);
@@ -149,8 +226,10 @@ int main(int argc, char** argv) {
         std::printf("replaying %s: seed=%llu rounds=%llu faults=%zu\n", planPath.c_str(),
                     static_cast<unsigned long long>(plan.seed),
                     static_cast<unsigned long long>(plan.rounds), plan.faults.size());
-        const SoakResult r = runSoakWithPlan(plan);
+        const SoakResult r = runSoakWithPlan(plan, exportRegistry);
         printResult(r, /*quiet=*/false);
+        if (scoreboard) printScoreboard(r);
+        if (!writeExports()) return 1;
         return r.passed ? 0 : 2;
     }
 
@@ -160,6 +239,7 @@ int main(int argc, char** argv) {
         cfg.seed = seedBase + s;
         const SoakResult r = runSoak(cfg);
         printResult(r, quiet);
+        if (scoreboard) printScoreboard(r);
         if (!r.passed) ++failures;
         totalAlarms += r.stats.alarms;
         totalAbsorbed += r.stats.faultsAbsorbed;
@@ -190,5 +270,6 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(totalAbsorbed),
         static_cast<unsigned long long>(totalFailedRounds),
         static_cast<unsigned long long>(totalAlarms));
+    if (!writeExports()) return 1;
     return failures == 0 ? 0 : 2;
 }
