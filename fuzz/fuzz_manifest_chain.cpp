@@ -1,0 +1,161 @@
+// Structure-aware fuzz driver for the horizontal manifest hash-chain
+// verifier (rpki/manifest_chain, paper §5.3.2).
+//
+// Raw bytes make terrible manifest chains — the interesting inputs are
+// *almost-valid* chains. So the input is interpreted as a little program:
+//
+//   byte 0: chain length n (mod 9)
+//   byte 1: base manifest number (1 + mod 5)
+//   then (op, index, arg) triples applied to an initially-valid chain:
+//     op%6 == 0  bump chain[i].number by 1 + arg%3        (NumberGap)
+//     op%6 == 1  flip prevManifestHash byte arg%32        (HashMismatch)
+//     op%6 == 2  flip entry fileHash byte arg%32          (breaks the
+//                NEXT link: the chain commits to body contents)
+//     op%6 == 3  swap chain[i] and chain[i+1]             (reorder)
+//     op%6 == 4  replace the signature                    (must NOT break:
+//                the chain commits to bodyHash, not fileHash)
+//     op%6 == 5  erase chain[i]                           (withheld history)
+//
+// Oracle: an independently-written reference loop recomputes the expected
+// verdict (ok / kind / breakIndex, first failure wins) and the result
+// invariants; any divergence from verifyManifestChain aborts.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "crypto/sha256.hpp"
+#include "rpki/manifest_chain.hpp"
+#include "rpki/objects.hpp"
+
+namespace rpkic::fuzz {
+namespace {
+
+[[noreturn]] void fail(const char* what) {
+    std::fprintf(stderr, "fuzz_manifest_chain: oracle violated: %s\n", what);
+    std::abort();
+}
+
+/// Sequential byte reader; returns 0 past the end.
+class Reader {
+public:
+    Reader(const std::uint8_t* data, std::size_t size) : data_(data), size_(size) {}
+    bool done() const { return pos_ >= size_; }
+    std::uint8_t next() { return done() ? 0 : data_[pos_++]; }
+
+private:
+    const std::uint8_t* data_;
+    std::size_t size_;
+    std::size_t pos_ = 0;
+};
+
+Manifest makeManifest(std::uint64_t number) {
+    Manifest m;
+    m.issuerRcUri = "rpki://org/org.cer";
+    m.pubPointUri = "rpki://org/";
+    m.number = number;
+    // (to_string first: GCC 12's -Wrestrict misfires on `"lit" + string&&`.)
+    m.entries = {{"a.roa", sha256(std::to_string(number) + "-entry"), number}};
+    m.signature = {0x51, 0x60};
+    return m;
+}
+
+/// Reference verdict, written independently of verifyManifestChain: walk
+/// the links in order, first failure wins.
+struct RefVerdict {
+    bool ok = true;
+    ChainBreak kind = ChainBreak::None;
+    std::size_t breakIndex = 0;
+};
+
+RefVerdict referenceVerdict(const std::vector<Manifest>& chain) {
+    RefVerdict v;
+    std::size_t i = 1;
+    while (i < chain.size()) {
+        const bool numberOk = chain[i].number == chain[i - 1].number + 1;
+        const bool hashOk = chain[i].prevManifestHash == chain[i - 1].bodyHash();
+        if (!numberOk || !hashOk) {
+            v.ok = false;
+            v.kind = numberOk ? ChainBreak::HashMismatch : ChainBreak::NumberGap;
+            v.breakIndex = i;
+            return v;
+        }
+        ++i;
+    }
+    return v;
+}
+
+void fuzzOne(const std::uint8_t* data, std::size_t size) {
+    Reader r(data, size);
+
+    // Build an initially-valid chain.
+    const std::size_t n = r.next() % 9;
+    const std::uint64_t base = 1 + r.next() % 5;
+    std::vector<Manifest> chain;
+    chain.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        Manifest m = makeManifest(base + i);
+        if (!chain.empty()) m.prevManifestHash = chain.back().bodyHash();
+        chain.push_back(std::move(m));
+    }
+
+    // Apply the mutation program.
+    while (!r.done()) {
+        const std::uint8_t op = r.next() % 6;
+        const std::uint8_t rawIndex = r.next();
+        const std::uint8_t arg = r.next();
+        if (chain.empty()) break;
+        const std::size_t i = rawIndex % chain.size();
+        switch (op) {
+            case 0:
+                chain[i].number += 1 + arg % 3;
+                break;
+            case 1:
+                chain[i].prevManifestHash.bytes[arg % 32] ^=
+                    static_cast<std::uint8_t>(1u << (arg % 8));
+                break;
+            case 2:
+                chain[i].entries[0].fileHash.bytes[arg % 32] ^=
+                    static_cast<std::uint8_t>(1u << (arg % 8));
+                break;
+            case 3:
+                if (chain.size() >= 2 && i + 1 < chain.size()) {
+                    std::swap(chain[i], chain[i + 1]);
+                }
+                break;
+            case 4:
+                chain[i].signature = {arg, arg, arg};
+                break;
+            case 5:
+                chain.erase(chain.begin() + static_cast<std::ptrdiff_t>(i));
+                break;
+        }
+    }
+
+    // Differential check against the reference.
+    const ChainCheck got = verifyManifestChain(chain);
+    const RefVerdict want = referenceVerdict(chain);
+    if (got.ok != want.ok) fail("ok verdict diverges from reference");
+    if (got.kind != want.kind) fail("break kind diverges from reference");
+    if (got.breakIndex != want.breakIndex) fail("break index diverges from reference");
+
+    // Result-shape invariants.
+    if (got.ok) {
+        if (got.kind != ChainBreak::None || got.breakIndex != 0 || !got.reason.empty()) {
+            fail("ok result carries break details");
+        }
+    } else {
+        if (got.reason.empty()) fail("broken chain has empty reason");
+        if (got.breakIndex == 0 || got.breakIndex >= chain.size()) {
+            fail("break index out of range");
+        }
+    }
+}
+
+}  // namespace
+}  // namespace rpkic::fuzz
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+    rpkic::fuzz::fuzzOne(data, size);
+    return 0;
+}

@@ -1,0 +1,51 @@
+// Fuzz driver for the detector's text state format (detector/state_io).
+// Oracle: *canonical serialization fixpoint*. Whatever parseStateText
+// accepts must serialize to a text that (a) reparses without error,
+// (b) reparses to an equal RpkiState, and (c) reserializes byte-identically
+// — stateToText documents its output as sorted and canonical.
+//
+// Malformed input must raise ParseError and nothing else.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "detector/state.hpp"
+#include "detector/state_io.hpp"
+#include "util/errors.hpp"
+
+namespace rpkic::fuzz {
+namespace {
+
+[[noreturn]] void fail(const char* what) {
+    std::fprintf(stderr, "fuzz_state_io: oracle violated: %s\n", what);
+    std::abort();
+}
+
+void fuzzOne(const std::uint8_t* data, std::size_t size) {
+    const std::string text =
+        size == 0 ? std::string() : std::string(reinterpret_cast<const char*>(data), size);
+    RpkiState state;
+    try {
+        state = parseStateText(text);
+    } catch (const ParseError&) {
+        return;  // rejection is the expected outcome for most inputs
+    }
+    const std::string canon = stateToText(state);
+    RpkiState reparsed;
+    try {
+        reparsed = parseStateText(canon);
+    } catch (const ParseError&) {
+        fail("canonical output rejected by the parser");
+    }
+    if (!(reparsed == state)) fail("reparsing canonical output changed the state");
+    if (stateToText(reparsed) != canon) fail("serialization is not a fixpoint");
+}
+
+}  // namespace
+}  // namespace rpkic::fuzz
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+    rpkic::fuzz::fuzzOne(data, size);
+    return 0;
+}

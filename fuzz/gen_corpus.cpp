@@ -1,0 +1,75 @@
+// Regenerates the checked-in seed corpus under fuzz/corpus/ from the
+// canonical builders in seed_corpus.cpp. Run after changing the wire
+// format or the seed builders:
+//
+//   ./build/fuzz/gen_corpus [output-root]     # default: fuzz/corpus
+//
+// The golden test SharedCorpus.CheckedInTlvSeedsMatchGenerators (in
+// tests/fuzz_decode_test.cpp) fails when the corpus and the builders
+// drift, so forgetting to re-run this is caught by ctest.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "fuzz/seed_corpus.hpp"
+#include "util/bytes.hpp"
+
+namespace rpkic::fuzz {
+namespace {
+
+namespace fs = std::filesystem;
+
+void writeFile(const fs::path& path, ByteView data) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(data.data()),
+              static_cast<std::streamsize>(data.size()));
+    if (!out) {
+        std::fprintf(stderr, "error: cannot write %s\n", path.string().c_str());
+        std::exit(1);
+    }
+}
+
+int run(const std::string& root) {
+    int written = 0;
+
+    const fs::path tlvDir = fs::path(root) / "tlv";
+    fs::create_directories(tlvDir);
+    const std::vector<Bytes> objects = sampleObjects();
+    for (std::size_t i = 0; i < objects.size(); ++i) {
+        writeFile(tlvDir / ("obj_" + std::to_string(i) + ".bin"),
+                  ByteView(objects[i].data(), objects[i].size()));
+        ++written;
+    }
+
+    const fs::path chainDir = fs::path(root) / "manifest_chain";
+    fs::create_directories(chainDir);
+    const std::vector<Bytes> programs = sampleChainPrograms();
+    for (std::size_t i = 0; i < programs.size(); ++i) {
+        writeFile(chainDir / ("prog_" + std::to_string(i) + ".bin"),
+                  ByteView(programs[i].data(), programs[i].size()));
+        ++written;
+    }
+
+    const fs::path stateDir = fs::path(root) / "state_io";
+    fs::create_directories(stateDir);
+    const std::vector<std::string> texts = sampleStateTexts();
+    for (std::size_t i = 0; i < texts.size(); ++i) {
+        writeFile(stateDir / ("state_" + std::to_string(i) + ".txt"),
+                  ByteView(reinterpret_cast<const std::uint8_t*>(texts[i].data()),
+                           texts[i].size()));
+        ++written;
+    }
+
+    std::printf("gen_corpus: wrote %d seed files under %s\n", written, root.c_str());
+    return 0;
+}
+
+}  // namespace
+}  // namespace rpkic::fuzz
+
+int main(int argc, char** argv) {
+    const std::string root = argc > 1 ? argv[1] : "fuzz/corpus";
+    return rpkic::fuzz::run(root);
+}

@@ -1,0 +1,151 @@
+#include "fuzz/seed_corpus.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+#include "crypto/sha256.hpp"
+#include "crypto/xmss.hpp"
+#include "rpki/objects.hpp"
+#include "util/errors.hpp"
+
+namespace rpkic::fuzz {
+
+namespace {
+
+IpPrefix pfx(const char* s) {
+    return IpPrefix::parse(s);
+}
+
+}  // namespace
+
+std::vector<Bytes> sampleObjects() {
+    std::vector<Bytes> out;
+
+    ResourceCert c;
+    c.subjectName = "Sprint";
+    c.uri = "rpki://arin/sprint.cer";
+    c.serial = 42;
+    c.subjectKey = Signer::generate(7, 2).publicKey();
+    c.parentUri = "rpki://arin/arin.cer";
+    c.pubPointUri = "rpki://sprint/";
+    c.resources = ResourceSet::ofPrefixes({pfx("63.160.0.0/12"), pfx("2c0f::/16")});
+    c.resources.addAsnRange(100, 200);
+    c.signature = {1, 2, 3, 4, 5};
+    out.push_back(c.encode());
+
+    Roa r;
+    r.uri = "rpki://sprint/as7341.roa";
+    r.serial = 9;
+    r.parentUri = c.uri;
+    r.asn = 7341;
+    r.prefixes = {{pfx("63.168.93.0/24"), 24}, {pfx("2c0f:f668::/32"), 48}};
+    r.signature = {9};
+    out.push_back(r.encode());
+
+    Manifest m;
+    m.issuerRcUri = c.uri;
+    m.pubPointUri = "rpki://sprint/";
+    m.number = 17;
+    m.entries = {{"a.roa", sha256("a"), 3}, {"b.cer", sha256("b"), 17}};
+    m.prevManifestHash = sha256("prev");
+    m.parentManifestHash = sha256("parent");
+    m.highestChildSerial = 12;
+    m.tag = ManifestTag::PostRollover;
+    m.rolloverTargetUri = "rpki://arin/sprint-v2.cer";
+    m.rolloverTargetRcHash = sha256("v2");
+    m.signature = {5, 5};
+    out.push_back(m.encode());
+
+    Crl crl;
+    crl.issuerRcUri = c.uri;
+    crl.revokedSerials = {4, 8, 15, 16, 23, 42};
+    crl.signature = {1};
+    out.push_back(crl.encode());
+
+    DeadObject d;
+    d.rcUri = "rpki://sprint/etb.cer";
+    d.rcSerial = 5;
+    d.rcHash = sha256("rc");
+    d.signerManifestHash = sha256("mft");
+    d.childDeadHashes = {sha256("c1"), sha256("c2")};
+    d.fullRevocation = false;
+    d.removedResources = ResourceSet::ofPrefixes({pfx("63.174.16.0/20")});
+    d.signature = {7, 7, 7};
+    out.push_back(d.encode());
+
+    RollObject roll;
+    roll.rcUri = c.uri;
+    roll.rcSerial = 42;
+    roll.postRolloverManifestHash = sha256("post");
+    roll.signature = {2};
+    out.push_back(roll.encode());
+
+    HintsFile h;
+    h.entries = {{"a.roa", "a.roa.~5", sha256("v1"), 2, 5}};
+    out.push_back(h.encode());
+
+    return out;
+}
+
+std::vector<Bytes> sampleChainPrograms() {
+    // Opcode table (see fuzz_manifest_chain.cpp): after the two header
+    // bytes [length, base], ops come in (op, index, arg) triples:
+    //   op%6 == 0  bump number        (NumberGap at index)
+    //   op%6 == 1  corrupt prevHash   (HashMismatch at index)
+    //   op%6 == 2  tamper entry body  (HashMismatch at index+1)
+    //   op%6 == 3  swap adjacent      (reorder)
+    //   op%6 == 4  re-sign            (must NOT break the chain)
+    //   op%6 == 5  drop manifest      (gap where the drop happened)
+    return {
+        {},                              // empty program -> empty chain
+        {5, 2},                          // intact 5-chain, no mutations
+        {6, 1, 0, 2, 1},                 // number bump at index 2
+        {4, 0, 1, 1, 7},                 // prevHash corruption at index 1
+        {4, 3, 2, 1, 12},                // body tamper breaks the NEXT link
+        {4, 0, 4, 3, 9},                 // signature tamper: chain stays ok
+        {8, 3, 3, 2, 0, 2, 1, 5},        // swap then body tamper
+        {3, 0, 5, 1, 0},                 // drop the middle manifest
+        {8, 1, 4, 0, 1, 0, 5, 2, 1, 6},  // sign + bump + corrupt combo
+    };
+}
+
+std::vector<std::string> sampleStateTexts() {
+    return {
+        "",
+        "# empty state\n",
+        "# production RPKI sample\n"
+        "79.139.96.0/19-20 AS43782\n"
+        "79.139.96.0/24 AS51813\n"
+        "2c0f:f668::/32 AS37600\n",
+        "10.0.0.0/8 64500\n"          // bare ASN, no "AS" prefix
+        "\n"
+        "10.0.0.0/8 64500\n"          // duplicate: normalization must dedup
+        "  # indented comment\n"
+        "10.1.0.0/16-24 AS64501\n",
+        "2001:db8::/32-48 AS4200000000\n",
+    };
+}
+
+std::vector<Bytes> loadCorpusDir(const std::string& dir) {
+    namespace fs = std::filesystem;
+    if (!fs::is_directory(dir)) {
+        throw Error("corpus directory missing: " + dir);
+    }
+    std::vector<fs::path> paths;
+    for (const auto& entry : fs::directory_iterator(dir)) {
+        if (entry.is_regular_file()) paths.push_back(entry.path());
+    }
+    std::sort(paths.begin(), paths.end());
+    std::vector<Bytes> out;
+    out.reserve(paths.size());
+    for (const fs::path& p : paths) {
+        std::ifstream in(p, std::ios::binary);
+        if (!in) throw Error("cannot read corpus file: " + p.string());
+        Bytes data((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+        out.push_back(std::move(data));
+    }
+    return out;
+}
+
+}  // namespace rpkic::fuzz

@@ -1,0 +1,39 @@
+// Canonical seed inputs shared by every fuzz consumer in the tree:
+//
+//   * fuzz/gen_corpus.cpp     — regenerates the checked-in corpus from these
+//   * fuzz/fuzz_*.cpp         — deterministic ctest mode loads the corpus dir
+//   * tests/fuzz_decode_test  — the PR-1 gtest fuzz harness mutates the same
+//                               seeds instead of carrying a private copy
+//
+// The corpus on disk (fuzz/corpus/{tlv,manifest_chain,state_io}/) is the
+// single source of truth at run time; the sample*() builders here are the
+// single source of truth for *regenerating* it. A golden test in
+// tests/fuzz_decode_test.cpp fails if the two drift apart.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace rpkic::fuzz {
+
+/// One well-formed, non-trivial instance of every ObjectType, encoded.
+/// These are the TLV fuzzer's seeds (promoted from tests/fuzz_decode_test).
+std::vector<Bytes> sampleObjects();
+
+/// Seed "programs" for the manifest-chain fuzzer. The driver interprets
+/// the bytes as build-then-mutate instructions (see fuzz_manifest_chain.cpp
+/// for the opcode table); these seeds cover every opcode at least once.
+std::vector<Bytes> sampleChainPrograms();
+
+/// Seed texts for the state_io fuzzer: valid dumps, comments, blank lines,
+/// duplicates (normalization), v4/v6 mixes, and the empty file.
+std::vector<std::string> sampleStateTexts();
+
+/// Reads every regular file under `dir` (non-recursive), sorted by
+/// filename for determinism. Throws Error if the directory is missing or
+/// unreadable — a missing corpus is a packaging bug, not an empty run.
+std::vector<Bytes> loadCorpusDir(const std::string& dir);
+
+}  // namespace rpkic::fuzz

@@ -5,9 +5,16 @@
 namespace rpkic {
 
 std::string RoaTuple::str() const {
+    // Append piecewise (also sidesteps GCC 12's bogus -Wrestrict on
+    // `const char* + std::string&&`, PR105651).
     std::string s = prefix.str();
-    if (maxLength != prefix.length) s += "-" + std::to_string(maxLength);
-    return s + " AS" + std::to_string(asn);
+    if (maxLength != prefix.length) {
+        s += '-';
+        s += std::to_string(maxLength);
+    }
+    s += " AS";
+    s += std::to_string(asn);
+    return s;
 }
 
 RpkiState::RpkiState(std::vector<RoaTuple> tuples) : tuples_(std::move(tuples)) {

@@ -95,9 +95,16 @@ RpkiState loadStateFile(const std::string& path) {
 std::string stateToText(const RpkiState& state) {
     std::string out;
     for (const auto& t : state.tuples()) {
+        // Append piecewise (also sidesteps GCC 12's bogus -Wrestrict on
+        // `const char* + std::string&&`, PR105651).
         out += t.prefix.str();
-        if (t.maxLength != t.prefix.length) out += "-" + std::to_string(t.maxLength);
-        out += " AS" + std::to_string(t.asn) + "\n";
+        if (t.maxLength != t.prefix.length) {
+            out += '-';
+            out += std::to_string(t.maxLength);
+        }
+        out += " AS";
+        out += std::to_string(t.asn);
+        out += '\n';
     }
     return out;
 }

@@ -64,7 +64,7 @@ Logger::Logger() {
 }
 
 void Logger::setSink(std::function<void(const std::string&)> sink) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    rc::LockGuard lock(mutex_);
     if (sink) {
         sink_ = std::move(sink);
     } else {
@@ -73,7 +73,7 @@ void Logger::setSink(std::function<void(const std::string&)> sink) {
 }
 
 void Logger::setRateLimit(std::uint32_t burst, std::uint64_t windowNanos) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    rc::LockGuard lock(mutex_);
     burst_ = burst;
     windowNanos_ = windowNanos == 0 ? 1 : windowNanos;
 }
@@ -83,7 +83,7 @@ void Logger::log(LogLevel level, std::string_view component, std::string_view ev
     std::function<void(const std::string&)> sink;
     std::string line;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        rc::LockGuard lock(mutex_);
         if (level < level_ || level_ == LogLevel::Off || level == LogLevel::Off) return;
 
         std::uint64_t flushSuppressed = 0;

@@ -22,13 +22,14 @@
 #include <cstdio>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
 #include "obs/clock.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace rpkic::obs {
 
@@ -45,34 +46,34 @@ class Logger {
 public:
     Logger();
 
-    void setLevel(LogLevel level) {
-        std::lock_guard<std::mutex> lock(mutex_);
+    void setLevel(LogLevel level) RC_EXCLUDES(mutex_) {
+        rc::LockGuard lock(mutex_);
         level_ = level;
     }
-    LogLevel level() const {
-        std::lock_guard<std::mutex> lock(mutex_);
+    LogLevel level() const RC_EXCLUDES(mutex_) {
+        rc::LockGuard lock(mutex_);
         return level_;
     }
 
     /// Replaces the sink (default: one line to stderr). The sink receives
     /// the fully rendered line without trailing newline.
-    void setSink(std::function<void(const std::string&)> sink);
+    void setSink(std::function<void(const std::string&)> sink) RC_EXCLUDES(mutex_);
 
     /// Rate limit: at most `burst` lines per (component, event) per
     /// `windowNanos`. burst = 0 disables limiting.
-    void setRateLimit(std::uint32_t burst, std::uint64_t windowNanos);
+    void setRateLimit(std::uint32_t burst, std::uint64_t windowNanos) RC_EXCLUDES(mutex_);
 
-    bool enabled(LogLevel level) const {
-        std::lock_guard<std::mutex> lock(mutex_);
+    bool enabled(LogLevel level) const RC_EXCLUDES(mutex_) {
+        rc::LockGuard lock(mutex_);
         return level >= level_ && level_ != LogLevel::Off;
     }
 
     void log(LogLevel level, std::string_view component, std::string_view event,
-             const LogFields& fields = {});
+             const LogFields& fields = {}) RC_EXCLUDES(mutex_);
 
     /// Lines suppressed by the rate limiter since construction.
-    std::uint64_t suppressed() const {
-        std::lock_guard<std::mutex> lock(mutex_);
+    std::uint64_t suppressed() const RC_EXCLUDES(mutex_) {
+        rc::LockGuard lock(mutex_);
         return suppressedTotal_;
     }
 
@@ -85,13 +86,13 @@ private:
         std::uint64_t suppressed = 0;
     };
 
-    mutable std::mutex mutex_;
-    LogLevel level_ = LogLevel::Warn;
-    std::function<void(const std::string&)> sink_;
-    std::uint32_t burst_ = 32;
-    std::uint64_t windowNanos_ = 1'000'000'000ull;
-    std::map<std::string, Bucket> buckets_;
-    std::uint64_t suppressedTotal_ = 0;
+    mutable rc::Mutex mutex_;
+    LogLevel level_ RC_GUARDED_BY(mutex_) = LogLevel::Warn;
+    std::function<void(const std::string&)> sink_ RC_GUARDED_BY(mutex_);
+    std::uint32_t burst_ RC_GUARDED_BY(mutex_) = 32;
+    std::uint64_t windowNanos_ RC_GUARDED_BY(mutex_) = 1'000'000'000ull;
+    std::map<std::string, Bucket> buckets_ RC_GUARDED_BY(mutex_);
+    std::uint64_t suppressedTotal_ RC_GUARDED_BY(mutex_) = 0;
 };
 
 /// Logs through the global logger.

@@ -160,7 +160,7 @@ Counter& Registry::counter(const std::string& name, const std::string& help,
     for (const auto& [k, v] : canon) {
         if (!isValidLabelName(k)) throw UsageError("invalid label name: " + k);
     }
-    std::lock_guard<std::mutex> lock(mutex_);
+    rc::LockGuard lock(mutex_);
     Family& fam = familyFor(name, help, Kind::Counter, nullptr);
     auto& slot = fam.counters[labelKey(canon)];
     if (!slot) slot = std::make_unique<Counter>();
@@ -172,7 +172,7 @@ Gauge& Registry::gauge(const std::string& name, const std::string& help, const L
     for (const auto& [k, v] : canon) {
         if (!isValidLabelName(k)) throw UsageError("invalid label name: " + k);
     }
-    std::lock_guard<std::mutex> lock(mutex_);
+    rc::LockGuard lock(mutex_);
     Family& fam = familyFor(name, help, Kind::Gauge, nullptr);
     auto& slot = fam.gauges[labelKey(canon)];
     if (!slot) slot = std::make_unique<Gauge>();
@@ -186,7 +186,7 @@ Histogram& Registry::histogram(const std::string& name, const std::string& help,
         if (!isValidLabelName(k)) throw UsageError("invalid label name: " + k);
         if (k == "le") throw UsageError("label name 'le' is reserved on histograms");
     }
-    std::lock_guard<std::mutex> lock(mutex_);
+    rc::LockGuard lock(mutex_);
     Family& fam = familyFor(name, help, Kind::Histogram, &spec);
     auto& slot = fam.histograms[labelKey(canon)];
     if (!slot) slot = std::make_unique<Histogram>(fam.spec);
@@ -194,7 +194,7 @@ Histogram& Registry::histogram(const std::string& name, const std::string& help,
 }
 
 std::string Registry::renderPrometheus() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    rc::LockGuard lock(mutex_);
     std::string out;
     for (const auto& [name, fam] : families_) {
         out += "# HELP " + name + " " + fam.help + "\n";
@@ -236,7 +236,7 @@ std::string Registry::renderPrometheus() const {
 }
 
 std::string Registry::renderJson() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    rc::LockGuard lock(mutex_);
     auto jsonEscape = [](const std::string& s) {
         std::string out;
         for (const char c : s) {
@@ -308,12 +308,12 @@ std::string Registry::renderJson() const {
 }
 
 void Registry::reset() {
-    std::lock_guard<std::mutex> lock(mutex_);
+    rc::LockGuard lock(mutex_);
     families_.clear();
 }
 
 std::size_t Registry::familyCount() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    rc::LockGuard lock(mutex_);
     return families_.size();
 }
 

@@ -21,10 +21,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace rpkic::obs {
 
@@ -101,22 +103,24 @@ public:
     /// already registered as a different type or is not a valid metric
     /// name (counters must end in "_total").
     Counter& counter(const std::string& name, const std::string& help,
-                     const Labels& labels = {});
-    Gauge& gauge(const std::string& name, const std::string& help, const Labels& labels = {});
+                     const Labels& labels = {}) RC_EXCLUDES(mutex_);
+    Gauge& gauge(const std::string& name, const std::string& help, const Labels& labels = {})
+        RC_EXCLUDES(mutex_);
     Histogram& histogram(const std::string& name, const std::string& help,
-                         const Labels& labels = {}, HistogramSpec spec = {});
+                         const Labels& labels = {}, HistogramSpec spec = {})
+        RC_EXCLUDES(mutex_);
 
     /// Prometheus text exposition format 0.0.4. Deterministic.
-    std::string renderPrometheus() const;
+    std::string renderPrometheus() const RC_EXCLUDES(mutex_);
     /// The same data as a JSON object. Deterministic.
-    std::string renderJson() const;
+    std::string renderJson() const RC_EXCLUDES(mutex_);
 
     /// Drops every instrument. Invalidates all references previously
     /// returned — callers must not hold cached instruments across reset()
     /// (tests only; production registries live for the process).
-    void reset();
+    void reset() RC_EXCLUDES(mutex_);
 
-    std::size_t familyCount() const;
+    std::size_t familyCount() const RC_EXCLUDES(mutex_);
 
     /// The process-wide default registry the instrumentation layer uses.
     static Registry& global();
@@ -134,10 +138,10 @@ private:
     };
 
     Family& familyFor(const std::string& name, const std::string& help, Kind kind,
-                      const HistogramSpec* spec);
+                      const HistogramSpec* spec) RC_REQUIRES(mutex_);
 
-    mutable std::mutex mutex_;
-    std::map<std::string, Family> families_;
+    mutable rc::Mutex mutex_;
+    std::map<std::string, Family> families_ RC_GUARDED_BY(mutex_);
 };
 
 /// True iff `name` is a valid Prometheus metric name.

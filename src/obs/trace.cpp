@@ -20,7 +20,7 @@ Tracer::Tracer(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {
 
 void Tracer::record(const char* name, const char* cat, std::uint64_t tsNanos,
                     std::uint64_t durNanos) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    rc::LockGuard lock(mutex_);
     TraceEvent ev{name, cat, tsNanos, durNanos, seq_++};
     if (ring_.size() < capacity_) {
         ring_.push_back(ev);
@@ -32,12 +32,12 @@ void Tracer::record(const char* name, const char* cat, std::uint64_t tsNanos,
 }
 
 std::size_t Tracer::size() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    rc::LockGuard lock(mutex_);
     return ring_.size();
 }
 
 std::vector<TraceEvent> Tracer::snapshot() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    rc::LockGuard lock(mutex_);
     std::vector<TraceEvent> out = ring_;
     std::sort(out.begin(), out.end(),
               [](const TraceEvent& a, const TraceEvent& b) { return a.seq < b.seq; });
@@ -96,7 +96,7 @@ std::string Tracer::renderChromeTrace() const {
 }
 
 void Tracer::clear() {
-    std::lock_guard<std::mutex> lock(mutex_);
+    rc::LockGuard lock(mutex_);
     ring_.clear();
     next_ = 0;
     seq_ = 0;

@@ -17,11 +17,12 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "obs/clock.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace rpkic::obs {
 
@@ -73,17 +74,17 @@ public:
 
     /// Record a completed span directly (the guard calls this).
     void record(const char* name, const char* cat, std::uint64_t tsNanos,
-                std::uint64_t durNanos);
+                std::uint64_t durNanos) RC_EXCLUDES(mutex_);
 
     /// Ring capacity in events.
     std::size_t capacity() const { return capacity_; }
     /// Events currently retained (<= capacity).
-    std::size_t size() const;
+    std::size_t size() const RC_EXCLUDES(mutex_);
     /// Events overwritten because the ring was full.
     std::uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
 
     /// Retained events in chronological (sequence) order.
-    std::vector<TraceEvent> snapshot() const;
+    std::vector<TraceEvent> snapshot() const RC_EXCLUDES(mutex_);
 
     /// Chrome trace-event JSON (the object form with "traceEvents", which
     /// Perfetto and chrome://tracing both accept). Timestamps are emitted
@@ -91,7 +92,7 @@ public:
     std::string renderChromeTrace() const;
 
     /// Clears retained events and the drop counter (tests).
-    void clear();
+    void clear() RC_EXCLUDES(mutex_);
 
     /// The process-wide tracer the instrumentation layer uses.
     static Tracer& global();
@@ -99,10 +100,10 @@ public:
 private:
     std::atomic<bool> enabled_{false};
     std::size_t capacity_;
-    mutable std::mutex mutex_;
-    std::vector<TraceEvent> ring_;
-    std::size_t next_ = 0;    ///< ring write cursor
-    std::uint64_t seq_ = 0;   ///< total events ever recorded
+    mutable rc::Mutex mutex_;
+    std::vector<TraceEvent> ring_ RC_GUARDED_BY(mutex_);
+    std::size_t next_ RC_GUARDED_BY(mutex_) = 0;   ///< ring write cursor
+    std::uint64_t seq_ RC_GUARDED_BY(mutex_) = 0;  ///< total events ever recorded
     std::atomic<std::uint64_t> dropped_{0};
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 
+#include "rpki/manifest_chain.hpp"
 #include "rpki/signing.hpp"
 #include "util/errors.hpp"
 
@@ -261,15 +262,14 @@ void RelyingParty::processPoint(const std::string& pointUri, const std::string& 
     chain.push_back(m);
 
     // Verify the horizontal hash chain terminating in the signed head.
-    for (std::size_t i = 1; i < chain.size(); ++i) {
-        if (chain[i].number != chain[i - 1].number + 1 ||
-            chain[i].prevManifestHash != chain[i - 1].bodyHash()) {
-            alarms_.raise({AlarmType::MissingInformation,
-                           pointUri + preservedManifestName(chain[i].number), "", false,
-                           "horizontal hash chain broken", now});
-            markPointStale(pc, pointUri, now);
-            return;
-        }
+    // The check itself lives in rpki/manifest_chain.hpp so sharded sync
+    // workers and the fuzz driver exercise the exact same code.
+    if (const ChainCheck check = verifyManifestChain(chain); !check.ok) {
+        alarms_.raise({AlarmType::MissingInformation,
+                       pointUri + preservedManifestName(chain[check.breakIndex].number), "",
+                       false, "horizontal hash chain broken: " + check.reason, now});
+        markPointStale(pc, pointUri, now);
+        return;
     }
 
     // Chain verified: record how deep the §5.3.2 reconstruction had to go.

@@ -1,0 +1,28 @@
+#include "rpki/manifest_chain.hpp"
+
+namespace rpkic {
+
+ChainCheck verifyManifestChain(const std::vector<Manifest>& chain) {
+    ChainCheck out;
+    for (std::size_t i = 1; i < chain.size(); ++i) {
+        if (chain[i].number != chain[i - 1].number + 1) {
+            out.ok = false;
+            out.kind = ChainBreak::NumberGap;
+            out.breakIndex = i;
+            out.reason = "manifest " + std::to_string(chain[i].number) +
+                         " does not succeed manifest " + std::to_string(chain[i - 1].number);
+            return out;
+        }
+        if (chain[i].prevManifestHash != chain[i - 1].bodyHash()) {
+            out.ok = false;
+            out.kind = ChainBreak::HashMismatch;
+            out.breakIndex = i;
+            out.reason = "manifest " + std::to_string(chain[i].number) +
+                         " prevManifestHash does not match predecessor body hash";
+            return out;
+        }
+    }
+    return out;
+}
+
+}  // namespace rpkic

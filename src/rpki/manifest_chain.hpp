@@ -1,0 +1,43 @@
+// The horizontal manifest hash-chain verifier (§5.3.2).
+//
+// A publication point's manifests form a hash chain: manifest k+1 carries
+// bodyHash(manifest k) in prevManifestHash. Reconstructing intermediate
+// states is only sound if every link holds — a broken link means the
+// repository withheld or forged history, which the relying party must
+// alarm on rather than silently diff across.
+//
+// This is a standalone, side-effect-free function so that (a) the relying
+// party, future sharded sync workers, and the detector all share one
+// implementation, and (b) the structure-aware fuzz driver
+// (fuzz/fuzz_manifest_chain.cpp) can hammer it against an independent
+// reference oracle.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "rpki/objects.hpp"
+
+namespace rpkic {
+
+enum class ChainBreak {
+    None = 0,
+    NumberGap,     ///< chain[i].number != chain[i-1].number + 1
+    HashMismatch,  ///< chain[i].prevManifestHash != bodyHash(chain[i-1])
+};
+
+struct ChainCheck {
+    bool ok = true;
+    ChainBreak kind = ChainBreak::None;
+    /// Index i of the first manifest whose link to i-1 failed (0 when ok).
+    std::size_t breakIndex = 0;
+    /// Human-readable description of the first broken link ("" when ok).
+    std::string reason;
+};
+
+/// Verifies the horizontal hash chain over `chain` in order. Chains of
+/// size 0 or 1 are trivially intact. Stops at the first broken link.
+ChainCheck verifyManifestChain(const std::vector<Manifest>& chain);
+
+}  // namespace rpkic

@@ -1,0 +1,56 @@
+// rc::Mutex / rc::LockGuard: std::mutex with clang thread-safety
+// capability attributes attached, so lock discipline is statically
+// checked wherever the tree builds with clang (-Wthread-safety -Werror;
+// see util/thread_annotations.hpp and docs/STATIC_ANALYSIS.md).
+//
+// The wrappers are drop-in:
+//
+//   mutable rc::Mutex mutex_;
+//   int value_ RC_GUARDED_BY(mutex_);
+//
+//   void set(int v) {
+//       rc::LockGuard lock(mutex_);   // scoped acquire/release
+//       value_ = v;                   // clang verifies the lock is held
+//   }
+#pragma once
+
+#include <mutex>
+
+#include "util/thread_annotations.hpp"
+
+namespace rc {
+
+/// std::mutex carrying the `capability` attribute.
+class RC_CAPABILITY("mutex") Mutex {
+public:
+    Mutex() = default;
+    Mutex(const Mutex&) = delete;
+    Mutex& operator=(const Mutex&) = delete;
+
+    void lock() RC_ACQUIRE() { m_.lock(); }
+    void unlock() RC_RELEASE() { m_.unlock(); }
+    bool try_lock() RC_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+    /// The wrapped mutex, for std::condition_variable_any and friends.
+    /// Using it bypasses the analysis — prefer lock()/LockGuard.
+    std::mutex& native() RC_RETURN_CAPABILITY(this) { return m_; }
+
+private:
+    std::mutex m_;
+};
+
+/// Scoped lock over rc::Mutex (std::lock_guard with the
+/// `scoped_lockable` attribute).
+class RC_SCOPED_CAPABILITY LockGuard {
+public:
+    explicit LockGuard(Mutex& m) RC_ACQUIRE(m) : m_(m) { m_.lock(); }
+    ~LockGuard() RC_RELEASE() { m_.unlock(); }
+
+    LockGuard(const LockGuard&) = delete;
+    LockGuard& operator=(const LockGuard&) = delete;
+
+private:
+    Mutex& m_;
+};
+
+}  // namespace rc

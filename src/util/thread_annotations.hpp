@@ -1,0 +1,60 @@
+// Clang thread-safety analysis annotations (no-ops elsewhere).
+//
+// These wrap the attributes documented at
+// https://clang.llvm.org/docs/ThreadSafetyAnalysis.html so that lock
+// discipline is part of a type's public contract and `-Wthread-safety
+// -Werror` (CI's clang job) rejects code that touches guarded state
+// without holding the right capability. On GCC every macro expands to
+// nothing — the annotations cost zero in any build.
+//
+// Use together with rc::Mutex / rc::LockGuard (util/mutex.hpp), which
+// carry the capability attributes the analysis keys on:
+//
+//   class Registry {
+//       mutable rc::Mutex mutex_;
+//       std::map<...> families_ RC_GUARDED_BY(mutex_);
+//       Family& familyFor(...) RC_REQUIRES(mutex_);   // caller holds lock
+//   };
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#define RC_THREAD_ANNOTATION_IMPL(x) __attribute__((x))
+#else
+#define RC_THREAD_ANNOTATION_IMPL(x)  // no-op outside clang
+#endif
+
+/// Marks a type as a lockable capability ("mutex").
+#define RC_CAPABILITY(x) RC_THREAD_ANNOTATION_IMPL(capability(x))
+
+/// Marks an RAII type that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define RC_SCOPED_CAPABILITY RC_THREAD_ANNOTATION_IMPL(scoped_lockable)
+
+/// Data member readable/writable only while holding the capability.
+#define RC_GUARDED_BY(x) RC_THREAD_ANNOTATION_IMPL(guarded_by(x))
+
+/// Pointer member whose pointee is guarded by the capability.
+#define RC_PT_GUARDED_BY(x) RC_THREAD_ANNOTATION_IMPL(pt_guarded_by(x))
+
+/// Function requires the capability to be held on entry (and still held
+/// on exit).
+#define RC_REQUIRES(...) RC_THREAD_ANNOTATION_IMPL(requires_capability(__VA_ARGS__))
+
+/// Function acquires the capability (held on exit, not on entry).
+#define RC_ACQUIRE(...) RC_THREAD_ANNOTATION_IMPL(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability.
+#define RC_RELEASE(...) RC_THREAD_ANNOTATION_IMPL(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns `ret`.
+#define RC_TRY_ACQUIRE(ret, ...) \
+    RC_THREAD_ANNOTATION_IMPL(try_acquire_capability(ret, __VA_ARGS__))
+
+/// Caller must NOT hold the capability (deadlock prevention).
+#define RC_EXCLUDES(...) RC_THREAD_ANNOTATION_IMPL(locks_excluded(__VA_ARGS__))
+
+/// Escape hatch: the analysis cannot see through this function.
+#define RC_NO_THREAD_SAFETY_ANALYSIS RC_THREAD_ANNOTATION_IMPL(no_thread_safety_analysis)
+
+/// Function returns a reference to the guarded data (annotation only).
+#define RC_RETURN_CAPABILITY(x) RC_THREAD_ANNOTATION_IMPL(lock_returned(x))

@@ -4,8 +4,11 @@
 // ParseError — these are bytes fetched from untrusted repositories.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "consent/authority.hpp"
 #include "crypto/xmss.hpp"
+#include "fuzz/seed_corpus.hpp"
 #include "rp/relying_party.hpp"
 #include "rpki/objects.hpp"
 #include "util/rng.hpp"
@@ -17,74 +20,24 @@ IpPrefix pfx(const char* s) {
     return IpPrefix::parse(s);
 }
 
-/// Sample instances of each object type with non-trivial contents.
-std::vector<Bytes> sampleObjects() {
-    std::vector<Bytes> out;
+/// The shared checked-in TLV seed corpus (fuzz/corpus/tlv) — the same
+/// files the fuzz/ drivers replay. RC_CORPUS_DIR comes from CMake.
+const std::vector<Bytes>& sampleObjects() {
+    static const std::vector<Bytes> corpus = fuzz::loadCorpusDir(RC_CORPUS_DIR "/tlv");
+    return corpus;
+}
 
-    ResourceCert c;
-    c.subjectName = "Sprint";
-    c.uri = "rpki://arin/sprint.cer";
-    c.serial = 42;
-    c.subjectKey = Signer::generate(7, 2).publicKey();
-    c.parentUri = "rpki://arin/arin.cer";
-    c.pubPointUri = "rpki://sprint/";
-    c.resources = ResourceSet::ofPrefixes({pfx("63.160.0.0/12"), pfx("2c0f::/16")});
-    c.resources.addAsnRange(100, 200);
-    c.signature = {1, 2, 3, 4, 5};
-    out.push_back(c.encode());
-
-    Roa r;
-    r.uri = "rpki://sprint/as7341.roa";
-    r.serial = 9;
-    r.parentUri = c.uri;
-    r.asn = 7341;
-    r.prefixes = {{pfx("63.168.93.0/24"), 24}, {pfx("2c0f:f668::/32"), 48}};
-    r.signature = {9};
-    out.push_back(r.encode());
-
-    Manifest m;
-    m.issuerRcUri = c.uri;
-    m.pubPointUri = "rpki://sprint/";
-    m.number = 17;
-    m.entries = {{"a.roa", sha256("a"), 3}, {"b.cer", sha256("b"), 17}};
-    m.prevManifestHash = sha256("prev");
-    m.parentManifestHash = sha256("parent");
-    m.highestChildSerial = 12;
-    m.tag = ManifestTag::PostRollover;
-    m.rolloverTargetUri = "rpki://arin/sprint-v2.cer";
-    m.rolloverTargetRcHash = sha256("v2");
-    m.signature = {5, 5};
-    out.push_back(m.encode());
-
-    Crl crl;
-    crl.issuerRcUri = c.uri;
-    crl.revokedSerials = {4, 8, 15, 16, 23, 42};
-    crl.signature = {1};
-    out.push_back(crl.encode());
-
-    DeadObject d;
-    d.rcUri = "rpki://sprint/etb.cer";
-    d.rcSerial = 5;
-    d.rcHash = sha256("rc");
-    d.signerManifestHash = sha256("mft");
-    d.childDeadHashes = {sha256("c1"), sha256("c2")};
-    d.fullRevocation = false;
-    d.removedResources = ResourceSet::ofPrefixes({pfx("63.174.16.0/20")});
-    d.signature = {7, 7, 7};
-    out.push_back(d.encode());
-
-    RollObject roll;
-    roll.rcUri = c.uri;
-    roll.rcSerial = 42;
-    roll.postRolloverManifestHash = sha256("post");
-    roll.signature = {2};
-    out.push_back(roll.encode());
-
-    HintsFile h;
-    h.entries = {{"a.roa", "a.roa.~5", sha256("v1"), 2, 5}};
-    out.push_back(h.encode());
-
-    return out;
+TEST(SharedCorpus, CheckedInTlvSeedsMatchGenerators) {
+    // The on-disk corpus must stay in sync with the canonical seed
+    // builders: run build/fuzz/gen_corpus after wire-format changes.
+    const std::vector<Bytes>& corpus = sampleObjects();
+    ASSERT_FALSE(corpus.empty());
+    const std::vector<Bytes> generated = fuzz::sampleObjects();
+    EXPECT_EQ(corpus.size(), generated.size());
+    for (const Bytes& seed : generated) {
+        EXPECT_NE(std::find(corpus.begin(), corpus.end(), seed), corpus.end())
+            << "seed missing from fuzz/corpus/tlv — re-run gen_corpus";
+    }
 }
 
 /// Decodes by dispatching on the type byte; returns true on success.

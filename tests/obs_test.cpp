@@ -246,6 +246,7 @@ TEST(ObsHistogram, ExpositionBucketsAreCumulative) {
 
 TEST(ObsRegistry, EnforcesNamingRules) {
     obs::Registry reg;
+    // rclint:allow(metric-name) — the point of this test is the bad name.
     EXPECT_THROW(reg.counter("rc_bad_counter", "no _total suffix"), UsageError);
     EXPECT_THROW(reg.counter("1bad_total", "bad leading digit"), UsageError);
     // A name registered as one type cannot come back as another.

@@ -1,0 +1,265 @@
+// Golden-fixture coverage for rclint (tools/rclint): exact findings per
+// rule, suppression behaviour, CLI exit codes, and the --format=github
+// rendering. Fixtures live in tests/fixtures/rclint/ with a `.in` suffix
+// so the tree-clean lint walk never mistakes them for real sources.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace rclint {
+namespace {
+
+std::string fixturePath(const std::string& name) {
+    return std::string(RCLINT_FIXTURE_DIR) + "/" + name;
+}
+
+std::string readFixture(const std::string& name) {
+    std::ifstream in(fixturePath(name), std::ios::binary);
+    EXPECT_TRUE(in.good()) << "missing fixture " << name;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+std::vector<Finding> lintFixture(const std::string& name, bool isHeader) {
+    return lintSource(fixturePath(name), readFixture(name), isHeader);
+}
+
+struct CliResult {
+    int code = 0;
+    std::string out;
+    std::string err;
+};
+
+CliResult cli(const std::vector<std::string>& args) {
+    std::ostringstream out;
+    std::ostringstream err;
+    CliResult r;
+    r.code = runCli(args, out, err);
+    r.out = out.str();
+    r.err = err.str();
+    return r;
+}
+
+// --- per-rule golden findings ----------------------------------------------
+
+TEST(RclintGolden, BannedFunction) {
+    const std::string path = fixturePath("banned_function.cpp.in");
+    const std::vector<Finding> expected = {
+        {path, 6, 5, "banned-function", "strcpy: unbounded copy; use std::string or std::copy"},
+        {path, 7, 10, "banned-function", "sprintf: unbounded format; use std::snprintf"},
+    };
+    EXPECT_EQ(lintFixture("banned_function.cpp.in", false), expected);
+}
+
+TEST(RclintGolden, BannedNewDelete) {
+    const std::string path = fixturePath("banned_new_delete.cpp.in");
+    const std::vector<Finding> expected = {
+        {path, 7, 12, "banned-new-delete",
+         "raw new: use std::make_unique, containers, or values"},
+        {path, 11, 5, "banned-new-delete", "raw delete: ownership belongs in RAII types"},
+    };
+    EXPECT_EQ(lintFixture("banned_new_delete.cpp.in", false), expected);
+}
+
+TEST(RclintGolden, PragmaOnceMissing) {
+    const std::string path = fixturePath("pragma_once_missing.hpp.in");
+    const std::vector<Finding> expected = {
+        {path, 2, 1, "pragma-once", "header is missing #pragma once"},
+    };
+    EXPECT_EQ(lintFixture("pragma_once_missing.hpp.in", true), expected);
+}
+
+TEST(RclintGolden, PragmaOnceLateAndDuplicate) {
+    const std::string path = fixturePath("pragma_once_late.hpp.in");
+    const std::vector<Finding> expected = {
+        {path, 2, 1, "pragma-once", "#pragma once must be the first preprocessing directive"},
+        {path, 4, 1, "pragma-once", "duplicate #pragma once"},
+    };
+    EXPECT_EQ(lintFixture("pragma_once_late.hpp.in", true), expected);
+}
+
+TEST(RclintGolden, PragmaOnceRuleIsHeaderOnly) {
+    // The same bytes linted as a .cpp raise nothing.
+    EXPECT_TRUE(lintFixture("pragma_once_missing.hpp.in", false).empty());
+}
+
+TEST(RclintGolden, IncludeHygiene) {
+    const std::string path = fixturePath("include_hygiene.cpp.in");
+    const std::vector<Finding> expected = {
+        {path, 3, 1, "include-hygiene", "duplicate include <vector>"},
+        {path, 4, 1, "include-hygiene",
+         "parent-relative include \"../detail/secret.hpp\": "
+         "include project-root-relative paths"},
+        {path, 5, 1, "include-hygiene", "C-compat header <string.h>: use <cstring>"},
+    };
+    EXPECT_EQ(lintFixture("include_hygiene.cpp.in", false), expected);
+}
+
+TEST(RclintGolden, TodoFormat) {
+    const std::string path = fixturePath("todo_format.cpp.in");
+    const std::vector<Finding> expected = {
+        {path, 2, 1, "todo-format", "malformed TODO: write TODO(owner): description"},
+        {path, 4, 1, "todo-format", "FIXME: use TODO(owner): instead"},
+        {path, 5, 1, "todo-format", "XXX: use TODO(owner): instead"},
+    };
+    EXPECT_EQ(lintFixture("todo_format.cpp.in", false), expected);
+}
+
+TEST(RclintGolden, MetricName) {
+    const std::string path = fixturePath("metric_name.cpp.in");
+    const std::vector<Finding> expected = {
+        {path, 3, 17, "metric-name", "counter 'rc_sync_attempts' must end in _total"},
+    };
+    EXPECT_EQ(lintFixture("metric_name.cpp.in", false), expected);
+}
+
+TEST(RclintGolden, CleanFixtureHasNoFindings) {
+    EXPECT_TRUE(lintFixture("clean.cpp.in", false).empty());
+}
+
+// --- suppressions -----------------------------------------------------------
+
+TEST(RclintSuppressions, SameLineAllow) {
+    const std::string src =
+        "void f() { int* p = new int; }  // rclint:allow(banned-new-delete)\n";
+    EXPECT_TRUE(lintSource("mem.cpp", src, false).empty());
+}
+
+TEST(RclintSuppressions, LineAboveAllow) {
+    const std::string src =
+        "// rclint:allow(banned-new-delete)\n"
+        "int* p = new int;\n";
+    EXPECT_TRUE(lintSource("mem.cpp", src, false).empty());
+}
+
+TEST(RclintSuppressions, AllowFileCoversWholeFile) {
+    const std::string src =
+        "// rclint:allow-file(banned-new-delete)\n"
+        "int* p = new int;\n"
+        "int* q = new int;\n";
+    EXPECT_TRUE(lintSource("mem.cpp", src, false).empty());
+}
+
+TEST(RclintSuppressions, AllowIsRuleSpecific) {
+    // Allowing one rule must not silence another.
+    const std::string src =
+        "// rclint:allow(banned-function)\n"
+        "int* p = new int;\n";
+    const std::vector<Finding> findings = lintSource("mem.cpp", src, false);
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].rule, "banned-new-delete");
+}
+
+// --- rules never fire inside strings or comments ---------------------------
+
+TEST(RclintLexer, BannedNamesInsideStringsAndCommentsIgnored) {
+    const std::string src =
+        "// calling strcpy( here is just prose\n"
+        "const char* kDoc = \"use strcpy(dst, src) never\";\n"
+        "const char* kRaw = R\"(sprintf( inside raw string)\";\n";
+    EXPECT_TRUE(lintSource("mem.cpp", src, false).empty());
+}
+
+// --- metric doc drift -------------------------------------------------------
+
+TEST(RclintDrift, DocMetricNamesParsesBacktickSpans) {
+    const auto names = docMetricNames(readFixture("metrics_doc.md"));
+    ASSERT_EQ(names.size(), 2u);
+    EXPECT_EQ(names[0].first, "rc_widget_events_total");
+    EXPECT_EQ(names[0].second, 5);
+    EXPECT_EQ(names[1].first, "rc_stale_gauge");
+    EXPECT_EQ(names[1].second, 6);
+}
+
+TEST(RclintDrift, CliReportsBothDirections) {
+    const std::string driftPath = fixturePath("src/drift_use.cpp.in");
+    const std::string docPath = fixturePath("metrics_doc.md");
+    const CliResult r = cli({"--metrics-doc", docPath, driftPath});
+    EXPECT_EQ(r.code, 1);
+    const std::string expected =
+        docPath + ":6:1: [metric-doc-drift] documented metric 'rc_stale_gauge' "
+        "is never used in src/\n" +
+        driftPath + ":5:15: [metric-doc-drift] metric 'rc_undocumented_depth' "
+        "is not catalogued in " + docPath + "\n" +
+        "rclint: 2 findings in 1 files\n";
+    EXPECT_EQ(r.out, expected);
+}
+
+TEST(RclintDrift, NoMetricCheckDisablesDrift) {
+    const std::string driftPath = fixturePath("src/drift_use.cpp.in");
+    const std::string docPath = fixturePath("metrics_doc.md");
+    const CliResult r = cli({"--no-metric-check", "--metrics-doc", docPath, driftPath});
+    EXPECT_EQ(r.code, 0);
+    EXPECT_EQ(r.out, "");
+}
+
+// --- CLI behaviour ----------------------------------------------------------
+
+TEST(RclintCli, CleanFileExitsZeroSilently) {
+    const CliResult r = cli({fixturePath("clean.cpp.in")});
+    EXPECT_EQ(r.code, 0);
+    EXPECT_EQ(r.out, "");
+    EXPECT_EQ(r.err, "");
+}
+
+TEST(RclintCli, TextOutputIsGoldenExact) {
+    const std::string path = fixturePath("include_hygiene.cpp.in");
+    const CliResult r = cli({path});
+    EXPECT_EQ(r.code, 1);
+    const std::string expected =
+        path + ":3:1: [include-hygiene] duplicate include <vector>\n" +
+        path + ":4:1: [include-hygiene] parent-relative include "
+        "\"../detail/secret.hpp\": include project-root-relative paths\n" +
+        path + ":5:1: [include-hygiene] C-compat header <string.h>: use <cstring>\n" +
+        "rclint: 3 findings in 1 files\n";
+    EXPECT_EQ(r.out, expected);
+}
+
+TEST(RclintCli, GithubFormatEmitsWorkflowAnnotations) {
+    const std::string path = fixturePath("include_hygiene.cpp.in");
+    const CliResult r = cli({"--format=github", path});
+    EXPECT_EQ(r.code, 1);
+    const std::string expected =
+        "::error file=" + path + ",line=3,col=1,title=rclint include-hygiene"
+        "::duplicate include <vector>\n"
+        "::error file=" + path + ",line=4,col=1,title=rclint include-hygiene"
+        "::parent-relative include \"../detail/secret.hpp\": "
+        "include project-root-relative paths\n"
+        "::error file=" + path + ",line=5,col=1,title=rclint include-hygiene"
+        "::C-compat header <string.h>: use <cstring>\n"
+        "rclint: 3 findings in 1 files\n";
+    EXPECT_EQ(r.out, expected);
+}
+
+TEST(RclintCli, GithubRenderingEscapesControlCharacters) {
+    const Finding f{"a.cpp", 1, 2, "rule", "50% done\nnext\rline"};
+    EXPECT_EQ(renderFinding(f, "github"),
+              "::error file=a.cpp,line=1,col=2,title=rclint rule::50%25 done%0Anext%0Dline");
+}
+
+TEST(RclintCli, UsageErrorsExitTwo) {
+    EXPECT_EQ(cli({"--format=bogus", "x"}).code, 2);
+    EXPECT_EQ(cli({}).code, 2);
+    EXPECT_EQ(cli({fixturePath("no_such_file.cpp.in")}).code, 2);
+    EXPECT_EQ(cli({"--metrics-doc"}).code, 2);
+    EXPECT_EQ(cli({"--unknown-flag", "x"}).code, 2);
+}
+
+TEST(RclintCli, HelpAndListRulesExitZero) {
+    const CliResult help = cli({"--help"});
+    EXPECT_EQ(help.code, 0);
+    EXPECT_NE(help.out.find("usage: rclint"), std::string::npos);
+    const CliResult rules = cli({"--list-rules"});
+    EXPECT_EQ(rules.code, 0);
+    EXPECT_NE(rules.out.find("banned-function"), std::string::npos);
+    EXPECT_NE(rules.out.find("metric-doc-drift"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rclint

@@ -1,0 +1,88 @@
+// rclint: a zero-dependency, token-level C++ linter with project-specific
+// rules for the routedconsent tree. It is deliberately not a compiler
+// plugin: the rules below are all decidable on a comment/string-aware
+// token stream, which keeps the tool dependency-free (std:: only), fast
+// enough to gate every CI run, and testable with golden fixtures.
+//
+// Rules (ids are what suppressions name):
+//   banned-function    strcpy/strcat/sprintf/vsprintf/gets/rand/srand —
+//                      the paper's verifiers live or die on memory safety
+//                      and reproducible randomness (rpkic::Rng).
+//   banned-new-delete  raw `new` / `delete`; ownership goes through
+//                      containers and std::make_unique.
+//   pragma-once        every header starts with `#pragma once` (before
+//                      any other preprocessing directive), exactly once.
+//   include-hygiene    no duplicate includes, no "../" parent-relative
+//                      quoted includes, no C-compat headers (<string.h>
+//                      and friends — use <cstring>).
+//   todo-format        comments: `TODO(owner): text`; the two legacy
+//                      fix-me/placeholder markers are banned outright.
+//   metric-name        a) `.counter("name", ...)` literals must end in
+//                      `_total` (the registry enforces this at runtime;
+//                      this catches it at lint time);
+//                      b) cross-file: every `rc_*` metric literal used
+//                      under src/ must appear in docs/OBSERVABILITY.md's
+//                      catalogue, and every concrete `rc_*` name in the
+//                      catalogue must be used in src/ — telemetry docs
+//                      can never drift from the code.
+//
+// Suppressions:
+//   // rclint:allow(rule-id[,rule-id...])   — same line or the line above
+//   // rclint:allow-file(rule-id[,...])     — whole file
+//
+// Output: one finding per line, `path:line:col: [rule] message`, or
+// `--format=github` for workflow annotations. Exit codes: 0 clean,
+// 1 findings, 2 usage or I/O error.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rclint {
+
+struct Finding {
+    std::string path;
+    int line = 0;
+    int col = 0;
+    std::string rule;
+    std::string message;
+
+    auto operator<=>(const Finding&) const = default;
+};
+
+/// Lints one translation unit held in memory. `isHeader` switches the
+/// header-only rules on (pragma-once). Cross-file rules (metric drift)
+/// are not run here — see lintMetricDrift.
+std::vector<Finding> lintSource(const std::string& path, const std::string& source,
+                                bool isHeader);
+
+/// One `rc_*` string literal that names a metric family.
+struct MetricUse {
+    std::string path;
+    int line = 0;
+    int col = 0;
+    std::string name;
+};
+
+/// Extracts every string literal in `source` that looks like a metric
+/// family name (rc_ prefix, lower-case snake, >= 2 segments).
+std::vector<MetricUse> collectMetricNames(const std::string& path, const std::string& source);
+
+/// Concrete metric names (no wildcards) catalogued in the markdown doc:
+/// every backticked `rc_...` token. Returns (name, line) pairs.
+std::vector<std::pair<std::string, int>> docMetricNames(const std::string& docText);
+
+/// Cross-file rule: code uses vs doc catalogue, both directions.
+std::vector<Finding> lintMetricDrift(const std::vector<MetricUse>& uses,
+                                     const std::string& docPath, const std::string& docText);
+
+/// Renders one finding. `format` is "text" or "github".
+std::string renderFinding(const Finding& f, const std::string& format);
+
+/// The rclint command line (the binary's main() forwards here; tests call
+/// it in-process). Returns the process exit code: 0 clean, 1 findings,
+/// 2 usage or I/O error.
+int runCli(const std::vector<std::string>& args, std::ostream& out, std::ostream& err);
+
+}  // namespace rclint

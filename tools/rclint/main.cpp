@@ -1,0 +1,12 @@
+// rclint entry point: all logic lives in lint.cpp so the golden-fixture
+// tests (tests/rclint_test.cpp) can drive the exact CLI in-process.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+int main(int argc, char** argv) {
+    std::vector<std::string> args(argv + 1, argv + argc);
+    return rclint::runCli(args, std::cout, std::cerr);
+}
