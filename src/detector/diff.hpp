@@ -11,9 +11,11 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "detector/validity_index.hpp"
+#include "util/parallel.hpp"
 
 namespace rpkic {
 
@@ -85,12 +87,32 @@ struct DowngradeReport {
 std::vector<IpPrefix> samplePrefixes(const TriangleSet& t, std::size_t maxCount);
 
 /// Compares two indexed states. O(n log n) in the total triangle size.
+/// Runs on the process default pool (sequential unless RC_THREADS /
+/// --threads raised it); reports are byte-identical at every thread count.
 DowngradeReport diffStates(const PrefixValidityIndex& prev, const PrefixValidityIndex& cur,
                            std::size_t maxExamples = 8);
+
+/// Same, on an explicit pool.
+DowngradeReport diffStates(const PrefixValidityIndex& prev, const PrefixValidityIndex& cur,
+                           std::size_t maxExamples, rc::parallel::Pool& pool);
 
 /// Convenience overload building the indexes internally.
 DowngradeReport diffStates(const RpkiState& prev, const RpkiState& cur,
                            std::size_t maxExamples = 8);
+
+/// Newly added tuples of `cur` (relative to `prev`) whose prefix is
+/// covered by a `prev` tuple under a different AS (paper §6). Uses a
+/// prefix-indexed covering walk: O((|prev| + |added| * W) log |prev|) with
+/// W the address width — replacing the old O(|added| * |prev|) scan.
+/// Output order matches the historical nested-loop order (added tuples in
+/// state order, covering tuples in state order).
+std::vector<CompetingRoa> findCompetingRoas(const RpkiState& prev, const RpkiState& cur,
+                                            rc::parallel::Pool& pool);
+
+/// Canonical plain-text rendering of every field of a report. Two reports
+/// are equal iff their serializations are byte-identical — the property
+/// the cross-thread-count differential tests and the bench harness check.
+std::string serializeReport(const DowngradeReport& report);
 
 /// The triangle of IPv4 space that downgraded unknown -> invalid for AS
 /// `a` in the transition prev -> cur (used by the Figure-6 visualizer).

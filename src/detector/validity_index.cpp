@@ -10,7 +10,34 @@ namespace rpkic {
 const TriangleSet PrefixValidityIndex::kEmptyTriangles{};
 const TriangleSet6 PrefixValidityIndex::kEmptyTriangles6{};
 
-PrefixValidityIndex::PrefixValidityIndex(const RpkiState& state) : state_(state) {
+namespace {
+
+/// Sorted key list of an unordered per-ASN map: the deterministic fan-out
+/// order for the parallel builds below.
+template <typename MapT>
+std::vector<Asn> sortedAsns(const MapT& byAs) {
+    std::vector<Asn> keys;
+    keys.reserve(byAs.size());
+    for (const auto& [asn, raw] : byAs) keys.push_back(asn);
+    std::sort(keys.begin(), keys.end());
+    return keys;
+}
+
+}  // namespace
+
+PrefixValidityIndex::PrefixValidityIndex(const RpkiState& state)
+    : PrefixValidityIndex(std::make_shared<const RpkiState>(state),
+                          rc::parallel::defaultPool()) {}
+
+PrefixValidityIndex::PrefixValidityIndex(const RpkiState& state, rc::parallel::Pool& pool)
+    : PrefixValidityIndex(std::make_shared<const RpkiState>(state), pool) {}
+
+PrefixValidityIndex::PrefixValidityIndex(std::shared_ptr<const RpkiState> state)
+    : PrefixValidityIndex(std::move(state), rc::parallel::defaultPool()) {}
+
+PrefixValidityIndex::PrefixValidityIndex(std::shared_ptr<const RpkiState> state,
+                                         rc::parallel::Pool& pool)
+    : state_(std::move(state)) {
     // Index construction is the detector's coarse hot path (one build per
     // observed state); classify() is ns-scale and deliberately carries no
     // per-call instrumentation.
@@ -23,7 +50,7 @@ PrefixValidityIndex::PrefixValidityIndex(const RpkiState& state) : state_(state)
     std::unordered_map<Asn, TriangleSet::RawLevels> validRaw;
     std::unordered_map<Asn, TriangleSet6::RawLevels> valid6Raw;
 
-    for (const auto& t : state.tuples()) {
+    for (const auto& t : state_->tuples()) {
         if (t.prefix.family == IpFamily::v4) {
             const Interval<std::uint64_t> range{t.prefix.firstAddress().toU64(),
                                                 t.prefix.lastAddress().toU64()};
@@ -44,12 +71,34 @@ PrefixValidityIndex::PrefixValidityIndex(const RpkiState& state) : state_(state)
         }
     }
 
-    known_ = TriangleSet::build(knownRaw);
-    known6_ = TriangleSet6::build(known6Raw);
-    validByAs_.reserve(validRaw.size());
-    for (auto& [asn, raw] : validRaw) validByAs_.emplace(asn, TriangleSet::build(raw));
-    valid6ByAs_.reserve(valid6Raw.size());
-    for (auto& [asn, raw] : valid6Raw) valid6ByAs_.emplace(asn, TriangleSet6::build(raw));
+    // Known triangles: per-level fromIntervals fan-out (the levels are
+    // independent sort/merge passes).
+    known_ = TriangleSet::build(knownRaw, pool);
+    known6_ = TriangleSet6::build(known6Raw, pool);
+
+    // Per-ASN valid triangles: one independent TriangleSet::build per AS,
+    // fanned out over a deterministic sorted key order. Each worker owns
+    // one result slot; triangle contents are per-key deterministic, so the
+    // index is identical at every thread count.
+    const std::vector<Asn> v4Keys = sortedAsns(validRaw);
+    std::vector<TriangleSet> v4Built(v4Keys.size());
+    pool.parallelFor(v4Keys.size(), [&](std::size_t i) {
+        v4Built[i] = TriangleSet::build(validRaw.at(v4Keys[i]));
+    });
+    validByAs_.reserve(v4Keys.size());
+    for (std::size_t i = 0; i < v4Keys.size(); ++i) {
+        validByAs_.emplace(v4Keys[i], std::move(v4Built[i]));
+    }
+
+    const std::vector<Asn> v6Keys = sortedAsns(valid6Raw);
+    std::vector<TriangleSet6> v6Built(v6Keys.size());
+    pool.parallelFor(v6Keys.size(), [&](std::size_t i) {
+        v6Built[i] = TriangleSet6::build(valid6Raw.at(v6Keys[i]));
+    });
+    valid6ByAs_.reserve(v6Keys.size());
+    for (std::size_t i = 0; i < v6Keys.size(); ++i) {
+        valid6ByAs_.emplace(v6Keys[i], std::move(v6Built[i]));
+    }
 }
 
 RouteValidity PrefixValidityIndex::classify(const Route& route) const {

@@ -22,12 +22,14 @@
 #include <cmath>
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <type_traits>
 #include <unordered_map>
 #include <vector>
 
 #include "detector/state.hpp"
 #include "ip/interval_set.hpp"
+#include "util/parallel.hpp"
 
 namespace rpkic {
 
@@ -63,11 +65,33 @@ public:
     }
 
     /// Number of (prefix) nodes across all levels, exact in 64 bits.
-    /// Only meaningful when block counts fit (always true for IPv4).
+    ///
+    /// 64-bit address families (IPv4) count with shift-based integer
+    /// block arithmetic — every stored interval is a whole number of
+    /// aligned level-q blocks, so the block count is ((hi - lo) >> s) + 1
+    /// with s = kMaxLen - q, and no double ever enters the sum. (The old
+    /// path routed through prefixCountDouble() and silently lost
+    /// exactness above 2^53.) IPv6 keeps the double path — its level-128
+    /// block counts exceed any integer width — and saturates at the
+    /// uint64 maximum.
     std::uint64_t prefixCount() const {
-        const double d = prefixCountDouble();
-        if (d >= 18446744073709551615.0) return std::numeric_limits<std::uint64_t>::max();
-        return static_cast<std::uint64_t>(d);
+        if constexpr (std::is_same_v<AddrT, std::uint64_t>) {
+            std::uint64_t total = 0;
+            for (int q = 0; q <= kMaxLen; ++q) {
+                const int shift = kMaxLen - q;
+                for (const auto& iv : levels_[q].intervals()) {
+                    // (hi - lo + 1) == blocks * 2^shift; computing
+                    // ((hi - lo) >> shift) + 1 dodges the +1 overflow of
+                    // a full-width interval.
+                    total += ((iv.hi - iv.lo) >> shift) + 1;
+                }
+            }
+            return total;
+        } else {
+            const double d = prefixCountDouble();
+            if (d >= 18446744073709551615.0) return std::numeric_limits<std::uint64_t>::max();
+            return static_cast<std::uint64_t>(d);
+        }
     }
 
     /// Number of prefix nodes as a double (exact up to 2^53; IPv6 known
@@ -89,6 +113,17 @@ public:
         for (int q = 0; q <= kMaxLen; ++q) {
             t.levels_[q] = IntervalSet<AddrT>::fromIntervals(raw[q]);
         }
+        return t;
+    }
+
+    /// Parallel build: levels are independent, so each level's
+    /// fromIntervals sort/merge is dispatched through `pool`. The result
+    /// is identical to build() at every thread count.
+    static BasicTriangleSet build(const RawLevels& raw, rc::parallel::Pool& pool) {
+        BasicTriangleSet t;
+        pool.parallelFor(static_cast<std::size_t>(kMaxLen) + 1, [&](std::size_t q) {
+            t.levels_[q] = IntervalSet<AddrT>::fromIntervals(raw[q]);
+        });
         return t;
     }
 
@@ -131,7 +166,16 @@ using TriangleSet6 = BasicTriangleSet<U128, 128>;
 /// exposes the triangles the diff engine needs.
 class PrefixValidityIndex {
 public:
+    /// Builds on the process default pool (sequential unless RC_THREADS /
+    /// --threads raised it). Copies `state` into a shared handle once.
     explicit PrefixValidityIndex(const RpkiState& state);
+    /// Builds on an explicit pool.
+    PrefixValidityIndex(const RpkiState& state, rc::parallel::Pool& pool);
+    /// Shares an existing state without copying its tuple set — the form
+    /// the daily diff pipeline uses so two indexes over consecutive
+    /// snapshots never duplicate the full tuple vector.
+    explicit PrefixValidityIndex(std::shared_ptr<const RpkiState> state);
+    PrefixValidityIndex(std::shared_ptr<const RpkiState> state, rc::parallel::Pool& pool);
 
     /// RFC 6483/6811 classification (paper §2.2).
     RouteValidity classify(const Route& route) const;
@@ -154,10 +198,14 @@ public:
     /// ASes that appear in at least one ROA of the state.
     std::vector<Asn> asns() const;
 
-    const RpkiState& state() const { return state_; }
+    const RpkiState& state() const { return *state_; }
+    /// The shared handle, so callers can alias the state without copying.
+    const std::shared_ptr<const RpkiState>& stateHandle() const { return state_; }
 
 private:
-    RpkiState state_;
+    // Held by shared_ptr: copying an index (or indexing the same snapshot
+    // twice via stateHandle) must not duplicate the full tuple set.
+    std::shared_ptr<const RpkiState> state_;
     TriangleSet known_;
     TriangleSet6 known6_;
     std::unordered_map<Asn, TriangleSet> validByAs_;

@@ -1,0 +1,50 @@
+#include "obs/parallel_metrics.hpp"
+
+#include <cstdint>
+
+#include "obs/clock.hpp"
+#include "obs/metrics.hpp"
+
+namespace rpkic::obs {
+
+namespace {
+
+class ParallelMetricsObserver final : public rc::parallel::Observer {
+public:
+    void poolStarted(std::size_t threads) override {
+        Registry::global()
+            .gauge("rc_parallel_pool_threads", "Strands of the most recently started pool")
+            .set(static_cast<std::int64_t>(threads));
+    }
+
+    void taskEnqueued(std::size_t queueDepth) override {
+        queueGauge().set(static_cast<std::int64_t>(queueDepth));
+    }
+
+    std::uint64_t taskStarted() override { return nowNanos(); }
+
+    void taskFinished(std::uint64_t startToken, std::size_t queueDepth) override {
+        Registry::global()
+            .counter("rc_parallel_tasks_total", "parallelFor/parallelMap jobs completed")
+            .inc();
+        Registry::global()
+            .histogram("rc_parallel_task_seconds", "Submit-to-drain latency of one pool job")
+            .observeNanos(nowNanos() - startToken);
+        queueGauge().set(static_cast<std::int64_t>(queueDepth));
+    }
+
+private:
+    static Gauge& queueGauge() {
+        return Registry::global().gauge("rc_parallel_queue_depth",
+                                        "Pool jobs queued and not yet retired");
+    }
+};
+
+}  // namespace
+
+rc::parallel::Observer& parallelMetricsObserver() {
+    static ParallelMetricsObserver observer;
+    return observer;
+}
+
+}  // namespace rpkic::obs

@@ -1,0 +1,32 @@
+// rpkiscope adapter for rc::parallel: publishes pool telemetry as the
+// rc_parallel_* metric families (docs/OBSERVABILITY.md).
+//
+// rc_util sits below rc_obs in the link order, so the pool itself only
+// speaks the rc::parallel::Observer interface; this is the obs-side
+// implementation. Tools and benches wire it up at startup:
+//
+//   rc::parallel::configureDefaultPool(threads,
+//                                      &obs::parallelMetricsObserver());
+//
+// Families (all in Registry::global()):
+//   rc_parallel_pool_threads  gauge      strands of the most recent pool
+//   rc_parallel_queue_depth   gauge      jobs queued right now
+//   rc_parallel_tasks_total   counter    parallelFor/parallelMap jobs run
+//   rc_parallel_task_seconds  histogram  submit-to-drain latency per job
+//
+// Latency is measured on the injectable obs clock: under a
+// LogicalTimeSource and a size-1 pool the whole family is deterministic,
+// so the byte-identical telemetry dumps of rpkic-soak / rpkic-detector
+// keep holding at the default thread count.
+#pragma once
+
+#include "util/parallel.hpp"
+
+namespace rpkic::obs {
+
+/// The process-wide metrics-backed pool observer. Thread-safe; instruments
+/// are looked up per event in Registry::global() (job granularity — the
+/// cost is off the per-index hot path), so it survives Registry::reset().
+rc::parallel::Observer& parallelMetricsObserver();
+
+}  // namespace rpkic::obs

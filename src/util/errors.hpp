@@ -51,4 +51,23 @@ public:
     explicit ProtocolError(const std::string& what) : Error("protocol error: " + what) {}
 };
 
+/// Raised when an *internal* invariant the code relies on does not hold —
+/// a library bug, not a caller error. Prefer RC_CHECK over silently
+/// clamping impossible states: a clamp hides the bug, a thrown invariant
+/// names it (see the detector's intersect-count invariant).
+class InvariantError : public Error {
+public:
+    explicit InvariantError(const std::string& what) : Error("invariant violation: " + what) {}
+};
+
 }  // namespace rpkic
+
+/// Checks an internal invariant; throws rpkic::InvariantError with the
+/// failed condition text when it does not hold. Always compiled in: these
+/// guard logic errors, not hot-path bounds.
+#define RC_CHECK(cond, msg)                                                          \
+    do {                                                                             \
+        if (!(cond)) {                                                               \
+            throw ::rpkic::InvariantError(std::string(msg) + " [" #cond "]");        \
+        }                                                                            \
+    } while (0)

@@ -1,0 +1,211 @@
+#include "util/parallel.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <exception>
+#include <limits>
+#include <memory>
+
+#include "util/errors.hpp"
+
+namespace rc::parallel {
+
+// One fan-out job: an index space [0, n) claimed in grain-sized chunks by
+// whichever strands are available. Heap-held behind shared_ptr: a worker
+// can pick the job up just as its final index completes, in which case it
+// touches the claim counter *after* the submitter's parallelFor returned —
+// a late claim always sees start >= n and never dereferences `body`, but
+// the counters themselves must outlive the submitter's stack frame.
+struct Pool::Job {
+    std::size_t n = 0;
+    std::size_t grain = 1;
+    const std::function<void(std::size_t)>* body = nullptr;
+
+    /// Next unclaimed index (claims may overshoot n; see runSlices).
+    std::atomic<std::size_t> next{0};
+    /// Indices fully executed. The final fetch_add release-pairs with the
+    /// submitter's acquire load, so per-index writes are visible when
+    /// parallelFor returns.
+    std::atomic<std::size_t> done{0};
+
+    std::mutex errorMutex;
+    std::exception_ptr error;                                        // guarded by errorMutex
+    std::size_t errorIndex = std::numeric_limits<std::size_t>::max();  // guarded by errorMutex
+};
+
+Pool::Pool(std::size_t threads, Observer* observer)
+    : threadCount_(threads == 0 ? defaultThreadCount() : threads), observer_(observer) {
+    if (threadCount_ > kMaxThreads) threadCount_ = kMaxThreads;
+    workers_.reserve(threadCount_ - 1);
+    for (std::size_t t = 1; t < threadCount_; ++t) {
+        workers_.emplace_back([this] { workerLoop(); });
+    }
+    if (observer_ != nullptr) observer_->poolStarted(threadCount_);
+}
+
+Pool::~Pool() {
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    workAvailable_.notify_all();
+    for (std::thread& w : workers_) w.join();
+}
+
+void Pool::runSlices(Job& job) {
+    for (;;) {
+        const std::size_t start = job.next.fetch_add(job.grain, std::memory_order_relaxed);
+        if (start >= job.n) return;
+        const std::size_t end = std::min(job.n, start + job.grain);
+        for (std::size_t i = start; i < end; ++i) {
+            try {
+                (*job.body)(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(job.errorMutex);
+                if (i < job.errorIndex) {
+                    job.errorIndex = i;
+                    job.error = std::current_exception();
+                }
+            }
+        }
+        if (job.done.fetch_add(end - start) + (end - start) == job.n) {
+            // Last chunk: wake the submitter. Taking the pool mutex orders
+            // this notification against the submitter entering its wait.
+            std::lock_guard<std::mutex> lock(mutex_);
+            jobComplete_.notify_all();
+        }
+    }
+}
+
+void Pool::workerLoop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        workAvailable_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) {
+            if (stopping_) return;
+            continue;
+        }
+        // Copy the shared handle while locked: the submitter may erase the
+        // queue entry and return before this worker runs a single slice.
+        const std::shared_ptr<Job> job = queue_.front();
+        lock.unlock();
+        runSlices(*job);
+        lock.lock();
+        // The job's index space is exhausted (other strands may still be
+        // finishing their chunks): retire it from the queue if a peer has
+        // not already done so.
+        const auto it = std::find(queue_.begin(), queue_.end(), job);
+        if (it != queue_.end() && job->next.load(std::memory_order_relaxed) >= job->n) {
+            queue_.erase(it);
+        }
+    }
+}
+
+void Pool::parallelFor(std::size_t n, const std::function<void(std::size_t)>& body) {
+    if (n == 0) return;
+    const std::uint64_t token = observer_ != nullptr ? observer_->taskStarted() : 0;
+
+    const std::shared_ptr<Job> jobPtr = std::make_shared<Job>();
+    Job& job = *jobPtr;
+    job.n = n;
+    job.body = &body;
+
+    if (threadCount_ <= 1 || n == 1) {
+        // Inline sequential mode: same all-indices / lowest-index-error
+        // semantics, no queue, no synchronization, no extra clock reads —
+        // deterministic under the obs logical clock.
+        job.grain = n;
+        runSlices(job);
+    } else {
+        // Grain keeps the claim counter off the contended path for large
+        // n while still splitting small n across all strands.
+        job.grain = std::max<std::size_t>(1, n / (threadCount_ * 8));
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            queue_.push_back(jobPtr);
+            if (observer_ != nullptr) observer_->taskEnqueued(queue_.size());
+        }
+        workAvailable_.notify_all();
+        runSlices(job);  // the submitter is one of the strands
+        std::unique_lock<std::mutex> lock(mutex_);
+        jobComplete_.wait(lock, [&job] { return job.done.load() >= job.n; });
+        const auto it = std::find(queue_.begin(), queue_.end(), jobPtr);
+        if (it != queue_.end()) queue_.erase(it);
+    }
+
+    if (observer_ != nullptr) {
+        std::size_t depth = 0;
+        if (threadCount_ > 1) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            depth = queue_.size();
+        }
+        observer_->taskFinished(token, depth);
+    }
+    if (job.error) std::rethrow_exception(job.error);
+}
+
+std::size_t hardwareThreads() {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+std::size_t parseThreadSpec(const std::string& spec) {
+    if (spec.empty()) throw rpkic::UsageError("thread count: empty spec");
+    std::size_t value = 0;
+    for (const char c : spec) {
+        if (c < '0' || c > '9') {
+            throw rpkic::UsageError("thread count '" + spec + "': not a number");
+        }
+        value = value * 10 + static_cast<std::size_t>(c - '0');
+        if (value > kMaxThreads) {
+            throw rpkic::UsageError("thread count '" + spec + "': above the ceiling of " +
+                                    std::to_string(kMaxThreads));
+        }
+    }
+    return value == 0 ? hardwareThreads() : value;
+}
+
+std::size_t defaultThreadCount() {
+    const char* env = std::getenv("RC_THREADS");
+    if (env == nullptr || *env == '\0') return 1;
+    try {
+        return parseThreadSpec(env);
+    } catch (const rpkic::UsageError&) {
+        return 1;  // a broken env var must not take the process down
+    }
+}
+
+namespace {
+
+struct DefaultPoolState {
+    std::mutex mutex;
+    std::unique_ptr<Pool> pool;
+    Observer* observer = nullptr;
+};
+
+DefaultPoolState& defaultPoolState() {
+    static DefaultPoolState state;
+    return state;
+}
+
+}  // namespace
+
+Pool& defaultPool() {
+    DefaultPoolState& state = defaultPoolState();
+    std::lock_guard<std::mutex> lock(state.mutex);
+    if (!state.pool) {
+        state.pool = std::make_unique<Pool>(defaultThreadCount(), state.observer);
+    }
+    return *state.pool;
+}
+
+void configureDefaultPool(std::size_t threads, Observer* observer) {
+    DefaultPoolState& state = defaultPoolState();
+    std::lock_guard<std::mutex> lock(state.mutex);
+    if (observer != nullptr) state.observer = observer;
+    state.pool.reset();  // join old workers before spawning replacements
+    state.pool = std::make_unique<Pool>(threads == 0 ? defaultThreadCount() : threads,
+                                        state.observer);
+}
+
+}  // namespace rc::parallel

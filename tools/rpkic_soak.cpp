@@ -33,6 +33,13 @@
 //                      (load in Perfetto / chrome://tracing)
 //   --log-level LEVEL  structured-log threshold (trace|debug|info|warn|
 //                      error|off; default warn, also settable via RC_LOG)
+//   --threads N        worker pool size for the seed sweep (0 = all
+//                      hardware threads); overrides the RC_THREADS env
+//                      var. Per-seed results are bit-identical at every
+//                      thread count and always print in seed order, but
+//                      --metrics-out/--trace-out dumps are only byte-
+//                      stable at 1 thread (interleaving reorders the
+//                      logical clock).
 //
 // Exit status: 0 = all invariants held, 2 = violations, 1 = usage/IO error.
 #include <cstdio>
@@ -44,8 +51,10 @@
 #include <vector>
 
 #include "obs/obs.hpp"
+#include "obs/parallel_metrics.hpp"
 #include "sim/chaos_soak.hpp"
 #include "util/errors.hpp"
+#include "util/parallel.hpp"
 
 using namespace rpkic;
 using namespace rpkic::sim;
@@ -126,6 +135,7 @@ int main(int argc, char** argv) {
     std::string planPath;
     std::string metricsOut;
     std::string traceOut;
+    std::string threadSpec;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -166,6 +176,8 @@ int main(int argc, char** argv) {
             traceOut = next("--trace-out");
         } else if (arg == "--log-level") {
             obs::Logger::global().setLevel(obs::logLevelFromString(next("--log-level")));
+        } else if (arg == "--threads") {
+            threadSpec = next("--threads");
         } else {
             std::fprintf(stderr,
                          "usage: rpkic-soak [--seeds N] [--seed-base B] [--rounds N]\n"
@@ -174,9 +186,19 @@ int main(int argc, char** argv) {
                          "                  [--smoke] [--compare] [--plan FILE] [--quiet]\n"
                          "                  [--scoreboard] [--metrics-out FILE] "
                          "[--trace-out FILE]\n"
-                         "                  [--log-level LEVEL]\n");
+                         "                  [--log-level LEVEL] [--threads N]\n");
             return 1;
         }
+    }
+
+    try {
+        const std::size_t threads = threadSpec.empty()
+                                        ? rc::parallel::defaultThreadCount()
+                                        : rc::parallel::parseThreadSpec(threadSpec);
+        rc::parallel::configureDefaultPool(threads, &obs::parallelMetricsObserver());
+    } catch (const Error& e) {
+        std::fprintf(stderr, "rpkic-soak: %s\n", e.what());
+        return 1;
     }
 
     // Exported telemetry must be reproducible: the same seed must dump the
@@ -233,11 +255,36 @@ int main(int argc, char** argv) {
         return r.passed ? 0 : 2;
     }
 
+    // The seed sweep fans out over the worker pool: every seed's run (and
+    // its optional weakened --compare twin) is an independent task writing
+    // only its own SeedOutcome slot. Results are printed afterwards in
+    // seed order, so the report reads identically at every thread count.
+    struct SeedOutcome {
+        SoakResult result;
+        SoakResult weakened;
+        bool hasWeakened = false;
+    };
+    rc::parallel::Pool& pool = rc::parallel::defaultPool();
+    const std::vector<SeedOutcome> outcomes =
+        pool.parallelMap<SeedOutcome>(static_cast<std::size_t>(seeds), [&](std::size_t s) {
+            SoakConfig runCfg = cfg;
+            runCfg.seed = seedBase + s;
+            SeedOutcome o;
+            o.result = runSoak(runCfg);
+            if (compare) {
+                SoakConfig weak = runCfg;
+                weak.retryBudget = 0;
+                o.weakened = runSoak(weak);
+                o.hasWeakened = true;
+            }
+            return o;
+        });
+
     std::uint64_t failures = 0;
     std::uint64_t totalAlarms = 0, totalAbsorbed = 0, totalFailedRounds = 0, totalHits = 0;
     for (std::uint64_t s = 0; s < seeds; ++s) {
-        cfg.seed = seedBase + s;
-        const SoakResult r = runSoak(cfg);
+        const SeedOutcome& o = outcomes[s];
+        const SoakResult& r = o.result;
         printResult(r, quiet);
         if (scoreboard) printScoreboard(r);
         if (!r.passed) ++failures;
@@ -246,14 +293,12 @@ int main(int argc, char** argv) {
         totalFailedRounds += r.stats.pointRoundsFailed;
         totalHits += r.stats.faultApplications;
 
-        if (compare) {
-            SoakConfig weak = cfg;
-            weak.retryBudget = 0;
-            const SoakResult w = runSoak(weak);
+        if (o.hasWeakened) {
+            const SoakResult& w = o.weakened;
             std::printf(
                 "  compare seed %-6llu budget=%u: failed-rounds=%llu alarms=%llu "
                 "roas=%zu | budget=0: failed-rounds=%llu alarms=%llu roas=%zu%s\n",
-                static_cast<unsigned long long>(cfg.seed), cfg.retryBudget,
+                static_cast<unsigned long long>(seedBase + s), cfg.retryBudget,
                 static_cast<unsigned long long>(r.stats.pointRoundsFailed),
                 static_cast<unsigned long long>(r.stats.alarms), r.stats.validRoasFinal,
                 static_cast<unsigned long long>(w.stats.pointRoundsFailed),
