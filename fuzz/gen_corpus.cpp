@@ -62,6 +62,15 @@ int run(const std::string& root) {
         ++written;
     }
 
+    const fs::path walDir = fs::path(root) / "wal";
+    fs::create_directories(walDir);
+    const std::vector<Bytes> walImages = sampleWalImages();
+    for (std::size_t i = 0; i < walImages.size(); ++i) {
+        writeFile(walDir / ("wal_" + std::to_string(i) + ".bin"),
+                  ByteView(walImages[i].data(), walImages[i].size()));
+        ++written;
+    }
+
     std::printf("gen_corpus: wrote %d seed files under %s\n", written, root.c_str());
     return 0;
 }

@@ -6,8 +6,11 @@
 
 #include "crypto/sha256.hpp"
 #include "crypto/xmss.hpp"
+#include "obs/obs.hpp"
+#include "rp/durable_store.hpp"
 #include "rpki/objects.hpp"
 #include "util/errors.hpp"
+#include "util/vfs.hpp"
 
 namespace rpkic::fuzz {
 
@@ -124,6 +127,69 @@ std::vector<std::string> sampleStateTexts() {
         "  # indented comment\n"
         "10.1.0.0/16-24 AS64501\n",
         "2001:db8::/32-48 AS4200000000\n",
+    };
+}
+
+std::vector<Bytes> sampleWalImages() {
+    // Each builder drives a real DurableStore over a MemVfs and captures
+    // the resulting wal.log; a fuzz_wal input is that image behind a mode
+    // byte (0 = plant as wal.log — see fuzz_wal.cpp's input layout).
+    auto payload = [](const char* s) {
+        const std::string str(s);
+        return Bytes(str.begin(), str.end());
+    };
+    auto walImageOf = [&](auto&& build) {
+        vfs::MemVfs fs(/*tornSeed=*/1);
+        obs::Registry registry;
+        rp::StoreOptions opts;
+        opts.checkpointEvery = 0;  // manual folds only; keep frames in the WAL
+        opts.name = "seed";
+        rp::DurableStore store(fs, "st", opts, &registry);
+        store.open();
+        build(store);
+        const std::string wal = store.walPath();
+        return fs.exists(wal) ? fs.readFile(wal) : Bytes{};
+    };
+    auto withMode = [](std::uint8_t mode, Bytes image) {
+        Bytes out;
+        out.reserve(image.size() + 1);
+        out.push_back(mode);
+        out.insert(out.end(), image.begin(), image.end());
+        return out;
+    };
+
+    const Bytes empty = walImageOf([](rp::DurableStore&) {});
+    const Bytes single = walImageOf([&](rp::DurableStore& s) {
+        const Bytes p = payload("state-round-1");
+        s.commit(ByteView(p.data(), p.size()), 1);
+    });
+    const Bytes multi = walImageOf([&](rp::DurableStore& s) {
+        const Bytes a = payload("alpha");
+        const Bytes b = payload("");  // empty payloads are legal commits
+        const Bytes c = payload("a much longer relying-party state payload, "
+                                "so frames span more than one torn-write unit");
+        s.commit(ByteView(a.data(), a.size()), 1);
+        s.commit(ByteView(b.data(), b.size()), 2);
+        s.commit(ByteView(c.data(), c.size()), 3);
+    });
+    const Bytes afterFold = walImageOf([&](rp::DurableStore& s) {
+        const Bytes a = payload("before-the-fold");
+        const Bytes b = payload("after-the-fold");
+        s.commit(ByteView(a.data(), a.size()), 1);
+        s.checkpointNow();  // resets the WAL; LSNs keep counting
+        s.commit(ByteView(b.data(), b.size()), 2);
+    });
+    Bytes torn = multi;
+    torn.resize(torn.size() - std::min<std::size_t>(torn.size(), 5));  // torn tail
+    Bytes corrupt = multi;
+    if (!corrupt.empty()) corrupt[corrupt.size() / 2] ^= 0x41;  // mid-frame bitflip
+
+    return {
+        withMode(0, empty),    withMode(0, single), withMode(0, multi),
+        withMode(0, afterFold), withMode(0, torn),   withMode(0, corrupt),
+        withMode(1, multi),  // same bytes parsed as a checkpoint file
+        withMode(2, single),  // planted as both wal.log and a checkpoint
+        withMode(3, multi),  // split across a checkpoint and the WAL
     };
 }
 

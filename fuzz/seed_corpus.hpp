@@ -5,7 +5,7 @@
 //   * tests/fuzz_decode_test  — the PR-1 gtest fuzz harness mutates the same
 //                               seeds instead of carrying a private copy
 //
-// The corpus on disk (fuzz/corpus/{tlv,manifest_chain,state_io}/) is the
+// The corpus on disk (fuzz/corpus/{tlv,manifest_chain,state_io,wal}/) is the
 // single source of truth at run time; the sample*() builders here are the
 // single source of truth for *regenerating* it. A golden test in
 // tests/fuzz_decode_test.cpp fails if the two drift apart.
@@ -30,6 +30,13 @@ std::vector<Bytes> sampleChainPrograms();
 /// Seed texts for the state_io fuzzer: valid dumps, comments, blank lines,
 /// duplicates (normalization), v4/v6 mixes, and the empty file.
 std::vector<std::string> sampleStateTexts();
+
+/// Seed inputs for the WAL-recovery fuzzer (fuzz_wal). Each seed is a
+/// mode byte (see fuzz_wal.cpp's input layout) followed by a store image
+/// produced by driving a real rp::DurableStore over a MemVfs: intact
+/// multi-frame logs, a log continuing past a checkpoint fold, a torn
+/// tail, a corrupt frame, and the empty log.
+std::vector<Bytes> sampleWalImages();
 
 /// Reads every regular file under `dir` (non-recursive), sorted by
 /// filename for determinism. Throws Error if the directory is missing or

@@ -3,14 +3,35 @@
 // half-understood cache (a wrong cache could mask a unilateral
 // revocation).
 #include "rp/relying_party.hpp"
+
+#include <limits>
+
+#include "crypto/sha256.hpp"
 #include "rpki/encoding.hpp"
 #include "util/errors.hpp"
 
 namespace rpkic::rp {
 
 namespace {
-constexpr std::uint32_t kMagic = 0x52504331;  // "RPC1"
+constexpr std::uint32_t kMagic = 0x52504331;       // "RPC1", leads the body
+constexpr std::uint32_t kFooterMagic = 0x52504346;  // "RPCF", ends the blob
+
+// Trailing integrity footer: u64 bodyLen | sha256(body) | u32 kFooterMagic.
+// Appended (rather than prepended) so the footer can be computed in one
+// pass and a truncated cache is detected by the missing magic alone.
+constexpr std::size_t kFooterLen = 8 + 32 + 4;
+
+/// Guarded size_t -> u32 narrowing for the count fields below. A count
+/// that does not fit is a library bug (nothing in the simulator can grow
+/// a 4-billion-entry table), so this is RC_CHECK, not ParseError.
+std::uint32_t checkedU32(std::size_t n, const char* what) {
+    RC_CHECK(n <= std::numeric_limits<std::uint32_t>::max(),
+             std::string("cache count field overflows u32: ") + what);
+    return static_cast<std::uint32_t>(n);
+}
+
 }  // namespace
+
 
 Bytes RelyingParty::serializeState() const {
     Encoder e;
@@ -20,13 +41,13 @@ Bytes RelyingParty::serializeState() const {
     e.i64(options_.tg);
     e.boolean(options_.checkIntermediateStates);
 
-    e.u32(static_cast<std::uint32_t>(trustAnchors_.size()));
+    e.u32(checkedU32(trustAnchors_.size(), "trust anchors"));
     for (const auto& ta : trustAnchors_) {
         const Bytes wire = ta.encode();
         e.bytes(ByteView(wire.data(), wire.size()));
     }
 
-    e.u32(static_cast<std::uint32_t>(rcs_.size()));
+    e.u32(checkedU32(rcs_.size(), "RC records"));
     for (const auto& [uri, rec] : rcs_) {
         e.str(uri);
         const Bytes wire = rec.cert.encode();
@@ -39,7 +60,7 @@ Bytes RelyingParty::serializeState() const {
         e.digest(rec.fileHash);
     }
 
-    e.u32(static_cast<std::uint32_t>(points_.size()));
+    e.u32(checkedU32(points_.size(), "point caches"));
     for (const auto& [uri, pc] : points_) {
         e.str(uri);
         e.boolean(pc.have);
@@ -47,7 +68,7 @@ Bytes RelyingParty::serializeState() const {
             const Bytes wire = pc.manifest.encode();
             e.bytes(ByteView(wire.data(), wire.size()));
         }
-        e.u32(static_cast<std::uint32_t>(pc.files.size()));
+        e.u32(checkedU32(pc.files.size(), "point files"));
         for (const auto& [filename, bytes] : pc.files) {
             e.str(filename);
             e.bytes(ByteView(bytes.data(), bytes.size()));
@@ -56,7 +77,7 @@ Bytes RelyingParty::serializeState() const {
     }
 
     const auto& alarms = alarms_.all();
-    e.u32(static_cast<std::uint32_t>(alarms.size()));
+    e.u32(checkedU32(alarms.size(), "alarms"));
     for (const auto& a : alarms) {
         e.u8(static_cast<std::uint8_t>(a.type));
         e.str(a.victim);
@@ -66,22 +87,22 @@ Bytes RelyingParty::serializeState() const {
         e.i64(a.raisedAt);
     }
 
-    e.u32(static_cast<std::uint32_t>(deadSeen_.size()));
+    e.u32(checkedU32(deadSeen_.size(), "dead serials"));
     for (const auto& [uri, serial] : deadSeen_) {
         e.str(uri);
         e.u64(serial);
     }
-    e.u32(static_cast<std::uint32_t>(deadsSeenFull_.size()));
+    e.u32(checkedU32(deadsSeenFull_.size(), "dead objects"));
     for (const auto& d : deadsSeenFull_) {
         const Bytes wire = d.encode();
         e.bytes(ByteView(wire.data(), wire.size()));
     }
-    e.u32(static_cast<std::uint32_t>(successors_.size()));
+    e.u32(checkedU32(successors_.size(), "successors"));
     for (const auto& [from, to] : successors_) {
         e.str(from);
         e.str(to);
     }
-    e.u32(static_cast<std::uint32_t>(hashWindow_.size()));
+    e.u32(checkedU32(hashWindow_.size(), "hash window"));
     for (const auto& h : hashWindow_) {
         e.i64(h.when);
         e.str(h.pointUri);
@@ -89,11 +110,47 @@ Bytes RelyingParty::serializeState() const {
         e.digest(h.bodyHash);
     }
     e.i64(lastSyncTime_);
-    return e.take();
+
+    // Integrity footer: a truncated or bit-flipped cache must fail with a
+    // precise checksum error before any field is interpreted, never with a
+    // mid-stream decode error that might half-apply.
+    Bytes out = e.take();
+    const Digest digest = sha256(ByteView(out.data(), out.size()));
+    Encoder footer;
+    footer.u64(out.size());
+    footer.digest(digest);
+    footer.u32(kFooterMagic);
+    const Bytes& tail = footer.view();
+    out.insert(out.end(), tail.begin(), tail.end());
+    return out;
 }
 
-RelyingParty RelyingParty::deserializeState(ByteView data) {
-    Decoder d(data);
+RelyingParty RelyingParty::deserializeState(ByteView data, bool allowLegacy,
+                                            obs::Registry* registry) {
+    ByteView body = data;
+    bool footered = false;
+    if (data.size() >= kFooterLen) {
+        Decoder f(data.subspan(data.size() - kFooterLen));
+        const std::uint64_t bodyLen = f.u64();
+        const Digest stored = f.digest();
+        const std::uint32_t magic = f.u32();
+        if (magic == kFooterMagic && bodyLen == data.size() - kFooterLen) {
+            body = data.subspan(0, data.size() - kFooterLen);
+            const Digest actual = sha256(body);
+            if (actual != stored) {
+                throw ParseError("cache checksum mismatch: footer says " + stored.shortHex() +
+                                 ", content hashes to " + actual.shortHex());
+            }
+            footered = true;
+        }
+    }
+    if (!footered && !allowLegacy) {
+        throw ParseError(
+            "cache has no integrity footer (truncated, or a legacy cache — "
+            "pass allowLegacy to accept footerless caches)");
+    }
+
+    Decoder d(body);
     if (d.u32() != kMagic) throw ParseError("not a relying-party cache (bad magic)");
     const std::string name = d.str();
     RpOptions options;
@@ -108,7 +165,7 @@ RelyingParty RelyingParty::deserializeState(ByteView data) {
         const Bytes wire = d.bytes();
         tas.push_back(ResourceCert::decode(ByteView(wire.data(), wire.size())));
     }
-    RelyingParty rp(name, tas, options);
+    RelyingParty rp(name, tas, options, registry);
     rp.rcs_.clear();  // the constructor seeded TA records; the cache has them
 
     const std::uint32_t nRcs = d.u32();

@@ -128,11 +128,19 @@ public:
     /// Serializes the complete relying-party state — point caches, RC
     /// records, alarm log, consent registry, hash window — so a tool can
     /// persist it between runs and keep detecting transitions across
-    /// process restarts (see tools/rpkic_audit.cpp --cache).
+    /// process restarts (see tools/rpkic_audit.cpp --cache). The output
+    /// carries a trailing length + SHA-256 integrity footer, so truncation
+    /// or bit rot is detected before any field is interpreted.
     Bytes serializeState() const;
     /// Restores a relying party from serializeState() output. Throws
-    /// ParseError on malformed input.
-    static RelyingParty deserializeState(ByteView data);
+    /// ParseError on malformed input; a damaged footer yields a precise
+    /// "cache checksum mismatch" instead of a mid-stream decode error.
+    /// `allowLegacy` accepts pre-footer caches (explicit opt-in: a legacy
+    /// cache has no integrity protection). `registry` is forwarded to the
+    /// restored instance (nullptr = global), so crash-recovery harnesses
+    /// keep their run-local metrics registries.
+    static RelyingParty deserializeState(ByteView data, bool allowLegacy = false,
+                                         obs::Registry* registry = nullptr);
 
 private:
     struct PointCache {

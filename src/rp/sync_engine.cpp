@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "rp/durable_store.hpp"
 #include "util/errors.hpp"
 
 namespace rpkic::rp {
@@ -347,8 +348,35 @@ SyncReport SyncEngine::syncRound(Time now) {
 
     ++round_;
     roundsTotal_->inc();
+
+    // Persist the post-round state before acknowledging the round (commit
+    // precedes the report push, so a round that dies inside the commit
+    // leaves no report — the restarted incarnation reruns it). A crash
+    // anywhere up to the commit point replays this round from the previous
+    // committed state; RelyingParty::sync of an unchanged snapshot is a
+    // no-op, so the replay converges instead of double-counting.
+    if (store_ != nullptr) {
+        const Bytes state = rp_->serializeState();
+        store_->commit(ByteView(state.data(), state.size()), round_);
+    }
     reports_.push_back(report);
     return report;
+}
+
+void SyncEngine::resumeAt(std::uint64_t round) {
+    if (round_ != 0 || !reports_.empty()) {
+        throw UsageError("SyncEngine::resumeAt after the engine has already run");
+    }
+    round_ = round;
+}
+
+void SyncEngine::seedRegressionFloor(const std::string& pointUri,
+                                     std::uint64_t manifestNumber) {
+    PointState& ps = stateFor(pointUri);
+    if (!ps.sawManifest || manifestNumber > ps.highestManifestNumber) {
+        ps.highestManifestNumber = manifestNumber;
+    }
+    ps.sawManifest = true;
 }
 
 }  // namespace rpkic::rp

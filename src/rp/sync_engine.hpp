@@ -135,12 +135,32 @@ struct EngineTotals {
     Duration backoffSpent = 0;
 };
 
+class DurableStore;
+
 class SyncEngine {
 public:
     /// `registry` receives the rc_sync_* metric families, labelled with
     /// the relying party's name; nullptr means obs::Registry::global().
     SyncEngine(RelyingParty& rp, SnapshotSource& source, SyncPolicy policy = {},
                obs::Registry* registry = nullptr);
+
+    /// Attaches a durable store: after every completed round the relying
+    /// party's serialized state is commit()ted with meta = the completed
+    /// round number, so all-or-nothing delivery also holds across process
+    /// death. nullptr detaches. The store must outlive the engine.
+    void attachStore(DurableStore* store) { store_ = store; }
+
+    /// Continues the round counter of a previous incarnation (fault plans
+    /// and snapshot sources key behaviour off the absolute round number, so
+    /// a restarted engine must not restart from round 0). Only valid before
+    /// the first syncRound() of this engine.
+    void resumeAt(std::uint64_t round);
+
+    /// Restores the Stalloris regression floor for one point after a
+    /// restart (a fresh engine would otherwise accept a stale manifest the
+    /// previous incarnation had already moved past). Harnesses feed this
+    /// from the restored relying party's exportManifestClaims().
+    void seedRegressionFloor(const std::string& pointUri, std::uint64_t manifestNumber);
 
     /// Runs one sync round at simulated time `now`: fetches every listed
     /// point with retry/backoff, probes, assembles the accepted points
@@ -194,6 +214,7 @@ private:
     SnapshotSource* source_;
     SyncPolicy policy_;
     obs::Registry* registry_;
+    DurableStore* store_ = nullptr;
     std::uint64_t round_ = 0;
     std::map<std::string, PointState> points_;
     std::vector<SyncReport> reports_;

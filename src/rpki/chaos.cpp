@@ -105,7 +105,10 @@ std::string Fault::str() const {
 std::string FaultPlan::serialize() const {
     std::ostringstream os;
     os << "faultplan v1 seed=" << seed << " rounds=" << rounds << " retry=" << retryBudget
-       << " adversarial-ppm=" << adversarialPpm << " stall-horizon=" << stallHorizon << "\n";
+       << " adversarial-ppm=" << adversarialPpm << " stall-horizon=" << stallHorizon;
+    // Emitted only when armed, so pre-PR5 plans round-trip byte-identically.
+    if (crashEvery != 0) os << " crash-every=" << crashEvery;
+    os << "\n";
     for (const Fault& f : faults) os << f.str() << "\n";
     return os.str();
 }
@@ -151,6 +154,9 @@ FaultPlan FaultPlan::parse(std::string_view text) {
                         static_cast<std::uint32_t>(parseU64Field(value, "adversarial-ppm"));
                 } else if (key == "stall-horizon") {
                     plan.stallHorizon = parseU64Field(value, "stall-horizon");
+                } else if (key == "crash-every") {
+                    plan.crashEvery =
+                        static_cast<std::uint32_t>(parseU64Field(value, "crash-every"));
                 } else {
                     throw ParseError("unknown fault-plan header field: " + std::string(key));
                 }
@@ -212,6 +218,7 @@ Bytes FaultPlan::encode() const {
     e.u32(retryBudget);
     e.u32(adversarialPpm);
     e.u64(stallHorizon);
+    e.u32(crashEvery);
     e.u32(static_cast<std::uint32_t>(faults.size()));
     for (const Fault& f : faults) {
         e.u8(static_cast<std::uint8_t>(f.kind));
@@ -234,6 +241,7 @@ FaultPlan FaultPlan::decode(ByteView data) {
     plan.retryBudget = d.u32();
     plan.adversarialPpm = d.u32();
     plan.stallHorizon = d.u64();
+    plan.crashEvery = d.u32();
     const std::uint32_t n = d.u32();
     if (n > 10000000) throw ParseError("implausible fault count");
     for (std::uint32_t i = 0; i < n; ++i) {

@@ -135,6 +135,11 @@ struct FaultPlan {
     std::uint32_t retryBudget = 2;     ///< retries after the first attempt
     std::uint32_t adversarialPpm = 0;  ///< driver adversarial probability, ppm
     std::uint64_t stallHorizon = 8;    ///< max age (rounds) of a serve-stale pin
+    /// Durability-fault extension (PR 5): kill and restart the relying
+    /// party "process" every this many rounds, recovering from the durable
+    /// store (0 = never). Carried in the plan so `--plan` replays crash
+    /// soaks identically.
+    std::uint32_t crashEvery = 0;
     std::vector<Fault> faults;
 
     /// Line-oriented text encoding; round-trips through parse() exactly.

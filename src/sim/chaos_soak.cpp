@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <set>
 #include <sstream>
 
@@ -197,25 +198,121 @@ SoakResult runSoakImpl(const SoakConfig& cfg, const FaultPlan* replay) {
         header.adversarialPpm =
             static_cast<std::uint32_t>(std::llround(cfg.adversarialProbability * 1e6));
         header.stallHorizon = cfg.stallHorizon;
+        header.crashEvery = cfg.crashEvery;
     }
     ChaosSource chaos(honest, std::move(header));
 
+    // The chaotic relying party and its engine live in optionals: with
+    // crashEvery > 0 an injected crash destroys the "process" and rebuilds
+    // both from whatever the durable store recovered.
     const RpOptions rpOptions{.ts = 4, .tg = 8, .checkIntermediateStates = true};
-    RelyingParty chaotic("chaotic", driver.trustAnchors(), rpOptions, registry);
+    std::optional<RelyingParty> chaotic;
+    chaotic.emplace("chaotic", driver.trustAnchors(), rpOptions, registry);
     RelyingParty twin("twin", driver.trustAnchors(), rpOptions, registry);
 
     SyncPolicy policy;
     policy.maxAttempts = cfg.retryBudget + 1;
-    SyncEngine engine(chaotic, chaos, policy, registry);
+    std::optional<SyncEngine> engine;
+    engine.emplace(*chaotic, chaos, policy, registry);
     SyncEngine twinEngine(twin, honest, policy, registry);
 
+    // --- durability layer (crashEvery > 0) -----------------------------------
+    const bool durable = cfg.crashEvery > 0;
+    std::optional<vfs::MemVfs> ownedVfs;
+    vfs::Vfs* stateVfs = cfg.stateVfs;
+    if (durable && stateVfs == nullptr) {
+        ownedVfs.emplace(cfg.seed);  // deterministic torn writes per seed
+        stateVfs = &*ownedVfs;
+    }
+    // Mid-instruction crashes can only be injected into a MemVfs backend;
+    // on a DiskVfs the kill degenerates to a restart at the round boundary.
+    vfs::MemVfs* memVfs = durable ? dynamic_cast<vfs::MemVfs*>(stateVfs) : nullptr;
+    std::optional<rp::DurableStore> store;
+    if (durable) {
+        store.emplace(*stateVfs, cfg.stateDir, rp::StoreOptions{}, registry);
+        store->open();  // expects a fresh directory (tools pick one per run)
+        engine->attachStore(&*store);
+    }
+
     Rng faultRng(cfg.seed * 0x9e3779b97f4a7c15ull + 0xc4a05u);
+    // Separate stream for crash-point placement: consumed identically when
+    // generating and when replaying a plan, so `--plan` reruns crash at the
+    // same VFS operations.
+    Rng crashRng(cfg.seed * 0x9e3779b97f4a7c15ull + 0xc4a54u);
+    std::vector<rp::SyncReport> allReports;  // across incarnations
 
     // --- oracles -------------------------------------------------------------
     std::set<std::string> twinEverValid;   // roaKey over all rounds
     std::set<std::string> chaoticWatched;  // RC uris ever Valid for chaotic
     std::size_t alarmsChecked = 0;         // I5 incremental cursor
     const bool honestWorld = cfg.adversarialProbability == 0.0;
+
+    // Kill/restart: the "process" died mid-commit. Recover from the store,
+    // prove the recovered bytes are a real committed state (I8), rebuild
+    // the relying party + engine, and rerun whatever the crash wiped out
+    // (I9). Returns false on an invariant violation.
+    const auto restartFromStore = [&](Violations& v, std::uint64_t r, Time now) -> bool {
+        ++result.stats.crashes;
+        allReports.insert(allReports.end(), engine->reports().begin(), engine->reports().end());
+        engine.reset();
+        chaotic.reset();
+        rp::RecoveryReport rec;
+        try {
+            rec = store->open();
+        } catch (const std::exception& e) {
+            v.add(std::string("store recovery failed after injected crash: ") + e.what());
+            return false;
+        }
+        result.stats.storeTornBytes += rec.tornBytesDiscarded;
+        if (rec.recovered) ++result.stats.storeRecoveries;
+        if (store->latest().has_value()) {
+            const Bytes& blob = *store->latest();
+            try {
+                chaotic.emplace(RelyingParty::deserializeState(
+                    ByteView(blob.data(), blob.size()), /*allowLegacy=*/false, registry));
+            } catch (const std::exception& e) {
+                v.add(std::string("recovered payload does not deserialize: ") + e.what());
+                return false;
+            }
+            // I8: the store must return a state some commit produced — not
+            // a near miss. Re-serializing the restored relying party has to
+            // reproduce the recovered bytes exactly.
+            if (!(chaotic->serializeState() == blob)) {
+                v.add("recovered state does not re-serialize byte-identically (round " +
+                      std::to_string(store->latestMeta()) + " payload)");
+                return false;
+            }
+        } else {
+            // Crashed before any commit became durable: a fresh process
+            // starts from the trust anchors, exactly like round 0 did.
+            chaotic.emplace("chaotic", driver.trustAnchors(), rpOptions, registry);
+        }
+        engine.emplace(*chaotic, chaos, policy, registry);
+        engine->attachStore(&*store);
+        if (store->latestMeta() > 0) engine->resumeAt(store->latestMeta());
+        // The Stalloris regression floor is engine state, not relying-party
+        // state; re-seed it from the restored manifests so the reborn
+        // engine refuses the same stale serves the dead one refused.
+        for (const auto& claim : chaotic->exportManifestClaims()) {
+            engine->seedRegressionFloor(claim.pointUri, claim.number);
+        }
+        // Alarms raised after the durable state was written died with the
+        // process; rewind the audit cursor to what survived.
+        alarmsChecked = std::min(alarmsChecked, chaotic->alarms().all().size());
+        // I9: rerun every round the crash wiped out. The durable meta is
+        // the count of completed rounds, so this loop runs zero times (the
+        // interrupted round's commit had already fsynced) or once.
+        try {
+            while (engine->round() <= r) {
+                ++result.stats.roundsRedone;
+                engine->syncRound(now);
+            }
+        } catch (const std::exception& e) {
+            v.add(std::string("redo after restart failed: ") + e.what());
+            return false;
+        }
+        return true;
+    };
 
     for (std::uint64_t r = 0; r < cfg.rounds; ++r) {
         RC_OBS_SPAN("soak.round", "soak");
@@ -233,14 +330,37 @@ SoakResult runSoakImpl(const SoakConfig& cfg, const FaultPlan* replay) {
             }
         }
 
+        // Arm a kill inside the commit path: the crash fires a few VFS
+        // operations ahead — mid-append, mid-fsync, or inside a checkpoint
+        // fold, possibly in a later round. The rng draw happens in both
+        // generate and replay mode so `--plan` reruns the same schedule.
+        bool boundaryKill = false;
+        if (durable && (r + 1) % cfg.crashEvery == 0) {
+            const std::uint64_t ahead = 1 + crashRng.nextBelow(12);
+            if (memVfs != nullptr) {
+                memVfs->armCrashAt(memVfs->opCount() + ahead);
+            } else {
+                // Real filesystem: a mid-instruction crash cannot be
+                // injected from userspace, so the kill degenerates to a
+                // restart at the round boundary (still exercises recovery,
+                // restore, and resume against actual disk state).
+                boundaryKill = true;
+            }
+        }
+
         // --- I1: the pipeline must absorb anything the plan throws at it ---
+        // (a CrashInjected is not an escape — it is the scheduled kill, and
+        // the restart path must bring the relying party back: I8/I9).
         bool roundOk = true;
         try {
-            engine.syncRound(now);
+            engine->syncRound(now);
+        } catch (const vfs::CrashInjected&) {
+            roundOk = restartFromStore(v, r, now);
         } catch (const std::exception& e) {
             v.add(std::string("exception escaped chaotic sync: ") + e.what());
             roundOk = false;
         }
+        if (roundOk && boundaryKill) roundOk = restartFromStore(v, r, now);
         try {
             twinEngine.syncRound(now);
         } catch (const std::exception& e) {
@@ -257,15 +377,19 @@ SoakResult runSoakImpl(const SoakConfig& cfg, const FaultPlan* replay) {
         }
 
         // --- I2 / I3: nothing fabricated; retained state is flagged ---
-        bool allDelivered = engine.reports().back().pointsFailed == 0;
-        for (const Roa& roa : chaotic.validRoas()) {
+        // (after a crash the interrupted round's report may be absent: it
+        // died before the commit, so the restarted incarnation re-ran it).
+        const bool allDelivered = !engine->reports().empty() &&
+                                  engine->reports().back().round == r &&
+                                  engine->reports().back().pointsFailed == 0;
+        for (const Roa& roa : chaotic->validRoas()) {
             const std::string key = roaKey(roa);
             if (twinNow.count(key) > 0) continue;
             // Not current in the twin: only a visibly lagging or stale
             // delivery chain may explain the difference (§5.3.2 — the
             // exposure window manifest expiry bounds). From fresh data the
             // chaotic relying party must agree with the twin.
-            if (chainLagging(chaotic, engine, twinEngine, roa.parentUri)) continue;
+            if (chainLagging(*chaotic, *engine, twinEngine, roa.parentUri)) continue;
             if (twinEverValid.count(key) == 0) {
                 v.add("false-valid ROA " + key +
                       " from a current chain (never valid in the fault-free twin)");
@@ -276,29 +400,29 @@ SoakResult runSoakImpl(const SoakConfig& cfg, const FaultPlan* replay) {
         }
 
         // --- I4: no silent takedown (Theorem 5.1 status oracle) ---
-        for (const auto& [uri, rec] : chaotic.rcRecords()) {
+        for (const auto& [uri, rec] : chaotic->rcRecords()) {
             if (rec.status == RcStatus::Valid) chaoticWatched.insert(uri);
         }
         for (const std::string& uri : chaoticWatched) {
-            const rp::RcRecord* rec = chaotic.findRc(uri);
+            const rp::RcRecord* rec = chaotic->findRc(uri);
             if (rec == nullptr) {
                 v.add("watched RC record vanished: " + uri);
                 continue;
             }
             if (rec->status != RcStatus::NoLongerValid) continue;
-            if (takedownExcused(chaotic, uri)) continue;
+            if (takedownExcused(*chaotic, uri)) continue;
             v.add("silent takedown of " + uri +
                   " (NoLongerValid without .dead, alarm, or successor on its chain)");
         }
 
         // --- I7: twin and chaotic live in the same world ---
         if (cfg.globalCheckEvery > 0 && (r + 1) % cfg.globalCheckEvery == 0) {
-            chaotic.globalConsistencyCheck(twin.exportManifestClaims(), now);
-            twin.globalConsistencyCheck(chaotic.exportManifestClaims(), now);
+            chaotic->globalConsistencyCheck(twin.exportManifestClaims(), now);
+            twin.globalConsistencyCheck(chaotic->exportManifestClaims(), now);
         }
 
         // --- I5 / I6 / I7: alarm-class audit over the new alarms ---
-        const auto& all = chaotic.alarms().all();
+        const auto& all = chaotic->alarms().all();
         for (; alarmsChecked < all.size(); ++alarmsChecked) {
             const rp::Alarm& a = all[alarmsChecked];
             switch (a.type) {
@@ -331,35 +455,40 @@ SoakResult runSoakImpl(const SoakConfig& cfg, const FaultPlan* replay) {
             }
         }
 
-        if (allDelivered && !(chaotic.roaState() == twin.roaState())) {
+        if (allDelivered && !(chaotic->roaState() == twin.roaState())) {
             ++result.stats.divergentCleanRounds;
         }
     }
 
     // --- stats ---------------------------------------------------------------
+    // Engine totals/telemetry are materialized from the registry, so they
+    // are cumulative across incarnations: a recreated engine re-binds the
+    // same rc_sync_* counters (labels are stable per point).
     result.plan = chaos.plan();
     SoakStats& s = result.stats;
     s.faultsScheduled = result.plan.faults.size();
     s.faultApplications = chaos.faultApplications();
-    s.attempts = engine.totals().attempts;
-    s.retries = engine.totals().retries;
-    s.faultsAbsorbed = engine.totals().faultsAbsorbed;
-    s.pointRoundsFailed = engine.totals().pointRoundsFailed;
-    for (const auto& [uri, pt] : engine.telemetry()) {
+    s.attempts = engine->totals().attempts;
+    s.retries = engine->totals().retries;
+    s.faultsAbsorbed = engine->totals().faultsAbsorbed;
+    s.pointRoundsFailed = engine->totals().pointRoundsFailed;
+    for (const auto& [uri, pt] : engine->telemetry()) {
         s.maxStaleStreak = std::max(s.maxStaleStreak, pt.longestStaleStreak);
         s.recoveries += pt.recoveries;
         s.meanRecoveryRounds += static_cast<double>(pt.recoveryRoundsSum);
     }
     s.meanRecoveryRounds =
         s.recoveries == 0 ? 0.0 : s.meanRecoveryRounds / static_cast<double>(s.recoveries);
-    s.alarms = chaotic.alarms().count();
-    for (const auto& a : chaotic.alarms().all()) {
+    s.alarms = chaotic->alarms().count();
+    for (const auto& a : chaotic->alarms().all()) {
         if (a.accountable) ++s.accountableAlarms;
     }
     s.twinAlarms = twin.alarms().count();
-    s.validRoasFinal = chaotic.validRoas().size();
+    s.validRoasFinal = chaotic->validRoas().size();
     s.twinValidRoasFinal = twin.validRoas().size();
-    result.rounds = engine.reports();
+    if (durable) s.storeCommits = store->latestLsn();
+    allReports.insert(allReports.end(), engine->reports().begin(), engine->reports().end());
+    result.rounds = std::move(allReports);
 
     result.passed = result.violations.empty();
     return result;
@@ -374,6 +503,7 @@ SoakConfig configFromPlan(const FaultPlan& plan) {
     cfg.retryBudget = plan.retryBudget;
     cfg.adversarialProbability = static_cast<double>(plan.adversarialPpm) / 1e6;
     cfg.stallHorizon = plan.stallHorizon;
+    cfg.crashEvery = plan.crashEvery;
     cfg.faultRate = 0.0;  // faults come from the plan, not the generator
     return cfg;
 }
@@ -382,9 +512,12 @@ SoakResult runSoak(const SoakConfig& cfg) {
     return runSoakImpl(cfg, nullptr);
 }
 
-SoakResult runSoakWithPlan(const FaultPlan& plan, obs::Registry* registry) {
+SoakResult runSoakWithPlan(const FaultPlan& plan, obs::Registry* registry, vfs::Vfs* stateVfs,
+                           const std::string& stateDir) {
     SoakConfig cfg = configFromPlan(plan);
     cfg.registry = registry;
+    cfg.stateVfs = stateVfs;
+    cfg.stateDir = stateDir;
     return runSoakImpl(cfg, &plan);
 }
 

@@ -29,8 +29,23 @@
 //      periodic global consistency check between them never raises an
 //      *accountable* inconsistency (Theorems 5.2/5.3 under faults).
 //
+// With `crashEvery > 0` the soak additionally runs a kill/restart loop
+// over the durable store (rp/durable_store.hpp): the chaotic relying
+// party's state is commit()ted after every round, a crash is periodically
+// injected into the store's VFS mid-commit, and the "process" — relying
+// party plus sync engine — is destroyed and rebuilt from the surviving
+// bytes. Two extra invariants then apply:
+//
+//  I8  recovery round-trips exactly: the payload the reopened store
+//      returns deserializes, and re-serializing the restored relying
+//      party reproduces it byte for byte;
+//  I9  a crashed incarnation resumes: the restarted engine reruns the
+//      interrupted round and the soak converges under I1-I7 exactly as
+//      scheduled (the same fault plan drives both incarnations).
+//
 // A failing run returns its FaultPlan; `rpkic-soak --plan FILE` replays it
-// and reproduces the identical alarm/invariant outcome.
+// and reproduces the identical alarm/invariant outcome (crash schedule
+// included — the plan carries crashEvery).
 #pragma once
 
 #include <cstdint>
@@ -39,8 +54,10 @@
 
 #include "obs/obs.hpp"
 #include "rpki/chaos.hpp"
+#include "rp/durable_store.hpp"
 #include "rp/sync_engine.hpp"
 #include "sim/driver.hpp"
+#include "util/vfs.hpp"
 
 namespace rpkic::sim {
 
@@ -63,6 +80,19 @@ struct SoakConfig {
     /// repeated soaks in one process never bleed telemetry into each
     /// other and same-seed runs dump byte-identical expositions).
     obs::Registry* registry = nullptr;
+    /// Kill/restart cadence: every `crashEvery` rounds a crash is armed
+    /// inside the durable store's commit path and the chaotic relying
+    /// party + engine are rebuilt from the recovered bytes. 0 disables
+    /// the durability layer entirely (no store attached).
+    std::uint32_t crashEvery = 0;
+    /// Filesystem the durable store runs on. nullptr with crashEvery > 0
+    /// means an internal MemVfs seeded from `seed` (deterministic torn
+    /// writes). A DiskVfs here turns crash points into plain
+    /// restart-at-round-boundary kills (real disks cannot be crashed
+    /// mid-instruction from userspace).
+    vfs::Vfs* stateVfs = nullptr;
+    /// Directory for the store's WAL + checkpoints.
+    std::string stateDir = "soak-state";
 };
 
 /// Reconstructs the configuration a plan was generated under, so replays
@@ -87,6 +117,12 @@ struct SoakStats {
     /// Rounds where every point was delivered yet the chaotic and twin
     /// valid-ROA states differ (lag diagnostics; not an invariant).
     std::uint64_t divergentCleanRounds = 0;
+    // --- durability (crashEvery > 0) ---
+    std::uint64_t crashes = 0;            ///< injected kills survived
+    std::uint64_t storeCommits = 0;       ///< rounds durably committed
+    std::uint64_t storeRecoveries = 0;    ///< successful open() recoveries
+    std::uint64_t storeTornBytes = 0;     ///< WAL tail bytes crashes tore off
+    std::uint64_t roundsRedone = 0;       ///< rounds rerun after a restart
 };
 
 struct SoakResult {
@@ -106,7 +142,12 @@ struct SoakResult {
 SoakResult runSoak(const SoakConfig& cfg);
 
 /// Replays a serialized plan: no generation, identical outcome.
-/// `registry` overrides the run-local metrics registry (see SoakConfig).
-SoakResult runSoakWithPlan(const FaultPlan& plan, obs::Registry* registry = nullptr);
+/// `registry` overrides the run-local metrics registry (see SoakConfig);
+/// `stateVfs`/`stateDir` override the durable store's backing filesystem
+/// when the plan carries a crashEvery cadence (nullptr = internal MemVfs,
+/// which reproduces the generating run's crash points bit-identically).
+SoakResult runSoakWithPlan(const FaultPlan& plan, obs::Registry* registry = nullptr,
+                           vfs::Vfs* stateVfs = nullptr,
+                           const std::string& stateDir = "soak-state");
 
 }  // namespace rpkic::sim

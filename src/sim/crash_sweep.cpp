@@ -1,0 +1,211 @@
+#include "sim/crash_sweep.hpp"
+
+#include <map>
+#include <optional>
+#include <sstream>
+
+#include "rp/durable_store.hpp"
+#include "rp/relying_party.hpp"
+#include "rp/sync_engine.hpp"
+#include "rpki/chaos.hpp"
+#include "sim/driver.hpp"
+#include "util/vfs.hpp"
+
+namespace rpkic::sim {
+
+namespace {
+
+using rp::DurableStore;
+using rp::RelyingParty;
+using rp::RpOptions;
+using rp::StoreOptions;
+using rp::SyncEngine;
+using rp::SyncPolicy;
+
+constexpr const char* kStateDir = "sweep-state";
+
+RpOptions sweepRpOptions() {
+    return RpOptions{.ts = 4, .tg = 8, .checkIntermediateStates = true};
+}
+
+/// What the fault-free reference run produced: one committed payload per
+/// meta (= completed-round count) plus the final serialized state.
+struct Reference {
+    std::map<std::uint64_t, Bytes> committed;
+    Bytes finalState;
+    std::uint64_t opCount = 0;
+};
+
+Reference runReference(const SweepConfig& cfg, obs::Registry* registry) {
+    Reference ref;
+    DriverConfig driverConfig;
+    driverConfig.seed = cfg.seed;
+    driverConfig.adversarialProbability = cfg.adversarialProbability;
+    driverConfig.authority.manifestLifetime = static_cast<Duration>(cfg.rounds) + 50;
+    RandomScheduleDriver driver(driverConfig);
+    RepositorySource honest(driver.repo());
+
+    vfs::MemVfs fs(cfg.seed);
+    DurableStore store(fs, kStateDir, StoreOptions{cfg.checkpointEvery, "sweep"}, registry);
+    store.open();
+
+    RelyingParty alice("sweep", driver.trustAnchors(), sweepRpOptions(), registry);
+    SyncEngine engine(alice, honest, SyncPolicy{}, registry);
+    engine.attachStore(&store);
+
+    for (std::uint32_t r = 0; r < cfg.rounds; ++r) {
+        const Time now = static_cast<Time>(r);
+        if (r > 0) driver.step(now);
+        engine.syncRound(now);
+        // One commit per round: record what recovery is allowed to return.
+        ref.committed[store.latestMeta()] = *store.latest();
+    }
+    ref.finalState = alice.serializeState();
+    ref.opCount = fs.opCount();
+    return ref;
+}
+
+}  // namespace
+
+SweepResult runCrashSweep(const SweepConfig& cfg) {
+    RC_OBS_SPAN("sweep.run", "sweep");
+    SweepResult result;
+
+    obs::Registry localRegistry;
+    obs::Registry* registry = cfg.registry != nullptr ? cfg.registry : &localRegistry;
+    const Reference ref = runReference(cfg, registry);
+    result.crashPoints = ref.opCount;
+
+    const auto violation = [&](std::uint64_t k, const std::string& what) {
+        std::ostringstream os;
+        os << "crash point " << k << ": " << what;
+        result.violations.push_back(os.str());
+    };
+
+    for (std::uint64_t k = 0; k < ref.opCount; ++k) {
+        // Fresh world, fresh filesystem (same seeds: identical behaviour up
+        // to the crash), fresh run-local registry (rerun metrics are noise).
+        obs::Registry rerunRegistry;
+        DriverConfig driverConfig;
+        driverConfig.seed = cfg.seed;
+        driverConfig.adversarialProbability = cfg.adversarialProbability;
+        driverConfig.authority.manifestLifetime = static_cast<Duration>(cfg.rounds) + 50;
+        RandomScheduleDriver driver(driverConfig);
+        RepositorySource honest(driver.repo());
+
+        vfs::MemVfs fs(cfg.seed);
+        std::optional<DurableStore> store;
+        store.emplace(fs, kStateDir, StoreOptions{cfg.checkpointEvery, "sweep"},
+                      &rerunRegistry);
+        store->open();
+
+        std::optional<RelyingParty> alice;
+        alice.emplace("sweep", driver.trustAnchors(), sweepRpOptions(), &rerunRegistry);
+        std::optional<SyncEngine> engine;
+        engine.emplace(*alice, honest, SyncPolicy{}, &rerunRegistry);
+        engine->attachStore(&*store);
+        fs.armCrashAt(k);
+
+        bool crashed = false;
+        bool abandoned = false;
+        for (std::uint32_t r = 0; r < cfg.rounds && !abandoned; ++r) {
+            const Time now = static_cast<Time>(r);
+            if (r > 0) driver.step(now);
+            try {
+                engine->syncRound(now);
+            } catch (const vfs::CrashInjected&) {
+                crashed = true;
+                ++result.crashesFired;
+                // The "process" died at op k. Drop every in-memory object
+                // and recover from the surviving bytes.
+                engine.reset();
+                alice.reset();
+                rp::RecoveryReport rec;
+                try {
+                    rec = store->open();
+                } catch (const std::exception& e) {
+                    violation(k, std::string("recovery threw: ") + e.what());
+                    abandoned = true;
+                    break;
+                }
+                result.tornBytes += rec.tornBytesDiscarded;
+
+                // (a) pre-or-post: the recovered payload must be byte-
+                // identical to the reference commit its meta names, and
+                // that meta must bracket the interrupted round.
+                const std::uint64_t meta = store->latestMeta();
+                if (!store->latest().has_value()) {
+                    if (r != 0) {
+                        violation(k, "no payload recovered after round " + std::to_string(r));
+                        abandoned = true;
+                        break;
+                    }
+                    ++result.recoveredNone;
+                    alice.emplace("sweep", driver.trustAnchors(), sweepRpOptions(),
+                                  &rerunRegistry);
+                } else {
+                    if (meta != r && meta != r + 1) {
+                        violation(k, "recovered meta " + std::to_string(meta) +
+                                         " does not bracket crashed round " + std::to_string(r));
+                        abandoned = true;
+                        break;
+                    }
+                    const auto it = ref.committed.find(meta);
+                    if (it == ref.committed.end() || !(*store->latest() == it->second)) {
+                        violation(k, "recovered payload for meta " + std::to_string(meta) +
+                                         " is not the reference commit (mixture state?)");
+                        abandoned = true;
+                        break;
+                    }
+                    if (meta == r + 1) {
+                        ++result.recoveredPost;
+                    } else {
+                        ++result.recoveredPre;
+                    }
+                    alice.emplace(RelyingParty::deserializeState(
+                        ByteView(store->latest()->data(), store->latest()->size()),
+                        /*allowLegacy=*/false, &rerunRegistry));
+                }
+
+                // (b) resume: rebuild the engine on the recovered state and
+                // rerun the interrupted round if its commit was lost.
+                engine.emplace(*alice, honest, SyncPolicy{}, &rerunRegistry);
+                engine->attachStore(&*store);
+                if (store->latestMeta() > 0) engine->resumeAt(store->latestMeta());
+                for (const auto& claim : alice->exportManifestClaims()) {
+                    engine->seedRegressionFloor(claim.pointUri, claim.number);
+                }
+                try {
+                    while (engine->round() <= r) {
+                        ++result.roundsResumed;
+                        engine->syncRound(now);
+                    }
+                } catch (const std::exception& e) {
+                    violation(k, std::string("resume threw: ") + e.what());
+                    abandoned = true;
+                    break;
+                }
+            } catch (const std::exception& e) {
+                violation(k, std::string("exception escaped round ") + std::to_string(r) +
+                                 ": " + e.what());
+                abandoned = true;
+                break;
+            }
+        }
+        if (abandoned) continue;
+        if (!crashed) {
+            violation(k, "armed crash never fired (op space shrank?)");
+            continue;
+        }
+        // Convergence: the crashed-and-resumed run must end byte-identical
+        // to the never-crashed reference.
+        if (!(alice->serializeState() == ref.finalState)) {
+            violation(k, "resumed run diverged from the never-crashed reference");
+        }
+    }
+
+    result.passed = result.violations.empty();
+    return result;
+}
+
+}  // namespace rpkic::sim

@@ -1,0 +1,70 @@
+// Exhaustive crash-point sweep over the durable relying-party store.
+//
+// The durable store's contract (rp/durable_store.hpp) is that recovery
+// after a crash at ANY instruction yields exactly the pre-transaction or
+// the post-transaction committed state — never a mixture. An argument to
+// that effect lives in docs/DURABILITY.md; this harness *proves* it for a
+// concrete workload by enumeration:
+//
+//  1. Reference run: a relying party syncs `rounds` rounds of a seeded
+//     honest world through a SyncEngine with an attached DurableStore on
+//     a MemVfs, fault-free. Every committed payload is recorded by its
+//     meta (= completed-round count), along with the final serialized
+//     state, and MemVfs::opCount() enumerates every mutating VFS
+//     operation the workload performs.
+//
+//  2. For every operation index k in [0, opCount): rerun the identical
+//     workload on a fresh MemVfs with a crash armed at k. When the crash
+//     fires, reopen the store and assert
+//       (a) the recovered payload is byte-identical to one of the
+//           reference run's committed payloads — specifically the one
+//           whose meta the store reports (pre- or post- the interrupted
+//           transaction, nothing else), and
+//       (b) after restoring the relying party from the recovered bytes
+//           and resuming, the run converges: its final serialized state
+//           is byte-identical to the never-crashed reference.
+//
+// Delivery faults are deliberately absent (the chaos soak owns those);
+// the sweep isolates durability. Small rounds/checkpointEvery keep the
+// op space tight while still crossing several WAL appends, fsyncs, and
+// full checkpoint folds (write-temp, sync, rename, WAL reset, cleanup).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/obs.hpp"
+
+namespace rpkic::sim {
+
+struct SweepConfig {
+    std::uint64_t seed = 1;
+    /// Simulated sync rounds per run (one commit per round).
+    std::uint32_t rounds = 6;
+    /// Store checkpoint cadence; small values make the sweep crash inside
+    /// checkpoint folds, not just WAL appends.
+    std::uint32_t checkpointEvery = 2;
+    /// Driver misbehaviour probability (nonzero worlds exercise recovery
+    /// of alarm logs and consent state, not just quiet caches).
+    double adversarialProbability = 0.15;
+    /// Metrics registry; nullptr = run-local (see SoakConfig::registry).
+    obs::Registry* registry = nullptr;
+};
+
+struct SweepResult {
+    std::uint64_t crashPoints = 0;    ///< VFS operations enumerated
+    std::uint64_t crashesFired = 0;   ///< injected crashes observed
+    std::uint64_t recoveredPre = 0;   ///< recoveries to the pre-crash commit
+    std::uint64_t recoveredPost = 0;  ///< crash bracketed a durable commit
+    std::uint64_t recoveredNone = 0;  ///< crash before any commit was durable
+    std::uint64_t tornBytes = 0;      ///< WAL tail bytes recovery discarded
+    std::uint64_t roundsResumed = 0;  ///< rounds rerun across all reruns
+    bool passed = false;
+    std::vector<std::string> violations;  ///< empty iff passed
+};
+
+/// Runs the reference workload plus one crashed rerun per VFS operation.
+SweepResult runCrashSweep(const SweepConfig& cfg);
+
+}  // namespace rpkic::sim

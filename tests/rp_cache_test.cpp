@@ -141,5 +141,52 @@ TEST(RpCache, CorruptedCachesAreRejected) {
     }
 }
 
+TEST(RpCache, ChecksumMismatchIsPreciseNotMidStream) {
+    Fixture f;
+    RelyingParty alice("alice", {f.root->cert()}, RpOptions{.ts = 4, .tg = 8});
+    alice.sync(f.repo.snapshot(), f.clock.now());
+    const Bytes blob = alice.serializeState();
+
+    // Flip one bit deep inside the body: the error must name the checksum,
+    // not whatever field the flipped byte happened to land in.
+    Bytes mutated = blob;
+    mutated[mutated.size() / 2] ^= 0x01;
+    try {
+        (void)RelyingParty::deserializeState(ByteView(mutated.data(), mutated.size()));
+        FAIL() << "bit-flipped cache was accepted";
+    } catch (const ParseError& e) {
+        EXPECT_NE(std::string(e.what()).find("cache checksum mismatch"), std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(RpCache, LegacyFooterlessCachesNeedExplicitOptIn) {
+    constexpr std::size_t kFooterLen = 8 + 32 + 4;
+    Fixture f;
+    RelyingParty alice("alice", {f.root->cert()}, RpOptions{.ts = 4, .tg = 8});
+    alice.sync(f.repo.snapshot(), f.clock.now());
+    const Bytes blob = alice.serializeState();
+    ASSERT_GT(blob.size(), kFooterLen);
+
+    // A pre-footer cache is exactly today's body without the trailer.
+    const Bytes legacy(blob.begin(), blob.end() - static_cast<std::ptrdiff_t>(kFooterLen));
+
+    // Strict mode refuses it with a precise diagnosis...
+    try {
+        (void)RelyingParty::deserializeState(ByteView(legacy.data(), legacy.size()));
+        FAIL() << "footerless cache was accepted without the opt-in";
+    } catch (const ParseError& e) {
+        EXPECT_NE(std::string(e.what()).find("no integrity footer"), std::string::npos)
+            << e.what();
+    }
+
+    // ... and the explicit opt-in restores the identical state, which then
+    // re-serializes in the new footered format.
+    RelyingParty restored = RelyingParty::deserializeState(
+        ByteView(legacy.data(), legacy.size()), /*allowLegacy=*/true);
+    EXPECT_EQ(restored.roaState(), alice.roaState());
+    EXPECT_EQ(restored.serializeState(), blob);
+}
+
 }  // namespace
 }  // namespace rpkic

@@ -55,7 +55,10 @@ int main(int argc, char** argv) {
             std::ifstream in(cachePath, std::ios::binary);
             const Bytes blob((std::istreambuf_iterator<char>(in)),
                              std::istreambuf_iterator<char>());
-            alice = rp::RelyingParty::deserializeState(ByteView(blob.data(), blob.size()));
+            // allowLegacy: caches written by earlier versions carry no
+            // integrity footer but must stay readable by the audit tool.
+            alice = rp::RelyingParty::deserializeState(ByteView(blob.data(), blob.size()),
+                                                       /*allowLegacy=*/true);
             std::printf("resumed from cache %s (%zu bytes)\n", cachePath.c_str(), blob.size());
         } else {
             std::vector<ResourceCert> tas;

@@ -12,12 +12,29 @@
 //   rpkic-soak --seeds 20 --compare            # retry budget 2 vs 0 table
 //
 // Options:
+// Durability modes (PR 5; see docs/DURABILITY.md):
+//
+//   rpkic-soak --seeds 64 --crash-every 3      # kill/restart gauntlet
+//   rpkic-soak --crash-sweep --seeds 8         # exhaustive per-op crash sweep
+//   rpkic-soak --crash-every 5 --state-dir st  # WAL+checkpoints on real disk
+//
 //   --seeds N          number of seeds to sweep (default 20)
 //   --seed-base B      first seed (default 1)
 //   --rounds N         sync rounds per run (default 40)
 //   --fault-rate X     per-point per-round fault probability (default 0.35)
 //   --retry-budget N   retries after the first attempt (default 2)
 //   --adversarial X    driver misbehaviour probability (default 0.15)
+//   --crash-every N    durable-store mode: commit the relying party's
+//                      state every round and kill/restart the "process"
+//                      every N rounds, crashing mid-commit (invariants
+//                      I8/I9; plans carry the cadence for --plan replay)
+//   --state-dir DIR    put the durable store's WAL + checkpoints on the
+//                      real filesystem under DIR/seed<N> instead of the
+//                      crash-injectable in-memory backend (kills become
+//                      round-boundary restarts; dirs are wiped per run)
+//   --crash-sweep      run the exhaustive crash-point sweep instead of
+//                      the soak: one rerun per VFS operation per seed,
+//                      proving pre-or-post recovery plus convergence
 //   --smoke            shorthand for --seeds 32 --rounds 25
 //   --compare          also run every seed with retry budget 0 and print
 //                      the degradation table (weakened run must be worse)
@@ -50,11 +67,15 @@
 #include <string>
 #include <vector>
 
+#include <filesystem>
+
 #include "obs/obs.hpp"
 #include "obs/parallel_metrics.hpp"
 #include "sim/chaos_soak.hpp"
+#include "sim/crash_sweep.hpp"
 #include "util/errors.hpp"
 #include "util/parallel.hpp"
+#include "util/vfs.hpp"
 
 using namespace rpkic;
 using namespace rpkic::sim;
@@ -81,6 +102,17 @@ void printResult(const SoakResult& r, bool quiet) {
             static_cast<unsigned long long>(s.accountableAlarms),
             static_cast<unsigned long long>(s.twinAlarms), s.validRoasFinal,
             s.twinValidRoasFinal);
+        if (r.plan.crashEvery > 0) {
+            std::printf(
+                "  durability seed %-6llu crashes=%llu recoveries=%llu commits=%llu "
+                "torn-bytes=%llu rounds-redone=%llu\n",
+                static_cast<unsigned long long>(r.seed),
+                static_cast<unsigned long long>(s.crashes),
+                static_cast<unsigned long long>(s.storeRecoveries),
+                static_cast<unsigned long long>(s.storeCommits),
+                static_cast<unsigned long long>(s.storeTornBytes),
+                static_cast<unsigned long long>(s.roundsRedone));
+        }
     }
     if (!r.passed) {
         std::printf("seed %llu VIOLATIONS:\n", static_cast<unsigned long long>(r.seed));
@@ -132,6 +164,8 @@ int main(int argc, char** argv) {
     bool compare = false;
     bool quiet = false;
     bool scoreboard = false;
+    bool crashSweep = false;
+    std::string stateDir;
     std::string planPath;
     std::string metricsOut;
     std::string traceOut;
@@ -159,6 +193,13 @@ int main(int argc, char** argv) {
                 static_cast<std::uint32_t>(std::strtoul(next("--retry-budget"), nullptr, 10));
         } else if (arg == "--adversarial") {
             cfg.adversarialProbability = std::strtod(next("--adversarial"), nullptr);
+        } else if (arg == "--crash-every") {
+            cfg.crashEvery =
+                static_cast<std::uint32_t>(std::strtoul(next("--crash-every"), nullptr, 10));
+        } else if (arg == "--state-dir") {
+            stateDir = next("--state-dir");
+        } else if (arg == "--crash-sweep") {
+            crashSweep = true;
         } else if (arg == "--smoke") {
             seeds = 32;
             cfg.rounds = 25;
@@ -183,6 +224,8 @@ int main(int argc, char** argv) {
                          "usage: rpkic-soak [--seeds N] [--seed-base B] [--rounds N]\n"
                          "                  [--fault-rate X] [--retry-budget N] "
                          "[--adversarial X]\n"
+                         "                  [--crash-every N] [--state-dir DIR] "
+                         "[--crash-sweep]\n"
                          "                  [--smoke] [--compare] [--plan FILE] [--quiet]\n"
                          "                  [--scoreboard] [--metrics-out FILE] "
                          "[--trace-out FILE]\n"
@@ -230,6 +273,58 @@ int main(int argc, char** argv) {
         return ok;
     };
 
+    // Durable-store state on the real filesystem: one DiskVfs shared by
+    // every run (it is stateless), one fresh directory per seed.
+    vfs::DiskVfs diskVfs;
+    if (!stateDir.empty() && cfg.crashEvery == 0 && !crashSweep) {
+        std::fprintf(stderr,
+                     "rpkic-soak: --state-dir has no effect without --crash-every N\n");
+    }
+    const auto applyStateDir = [&](SoakConfig& runCfg) {
+        if (stateDir.empty()) return;
+        runCfg.stateVfs = &diskVfs;
+        runCfg.stateDir = stateDir + "/seed" + std::to_string(runCfg.seed);
+        std::error_code ec;
+        std::filesystem::remove_all(runCfg.stateDir, ec);  // fresh per run
+    };
+
+    if (crashSweep) {
+        // Exhaustive per-VFS-op crash enumeration (sim/crash_sweep.hpp).
+        // Each seed is an independent CPU-bound task.
+        rc::parallel::Pool& sweepPool = rc::parallel::defaultPool();
+        const std::vector<SweepResult> sweeps = sweepPool.parallelMap<SweepResult>(
+            static_cast<std::size_t>(seeds), [&](std::size_t s) {
+                SweepConfig sc;
+                sc.seed = seedBase + s;
+                sc.adversarialProbability = cfg.adversarialProbability;
+                return runCrashSweep(sc);
+            });
+        std::uint64_t failures = 0;
+        for (std::uint64_t s = 0; s < seeds; ++s) {
+            const SweepResult& r = sweeps[s];
+            if (!quiet || !r.passed) {
+                std::printf(
+                    "sweep seed %-6llu %s  crash-points=%llu fired=%llu pre=%llu "
+                    "post=%llu none=%llu torn-bytes=%llu rounds-resumed=%llu\n",
+                    static_cast<unsigned long long>(seedBase + s), r.passed ? "ok  " : "FAIL",
+                    static_cast<unsigned long long>(r.crashPoints),
+                    static_cast<unsigned long long>(r.crashesFired),
+                    static_cast<unsigned long long>(r.recoveredPre),
+                    static_cast<unsigned long long>(r.recoveredPost),
+                    static_cast<unsigned long long>(r.recoveredNone),
+                    static_cast<unsigned long long>(r.tornBytes),
+                    static_cast<unsigned long long>(r.roundsResumed));
+            }
+            for (const std::string& v : r.violations) std::printf("  %s\n", v.c_str());
+            if (!r.passed) ++failures;
+        }
+        std::printf("crash sweep: %llu/%llu seeds passed\n",
+                    static_cast<unsigned long long>(seeds - failures),
+                    static_cast<unsigned long long>(seeds));
+        if (!writeExports()) return 1;
+        return failures == 0 ? 0 : 2;
+    }
+
     if (!planPath.empty()) {
         std::ifstream in(planPath, std::ios::binary);
         if (!in) {
@@ -245,10 +340,14 @@ int main(int argc, char** argv) {
             std::fprintf(stderr, "rpkic-soak: %s: %s\n", planPath.c_str(), e.what());
             return 1;
         }
-        std::printf("replaying %s: seed=%llu rounds=%llu faults=%zu\n", planPath.c_str(),
-                    static_cast<unsigned long long>(plan.seed),
-                    static_cast<unsigned long long>(plan.rounds), plan.faults.size());
-        const SoakResult r = runSoakWithPlan(plan, exportRegistry);
+        std::printf("replaying %s: seed=%llu rounds=%llu faults=%zu crash-every=%u\n",
+                    planPath.c_str(), static_cast<unsigned long long>(plan.seed),
+                    static_cast<unsigned long long>(plan.rounds), plan.faults.size(),
+                    plan.crashEvery);
+        SoakConfig replayCfg = configFromPlan(plan);
+        applyStateDir(replayCfg);
+        const SoakResult r = runSoakWithPlan(plan, exportRegistry, replayCfg.stateVfs,
+                                             replayCfg.stateDir);
         printResult(r, /*quiet=*/false);
         if (scoreboard) printScoreboard(r);
         if (!writeExports()) return 1;
@@ -269,6 +368,7 @@ int main(int argc, char** argv) {
         pool.parallelMap<SeedOutcome>(static_cast<std::size_t>(seeds), [&](std::size_t s) {
             SoakConfig runCfg = cfg;
             runCfg.seed = seedBase + s;
+            applyStateDir(runCfg);
             SeedOutcome o;
             o.result = runSoak(runCfg);
             if (compare) {
