@@ -71,6 +71,15 @@ int run(const std::string& root) {
         ++written;
     }
 
+    const fs::path consensusDir = fs::path(root) / "consensus";
+    fs::create_directories(consensusDir);
+    const std::vector<Bytes> consensusInputs = sampleConsensusInputs();
+    for (std::size_t i = 0; i < consensusInputs.size(); ++i) {
+        writeFile(consensusDir / ("consensus_" + std::to_string(i) + ".bin"),
+                  ByteView(consensusInputs[i].data(), consensusInputs[i].size()));
+        ++written;
+    }
+
     std::printf("gen_corpus: wrote %d seed files under %s\n", written, root.c_str());
     return 0;
 }

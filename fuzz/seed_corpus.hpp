@@ -38,6 +38,14 @@ std::vector<std::string> sampleStateTexts();
 /// tail, a corrupt frame, and the empty log.
 std::vector<Bytes> sampleWalImages();
 
+/// Seed inputs for the fleet-consensus fuzzer (fuzz_consensus). Each seed
+/// is a mode byte (0 = vote wire bytes, 1 = transcript text, 2 = vote
+/// transcript line) followed by a well-formed instance: encoded votes
+/// with and without claims, a hostile vote diverging from the synthetic
+/// honest quorum, a two-epoch transcript with verdicts and a no-quorum
+/// row, and canonical vote lines.
+std::vector<Bytes> sampleConsensusInputs();
+
 /// Reads every regular file under `dir` (non-recursive), sorted by
 /// filename for determinism. Throws Error if the directory is missing or
 /// unreadable — a missing corpus is a packaging bug, not an empty run.

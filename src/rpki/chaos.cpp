@@ -263,6 +263,16 @@ FaultPlan FaultPlan::decode(ByteView data) {
     return plan;
 }
 
+std::uint64_t deriveMemberSeed(std::uint64_t masterSeed, std::uint32_t rpIndex) {
+    // splitmix64 finalizer over (master + (index+1) * golden-gamma). The
+    // +1 keeps index 0 off the raw master seed; the finalizer's avalanche
+    // makes adjacent indices statistically independent streams.
+    std::uint64_t z = masterSeed + (static_cast<std::uint64_t>(rpIndex) + 1) * 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
 // ===========================================================================
 // Chaos source
 

@@ -153,6 +153,16 @@ struct FaultPlan {
     bool operator==(const FaultPlan&) const = default;
 };
 
+/// Derives the FaultPlan seed of one fleet member from the master sweep
+/// seed and the member's index (splitmix64-style finalizer over both
+/// inputs). Every member of a fleet gets an independent, reproducible
+/// fault stream: replaying `--plan` for the whole fleet stays bit-exact,
+/// and no two (master, index) pairs alias each other's plans. Index 0 is
+/// mixed too — a fleet member never runs on the raw master seed, so a
+/// single-RP soak at seed S and fleet member 0 of seed S draw different
+/// fault schedules.
+std::uint64_t deriveMemberSeed(std::uint64_t masterSeed, std::uint32_t rpIndex);
+
 // ---------------------------------------------------------------------------
 // Chaos source
 

@@ -4,6 +4,8 @@
 // revert), and the soak harness is reproducible from a serialized plan.
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "consent/authority.hpp"
 #include "rp/relying_party.hpp"
 #include "rp/sync_engine.hpp"
@@ -97,6 +99,41 @@ TEST(FaultPlan, ActivationWindows) {
     EXPECT_FALSE(f.activeAt(6, 0));
     f.attempts = Fault::kAllAttempts;
     EXPECT_TRUE(f.activeAt(5, 7));  // persistent: survives every retry
+}
+
+// ---------------------------------------------------------------------------
+// Per-RP sub-seeding (fleet members must never alias fault plans)
+
+TEST(MemberSeed, GridOfDerivedSeedsIsCollisionFree) {
+    std::set<std::uint64_t> seen;
+    for (std::uint64_t master = 0; master < 64; ++master) {
+        for (std::uint32_t rp = 0; rp < 64; ++rp) {
+            EXPECT_TRUE(seen.insert(deriveMemberSeed(master, rp)).second)
+                << "master=" << master << " rp=" << rp;
+        }
+    }
+    // Derived seeds never collide with their own master either.
+    for (std::uint64_t master = 0; master < 64; ++master) {
+        for (std::uint32_t rp = 0; rp < 64; ++rp) {
+            EXPECT_NE(deriveMemberSeed(master, rp), master);
+        }
+    }
+}
+
+TEST(MemberSeed, AdjacentMembersGetIndependentStreams) {
+    // The classic aliasing hazard: seed+i for member i makes member 1 of
+    // master s replay member 0 of master s+1. The mixed derivation breaks
+    // that, and the resulting RNG streams diverge immediately.
+    EXPECT_NE(deriveMemberSeed(100, 1), deriveMemberSeed(101, 0));
+    Rng a(deriveMemberSeed(7, 0));
+    Rng b(deriveMemberSeed(7, 1));
+    bool diverged = false;
+    for (int i = 0; i < 8; ++i) diverged = diverged || a.nextU64() != b.nextU64();
+    EXPECT_TRUE(diverged);
+}
+
+TEST(MemberSeed, DerivationIsDeterministic) {
+    EXPECT_EQ(deriveMemberSeed(42, 3), deriveMemberSeed(42, 3));
 }
 
 // ---------------------------------------------------------------------------

@@ -48,6 +48,19 @@
 //                      of the same seed produce byte-identical files)
 //   --trace-out FILE   write a Chrome trace-event JSON of the run's spans
 //                      (load in Perfetto / chrome://tracing)
+//   --fleet N          fleet-consensus mode (docs/FLEET.md): run N relying
+//                      parties per seed over divergent repository views,
+//                      reduce their per-epoch outputs by quorum vote, and
+//                      check invariants I10/I11 (--rounds sets the epoch
+//                      count; per-member rc_rp_*/rc_sync_*/rc_store_* and
+//                      aggregate rc_fleet_* metrics land in --metrics-out)
+//   --quorum Q         votes required for a consensus output (default
+//                      majority: floor(N/2)+1)
+//   --faulty-set SPEC  comma-separated member faults, each
+//                      member:kind[:from[:len]] with kind crash|stall|
+//                      mirror, e.g. "1:crash:5:6,3:mirror:4"
+//   --transcript-out F write every seed's consensus transcript (canonical
+//                      text, byte-identical at every --threads value)
 //   --log-level LEVEL  structured-log threshold (trace|debug|info|warn|
 //                      error|off; default warn, also settable via RC_LOG)
 //   --threads N        worker pool size for the seed sweep (0 = all
@@ -69,6 +82,7 @@
 
 #include <filesystem>
 
+#include "fleet/fleet.hpp"
 #include "obs/obs.hpp"
 #include "obs/parallel_metrics.hpp"
 #include "sim/chaos_soak.hpp"
@@ -165,6 +179,10 @@ int main(int argc, char** argv) {
     bool quiet = false;
     bool scoreboard = false;
     bool crashSweep = false;
+    std::uint32_t fleetSize = 0;
+    std::uint32_t fleetQuorum = 0;  // 0 = majority of --fleet
+    std::string faultySet;
+    std::string transcriptOut;
     std::string stateDir;
     std::string planPath;
     std::string metricsOut;
@@ -200,6 +218,20 @@ int main(int argc, char** argv) {
             stateDir = next("--state-dir");
         } else if (arg == "--crash-sweep") {
             crashSweep = true;
+        } else if (arg == "--fleet") {
+            fleetSize = static_cast<std::uint32_t>(std::strtoul(next("--fleet"), nullptr, 10));
+        } else if (arg == "--quorum") {
+            fleetQuorum = static_cast<std::uint32_t>(std::strtoul(next("--quorum"), nullptr, 10));
+            if (fleetQuorum == 0) {
+                // 0 is also the internal "use the default" sentinel; an
+                // explicit 0 must not silently become a majority quorum.
+                std::fprintf(stderr, "rpkic-soak: --quorum must be >= 1\n");
+                return 1;
+            }
+        } else if (arg == "--faulty-set") {
+            faultySet = next("--faulty-set");
+        } else if (arg == "--transcript-out") {
+            transcriptOut = next("--transcript-out");
         } else if (arg == "--smoke") {
             seeds = 32;
             cfg.rounds = 25;
@@ -226,6 +258,8 @@ int main(int argc, char** argv) {
                          "[--adversarial X]\n"
                          "                  [--crash-every N] [--state-dir DIR] "
                          "[--crash-sweep]\n"
+                         "                  [--fleet N] [--quorum Q] [--faulty-set SPEC]\n"
+                         "                  [--transcript-out FILE]\n"
                          "                  [--smoke] [--compare] [--plan FILE] [--quiet]\n"
                          "                  [--scoreboard] [--metrics-out FILE] "
                          "[--trace-out FILE]\n"
@@ -272,6 +306,80 @@ int main(int argc, char** argv) {
         }
         return ok;
     };
+
+    if (fleetSize > 0) {
+        // Fleet-consensus mode: seeds run sequentially — each run fans its
+        // member syncs out over the worker pool instead, and sequential
+        // seeds keep --metrics-out/--trace-out byte-stable.
+        fleet::FleetConfig fleetCfg;
+        fleetCfg.members = fleetSize;
+        fleetCfg.quorum = fleetQuorum != 0 ? fleetQuorum : fleetSize / 2 + 1;
+        fleetCfg.epochs = cfg.rounds;
+        fleetCfg.retryBudget = cfg.retryBudget;
+        fleetCfg.registry = exportRegistry;
+        try {
+            fleetCfg.faulty = fleet::MemberFaultSpec::parseSet(faultySet);
+        } catch (const Error& e) {
+            std::fprintf(stderr, "rpkic-soak: --faulty-set: %s\n", e.what());
+            return 1;
+        }
+
+        std::string transcripts;
+        std::uint64_t failures = 0;
+        for (std::uint64_t s = 0; s < seeds; ++s) {
+            fleet::FleetConfig runCfg = fleetCfg;
+            runCfg.seed = seedBase + s;
+            fleet::FleetResult r;
+            try {
+                r = fleet::runFleet(runCfg);
+            } catch (const Error& e) {
+                std::fprintf(stderr, "rpkic-soak: fleet seed %llu: %s\n",
+                             static_cast<unsigned long long>(runCfg.seed), e.what());
+                return 1;
+            }
+            const fleet::FleetStats& fs = r.stats;
+            if (!quiet || !r.passed) {
+                std::printf(
+                    "fleet seed %-6llu %s  epochs=%llu outputs=%llu unanimous=%llu "
+                    "no-quorum=%llu votes=%llu rejected=%llu verdicts=c%llu/s%llu/m%llu "
+                    "crashes=%llu restarts=%llu roas=%zu/%zu\n",
+                    static_cast<unsigned long long>(r.seed), r.passed ? "ok  " : "FAIL",
+                    static_cast<unsigned long long>(fs.epochs),
+                    static_cast<unsigned long long>(fs.outputEpochs),
+                    static_cast<unsigned long long>(fs.unanimousEpochs),
+                    static_cast<unsigned long long>(fs.noQuorumEpochs),
+                    static_cast<unsigned long long>(fs.votesCast),
+                    static_cast<unsigned long long>(fs.votesRejected),
+                    static_cast<unsigned long long>(fs.verdictsCrashed),
+                    static_cast<unsigned long long>(fs.verdictsStalled),
+                    static_cast<unsigned long long>(fs.verdictsMirrorFed),
+                    static_cast<unsigned long long>(fs.crashes),
+                    static_cast<unsigned long long>(fs.restarts), fs.finalOutputRoas,
+                    fs.twinFinalRoas);
+            }
+            if (!r.passed) {
+                ++failures;
+                std::printf("fleet seed %llu VIOLATIONS:\n",
+                            static_cast<unsigned long long>(r.seed));
+                for (const std::string& v : r.violations) std::printf("  %s\n", v.c_str());
+                const std::string file =
+                    "fleet-fail-seed" + std::to_string(r.seed) + ".transcript";
+                if (writeFileOrComplain(file, r.transcript.serialize())) {
+                    std::printf("  transcript written to %s\n", file.c_str());
+                }
+            }
+            if (!transcriptOut.empty()) transcripts += r.transcript.serialize();
+        }
+        std::printf("fleet: %llu/%llu seeds passed  (N=%u Q=%u)\n",
+                    static_cast<unsigned long long>(seeds - failures),
+                    static_cast<unsigned long long>(seeds), fleetCfg.members, fleetCfg.quorum);
+        if (!transcriptOut.empty() && !writeFileOrComplain(transcriptOut, transcripts)) return 1;
+        if (!transcriptOut.empty() && !quiet) {
+            std::printf("transcripts written to %s\n", transcriptOut.c_str());
+        }
+        if (!writeExports()) return 1;
+        return failures == 0 ? 0 : 2;
+    }
 
     // Durable-store state on the real filesystem: one DiskVfs shared by
     // every run (it is stateless), one fresh directory per seed.
