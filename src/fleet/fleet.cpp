@@ -91,6 +91,9 @@ struct Member {
 
     std::optional<vfs::MemVfs> vfs;
     std::optional<DurableStore> store;
+    /// Parallel-phase flight events (store commits, alarms) land here and
+    /// are drained into the run recorder in member order afterwards.
+    obs::FlightRecorder recorder;
     std::unique_ptr<ChaosSource> chaos;       // stalled members only
     std::set<std::string> stalledCovered;     // points already given a pin fault
     std::optional<RelyingParty> rp;
@@ -156,6 +159,20 @@ FleetResult runFleet(const FleetConfig& cfg) {
     }
     rc::parallel::Pool& pool = cfg.pool != nullptr ? *cfg.pool : rc::parallel::defaultPool();
 
+    obs::FlightRecorder localRecorder;
+    obs::FlightRecorder* recorder = cfg.recorder != nullptr ? cfg.recorder : &localRecorder;
+    if (cfg.recorder == nullptr) localRecorder.attachMetrics(registry);
+    obs::FlightScope fleetScope(recorder, "fleet", "run seed=" + std::to_string(cfg.seed));
+
+    const std::string statusPrefix = "fleet/seed-" + std::to_string(cfg.seed) + "/";
+    const auto publish = [&](const std::string& key, const std::string& value) {
+        if (cfg.status != nullptr) cfg.status->set(statusPrefix + key, value);
+    };
+    publish("members", std::to_string(cfg.members));
+    publish("quorum", std::to_string(cfg.quorum));
+    publish("epochs-total", std::to_string(cfg.epochs));
+    publish("state", "running");
+
     // --- instruments ---------------------------------------------------------
     obs::Gauge& gMembers = registry->gauge("rc_fleet_members", "Configured fleet size");
     gMembers.set(static_cast<std::int64_t>(cfg.members));
@@ -197,9 +214,20 @@ FleetResult runFleet(const FleetConfig& cfg) {
                                               "VRP count of the last consensus output");
     obs::Histogram& hEpoch = registry->histogram("rc_fleet_epoch_seconds",
                                                  "Wall time per fleet epoch");
+    // Every member's vote counter is registered up front: a member that
+    // never votes (e.g. crashed at epoch 0) must still surface an explicit
+    // zero series in the exposition, not a silently missing one.
+    std::vector<obs::Counter*> cVotes;
+    cVotes.reserve(cfg.members);
+    for (std::uint32_t i = 0; i < cfg.members; ++i) {
+        cVotes.push_back(&registry->counter("rc_fleet_votes_total",
+                                            "Votes cast by fleet members",
+                                            {{"member", "member-" + std::to_string(i)}}));
+    }
 
     rp::AlarmLog fleetAlarms;
     fleetAlarms.attachMetrics(registry, "fleet");
+    fleetAlarms.attachRecorder(recorder);
 
     // --- worlds --------------------------------------------------------------
     // The primary (honest) world and, when any member is mirror-fed, a
@@ -244,6 +272,7 @@ FleetResult runFleet(const FleetConfig& cfg) {
         m->store.emplace(*m->vfs, m->name() + "-state",
                          rp::StoreOptions{.checkpointEvery = 8, .name = m->name()}, registry);
         m->store->open();
+        m->store->attachRecorder(&m->recorder);
         if (m->hasSpec && m->spec.cls == MemberFaultClass::Stalled) {
             FaultPlan plan;
             plan.seed = m->subSeed;
@@ -253,6 +282,7 @@ FleetResult runFleet(const FleetConfig& cfg) {
             m->chaos = std::make_unique<ChaosSource>(honestSource, std::move(plan));
         }
         m->rp.emplace(m->name(), driver.trustAnchors(), rpOptions, registry);
+        m->rp->attachAlarmRecorder(&m->recorder);
         SnapshotSource* source = &honestSource;
         if (m->chaos != nullptr) source = m->chaos.get();
         if (m->hasSpec && m->spec.cls == MemberFaultClass::MirrorFed && m->spec.fromEpoch == 0) {
@@ -264,6 +294,9 @@ FleetResult runFleet(const FleetConfig& cfg) {
     }
 
     RelyingParty twin("twin", driver.trustAnchors(), rpOptions, registry);
+    // The twin syncs on the main thread after the parallel phase, so its
+    // alarms can go straight into the run recorder.
+    twin.attachAlarmRecorder(recorder);
     SyncEngine twinEngine(twin, honestSource, policy, registry);
 
     MessageBus bus(cfg.members + 1);  // members + the aggregator
@@ -281,12 +314,29 @@ FleetResult runFleet(const FleetConfig& cfg) {
     std::set<std::uint32_t> attributedMatching;  // specs attributed with the right class
     std::optional<RpkiState> lastOutput;
 
+    constexpr std::size_t kMaxBundles = 8;
+    const auto recordViolation = [&](const std::string& what) {
+        result.violations.push_back(what);
+        obs::flightRecord(recorder, obs::FlightKind::InvariantFail, "fleet", what);
+        if (result.postmortems.size() < kMaxBundles) {
+            obs::CapturedBundle bundle;
+            bundle.trigger = "invariant-fail";
+            bundle.label = "seed-" + std::to_string(cfg.seed) + "-violation-" +
+                           std::to_string(result.violations.size());
+            bundle.bytes = obs::buildPostmortem(*recorder, registry, bundle.trigger,
+                                                {{"seed", std::to_string(cfg.seed)},
+                                                 {"violation", what}});
+            result.postmortems.push_back(std::move(bundle));
+        }
+    };
     const auto violation = [&](std::uint64_t epoch, const std::string& what) {
-        result.violations.push_back("epoch " + std::to_string(epoch) + ": " + what);
+        recordViolation("epoch " + std::to_string(epoch) + ": " + what);
     };
 
     for (std::uint64_t r = 0; r < cfg.epochs; ++r) {
         RC_OBS_TIMED(&hEpoch);
+        obs::FlightScope epochScope(recorder, "fleet", "epoch e=" + std::to_string(r));
+        publish("epoch", std::to_string(r));
         const Time now = static_cast<Time>(r);
         if (r > 0) {
             driver.step(now);
@@ -346,6 +396,7 @@ FleetResult runFleet(const FleetConfig& cfg) {
                     } else {
                         m.rp.emplace(m.name(), driver.trustAnchors(), rpOptions, registry);
                     }
+                    m.rp->attachAlarmRecorder(&m.recorder);
                     m.engine.emplace(*m.rp, honestSource, policy, registry);
                     m.engine->attachStore(&*m.store);
                     m.engine->resumeAt(r);
@@ -413,6 +464,14 @@ FleetResult runFleet(const FleetConfig& cfg) {
             m.stateText = stateToText(m.state);
             m.vote = buildVote(*m.rp, m.index, r, m.state, m.stateText);
         });
+        // Reassemble the parallel phase's flight events in member order:
+        // the run recorder's stream is then byte-identical at every pool
+        // size. (Hook sites already teed into the global recorder live.)
+        for (auto& mp : fleet) {
+            for (const obs::FlightEvent& ev : mp->recorder.drain()) {
+                recorder->record(ev.kind, ev.component, ev.detail);
+            }
+        }
         twinEngine.syncRound(now);
         const RpkiState twinState = twin.roaState();
         const std::string twinText = stateToText(twinState);
@@ -437,6 +496,15 @@ FleetResult runFleet(const FleetConfig& cfg) {
                 m.crashArmed = false;
                 result.stats.crashes += 1;
                 cCrashes.inc();
+                obs::flightRecord(recorder, obs::FlightKind::CrashRealized, "fleet",
+                                  m.name() + " epoch=" + std::to_string(r));
+            }
+        }
+        if (cfg.status != nullptr) {
+            for (auto& mp : fleet) {
+                Member& m = *mp;
+                publish(m.name() + "/alive", m.alive ? "yes" : "no");
+                publish(m.name() + "/store-lsn", std::to_string(m.store->latestLsn()));
             }
         }
 
@@ -447,10 +515,7 @@ FleetResult runFleet(const FleetConfig& cfg) {
             const Bytes wire = m.vote->encode();
             bus.broadcast(m.index, r, ByteView(wire.data(), wire.size()));
             result.stats.votesCast += 1;
-            registry
-                ->counter("rc_fleet_votes_total", "Votes cast by fleet members",
-                          {{"member", m.name()}})
-                .inc();
+            cVotes[m.index]->inc();
         }
 
         TranscriptEpoch row;
@@ -518,6 +583,16 @@ FleetResult runFleet(const FleetConfig& cfg) {
 
         // --- output, alarms, invariants --------------------------------------
         result.stats.epochs += 1;
+        const char* outcomeText = row.decision.outcome == ConsensusOutcome::Unanimous
+                                      ? "unanimous"
+                                  : row.decision.outcome == ConsensusOutcome::Quorum
+                                      ? "quorum"
+                                      : "no-quorum";
+        publish("outcome", outcomeText);
+        obs::flightRecord(recorder, obs::FlightKind::FleetVerdict, "fleet",
+                          "epoch=" + std::to_string(r) + " outcome=" + outcomeText +
+                              " agreeing=" + std::to_string(row.decision.agreeing) + "/" +
+                              std::to_string(cfg.members));
         switch (row.decision.outcome) {
             case ConsensusOutcome::Unanimous:
                 result.stats.unanimousEpochs += 1;
@@ -560,6 +635,13 @@ FleetResult runFleet(const FleetConfig& cfg) {
         }
 
         for (const MemberVerdict& v : row.decision.verdicts) {
+            obs::flightRecord(recorder, obs::FlightKind::FleetVerdict, "fleet",
+                              "epoch=" + std::to_string(r) + " member-" +
+                                  std::to_string(v.member) + " class=" +
+                                  std::string(toString(v.cls)) +
+                                  (v.accountable ? " accountable=true" : " accountable=false"));
+            publish("member-" + std::to_string(v.member) + "/verdict",
+                    std::string(toString(v.cls)) + " @ epoch " + std::to_string(r));
             switch (v.cls) {
                 case MemberFaultClass::Crashed:
                     result.stats.verdictsCrashed += 1;
@@ -629,9 +711,9 @@ FleetResult runFleet(const FleetConfig& cfg) {
         for (const MemberFaultSpec& s : cfg.faulty) {
             if (s.fromEpoch >= cfg.epochs) continue;
             if (attributedMatching.count(s.member) == 0) {
-                result.violations.push_back(
-                    "I11: member-" + std::to_string(s.member) + " (configured " +
-                    std::string(toString(s.cls)) + ") was never attributed in any epoch");
+                recordViolation("I11: member-" + std::to_string(s.member) + " (configured " +
+                                std::string(toString(s.cls)) +
+                                ") was never attributed in any epoch");
             }
         }
     }
@@ -640,6 +722,7 @@ FleetResult runFleet(const FleetConfig& cfg) {
     if (lastOutput.has_value()) result.stats.finalOutputRoas = lastOutput->size();
     result.alarms = fleetAlarms.all();
     result.passed = result.violations.empty();
+    publish("state", result.passed ? "passed" : "failed");
     return result;
 }
 

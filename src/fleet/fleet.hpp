@@ -38,7 +38,10 @@
 #include "fleet/bus.hpp"
 #include "fleet/consensus.hpp"
 #include "fleet/transcript.hpp"
+#include "obs/flight/postmortem.hpp"
+#include "obs/flight/recorder.hpp"
 #include "obs/obs.hpp"
+#include "obs/serve/introspect.hpp"
 #include "rp/alarms.hpp"
 #include "util/parallel.hpp"
 
@@ -85,6 +88,15 @@ struct FleetConfig {
     obs::Registry* registry = nullptr;
     /// Pool the member syncs fan out on. nullptr = rc::parallel::defaultPool().
     rc::parallel::Pool* pool = nullptr;
+    /// Flight recorder for the run. nullptr = run-local (see
+    /// SoakConfig::recorder). Parallel-phase hooks (member store commits,
+    /// member alarms) land in per-member recorders that are drained into
+    /// this one in member order after each epoch, so the event stream is
+    /// byte-identical at every pool size.
+    obs::FlightRecorder* recorder = nullptr;
+    /// Live /statusz rows (epoch, outcome, per-member verdict/store rows)
+    /// under "fleet/seed-<seed>/...". nullptr disables publication.
+    obs::StatusBoard* status = nullptr;
 };
 
 struct FleetStats {
@@ -118,6 +130,9 @@ struct FleetResult {
     /// Fleet-level alarms (quorum verdicts, no-quorum withholds, malformed
     /// votes) mapped onto the Table-7 taxonomy.
     std::vector<rp::Alarm> alarms;
+    /// Postmortem bundles captured when I10/I11 (or a member sync
+    /// invariant) failed. Deterministic bytes per seed at any pool size.
+    std::vector<obs::CapturedBundle> postmortems;
 };
 
 /// Runs one fleet experiment. Deterministic from cfg (byte-identical

@@ -4,6 +4,8 @@
 #include <cctype>
 #include <cstdlib>
 
+#include "obs/flight/recorder.hpp"
+
 namespace rpkic::obs {
 
 std::string_view toString(LogLevel level) {
@@ -115,6 +117,13 @@ void Logger::log(LogLevel level, std::string_view component, std::string_view ev
         sink = sink_;
     }
     sink(line);
+    // Warn-or-worse lines feed the live flight recorder (one relaxed
+    // load while it is disabled). Only the global recorder: the logger
+    // is process-wide, so routing into a run-local recorder would race
+    // parallel seed runs and break bundle determinism.
+    if (level >= LogLevel::Warn && level != LogLevel::Off) {
+        FlightRecorder::global().record(FlightKind::LogLine, std::string(component), line);
+    }
 }
 
 Logger& Logger::global() {

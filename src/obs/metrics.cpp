@@ -54,7 +54,41 @@ std::string bucketLabels(const std::string& seriesKey, const std::string& le) {
     return "{" + inner + "le=\"" + le + "\"}";
 }
 
+std::string jsonEscape(const std::string& s) {
+    std::string out;
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    return out;
+}
+
 }  // namespace
+
+std::string formatMetricValue(double v) {
+    return formatValue(v);
+}
+
+std::string_view toString(MetricKind kind) {
+    switch (kind) {
+        case MetricKind::Counter: return "counter";
+        case MetricKind::Gauge: return "gauge";
+        case MetricKind::Histogram: return "histogram";
+    }
+    return "?";
+}
 
 bool isValidMetricName(const std::string& name) {
     if (name.empty()) return false;
@@ -193,118 +227,143 @@ Histogram& Registry::histogram(const std::string& name, const std::string& help,
     return *slot;
 }
 
-std::string Registry::renderPrometheus() const {
+RegistrySnapshot Registry::snapshot() const {
+    RegistrySnapshot snap;
     rc::LockGuard lock(mutex_);
-    std::string out;
+    snap.families.reserve(families_.size());
     for (const auto& [name, fam] : families_) {
-        out += "# HELP " + name + " " + fam.help + "\n";
+        FamilySnapshot f;
+        f.name = name;
+        f.help = fam.help;
+        f.kind = fam.kind;
         switch (fam.kind) {
-            case Kind::Counter: {
-                out += "# TYPE " + name + " counter\n";
+            case Kind::Counter:
+                f.series.reserve(fam.counters.size());
                 for (const auto& [key, c] : fam.counters) {
-                    out += name + key + " " + formatValue(static_cast<double>(c->value())) + "\n";
+                    SeriesSnapshot s;
+                    s.labels = key;
+                    s.value = static_cast<double>(c->value());
+                    f.series.push_back(std::move(s));
                 }
                 break;
-            }
-            case Kind::Gauge: {
-                out += "# TYPE " + name + " gauge\n";
+            case Kind::Gauge:
+                f.series.reserve(fam.gauges.size());
                 for (const auto& [key, g] : fam.gauges) {
-                    out += name + key + " " + formatValue(static_cast<double>(g->value())) + "\n";
+                    SeriesSnapshot s;
+                    s.labels = key;
+                    s.value = static_cast<double>(g->value());
+                    f.series.push_back(std::move(s));
                 }
                 break;
-            }
-            case Kind::Histogram: {
-                out += "# TYPE " + name + " histogram\n";
+            case Kind::Histogram:
+                f.series.reserve(fam.histograms.size());
                 for (const auto& [key, h] : fam.histograms) {
-                    std::uint64_t cum = 0;
-                    for (std::size_t i = 0; i < h->bounds().size(); ++i) {
-                        cum += h->bucketCount(i);
-                        out += name + "_bucket" + bucketLabels(key, formatValue(h->bounds()[i])) +
-                               " " + formatValue(static_cast<double>(cum)) + "\n";
+                    if (f.bounds.empty()) f.bounds = h->bounds();
+                    SeriesSnapshot s;
+                    s.labels = key;
+                    s.buckets.reserve(h->bounds().size() + 1);
+                    // Read every bucket exactly once and derive the total
+                    // from those reads: a concurrent observe() either
+                    // landed before its bucket read (and is counted in
+                    // both the bucket and the total) or after (counted in
+                    // neither) — there is no interleaving that tears
+                    // +Inf away from _count.
+                    std::uint64_t total = 0;
+                    for (std::size_t i = 0; i <= h->bounds().size(); ++i) {
+                        const std::uint64_t n = h->bucketCount(i);
+                        s.buckets.push_back(n);
+                        total += n;
                     }
-                    out += name + "_bucket" + bucketLabels(key, "+Inf") + " " +
-                           formatValue(static_cast<double>(h->totalCount())) + "\n";
-                    out += name + "_sum" + key + " " + formatValue(h->sum()) + "\n";
-                    out += name + "_count" + key + " " +
-                           formatValue(static_cast<double>(h->totalCount())) + "\n";
+                    s.count = total;
+                    s.sum = h->sum();
+                    f.series.push_back(std::move(s));
                 }
                 break;
-            }
+        }
+        snap.families.push_back(std::move(f));
+    }
+    return snap;
+}
+
+std::string RegistrySnapshot::renderPrometheus() const {
+    std::string out;
+    for (const auto& fam : families) {
+        out += "# HELP " + fam.name + " " + fam.help + "\n";
+        out += "# TYPE " + fam.name + " " + std::string(toString(fam.kind)) + "\n";
+        switch (fam.kind) {
+            case MetricKind::Counter:
+            case MetricKind::Gauge:
+                for (const auto& s : fam.series) {
+                    out += fam.name + s.labels + " " + formatValue(s.value) + "\n";
+                }
+                break;
+            case MetricKind::Histogram:
+                for (const auto& s : fam.series) {
+                    std::uint64_t cum = 0;
+                    for (std::size_t i = 0; i < fam.bounds.size(); ++i) {
+                        cum += s.buckets[i];
+                        out += fam.name + "_bucket" +
+                               bucketLabels(s.labels, formatValue(fam.bounds[i])) + " " +
+                               formatValue(static_cast<double>(cum)) + "\n";
+                    }
+                    out += fam.name + "_bucket" + bucketLabels(s.labels, "+Inf") + " " +
+                           formatValue(static_cast<double>(s.count)) + "\n";
+                    out += fam.name + "_sum" + s.labels + " " + formatValue(s.sum) + "\n";
+                    out += fam.name + "_count" + s.labels + " " +
+                           formatValue(static_cast<double>(s.count)) + "\n";
+                }
+                break;
         }
     }
     return out;
 }
 
-std::string Registry::renderJson() const {
-    rc::LockGuard lock(mutex_);
-    auto jsonEscape = [](const std::string& s) {
-        std::string out;
-        for (const char c : s) {
-            switch (c) {
-                case '"': out += "\\\""; break;
-                case '\\': out += "\\\\"; break;
-                case '\n': out += "\\n"; break;
-                case '\t': out += "\\t"; break;
-                default:
-                    if (static_cast<unsigned char>(c) < 0x20) {
-                        char buf[8];
-                        std::snprintf(buf, sizeof buf, "\\u%04x", c);
-                        out += buf;
-                    } else {
-                        out += c;
-                    }
-            }
-        }
-        return out;
-    };
-
+std::string RegistrySnapshot::renderJson() const {
     std::string out = "{\n  \"families\": [";
     bool firstFam = true;
-    for (const auto& [name, fam] : families_) {
+    for (const auto& fam : families) {
         if (!firstFam) out += ",";
         firstFam = false;
-        out += "\n    {\"name\": \"" + jsonEscape(name) + "\", \"type\": \"";
-        out += fam.kind == Kind::Counter ? "counter"
-               : fam.kind == Kind::Gauge ? "gauge"
-                                         : "histogram";
+        out += "\n    {\"name\": \"" + jsonEscape(fam.name) + "\", \"type\": \"";
+        out += toString(fam.kind);
         out += "\", \"help\": \"" + jsonEscape(fam.help) + "\", \"series\": [";
         bool firstSeries = true;
-        auto seriesHead = [&](const std::string& key) {
+        for (const auto& s : fam.series) {
             if (!firstSeries) out += ",";
             firstSeries = false;
-            out += "\n      {\"labels\": \"" + jsonEscape(key) + "\", ";
-        };
-        switch (fam.kind) {
-            case Kind::Counter:
-                for (const auto& [key, c] : fam.counters) {
-                    seriesHead(key);
-                    out += "\"value\": " + formatValue(static_cast<double>(c->value())) + "}";
+            out += "\n      {\"labels\": \"" + jsonEscape(s.labels) + "\", ";
+            if (fam.kind == MetricKind::Histogram) {
+                out += "\"count\": " + formatValue(static_cast<double>(s.count));
+                out += ", \"sum\": " + formatValue(s.sum);
+                out += ", \"buckets\": [";
+                for (std::size_t i = 0; i < s.buckets.size(); ++i) {
+                    if (i > 0) out += ", ";
+                    out += formatValue(static_cast<double>(s.buckets[i]));
                 }
-                break;
-            case Kind::Gauge:
-                for (const auto& [key, g] : fam.gauges) {
-                    seriesHead(key);
-                    out += "\"value\": " + formatValue(static_cast<double>(g->value())) + "}";
-                }
-                break;
-            case Kind::Histogram:
-                for (const auto& [key, h] : fam.histograms) {
-                    seriesHead(key);
-                    out += "\"count\": " + formatValue(static_cast<double>(h->totalCount()));
-                    out += ", \"sum\": " + formatValue(h->sum());
-                    out += ", \"buckets\": [";
-                    for (std::size_t i = 0; i <= h->bounds().size(); ++i) {
-                        if (i > 0) out += ", ";
-                        out += formatValue(static_cast<double>(h->bucketCount(i)));
-                    }
-                    out += "]}";
-                }
-                break;
+                out += "]}";
+            } else {
+                out += "\"value\": " + formatValue(s.value) + "}";
+            }
         }
         out += "\n    ]}";
     }
     out += "\n  ]\n}\n";
     return out;
+}
+
+const FamilySnapshot* RegistrySnapshot::find(const std::string& name) const {
+    for (const auto& fam : families) {
+        if (fam.name == name) return &fam;
+    }
+    return nullptr;
+}
+
+std::string Registry::renderPrometheus() const {
+    return snapshot().renderPrometheus();
+}
+
+std::string Registry::renderJson() const {
+    return snapshot().renderJson();
 }
 
 void Registry::reset() {

@@ -22,6 +22,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -91,6 +92,48 @@ private:
     std::atomic<double> sum_{0.0};
 };
 
+/// Instrument kind, shared by the registry internals and snapshots.
+enum class MetricKind : std::uint8_t { Counter, Gauge, Histogram };
+
+std::string_view toString(MetricKind kind);
+
+/// One series captured at snapshot time. For histograms `buckets` holds
+/// the per-bucket (non-cumulative) counts including the trailing +Inf
+/// bucket, and `count` is derived as the sum of those single atomic
+/// reads — never a second load of the histogram's total — so the
+/// rendered +Inf bucket always equals `_count` and cumulativity holds
+/// even when writers race the snapshot.
+struct SeriesSnapshot {
+    std::string labels;                  ///< canonical label key ("" if none)
+    double value = 0.0;                  ///< counters/gauges
+    std::vector<std::uint64_t> buckets;  ///< histograms: bounds.size() + 1
+    std::uint64_t count = 0;             ///< histograms: sum of `buckets`
+    double sum = 0.0;                    ///< histograms
+};
+
+struct FamilySnapshot {
+    std::string name;
+    std::string help;
+    MetricKind kind = MetricKind::Counter;
+    std::vector<double> bounds;          ///< histograms: finite upper bounds
+    std::vector<SeriesSnapshot> series;  ///< sorted by label key
+};
+
+/// A torn-read-free copy of a registry: plain data, no atomics, safe to
+/// render or inspect while the source registry keeps taking writes.
+/// Families sorted by name, series by canonical label string.
+struct RegistrySnapshot {
+    std::vector<FamilySnapshot> families;
+
+    /// Prometheus text exposition format 0.0.4. Deterministic; lint-clean
+    /// by construction (see SeriesSnapshot on the +Inf/_count agreement).
+    std::string renderPrometheus() const;
+    /// The same data as a JSON object. Deterministic.
+    std::string renderJson() const;
+
+    const FamilySnapshot* find(const std::string& name) const;
+};
+
 /// Instrument registry. Thread-safe; lookup takes a mutex, so hot paths
 /// must cache the returned reference.
 class Registry {
@@ -110,9 +153,19 @@ public:
                          const Labels& labels = {}, HistogramSpec spec = {})
         RC_EXCLUDES(mutex_);
 
+    /// Captures a consistent snapshot of every family. Each histogram
+    /// bucket is read exactly once; series counts are derived from those
+    /// reads, so concurrent observe() calls can never produce a torn
+    /// family (+Inf != _count) in the result. Both live scraping
+    /// (/metrics) and the end-of-run dumps (--metrics-out) go through
+    /// this path.
+    RegistrySnapshot snapshot() const RC_EXCLUDES(mutex_);
+
     /// Prometheus text exposition format 0.0.4. Deterministic.
+    /// Equivalent to snapshot().renderPrometheus().
     std::string renderPrometheus() const RC_EXCLUDES(mutex_);
     /// The same data as a JSON object. Deterministic.
+    /// Equivalent to snapshot().renderJson().
     std::string renderJson() const RC_EXCLUDES(mutex_);
 
     /// Drops every instrument. Invalidates all references previously
@@ -126,7 +179,7 @@ public:
     static Registry& global();
 
 private:
-    enum class Kind : std::uint8_t { Counter, Gauge, Histogram };
+    using Kind = MetricKind;
 
     struct Family {
         Kind kind;
@@ -143,6 +196,11 @@ private:
     mutable rc::Mutex mutex_;
     std::map<std::string, Family> families_ RC_GUARDED_BY(mutex_);
 };
+
+/// Deterministic number rendering used by every exposition path:
+/// integers exactly, everything else with the shortest round-tripping
+/// precision, infinities as +Inf/-Inf.
+std::string formatMetricValue(double v);
 
 /// True iff `name` is a valid Prometheus metric name.
 bool isValidMetricName(const std::string& name);

@@ -1,0 +1,480 @@
+#include "obs/serve/http.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+
+namespace rpkic::obs {
+
+namespace {
+
+const char* statusText(int status) {
+    switch (status) {
+        case 200: return "OK";
+        case 400: return "Bad Request";
+        case 404: return "Not Found";
+        case 405: return "Method Not Allowed";
+        case 431: return "Request Header Fields Too Large";
+        case 500: return "Internal Server Error";
+    }
+    return "Unknown";
+}
+
+bool setNonBlocking(int fd) {
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0) return false;
+    return ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+std::string lowercase(std::string s) {
+    std::transform(s.begin(), s.end(), s.begin(),
+                   [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+    return s;
+}
+
+double secondsSince(std::chrono::steady_clock::time_point start) {
+    // The server deliberately reads the steady clock directly instead of
+    // obs::nowNanos(): scraping a process that runs under a
+    // LogicalTimeSource must not advance the logical clock and perturb
+    // the run it is observing.
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+}  // namespace
+
+std::string HttpRequest::header(const std::string& name) const {
+    for (const auto& [k, v] : headers) {
+        if (k == name) return v;
+    }
+    return "";
+}
+
+bool parseHostPort(const std::string& address, std::string* host, std::uint16_t* port,
+                   std::string* error) {
+    const std::size_t colon = address.rfind(':');
+    if (colon == std::string::npos) {
+        *error = "address must be host:port, got '" + address + "'";
+        return false;
+    }
+    *host = address.substr(0, colon);
+    if (host->empty()) *host = "127.0.0.1";
+    const std::string portText = address.substr(colon + 1);
+    if (portText.empty() ||
+        !std::all_of(portText.begin(), portText.end(),
+                     [](unsigned char c) { return std::isdigit(c) != 0; })) {
+        *error = "bad port '" + portText + "'";
+        return false;
+    }
+    const long value = std::strtol(portText.c_str(), nullptr, 10);
+    if (value < 0 || value > 65535) {
+        *error = "port out of range: " + portText;
+        return false;
+    }
+    *port = static_cast<std::uint16_t>(value);
+    return true;
+}
+
+// ---------------------------------------------------------------------------
+// Server internals. Everything below runs on the server thread only
+// (start()/stop() touch the loop solely through atomics + the self-pipe),
+// so the session table needs no lock.
+
+struct HttpServer::Session {
+    int fd = -1;
+    std::string in;
+    std::string out;
+    bool closeAfterWrite = false;
+};
+
+struct HttpServer::Loop {
+    Options options;
+    std::map<std::string, HttpHandler> routes;
+
+    int listenFd = -1;
+    int wakeRead = -1;
+    int wakeWrite = -1;
+    std::atomic<bool> stopFlag{false};
+    std::map<int, Session> sessions;
+    std::atomic<std::uint64_t> served{0};
+
+    // Instruments (null when unmetered). The per-(path,code) counter
+    // cache is keyed by matched route (unknown paths collapse to
+    // "<other>" so client-controlled targets cannot explode cardinality).
+    Gauge* sessionsOpen = nullptr;
+    Counter* sessionsTotal = nullptr;
+    Counter* bytesReadTotal = nullptr;
+    Counter* bytesWrittenTotal = nullptr;
+    Histogram* requestSeconds = nullptr;
+    std::map<std::string, Counter*> requestCounters;
+
+    ~Loop() {
+        for (auto& [fd, session] : sessions) ::close(fd);
+        if (listenFd >= 0) ::close(listenFd);
+        if (wakeRead >= 0) ::close(wakeRead);
+        if (wakeWrite >= 0) ::close(wakeWrite);
+    }
+
+    void attachMetrics() {
+        Registry* reg = options.registry;
+        if (reg == nullptr) return;
+        sessionsOpen = &reg->gauge("rc_http_sessions_open",
+                                   "Introspection HTTP sessions currently connected");
+        sessionsTotal = &reg->counter("rc_http_sessions_total",
+                                      "Introspection HTTP sessions ever accepted");
+        bytesReadTotal = &reg->counter("rc_http_bytes_read_total",
+                                       "Bytes read from introspection HTTP clients");
+        bytesWrittenTotal = &reg->counter("rc_http_bytes_written_total",
+                                          "Bytes written to introspection HTTP clients");
+        requestSeconds = &reg->histogram(
+            "rc_http_request_seconds",
+            "Introspection request handling latency (parse to response queued)");
+    }
+
+    void countRequest(const std::string& routeKey, int status) {
+        served.fetch_add(1, std::memory_order_relaxed);
+        Registry* reg = options.registry;
+        if (reg == nullptr) return;
+        const std::string key = routeKey + "|" + std::to_string(status);
+        Counter*& slot = requestCounters[key];
+        if (slot == nullptr) {
+            slot = &reg->counter("rc_http_requests_total",
+                                 "Introspection HTTP requests answered, by path and code",
+                                 {{"path", routeKey}, {"code", std::to_string(status)}});
+        }
+        slot->inc();
+    }
+
+    void queueResponse(Session& session, const HttpRequest& request,
+                       const HttpResponse& response, bool keepAlive) {
+        // Echo only versions we actually speak: a malformed request line
+        // leaves whatever garbage token it had in request.version, and a
+        // 400 must still open with a valid status line.
+        std::string head = (request.version == "HTTP/1.0" ? "HTTP/1.0" : "HTTP/1.1");
+        head += " " + std::to_string(response.status) + " " + statusText(response.status) +
+                "\r\n";
+        head += "Content-Type: " + response.contentType + "\r\n";
+        head += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+        head += keepAlive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
+        head += "\r\n";
+        session.out += head;
+        if (request.method != "HEAD") session.out += response.body;
+        if (!keepAlive) session.closeAfterWrite = true;
+    }
+
+    /// Parses one complete request out of session.in. Returns 0 when the
+    /// head is incomplete, 1 on success, -1 on malformed input, -2 when
+    /// the request exceeds maxRequestBytes.
+    int parseRequest(Session& session, HttpRequest* request) {
+        const std::size_t headEnd = session.in.find("\r\n\r\n");
+        if (headEnd == std::string::npos) {
+            return session.in.size() > options.maxRequestBytes ? -2 : 0;
+        }
+        const std::string head = session.in.substr(0, headEnd);
+        std::size_t lineStart = 0;
+        std::size_t lineEnd = head.find("\r\n");
+        const std::string requestLine =
+            head.substr(0, lineEnd == std::string::npos ? head.size() : lineEnd);
+
+        const std::size_t sp1 = requestLine.find(' ');
+        const std::size_t sp2 = requestLine.rfind(' ');
+        if (sp1 == std::string::npos || sp2 == sp1) return -1;
+        request->method = requestLine.substr(0, sp1);
+        std::string target = requestLine.substr(sp1 + 1, sp2 - sp1 - 1);
+        request->version = requestLine.substr(sp2 + 1);
+        if (request->method.empty() || target.empty() || target[0] != '/') return -1;
+        if (request->version != "HTTP/1.1" && request->version != "HTTP/1.0") return -1;
+        const std::size_t q = target.find('?');
+        if (q != std::string::npos) {
+            request->query = target.substr(q + 1);
+            target.resize(q);
+        }
+        request->target = target;
+
+        std::size_t contentLength = 0;
+        while (lineEnd != std::string::npos) {
+            lineStart = lineEnd + 2;
+            lineEnd = head.find("\r\n", lineStart);
+            const std::string headerLine = head.substr(
+                lineStart,
+                (lineEnd == std::string::npos ? head.size() : lineEnd) - lineStart);
+            if (headerLine.empty()) break;
+            const std::size_t colon = headerLine.find(':');
+            if (colon == std::string::npos) return -1;
+            std::string name = lowercase(headerLine.substr(0, colon));
+            std::string value = headerLine.substr(colon + 1);
+            while (!value.empty() && (value.front() == ' ' || value.front() == '\t')) {
+                value.erase(value.begin());
+            }
+            request->headers.emplace_back(std::move(name), std::move(value));
+        }
+        const std::string lengthText = request->header("content-length");
+        if (!lengthText.empty()) {
+            char* end = nullptr;
+            const unsigned long long n = std::strtoull(lengthText.c_str(), &end, 10);
+            if (end == lengthText.c_str() || *end != '\0') return -1;
+            contentLength = static_cast<std::size_t>(n);
+            if (headEnd + 4 + contentLength > options.maxRequestBytes) return -1;
+        }
+        if (session.in.size() < headEnd + 4 + contentLength) return 0;
+        request->body = session.in.substr(headEnd + 4, contentLength);
+        session.in.erase(0, headEnd + 4 + contentLength);
+        return 1;
+    }
+
+    void serveSession(Session& session) {
+        // Answer every complete pipelined request already buffered.
+        while (true) {
+            HttpRequest request;
+            const int parsed = parseRequest(session, &request);
+            if (parsed == 0) return;
+            if (parsed < 0) {
+                session.in.clear();
+                HttpResponse response;
+                response.status = parsed == -2 ? 431 : 400;
+                response.body = parsed == -2 ? "request too large\n" : "bad request\n";
+                queueResponse(session, request, response, false);
+                countRequest("<other>", response.status);
+                return;
+            }
+
+            const auto start = std::chrono::steady_clock::now();
+            bool keepAlive = request.version == "HTTP/1.1"
+                                 ? lowercase(request.header("connection")) != "close"
+                                 : lowercase(request.header("connection")) == "keep-alive";
+            HttpResponse response;
+            std::string routeKey = "<other>";
+            if (request.method != "GET" && request.method != "HEAD") {
+                response.status = 405;
+                response.body = "method not allowed\n";
+            } else if (const auto it = routes.find(request.target); it != routes.end()) {
+                routeKey = request.target;
+                response = it->second(request);
+            } else {
+                response.status = 404;
+                response.body = "not found\n";
+            }
+            queueResponse(session, request, response, keepAlive);
+            countRequest(routeKey, response.status);
+            if (requestSeconds != nullptr) requestSeconds->observe(secondsSince(start));
+            if (!keepAlive) return;
+        }
+    }
+
+    /// Returns false when the session should be dropped.
+    bool readSession(Session& session) {
+        char buf[4096];
+        while (true) {
+            const ssize_t n = ::read(session.fd, buf, sizeof buf);
+            if (n > 0) {
+                session.in.append(buf, static_cast<std::size_t>(n));
+                if (bytesReadTotal != nullptr) {
+                    bytesReadTotal->inc(static_cast<std::uint64_t>(n));
+                }
+                continue;
+            }
+            if (n == 0) return false;  // peer closed
+            if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+            if (errno == EINTR) continue;
+            return false;
+        }
+        serveSession(session);
+        return true;
+    }
+
+    bool writeSession(Session& session) {
+        while (!session.out.empty()) {
+            const ssize_t n = ::write(session.fd, session.out.data(), session.out.size());
+            if (n > 0) {
+                if (bytesWrittenTotal != nullptr) {
+                    bytesWrittenTotal->inc(static_cast<std::uint64_t>(n));
+                }
+                session.out.erase(0, static_cast<std::size_t>(n));
+                continue;
+            }
+            if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+            if (errno == EINTR) continue;
+            return false;
+        }
+        return !session.closeAfterWrite;
+    }
+
+    void acceptPending() {
+        while (sessions.size() < options.maxSessions) {
+            const int fd = ::accept(listenFd, nullptr, nullptr);
+            if (fd < 0) {
+                if (errno == EINTR) continue;
+                break;  // EAGAIN or transient error
+            }
+            if (!setNonBlocking(fd)) {
+                ::close(fd);
+                continue;
+            }
+            Session session;
+            session.fd = fd;
+            sessions.emplace(fd, std::move(session));
+            if (sessionsTotal != nullptr) sessionsTotal->inc();
+            if (sessionsOpen != nullptr) sessionsOpen->add(1);
+        }
+    }
+
+    void dropSession(int fd) {
+        ::close(fd);
+        sessions.erase(fd);
+        if (sessionsOpen != nullptr) sessionsOpen->add(-1);
+    }
+
+    void run() {
+        std::vector<pollfd> fds;
+        while (!stopFlag.load(std::memory_order_acquire)) {
+            fds.clear();
+            fds.push_back({wakeRead, POLLIN, 0});
+            if (sessions.size() < options.maxSessions) {
+                fds.push_back({listenFd, POLLIN, 0});
+            }
+            for (const auto& [fd, session] : sessions) {
+                const short events =
+                    static_cast<short>(session.out.empty() ? POLLIN : POLLIN | POLLOUT);
+                fds.push_back({fd, events, 0});
+            }
+            const int ready = ::poll(fds.data(), static_cast<nfds_t>(fds.size()), 1000);
+            if (ready < 0) {
+                if (errno == EINTR) continue;
+                break;
+            }
+            if (ready == 0) continue;
+
+            std::vector<int> toDrop;
+            for (const pollfd& p : fds) {
+                if (p.revents == 0) continue;
+                if (p.fd == wakeRead) {
+                    char drainBuf[64];
+                    while (::read(wakeRead, drainBuf, sizeof drainBuf) > 0) {
+                    }
+                    continue;
+                }
+                if (p.fd == listenFd) {
+                    acceptPending();
+                    continue;
+                }
+                const auto it = sessions.find(p.fd);
+                if (it == sessions.end()) continue;
+                Session& session = it->second;
+                bool alive = true;
+                if ((p.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0 &&
+                    (p.revents & POLLIN) == 0) {
+                    alive = false;
+                }
+                if (alive && (p.revents & POLLIN) != 0) alive = readSession(session);
+                if (alive && !session.out.empty()) alive = writeSession(session);
+                if (!alive) toDrop.push_back(p.fd);
+            }
+            for (const int fd : toDrop) dropSession(fd);
+        }
+    }
+};
+
+HttpServer::HttpServer() : HttpServer(Options()) {}
+
+HttpServer::HttpServer(Options options) : options_(options) {}
+
+HttpServer::~HttpServer() {
+    stop();
+}
+
+void HttpServer::handle(const std::string& path, HttpHandler handler) {
+    routes_[path] = std::move(handler);
+}
+
+bool HttpServer::start(const std::string& address, std::string* error) {
+    if (running_) {
+        *error = "server already running";
+        return false;
+    }
+    std::string host;
+    std::uint16_t wantPort = 0;
+    if (!parseHostPort(address, &host, &wantPort, error)) return false;
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(wantPort);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        *error = "bad IPv4 address '" + host + "'";
+        return false;
+    }
+
+    auto loop = std::make_unique<Loop>();
+    loop->options = options_;
+    loop->routes = routes_;
+
+    loop->listenFd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (loop->listenFd < 0) {
+        *error = std::string("socket: ") + std::strerror(errno);
+        return false;
+    }
+    const int one = 1;
+    ::setsockopt(loop->listenFd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    if (::bind(loop->listenFd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+        *error = "bind " + address + ": " + std::strerror(errno);
+        return false;
+    }
+    if (::listen(loop->listenFd, 512) != 0) {
+        *error = std::string("listen: ") + std::strerror(errno);
+        return false;
+    }
+    sockaddr_in bound{};
+    socklen_t boundLen = sizeof bound;
+    if (::getsockname(loop->listenFd, reinterpret_cast<sockaddr*>(&bound), &boundLen) != 0) {
+        *error = std::string("getsockname: ") + std::strerror(errno);
+        return false;
+    }
+    char ip[INET_ADDRSTRLEN] = "?";
+    ::inet_ntop(AF_INET, &bound.sin_addr, ip, sizeof ip);
+    port_ = ntohs(bound.sin_port);
+    boundAddress_ = std::string(ip) + ":" + std::to_string(port_);
+
+    int pipeFds[2];
+    if (::pipe(pipeFds) != 0) {
+        *error = std::string("pipe: ") + std::strerror(errno);
+        return false;
+    }
+    loop->wakeRead = pipeFds[0];
+    loop->wakeWrite = pipeFds[1];
+    if (!setNonBlocking(loop->listenFd) || !setNonBlocking(loop->wakeRead) ||
+        !setNonBlocking(loop->wakeWrite)) {
+        *error = "failed to set O_NONBLOCK";
+        return false;
+    }
+    loop->attachMetrics();
+
+    loop_ = std::move(loop);
+    thread_ = std::thread([this] { loop_->run(); });
+    running_ = true;
+    return true;
+}
+
+void HttpServer::stop() {
+    if (!running_) return;
+    loop_->stopFlag.store(true, std::memory_order_release);
+    const char byte = 'x';
+    [[maybe_unused]] const ssize_t n = ::write(loop_->wakeWrite, &byte, 1);
+    thread_.join();
+    loop_.reset();
+    running_ = false;
+}
+
+std::uint64_t HttpServer::requestsServed() const {
+    return loop_ ? loop_->served.load(std::memory_order_relaxed) : 0;
+}
+
+}  // namespace rpkic::obs

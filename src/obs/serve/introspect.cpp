@@ -1,0 +1,106 @@
+#include "obs/serve/introspect.hpp"
+
+#include "obs/flight/postmortem.hpp"
+
+namespace rpkic::obs {
+
+void StatusBoard::set(const std::string& key, const std::string& value) {
+    rc::LockGuard lock(mutex_);
+    rows_[key] = value;
+}
+
+void StatusBoard::remove(const std::string& key) {
+    rc::LockGuard lock(mutex_);
+    rows_.erase(key);
+}
+
+void StatusBoard::removePrefix(const std::string& prefix) {
+    rc::LockGuard lock(mutex_);
+    auto it = rows_.lower_bound(prefix);
+    while (it != rows_.end() && it->first.compare(0, prefix.size(), prefix) == 0) {
+        it = rows_.erase(it);
+    }
+}
+
+void StatusBoard::clear() {
+    rc::LockGuard lock(mutex_);
+    rows_.clear();
+}
+
+std::string StatusBoard::get(const std::string& key) const {
+    rc::LockGuard lock(mutex_);
+    const auto it = rows_.find(key);
+    return it == rows_.end() ? "" : it->second;
+}
+
+std::size_t StatusBoard::size() const {
+    rc::LockGuard lock(mutex_);
+    return rows_.size();
+}
+
+std::string StatusBoard::render() const {
+    rc::LockGuard lock(mutex_);
+    std::string out;
+    for (const auto& [key, value] : rows_) {
+        out += key + ": " + value + "\n";
+    }
+    return out;
+}
+
+StatusBoard& StatusBoard::global() {
+    static StatusBoard instance;
+    return instance;
+}
+
+// ---------------------------------------------------------------------------
+
+IntrospectionServer::IntrospectionServer() : IntrospectionServer(Options()) {}
+
+IntrospectionServer::IntrospectionServer(Options options)
+    : registry_(options.registry != nullptr ? options.registry : &Registry::global()),
+      recorder_(options.recorder != nullptr ? options.recorder : &FlightRecorder::global()),
+      status_(options.status != nullptr ? options.status : &StatusBoard::global()),
+      server_([&] {
+          HttpServer::Options http = options.http;
+          if (http.registry == nullptr) http.registry = registry_;
+          return http;
+      }()) {
+    server_.handle("/healthz", [](const HttpRequest&) {
+        HttpResponse response;
+        response.body = "ok\n";
+        return response;
+    });
+    server_.handle("/metrics", [this](const HttpRequest&) {
+        HttpResponse response;
+        response.contentType = "text/plain; version=0.0.4; charset=utf-8";
+        response.body = registry_->snapshot().renderPrometheus();
+        return response;
+    });
+    server_.handle("/statusz", [this](const HttpRequest&) {
+        HttpResponse response;
+        response.body = status_->render();
+        return response;
+    });
+    server_.handle("/flightz", [this](const HttpRequest&) {
+        HttpResponse response;
+        const std::vector<FlightEvent> events = recorder_->snapshot();
+        response.body = "flight: enabled=" + std::string(recorder_->enabled() ? "1" : "0") +
+                        " events=" + std::to_string(events.size()) +
+                        " dropped=" + std::to_string(recorder_->dropped()) + "\n";
+        for (const std::string& scope : recorder_->openScopes()) {
+            response.body += "scope: " + scope + "\n";
+        }
+        response.body += renderFlightEvents(events);
+        return response;
+    });
+}
+
+bool IntrospectionServer::start(const std::string& address, std::string* error) {
+    return server_.start(address, error);
+}
+
+void IntrospectionServer::stop() {
+    server_.stop();
+}
+
+}  // namespace rpkic::obs

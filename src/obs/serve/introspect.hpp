@@ -1,0 +1,85 @@
+// The introspection endpoints: a thin wiring of HttpServer routes over
+// the live observability state —
+//
+//   /metrics  Prometheus exposition from Registry::snapshot() (torn-read
+//             free; lint-clean while writers race the scrape)
+//   /healthz  "ok" + uptime-ish request counter (liveness probe)
+//   /statusz  the StatusBoard: current seed/round/epoch, per-member
+//             fleet verdicts, store commit serials — whatever the
+//             running harness publishes
+//   /flightz  the global flight recorder's ring + open scopes
+//
+// StatusBoard is the push side of /statusz: harness code set()s rows
+// (sorted key order, deterministic render) as it progresses; the server
+// renders them on demand. Rows are plain strings so the board never
+// couples the server to harness types.
+#pragma once
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/flight/recorder.hpp"
+#include "obs/metrics.hpp"
+#include "obs/serve/http.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace rpkic::obs {
+
+/// Thread-safe key→value board behind /statusz. Keys render in sorted
+/// order; use "section/row" style keys ("fleet/member-3/verdict") to get
+/// stable grouping for free.
+class StatusBoard {
+public:
+    void set(const std::string& key, const std::string& value) RC_EXCLUDES(mutex_);
+    void remove(const std::string& key) RC_EXCLUDES(mutex_);
+    /// Drops every row whose key starts with `prefix` (end-of-run cleanup).
+    void removePrefix(const std::string& prefix) RC_EXCLUDES(mutex_);
+    void clear() RC_EXCLUDES(mutex_);
+
+    std::string get(const std::string& key) const RC_EXCLUDES(mutex_);
+    std::size_t size() const RC_EXCLUDES(mutex_);
+
+    /// "key: value\n" rows in sorted key order.
+    std::string render() const RC_EXCLUDES(mutex_);
+
+    /// The process-wide board the tools publish into.
+    static StatusBoard& global();
+
+private:
+    mutable rc::Mutex mutex_;
+    std::map<std::string, std::string> rows_ RC_GUARDED_BY(mutex_);
+};
+
+/// One-call wiring of the standard endpoints onto an HttpServer.
+class IntrospectionServer {
+public:
+    struct Options {
+        Registry* registry = nullptr;         ///< nullptr = Registry::global()
+        FlightRecorder* recorder = nullptr;   ///< nullptr = FlightRecorder::global()
+        StatusBoard* status = nullptr;        ///< nullptr = StatusBoard::global()
+        HttpServer::Options http;             ///< http.registry defaults to `registry`
+    };
+
+    IntrospectionServer();
+    explicit IntrospectionServer(Options options);
+
+    /// Binds + serves in the background. False with *error on failure.
+    bool start(const std::string& address, std::string* error);
+    void stop();
+
+    bool running() const { return server_.running(); }
+    const std::string& boundAddress() const { return server_.boundAddress(); }
+    std::uint16_t port() const { return server_.port(); }
+    std::uint64_t requestsServed() const { return server_.requestsServed(); }
+
+private:
+    Registry* registry_;
+    FlightRecorder* recorder_;
+    StatusBoard* status_;
+    HttpServer server_;
+};
+
+}  // namespace rpkic::obs

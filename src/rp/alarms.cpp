@@ -47,6 +47,13 @@ void AlarmLog::raise(Alarm alarm) {
         }
         c->inc();
     }
+    if (recorder_ != nullptr || obs::FlightRecorder::global().enabled()) {
+        obs::flightRecord(recorder_, obs::FlightKind::Alarm,
+                          entity_.empty() ? "rp" : entity_,
+                          "class=" + std::string(toString(alarm.type)) +
+                              (alarm.accountable ? " accountable=true " : " accountable=false ") +
+                              alarm.str());
+    }
     alarms_.push_back(std::move(alarm));
 }
 

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "crypto/sha256.hpp"
+#include "obs/flight/recorder.hpp"
 #include "obs/obs.hpp"
 #include "util/time.hpp"
 
@@ -52,6 +53,13 @@ public:
     /// `registry`, labelled entity=`entity`. nullptr detaches.
     void attachMetrics(obs::Registry* registry, std::string entity);
 
+    /// Routes future raise() calls into `recorder` as Alarm flight events
+    /// (component = the entity given to attachMetrics, detail =
+    /// Alarm::str() prefixed with the Table-7 class). nullptr detaches.
+    /// Like metrics, restore() never records — a replayed alarm was
+    /// already in the ring when first raised.
+    void attachRecorder(obs::FlightRecorder* recorder) { recorder_ = recorder; }
+
     void raise(Alarm alarm);
 
     /// Appends WITHOUT touching metrics. Cache deserialization replays
@@ -69,6 +77,7 @@ public:
 private:
     std::vector<Alarm> alarms_;
     obs::Registry* registry_ = nullptr;
+    obs::FlightRecorder* recorder_ = nullptr;
     std::string entity_;
     /// Lazily created counters, indexed [alarm type][accountable].
     std::array<std::array<obs::Counter*, 2>, 6> counters_{};

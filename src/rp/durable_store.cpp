@@ -329,6 +329,12 @@ void DurableStore::commit(ByteView payload, std::uint64_t meta) {
     lastLsn_ = lsn;
     latest_ = Bytes(payload.begin(), payload.end());
     latestMeta_ = meta;
+    if (recorder_ != nullptr || obs::FlightRecorder::global().enabled()) {
+        obs::flightRecord(recorder_, obs::FlightKind::StoreCommit,
+                          "store/" + options_.name,
+                          "lsn=" + std::to_string(lsn) + " meta=" + std::to_string(meta) +
+                              " bytes=" + std::to_string(payload.size()));
+    }
     commitsTotal_->inc();
     ++commitsSinceCheckpoint_;
     if (options_.checkpointEvery != 0 && commitsSinceCheckpoint_ >= options_.checkpointEvery) {

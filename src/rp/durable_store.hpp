@@ -37,6 +37,7 @@
 #include <optional>
 #include <string>
 
+#include "obs/flight/recorder.hpp"
 #include "obs/obs.hpp"
 #include "util/bytes.hpp"
 #include "util/vfs.hpp"
@@ -80,6 +81,12 @@ public:
     /// `registry` nullptr means obs::Registry::global().
     DurableStore(vfs::Vfs& fs, std::string dir, StoreOptions options = {},
                  obs::Registry* registry = nullptr);
+
+    /// Routes future commits into `recorder` as StoreCommit flight events
+    /// (component = "store/<name>", detail = lsn/meta/bytes). nullptr
+    /// detaches. Recovery never records — replayed commits were in the
+    /// ring when first made.
+    void attachRecorder(obs::FlightRecorder* recorder) { recorder_ = recorder; }
 
     DurableStore(const DurableStore&) = delete;
     DurableStore& operator=(const DurableStore&) = delete;
@@ -128,6 +135,7 @@ private:
     std::string dir_;
     StoreOptions options_;
     obs::Registry* registry_;
+    obs::FlightRecorder* recorder_ = nullptr;
 
     bool open_ = false;
     bool poisoned_ = false;

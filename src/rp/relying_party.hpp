@@ -93,6 +93,12 @@ public:
     // --- alarm access -------------------------------------------------------
     const AlarmLog& alarms() const { return alarms_; }
 
+    /// Routes future alarms into `recorder` as flight events (see
+    /// AlarmLog::attachRecorder). nullptr detaches.
+    void attachAlarmRecorder(obs::FlightRecorder* recorder) {
+        alarms_.attachRecorder(recorder);
+    }
+
     // --- validity outputs ---------------------------------------------------
     /// The current set of valid ROAs (descending only through Valid RCs;
     /// stale objects are retained per §5.3.2 — "revert to an older set").

@@ -90,11 +90,33 @@ bool chainLagging(const RelyingParty& chaotic, const SyncEngine& engine,
 struct Violations {
     std::vector<std::string>& out;
     std::uint64_t round;
+    std::uint64_t seed = 0;
+    obs::FlightRecorder* recorder = nullptr;
+    const obs::Registry* registry = nullptr;
+    std::vector<obs::CapturedBundle>* bundles = nullptr;
+
+    /// At most this many invariant-failure bundles are captured per run
+    /// (each snapshots the full ring + metrics digest; a cascade of
+    /// violations should not balloon the result).
+    static constexpr std::size_t kMaxBundles = 8;
 
     void add(const std::string& what) {
         std::ostringstream os;
         os << "round " << round << ": " << what;
         out.push_back(os.str());
+        obs::flightRecord(recorder, obs::FlightKind::InvariantFail, "soak", os.str());
+        if (recorder != nullptr && bundles != nullptr && bundles->size() < kMaxBundles) {
+            obs::CapturedBundle bundle;
+            bundle.trigger = "invariant-fail";
+            bundle.label = "seed-" + std::to_string(seed) + "-violation-" +
+                           std::to_string(out.size());
+            bundle.bytes = obs::buildPostmortem(
+                *recorder, registry, bundle.trigger,
+                {{"seed", std::to_string(seed)},
+                 {"round", std::to_string(round)},
+                 {"violation", os.str()}});
+            bundles->push_back(std::move(bundle));
+        }
     }
 };
 
@@ -179,6 +201,20 @@ SoakResult runSoakImpl(const SoakConfig& cfg, const FaultPlan* replay) {
     obs::Registry localRegistry;
     obs::Registry* registry = cfg.registry != nullptr ? cfg.registry : &localRegistry;
 
+    // Run-local flight recorder for the same reason: bundle bytes must
+    // not depend on what earlier runs left in the ring.
+    obs::FlightRecorder localRecorder;
+    obs::FlightRecorder* recorder = cfg.recorder != nullptr ? cfg.recorder : &localRecorder;
+    if (cfg.recorder == nullptr) localRecorder.attachMetrics(registry);
+    obs::FlightScope runScope(recorder, "soak", "run seed=" + std::to_string(cfg.seed));
+
+    const std::string statusPrefix = "soak/seed-" + std::to_string(cfg.seed) + "/";
+    const auto publish = [&](const std::string& key, const std::string& value) {
+        if (cfg.status != nullptr) cfg.status->set(statusPrefix + key, value);
+    };
+    publish("rounds-total", std::to_string(cfg.rounds));
+    publish("state", "running");
+
     // --- world ---------------------------------------------------------------
     DriverConfig driverConfig;
     driverConfig.seed = cfg.seed;
@@ -208,7 +244,9 @@ SoakResult runSoakImpl(const SoakConfig& cfg, const FaultPlan* replay) {
     const RpOptions rpOptions{.ts = 4, .tg = 8, .checkIntermediateStates = true};
     std::optional<RelyingParty> chaotic;
     chaotic.emplace("chaotic", driver.trustAnchors(), rpOptions, registry);
+    chaotic->attachAlarmRecorder(recorder);
     RelyingParty twin("twin", driver.trustAnchors(), rpOptions, registry);
+    twin.attachAlarmRecorder(recorder);
 
     SyncPolicy policy;
     policy.maxAttempts = cfg.retryBudget + 1;
@@ -230,6 +268,7 @@ SoakResult runSoakImpl(const SoakConfig& cfg, const FaultPlan* replay) {
     std::optional<rp::DurableStore> store;
     if (durable) {
         store.emplace(*stateVfs, cfg.stateDir, rp::StoreOptions{}, registry);
+        store->attachRecorder(recorder);
         store->open();  // expects a fresh directory (tools pick one per run)
         engine->attachStore(&*store);
     }
@@ -265,6 +304,21 @@ SoakResult runSoakImpl(const SoakConfig& cfg, const FaultPlan* replay) {
         }
         result.stats.storeTornBytes += rec.tornBytesDiscarded;
         if (rec.recovered) ++result.stats.storeRecoveries;
+        obs::flightRecord(recorder, obs::FlightKind::CrashRealized, "soak",
+                          "crash=" + std::to_string(result.stats.crashes) +
+                              " round=" + std::to_string(r) + " " + rec.summary());
+        if (result.postmortems.size() < Violations::kMaxBundles) {
+            obs::CapturedBundle bundle;
+            bundle.trigger = "crash-realized";
+            bundle.label = "seed-" + std::to_string(cfg.seed) + "-crash-" +
+                           std::to_string(result.stats.crashes);
+            bundle.bytes = obs::buildPostmortem(
+                *recorder, registry, bundle.trigger,
+                {{"seed", std::to_string(cfg.seed)},
+                 {"round", std::to_string(r)},
+                 {"recovery", rec.summary()}});
+            result.postmortems.push_back(std::move(bundle));
+        }
         if (store->latest().has_value()) {
             const Bytes& blob = *store->latest();
             try {
@@ -287,6 +341,7 @@ SoakResult runSoakImpl(const SoakConfig& cfg, const FaultPlan* replay) {
             // starts from the trust anchors, exactly like round 0 did.
             chaotic.emplace("chaotic", driver.trustAnchors(), rpOptions, registry);
         }
+        chaotic->attachAlarmRecorder(recorder);
         engine.emplace(*chaotic, chaos, policy, registry);
         engine->attachStore(&*store);
         if (store->latestMeta() > 0) engine->resumeAt(store->latestMeta());
@@ -316,8 +371,11 @@ SoakResult runSoakImpl(const SoakConfig& cfg, const FaultPlan* replay) {
 
     for (std::uint64_t r = 0; r < cfg.rounds; ++r) {
         RC_OBS_SPAN("soak.round", "soak");
+        obs::FlightScope roundScope(recorder, "soak", "round r=" + std::to_string(r));
         const Time now = static_cast<Time>(r);
-        Violations v{result.violations, r};
+        Violations v{result.violations, r, cfg.seed, recorder, registry,
+                     &result.postmortems};
+        publish("round", std::to_string(r));
 
         if (r > 0) driver.step(now);
 
@@ -458,6 +516,16 @@ SoakResult runSoakImpl(const SoakConfig& cfg, const FaultPlan* replay) {
         if (allDelivered && !(chaotic->roaState() == twin.roaState())) {
             ++result.stats.divergentCleanRounds;
         }
+
+        publish("alarms", std::to_string(chaotic->alarms().count()));
+        publish("violations", std::to_string(result.violations.size()));
+        if (durable) publish("store-lsn", std::to_string(store->latestLsn()));
+    }
+
+    if (cfg.forceInvariantFail) {
+        Violations forced{result.violations, cfg.rounds, cfg.seed, recorder, registry,
+                          &result.postmortems};
+        forced.add("forced invariant failure (--force-invariant-fail test hook)");
     }
 
     // --- stats ---------------------------------------------------------------
@@ -491,6 +559,7 @@ SoakResult runSoakImpl(const SoakConfig& cfg, const FaultPlan* replay) {
     result.rounds = std::move(allReports);
 
     result.passed = result.violations.empty();
+    publish("state", result.passed ? "passed" : "failed");
     return result;
 }
 

@@ -52,7 +52,10 @@
 #include <string>
 #include <vector>
 
+#include "obs/flight/postmortem.hpp"
+#include "obs/flight/recorder.hpp"
 #include "obs/obs.hpp"
+#include "obs/serve/introspect.hpp"
 #include "rpki/chaos.hpp"
 #include "rp/durable_store.hpp"
 #include "rp/sync_engine.hpp"
@@ -93,6 +96,18 @@ struct SoakConfig {
     vfs::Vfs* stateVfs = nullptr;
     /// Directory for the store's WAL + checkpoints.
     std::string stateDir = "soak-state";
+    /// Flight recorder for the run. nullptr means a recorder local to the
+    /// run (same rationale as `registry`: postmortem bundles are then
+    /// byte-identical across same-seed runs). Alarm/commit hooks also tee
+    /// into the enabled global recorder for /flightz either way.
+    obs::FlightRecorder* recorder = nullptr;
+    /// Live /statusz rows (seed, round, alarms, store lsn) are published
+    /// here under "soak/seed-<seed>/...". nullptr disables publication.
+    obs::StatusBoard* status = nullptr;
+    /// Test/CI hook: append one synthetic invariant violation at the end
+    /// of the run, so the postmortem-capture path fires deterministically
+    /// even on seeds that pass.
+    bool forceInvariantFail = false;
 };
 
 /// Reconstructs the configuration a plan was generated under, so replays
@@ -134,6 +149,9 @@ struct SoakResult {
     /// The chaotic engine's per-round sync reports (scoreboard data:
     /// delivered/failed/retries/alarms per round).
     std::vector<rp::SyncReport> rounds;
+    /// Postmortem bundles captured when an invariant failed or a crash
+    /// was realized (one per trigger; deterministic bytes per seed).
+    std::vector<obs::CapturedBundle> postmortems;
 };
 
 /// Runs one soak: generates a FaultPlan from cfg.seed round by round (so

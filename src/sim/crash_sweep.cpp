@@ -73,13 +73,32 @@ SweepResult runCrashSweep(const SweepConfig& cfg) {
 
     obs::Registry localRegistry;
     obs::Registry* registry = cfg.registry != nullptr ? cfg.registry : &localRegistry;
+    obs::FlightRecorder localRecorder;
+    obs::FlightRecorder* recorder = cfg.recorder != nullptr ? cfg.recorder : &localRecorder;
+    if (cfg.recorder == nullptr) localRecorder.attachMetrics(registry);
+    obs::FlightScope sweepScope(recorder, "sweep",
+                                "run seed=" + std::to_string(cfg.seed));
     const Reference ref = runReference(cfg, registry);
     result.crashPoints = ref.opCount;
 
+    constexpr std::size_t kMaxBundles = 8;
     const auto violation = [&](std::uint64_t k, const std::string& what) {
         std::ostringstream os;
         os << "crash point " << k << ": " << what;
         result.violations.push_back(os.str());
+        obs::flightRecord(recorder, obs::FlightKind::InvariantFail, "sweep", os.str());
+        if (result.postmortems.size() < kMaxBundles) {
+            obs::CapturedBundle bundle;
+            bundle.trigger = "invariant-fail";
+            bundle.label = "seed-" + std::to_string(cfg.seed) + "-violation-" +
+                           std::to_string(result.violations.size());
+            bundle.bytes = obs::buildPostmortem(
+                *recorder, registry, bundle.trigger,
+                {{"seed", std::to_string(cfg.seed)},
+                 {"crash-point", std::to_string(k)},
+                 {"violation", os.str()}});
+            result.postmortems.push_back(std::move(bundle));
+        }
     };
 
     for (std::uint64_t k = 0; k < ref.opCount; ++k) {
@@ -116,6 +135,9 @@ SweepResult runCrashSweep(const SweepConfig& cfg) {
             } catch (const vfs::CrashInjected&) {
                 crashed = true;
                 ++result.crashesFired;
+                obs::flightRecord(recorder, obs::FlightKind::CrashRealized, "sweep",
+                                  "crash-point=" + std::to_string(k) +
+                                      " round=" + std::to_string(r));
                 // The "process" died at op k. Drop every in-memory object
                 // and recover from the surviving bytes.
                 engine.reset();

@@ -34,6 +34,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/flight/postmortem.hpp"
+#include "obs/flight/recorder.hpp"
 #include "obs/obs.hpp"
 
 namespace rpkic::sim {
@@ -50,6 +52,8 @@ struct SweepConfig {
     double adversarialProbability = 0.15;
     /// Metrics registry; nullptr = run-local (see SoakConfig::registry).
     obs::Registry* registry = nullptr;
+    /// Flight recorder; nullptr = run-local (see SoakConfig::recorder).
+    obs::FlightRecorder* recorder = nullptr;
 };
 
 struct SweepResult {
@@ -62,6 +66,9 @@ struct SweepResult {
     std::uint64_t roundsResumed = 0;  ///< rounds rerun across all reruns
     bool passed = false;
     std::vector<std::string> violations;  ///< empty iff passed
+    /// Postmortem bundles captured at invariant violations (capped; the
+    /// sweep's realized crashes are the workload, not a trigger).
+    std::vector<obs::CapturedBundle> postmortems;
 };
 
 /// Runs the reference workload plus one crashed rerun per VFS operation.

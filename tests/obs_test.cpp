@@ -315,6 +315,44 @@ TEST(ObsRegistry, JsonDumpIsValidJson) {
     EXPECT_TRUE(JsonChecker(json).valid()) << json;
 }
 
+TEST(ObsRegistry, SnapshotIsPlainDataEquivalentToLiveRender) {
+    // Registry::snapshot() is what /metrics and --metrics-out render
+    // from: a torn-read-free copy whose exposition must be exactly the
+    // live registry's, and which stays frozen while the source moves on.
+    obs::Registry reg;
+    reg.counter("rc_snap_total", "s", {{"k", "v"}}).inc(4);
+    reg.gauge("rc_snap_depth", "d").set(9);
+    obs::Histogram& h = reg.histogram("rc_snap_seconds", "s");
+    h.observe(0.002);
+    h.observe(1.5);
+
+    const obs::RegistrySnapshot snap = reg.snapshot();
+    EXPECT_EQ(snap.renderPrometheus(), reg.renderPrometheus());
+    EXPECT_EQ(snap.renderJson(), reg.renderJson());
+    EXPECT_TRUE(obs::lintPrometheus(snap.renderPrometheus()).empty());
+
+    ASSERT_EQ(snap.families.size(), 3u);  // sorted by name
+    EXPECT_EQ(snap.families[0].name, "rc_snap_depth");
+    EXPECT_EQ(snap.families[1].name, "rc_snap_seconds");
+    EXPECT_EQ(snap.families[2].name, "rc_snap_total");
+
+    const obs::FamilySnapshot* counter = snap.find("rc_snap_total");
+    ASSERT_NE(counter, nullptr);
+    ASSERT_EQ(counter->series.size(), 1u);
+    EXPECT_EQ(counter->series[0].labels, "{k=\"v\"}");
+    EXPECT_EQ(counter->series[0].value, 4.0);
+    const obs::FamilySnapshot* hist = snap.find("rc_snap_seconds");
+    ASSERT_NE(hist, nullptr);
+    EXPECT_EQ(hist->series[0].count, 2u);
+    EXPECT_EQ(snap.find("rc_absent_total"), nullptr);
+
+    // The snapshot is decoupled: later writes do not retroactively
+    // appear in it.
+    reg.counter("rc_snap_total", "s", {{"k", "v"}}).inc(10);
+    const obs::FamilySnapshot* again = snap.find("rc_snap_total");
+    EXPECT_EQ(again->series[0].value, 4.0);
+}
+
 // --- the linter itself ------------------------------------------------------
 
 TEST(ObsLint, AcceptsMinimalValidExposition) {

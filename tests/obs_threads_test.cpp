@@ -15,6 +15,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/flight/recorder.hpp"
 #include "obs/obs.hpp"
 
 namespace rpkic {
@@ -91,6 +92,93 @@ TEST(ObsThreads, RegistryHistogramAccountingWhileRendering) {
     EXPECT_EQ(reg.histogram("rc_stress_latency_seconds", "").totalCount(),
               static_cast<std::uint64_t>(kThreads) * kIters);
     EXPECT_TRUE(obs::lintPrometheus(reg.renderPrometheus()).empty());
+}
+
+TEST(ObsThreads, SnapshotScrapeWhileInstrumenting) {
+    // The /metrics path under contention: scraper threads loop
+    // snapshot().renderPrometheus() while writers mint series and
+    // observe. Every caught exposition must lint clean — in particular a
+    // histogram's rendered +Inf bucket must equal its _count even when
+    // observe() races the snapshot (torn-read freedom, satellite 1).
+    obs::Registry reg;
+    constexpr int kIters = 4000;
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> scrapers;
+    for (int s = 0; s < 2; ++s) {
+        scrapers.emplace_back([&] {
+            while (!stop.load(std::memory_order_relaxed)) {
+                const obs::RegistrySnapshot snap = reg.snapshot();
+                const std::string prom = snap.renderPrometheus();
+                for (const std::string& p : obs::lintPrometheus(prom)) {
+                    ADD_FAILURE() << "lint: " << p;
+                }
+                for (const obs::FamilySnapshot& fam : snap.families) {
+                    for (const obs::SeriesSnapshot& series : fam.series) {
+                        if (fam.kind != obs::MetricKind::Histogram) continue;
+                        std::uint64_t sum = 0;
+                        for (const std::uint64_t b : series.buckets) sum += b;
+                        EXPECT_EQ(sum, series.count) << fam.name;
+                    }
+                }
+            }
+        });
+    }
+    inParallel([&](int t) {
+        obs::Histogram& hist = reg.histogram("rc_stress_scrape_seconds", "obs");
+        for (int i = 0; i < kIters; ++i) {
+            hist.observe(1e-5 * static_cast<double>(i % 500));
+            reg.counter("rc_stress_scrape_total", "ops",
+                        {{"thread", std::to_string(t)}})
+                .inc();
+        }
+    });
+    stop.store(true, std::memory_order_relaxed);
+    for (std::thread& th : scrapers) th.join();
+    EXPECT_EQ(reg.histogram("rc_stress_scrape_seconds", "").totalCount(),
+              static_cast<std::uint64_t>(kThreads) * kIters);
+}
+
+// --- flight recorder --------------------------------------------------------
+
+TEST(ObsThreads, FlightRecorderExactAccountingUnderContention) {
+    obs::Registry reg;
+    obs::FlightRecorder rec(/*capacity=*/256);  // small ring: force drops
+    rec.attachMetrics(&reg);
+    constexpr int kEvents = 5000;
+    std::atomic<bool> stop{false};
+    // A reader loops snapshot() + openScopes() while writers record and
+    // push/pop scopes — the /flightz render path under contention.
+    std::thread reader([&] {
+        while (!stop.load(std::memory_order_relaxed)) {
+            const auto events = rec.snapshot();
+            ASSERT_LE(events.size(), rec.capacity());
+            for (std::size_t i = 1; i < events.size(); ++i) {
+                ASSERT_LT(events[i - 1].seq, events[i].seq) << "snapshot out of order";
+            }
+            (void)rec.openScopes();
+        }
+    });
+    inParallel([&](int t) {
+        for (int i = 0; i < kEvents; ++i) {
+            if (i % 16 == 0) {
+                const obs::FlightScope scope(&rec, "stress",
+                                             "t=" + std::to_string(t));
+                rec.record(obs::FlightKind::LogLine, "stress", std::to_string(i));
+            } else {
+                rec.record(obs::FlightKind::Alarm, "stress", std::to_string(i));
+            }
+        }
+    });
+    stop.store(true, std::memory_order_relaxed);
+    reader.join();
+    // Every record landed exactly once: retained + dropped = recorded,
+    // and the scope events (one SpanClose per FlightScope) are included.
+    const std::uint64_t scopesPerThread = (kEvents + 15) / 16;  // i % 16 == 0 hits
+    const auto expected =
+        static_cast<std::uint64_t>(kThreads) * (kEvents + scopesPerThread);
+    EXPECT_EQ(rec.totalRecorded(), expected);
+    EXPECT_EQ(rec.size() + rec.dropped(), expected);
+    EXPECT_TRUE(rec.openScopes().empty());
 }
 
 // --- tracer -----------------------------------------------------------------

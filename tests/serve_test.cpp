@@ -1,0 +1,409 @@
+// Introspection serving plane (src/obs/serve/): address parsing, the
+// poll()-based HTTP server's protocol behaviour over real sockets
+// (status codes, keep-alive, HEAD, malformed input), the StatusBoard,
+// and the IntrospectionServer endpoints — including the acceptance-bar
+// property that /metrics stays lint-clean while writers race the scrape.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/serve/http.hpp"
+#include "obs/serve/introspect.hpp"
+
+namespace rpkic::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// A minimal blocking test client (keep-alive capable, Content-Length framed).
+
+class Client {
+public:
+    explicit Client(std::uint16_t port) {
+        fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_port = htons(port);
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        connected_ =
+            fd_ >= 0 && ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0;
+    }
+    ~Client() {
+        if (fd_ >= 0) ::close(fd_);
+    }
+    bool connected() const { return connected_; }
+
+    /// Sends raw bytes and reads one Content-Length framed response.
+    /// Returns the HTTP status code, 0 on transport error / close.
+    int roundTrip(const std::string& raw, std::string* body = nullptr,
+                  std::string* head = nullptr) {
+        if (!sendAll(raw)) return 0;
+        std::string buf;
+        std::size_t headerEnd = std::string::npos;
+        char chunk[8192];
+        while ((headerEnd = buf.find("\r\n\r\n")) == std::string::npos) {
+            const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+            if (n <= 0) return 0;
+            buf.append(chunk, static_cast<std::size_t>(n));
+        }
+        if (head != nullptr) *head = buf.substr(0, headerEnd);
+        const std::size_t lenPos = buf.find("Content-Length: ");
+        if (lenPos == std::string::npos || lenPos > headerEnd) return 0;
+        const std::size_t bodyLen = std::strtoull(buf.c_str() + lenPos + 16, nullptr, 10);
+        const std::size_t bodyStart = headerEnd + 4;
+        // HEAD responses advertise the body length but never send it.
+        const bool isHead = raw.rfind("HEAD ", 0) == 0;
+        while (!isHead && buf.size() < bodyStart + bodyLen) {
+            const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+            if (n <= 0) return 0;
+            buf.append(chunk, static_cast<std::size_t>(n));
+        }
+        if (body != nullptr) *body = isHead ? "" : buf.substr(bodyStart, bodyLen);
+        if (buf.rfind("HTTP/", 0) != 0) return 0;
+        return std::atoi(buf.c_str() + buf.find(' ') + 1);
+    }
+
+    int get(const std::string& path, std::string* body = nullptr) {
+        return roundTrip("GET " + path + " HTTP/1.1\r\nHost: t\r\n\r\n", body);
+    }
+
+private:
+    bool sendAll(const std::string& data) {
+        std::size_t sent = 0;
+        while (sent < data.size()) {
+            const ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent, 0);
+            if (n <= 0) return false;
+            sent += static_cast<std::size_t>(n);
+        }
+        return true;
+    }
+
+    int fd_ = -1;
+    bool connected_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// parseHostPort
+
+TEST(ParseHostPort, AcceptsHostColonPort) {
+    std::string host, error;
+    std::uint16_t port = 0;
+    ASSERT_TRUE(parseHostPort("127.0.0.1:9105", &host, &port, &error)) << error;
+    EXPECT_EQ(host, "127.0.0.1");
+    EXPECT_EQ(port, 9105);
+}
+
+TEST(ParseHostPort, EmptyHostMeansLoopbackAndZeroMeansEphemeral) {
+    std::string host, error;
+    std::uint16_t port = 7;
+    ASSERT_TRUE(parseHostPort(":0", &host, &port, &error)) << error;
+    EXPECT_EQ(host, "127.0.0.1");
+    EXPECT_EQ(port, 0);
+}
+
+TEST(ParseHostPort, RejectsMalformedAddresses) {
+    std::string host, error;
+    std::uint16_t port = 0;
+    EXPECT_FALSE(parseHostPort("no-colon", &host, &port, &error));
+    EXPECT_FALSE(parseHostPort("h:", &host, &port, &error));
+    EXPECT_FALSE(parseHostPort("h:notaport", &host, &port, &error));
+    EXPECT_FALSE(parseHostPort("h:65536", &host, &port, &error));
+    EXPECT_FALSE(parseHostPort("h:123x", &host, &port, &error));
+}
+
+// ---------------------------------------------------------------------------
+// HttpServer protocol behaviour (real sockets, ephemeral ports)
+
+TEST(HttpServer, ServesRoutesAnd404sUnknownPaths) {
+    HttpServer server;
+    server.handle("/hello", [](const HttpRequest&) {
+        HttpResponse r;
+        r.body = "world\n";
+        return r;
+    });
+    std::string error;
+    ASSERT_TRUE(server.start("127.0.0.1:0", &error)) << error;
+    ASSERT_NE(server.port(), 0);
+
+    Client c(server.port());
+    ASSERT_TRUE(c.connected());
+    std::string body;
+    EXPECT_EQ(c.get("/hello", &body), 200);
+    EXPECT_EQ(body, "world\n");
+    EXPECT_EQ(c.get("/nope", &body), 404);
+    server.stop();
+    EXPECT_FALSE(server.running());
+}
+
+TEST(HttpServer, KeepAliveServesManyRequestsOnOneConnection) {
+    HttpServer server;
+    server.handle("/ping", [](const HttpRequest&) {
+        HttpResponse r;
+        r.body = "pong\n";
+        return r;
+    });
+    std::string error;
+    ASSERT_TRUE(server.start("127.0.0.1:0", &error)) << error;
+
+    Client c(server.port());
+    ASSERT_TRUE(c.connected());
+    for (int i = 0; i < 10; ++i) {
+        std::string body;
+        ASSERT_EQ(c.get("/ping", &body), 200) << "request " << i;
+        EXPECT_EQ(body, "pong\n");
+    }
+    EXPECT_EQ(server.requestsServed(), 10u);
+    server.stop();
+}
+
+TEST(HttpServer, HeadAdvertisesLengthWithoutBody) {
+    HttpServer server;
+    server.handle("/doc", [](const HttpRequest&) {
+        HttpResponse r;
+        r.body = "0123456789";
+        return r;
+    });
+    std::string error;
+    ASSERT_TRUE(server.start("127.0.0.1:0", &error)) << error;
+
+    Client c(server.port());
+    ASSERT_TRUE(c.connected());
+    std::string head;
+    EXPECT_EQ(c.roundTrip("HEAD /doc HTTP/1.1\r\nHost: t\r\n\r\n", nullptr, &head), 200);
+    EXPECT_NE(head.find("Content-Length: 10"), std::string::npos);
+    // The connection stays usable: a follow-up GET reads a full body.
+    std::string body;
+    EXPECT_EQ(c.get("/doc", &body), 200);
+    EXPECT_EQ(body, "0123456789");
+    server.stop();
+}
+
+TEST(HttpServer, RejectsNonGetMethodsWith405) {
+    HttpServer server;
+    server.handle("/x", [](const HttpRequest&) { return HttpResponse{}; });
+    std::string error;
+    ASSERT_TRUE(server.start("127.0.0.1:0", &error)) << error;
+
+    Client c(server.port());
+    ASSERT_TRUE(c.connected());
+    EXPECT_EQ(c.roundTrip("POST /x HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\n\r\n"), 405);
+    server.stop();
+}
+
+TEST(HttpServer, AnswersMalformedRequestsWith400AndDropsTheSession) {
+    HttpServer server;
+    server.handle("/x", [](const HttpRequest&) { return HttpResponse{}; });
+    std::string error;
+    ASSERT_TRUE(server.start("127.0.0.1:0", &error)) << error;
+
+    Client c(server.port());
+    ASSERT_TRUE(c.connected());
+    EXPECT_EQ(c.roundTrip("this is not http\r\n\r\n"), 400);
+    server.stop();
+}
+
+TEST(HttpServer, MetersRequestsByPathAndCollapsesUnknownPaths) {
+    Registry registry;
+    HttpServer::Options options;
+    options.registry = &registry;
+    HttpServer server(options);
+    server.handle("/known", [](const HttpRequest&) { return HttpResponse{}; });
+    std::string error;
+    ASSERT_TRUE(server.start("127.0.0.1:0", &error)) << error;
+
+    Client c(server.port());
+    ASSERT_TRUE(c.connected());
+    EXPECT_EQ(c.get("/known"), 200);
+    // Client-controlled targets must not mint one series per path.
+    EXPECT_EQ(c.get("/evil-1"), 404);
+    EXPECT_EQ(c.get("/evil-2"), 404);
+    server.stop();
+
+    const RegistrySnapshot snap = registry.snapshot();
+    const FamilySnapshot* requests = snap.find("rc_http_requests_total");
+    ASSERT_NE(requests, nullptr);
+    double known = 0.0, other = 0.0;
+    std::size_t series = 0;
+    for (const SeriesSnapshot& s : requests->series) {
+        ++series;
+        if (s.labels.find("/known") != std::string::npos) known = s.value;
+        if (s.labels.find("<other>") != std::string::npos) other = s.value;
+    }
+    EXPECT_EQ(series, 2u);  // "/known" + "<other>" — never "/evil-*"
+    EXPECT_EQ(known, 1.0);
+    EXPECT_EQ(other, 2.0);
+    const FamilySnapshot* sessions = snap.find("rc_http_sessions_total");
+    ASSERT_NE(sessions, nullptr);
+    EXPECT_EQ(sessions->series[0].value, 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// StatusBoard
+
+TEST(StatusBoard, RendersSortedRowsAndSupportsPrefixRemoval) {
+    StatusBoard board;
+    board.set("soak/seed-1/round", "12");
+    board.set("fleet/seed-2/epoch", "4");
+    board.set("soak/seed-1/alarms", "3");
+    EXPECT_EQ(board.size(), 3u);
+    EXPECT_EQ(board.get("soak/seed-1/round"), "12");
+    EXPECT_EQ(board.render(),
+              "fleet/seed-2/epoch: 4\n"
+              "soak/seed-1/alarms: 3\n"
+              "soak/seed-1/round: 12\n");
+
+    board.removePrefix("soak/");
+    EXPECT_EQ(board.size(), 1u);
+    board.remove("fleet/seed-2/epoch");
+    EXPECT_EQ(board.size(), 0u);
+    EXPECT_EQ(board.get("missing"), "");
+}
+
+// ---------------------------------------------------------------------------
+// IntrospectionServer endpoints
+
+TEST(IntrospectionServer, ServesAllFourEndpoints) {
+    Registry registry;
+    registry.counter("rc_test_ops_total", "ops").inc(5);
+    FlightRecorder recorder(64);
+    recorder.record(FlightKind::Alarm, "rp", "class=unilateral-revocation");
+    StatusBoard status;
+    status.set("soak/seed-9/round", "17");
+
+    IntrospectionServer::Options options;
+    options.registry = &registry;
+    options.recorder = &recorder;
+    options.status = &status;
+    IntrospectionServer server(options);
+    std::string error;
+    ASSERT_TRUE(server.start("127.0.0.1:0", &error)) << error;
+
+    Client c(server.port());
+    ASSERT_TRUE(c.connected());
+    std::string body;
+    EXPECT_EQ(c.get("/healthz", &body), 200);
+    EXPECT_NE(body.find("ok"), std::string::npos);
+
+    EXPECT_EQ(c.get("/metrics", &body), 200);
+    EXPECT_NE(body.find("rc_test_ops_total 5"), std::string::npos);
+    EXPECT_TRUE(lintPrometheus(body).empty());
+
+    EXPECT_EQ(c.get("/statusz", &body), 200);
+    EXPECT_NE(body.find("soak/seed-9/round: 17"), std::string::npos);
+
+    EXPECT_EQ(c.get("/flightz", &body), 200);
+    EXPECT_NE(body.find("kind=alarm"), std::string::npos);
+    EXPECT_NE(body.find("class=unilateral-revocation"), std::string::npos);
+
+    EXPECT_GE(server.requestsServed(), 4u);
+    server.stop();
+}
+
+TEST(IntrospectionServer, MetricsStayLintCleanWhileWritersInstrument) {
+    Registry registry;
+    FlightRecorder recorder(256);
+    StatusBoard status;
+    IntrospectionServer::Options options;
+    options.registry = &registry;
+    options.recorder = &recorder;
+    options.status = &status;
+    IntrospectionServer server(options);
+    std::string error;
+    ASSERT_TRUE(server.start("127.0.0.1:0", &error)) << error;
+
+    // Writers mint new series and hammer a histogram while two scrapers
+    // pull /metrics — every body must parse and lint clean (torn-read
+    // freedom is Registry::snapshot()'s contract, satellite 1).
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> writers;
+    for (int w = 0; w < 3; ++w) {
+        writers.emplace_back([&, w] {
+            Counter& ops = registry.counter("rc_test_writer_ops_total", "ops",
+                                            {{"writer", std::to_string(w)}});
+            Histogram& lat = registry.histogram("rc_test_writer_seconds", "lat");
+            std::uint64_t i = 0;
+            while (!stop.load()) {
+                ops.inc();
+                lat.observe(static_cast<double>(i % 97) / 1000.0);
+                status.set("writer/" + std::to_string(w), std::to_string(i));
+                recorder.record(FlightKind::LogLine, "test", "i=" + std::to_string(i));
+                ++i;
+            }
+        });
+    }
+
+    std::atomic<int> lintProblems{0};
+    std::atomic<int> transportErrors{0};
+    std::vector<std::thread> scrapers;
+    for (int s = 0; s < 2; ++s) {
+        scrapers.emplace_back([&] {
+            Client c(server.port());
+            if (!c.connected()) {
+                transportErrors.fetch_add(1);
+                return;
+            }
+            for (int i = 0; i < 40; ++i) {
+                std::string body;
+                if (c.get("/metrics", &body) != 200) {
+                    transportErrors.fetch_add(1);
+                    continue;
+                }
+                const auto problems = lintPrometheus(body);
+                lintProblems.fetch_add(static_cast<int>(problems.size()));
+                (void)c.get("/flightz", &body);
+                (void)c.get("/statusz", &body);
+            }
+        });
+    }
+    for (auto& t : scrapers) t.join();
+    stop.store(true);
+    for (auto& t : writers) t.join();
+    server.stop();
+
+    EXPECT_EQ(lintProblems.load(), 0);
+    EXPECT_EQ(transportErrors.load(), 0);
+}
+
+TEST(IntrospectionServer, ManyConcurrentKeepAliveSessions) {
+    IntrospectionServer::Options options;
+    Registry registry;
+    FlightRecorder recorder(64);
+    StatusBoard status;
+    options.registry = &registry;
+    options.recorder = &recorder;
+    options.status = &status;
+    IntrospectionServer server(options);
+    std::string error;
+    ASSERT_TRUE(server.start("127.0.0.1:0", &error)) << error;
+
+    // 64 sessions held open at once (the bench pushes this to 256+; the
+    // unit test keeps CI fast), each serving several requests.
+    constexpr int kSessions = 64;
+    std::vector<std::unique_ptr<Client>> clients;
+    clients.reserve(kSessions);
+    for (int i = 0; i < kSessions; ++i) {
+        clients.push_back(std::make_unique<Client>(server.port()));
+        ASSERT_TRUE(clients.back()->connected()) << "session " << i;
+    }
+    for (int round = 0; round < 3; ++round) {
+        for (int i = 0; i < kSessions; ++i) {
+            std::string body;
+            ASSERT_EQ(clients[i]->get("/healthz", &body), 200)
+                << "session " << i << " round " << round;
+        }
+    }
+    EXPECT_GE(server.requestsServed(), static_cast<std::uint64_t>(kSessions * 3));
+    server.stop();
+}
+
+}  // namespace
+}  // namespace rpkic::obs

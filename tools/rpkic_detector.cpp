@@ -3,11 +3,18 @@
 //
 //   rpkic-detector PREV.state CUR.state [--examples N] [--quiet]
 //                  [--threads N] [--metrics-out FILE] [--trace-out FILE]
+//                  [--serve ADDR:PORT] [--serve-hold]
 //
 // --metrics-out writes the Prometheus text exposition of the rc_detector_*
 // metrics after the diff (index build/diff timings on the deterministic
 // logical clock, downgrade counts by kind); --trace-out writes the span
 // trace as Chrome trace-event JSON (load in Perfetto).
+//
+// --serve exposes the live introspection endpoints (/metrics, /healthz,
+// /statusz, /flightz) for the duration of the run; --serve-hold keeps
+// them up after the diff completes until SIGINT/SIGTERM, so a scraper can
+// read the final counters (port 0 picks an ephemeral port; the bound
+// address is printed).
 //
 // --threads N (or the RC_THREADS env var; the flag wins) sizes the worker
 // pool the index build and diff run on; "0" means all hardware threads.
@@ -18,15 +25,22 @@
 // diffs the two snapshots over the space of ALL possible routes and prints
 // the downgrade report. Exit status: 0 = no downgrades, 2 = downgrades
 // detected (so it can gate a monitoring pipeline), 1 = usage/parse error.
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <string>
+#include <thread>
 
 #include "detector/diff.hpp"
 #include "detector/state_io.hpp"
+#include "obs/flight/recorder.hpp"
 #include "obs/obs.hpp"
 #include "obs/parallel_metrics.hpp"
+#include "obs/serve/introspect.hpp"
 #include "util/errors.hpp"
 #include "util/parallel.hpp"
 
@@ -38,6 +52,7 @@ int usage() {
     std::fprintf(stderr,
                  "usage: rpkic-detector PREV.state CUR.state [--examples N] [--quiet]\n"
                  "                      [--threads N] [--metrics-out FILE] [--trace-out FILE]\n"
+                 "                      [--serve ADDR:PORT] [--serve-hold]\n"
                  "  state file format: one 'prefix[-maxLength] ASN' per line, '#' comments\n"
                  "  --threads N: worker pool size (0 = all hardware threads); overrides\n"
                  "               the RC_THREADS env var. Reports are byte-identical at\n"
@@ -55,6 +70,10 @@ bool writeFileOrComplain(const std::string& path, const std::string& content) {
     return true;
 }
 
+std::atomic<bool> gStopServing{false};
+
+extern "C" void onStopSignal(int) { gStopServing.store(true); }
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -65,6 +84,8 @@ int main(int argc, char** argv) {
     std::string metricsOut;
     std::string traceOut;
     std::string threadSpec;
+    std::string serveAddr;
+    bool serveHold = false;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--examples" && i + 1 < argc) {
@@ -77,6 +98,10 @@ int main(int argc, char** argv) {
             metricsOut = argv[++i];
         } else if (arg == "--trace-out" && i + 1 < argc) {
             traceOut = argv[++i];
+        } else if (arg == "--serve" && i + 1 < argc) {
+            serveAddr = argv[++i];
+        } else if (arg == "--serve-hold") {
+            serveHold = true;
         } else if (prevPath.empty()) {
             prevPath = arg;
         } else if (curPath.empty()) {
@@ -91,6 +116,45 @@ int main(int argc, char** argv) {
     static obs::LogicalTimeSource logicalClock;
     if (!metricsOut.empty() || !traceOut.empty()) obs::setTimeSource(&logicalClock);
     if (!traceOut.empty()) obs::Tracer::global().setEnabled(true);
+
+    std::optional<obs::IntrospectionServer> server;
+    if (!serveAddr.empty()) {
+        obs::FlightRecorder::global().attachMetrics(&obs::Registry::global());
+        obs::FlightRecorder::global().setEnabled(true);
+        server.emplace();
+        std::string error;
+        if (!server->start(serveAddr, &error)) {
+            std::fprintf(stderr, "rpkic-detector: --serve %s: %s\n", serveAddr.c_str(),
+                         error.c_str());
+            return 1;
+        }
+        std::printf("introspection server on http://%s/\n", server->boundAddress().c_str());
+        std::fflush(stdout);
+        std::signal(SIGINT, onStopSignal);
+        std::signal(SIGTERM, onStopSignal);
+        obs::StatusBoard::global().set("detector/prev", prevPath);
+        obs::StatusBoard::global().set("detector/cur", curPath);
+        obs::StatusBoard::global().set("detector/state", "running");
+    }
+    const auto finish = [&](int rc) -> int {
+        if (server.has_value()) {
+            obs::StatusBoard::global().set("detector/state",
+                                           rc == 0   ? "done"
+                                           : rc == 2 ? "downgrades"
+                                                     : "error");
+            if (serveHold) {
+                std::printf("rpkic-detector: holding introspection server on %s "
+                            "(SIGINT/SIGTERM to exit)\n",
+                            server->boundAddress().c_str());
+                std::fflush(stdout);
+                while (!gStopServing.load()) {
+                    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+                }
+            }
+            server->stop();
+        }
+        return rc;
+    };
 
     try {
         // --threads overrides RC_THREADS, which the default pool otherwise
@@ -138,15 +202,15 @@ int main(int argc, char** argv) {
         }
         if (!metricsOut.empty() &&
             !writeFileOrComplain(metricsOut, obs::Registry::global().renderPrometheus())) {
-            return 1;
+            return finish(1);
         }
         if (!traceOut.empty() &&
             !writeFileOrComplain(traceOut, obs::Tracer::global().renderChromeTrace())) {
-            return 1;
+            return finish(1);
         }
-        return report.hasDowngrades() ? 2 : 0;
+        return finish(report.hasDowngrades() ? 2 : 0);
     } catch (const Error& e) {
         std::fprintf(stderr, "rpkic-detector: %s\n", e.what());
-        return 1;
+        return finish(1);
     }
 }

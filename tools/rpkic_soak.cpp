@@ -61,6 +61,22 @@
 //                      mirror, e.g. "1:crash:5:6,3:mirror:4"
 //   --transcript-out F write every seed's consensus transcript (canonical
 //                      text, byte-identical at every --threads value)
+//   --serve ADDR:PORT  serve the live introspection endpoints (/metrics,
+//                      /healthz, /statusz, /flightz) while the run is in
+//                      flight; port 0 picks an ephemeral port and the
+//                      bound address is printed. Enables the global
+//                      flight recorder and publishes run progress rows
+//                      to /statusz.
+//   --serve-hold       keep serving after the run completes, until
+//                      SIGINT/SIGTERM (CI scrapes the final state, then
+//                      kills the process)
+//   --flight-out DIR   write postmortem bundles — invariant failures,
+//                      realized crashes, fatal signals — under DIR as
+//                      <label>.postmortem (see docs/OBSERVABILITY.md)
+//   --force-invariant-fail
+//                      append one synthetic invariant violation to every
+//                      soak run so the postmortem-capture path fires
+//                      deterministically (test/CI hook; the run exits 2)
 //   --log-level LEVEL  structured-log threshold (trace|debug|info|warn|
 //                      error|off; default warn, also settable via RC_LOG)
 //   --threads N        worker pool size for the seed sweep (0 = all
@@ -72,19 +88,27 @@
 //                      logical clock).
 //
 // Exit status: 0 = all invariants held, 2 = violations, 1 = usage/IO error.
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <filesystem>
 
 #include "fleet/fleet.hpp"
+#include "obs/flight/postmortem.hpp"
+#include "obs/flight/recorder.hpp"
 #include "obs/obs.hpp"
 #include "obs/parallel_metrics.hpp"
+#include "obs/serve/introspect.hpp"
 #include "sim/chaos_soak.hpp"
 #include "sim/crash_sweep.hpp"
 #include "util/errors.hpp"
@@ -169,6 +193,12 @@ bool writeFileOrComplain(const std::string& path, const std::string& content) {
     return true;
 }
 
+// --serve-hold exits on SIGINT/SIGTERM (fatal signals go through the
+// flight handler instead).
+std::atomic<bool> gStopServing{false};
+
+extern "C" void onStopSignal(int) { gStopServing.store(true); }
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -188,6 +218,9 @@ int main(int argc, char** argv) {
     std::string metricsOut;
     std::string traceOut;
     std::string threadSpec;
+    std::string serveAddr;
+    bool serveHold = false;
+    std::string flightOut;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -247,6 +280,14 @@ int main(int argc, char** argv) {
             metricsOut = next("--metrics-out");
         } else if (arg == "--trace-out") {
             traceOut = next("--trace-out");
+        } else if (arg == "--serve") {
+            serveAddr = next("--serve");
+        } else if (arg == "--serve-hold") {
+            serveHold = true;
+        } else if (arg == "--flight-out") {
+            flightOut = next("--flight-out");
+        } else if (arg == "--force-invariant-fail") {
+            cfg.forceInvariantFail = true;
         } else if (arg == "--log-level") {
             obs::Logger::global().setLevel(obs::logLevelFromString(next("--log-level")));
         } else if (arg == "--threads") {
@@ -263,6 +304,9 @@ int main(int argc, char** argv) {
                          "                  [--smoke] [--compare] [--plan FILE] [--quiet]\n"
                          "                  [--scoreboard] [--metrics-out FILE] "
                          "[--trace-out FILE]\n"
+                         "                  [--serve ADDR:PORT] [--serve-hold] "
+                         "[--flight-out DIR]\n"
+                         "                  [--force-invariant-fail]\n"
                          "                  [--log-level LEVEL] [--threads N]\n");
             return 1;
         }
@@ -287,12 +331,76 @@ int main(int argc, char** argv) {
     }
     if (!traceOut.empty()) obs::Tracer::global().setEnabled(true);
 
-    // With --metrics-out the soak records into the process-wide registry
-    // so alarms, sync telemetry, authority and detector counters all land
-    // in the same exposition (a nullptr registry would give each run a
-    // private registry that dies with it).
-    obs::Registry* exportRegistry = metricsOut.empty() ? nullptr : &obs::Registry::global();
+    // With --metrics-out or --serve the soak records into the process-wide
+    // registry so alarms, sync telemetry, authority and detector counters
+    // all land in the same exposition (a nullptr registry would give each
+    // run a private registry that dies with it, and /metrics would show
+    // nothing).
+    obs::Registry* exportRegistry = (metricsOut.empty() && serveAddr.empty())
+                                        ? nullptr
+                                        : &obs::Registry::global();
     cfg.registry = exportRegistry;
+
+    // Live introspection: enable the global flight recorder (hook sites
+    // tee into it), install the fatal-signal postmortem path, publish run
+    // progress to the global status board, and start the HTTP server.
+    if (!serveAddr.empty() || !flightOut.empty()) {
+        obs::FlightRecorder::global().attachMetrics(&obs::Registry::global());
+        obs::FlightRecorder::global().setEnabled(true);
+    }
+    if (!flightOut.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(flightOut, ec);
+        if (ec) {
+            std::fprintf(stderr, "rpkic-soak: cannot create %s: %s\n", flightOut.c_str(),
+                         ec.message().c_str());
+            return 1;
+        }
+        obs::installFlightSignalHandler(flightOut + "/fatal-signal.postmortem");
+    }
+    std::optional<obs::IntrospectionServer> server;
+    if (!serveAddr.empty()) {
+        cfg.status = &obs::StatusBoard::global();
+        server.emplace();
+        std::string error;
+        if (!server->start(serveAddr, &error)) {
+            std::fprintf(stderr, "rpkic-soak: --serve %s: %s\n", serveAddr.c_str(),
+                         error.c_str());
+            return 1;
+        }
+        std::printf("introspection server on http://%s/ (/metrics /healthz /statusz /flightz)\n",
+                    server->boundAddress().c_str());
+        std::fflush(stdout);
+        std::signal(SIGINT, onStopSignal);
+        std::signal(SIGTERM, onStopSignal);
+    }
+
+    // Where captured postmortem bundles land (--flight-out).
+    const auto writePostmortems = [&](const std::vector<obs::CapturedBundle>& bundles) {
+        if (flightOut.empty()) return;
+        for (const obs::CapturedBundle& b : bundles) {
+            const std::string path = flightOut + "/" + b.label + ".postmortem";
+            if (writeFileOrComplain(path, b.bytes) && !quiet) {
+                std::printf("postmortem (%s) written to %s\n", b.trigger.c_str(), path.c_str());
+            }
+        }
+    };
+
+    // Every exit path after server start funnels through here so
+    // --serve-hold can keep the endpoints alive for a scraper.
+    const auto finish = [&](int rc) -> int {
+        if (server.has_value() && serveHold) {
+            std::printf("rpkic-soak: run complete; holding introspection server on %s "
+                        "(SIGINT/SIGTERM to exit)\n",
+                        server->boundAddress().c_str());
+            std::fflush(stdout);
+            while (!gStopServing.load()) {
+                std::this_thread::sleep_for(std::chrono::milliseconds(100));
+            }
+        }
+        if (server.has_value()) server->stop();
+        return rc;
+    };
 
     const auto writeExports = [&]() -> bool {
         bool ok = true;
@@ -317,11 +425,12 @@ int main(int argc, char** argv) {
         fleetCfg.epochs = cfg.rounds;
         fleetCfg.retryBudget = cfg.retryBudget;
         fleetCfg.registry = exportRegistry;
+        fleetCfg.status = cfg.status;
         try {
             fleetCfg.faulty = fleet::MemberFaultSpec::parseSet(faultySet);
         } catch (const Error& e) {
             std::fprintf(stderr, "rpkic-soak: --faulty-set: %s\n", e.what());
-            return 1;
+            return finish(1);
         }
 
         std::string transcripts;
@@ -335,8 +444,9 @@ int main(int argc, char** argv) {
             } catch (const Error& e) {
                 std::fprintf(stderr, "rpkic-soak: fleet seed %llu: %s\n",
                              static_cast<unsigned long long>(runCfg.seed), e.what());
-                return 1;
+                return finish(1);
             }
+            writePostmortems(r.postmortems);
             const fleet::FleetStats& fs = r.stats;
             if (!quiet || !r.passed) {
                 std::printf(
@@ -373,12 +483,14 @@ int main(int argc, char** argv) {
         std::printf("fleet: %llu/%llu seeds passed  (N=%u Q=%u)\n",
                     static_cast<unsigned long long>(seeds - failures),
                     static_cast<unsigned long long>(seeds), fleetCfg.members, fleetCfg.quorum);
-        if (!transcriptOut.empty() && !writeFileOrComplain(transcriptOut, transcripts)) return 1;
+        if (!transcriptOut.empty() && !writeFileOrComplain(transcriptOut, transcripts)) {
+            return finish(1);
+        }
         if (!transcriptOut.empty() && !quiet) {
             std::printf("transcripts written to %s\n", transcriptOut.c_str());
         }
-        if (!writeExports()) return 1;
-        return failures == 0 ? 0 : 2;
+        if (!writeExports()) return finish(1);
+        return finish(failures == 0 ? 0 : 2);
     }
 
     // Durable-store state on the real filesystem: one DiskVfs shared by
@@ -424,20 +536,21 @@ int main(int argc, char** argv) {
                     static_cast<unsigned long long>(r.roundsResumed));
             }
             for (const std::string& v : r.violations) std::printf("  %s\n", v.c_str());
+            writePostmortems(r.postmortems);
             if (!r.passed) ++failures;
         }
         std::printf("crash sweep: %llu/%llu seeds passed\n",
                     static_cast<unsigned long long>(seeds - failures),
                     static_cast<unsigned long long>(seeds));
-        if (!writeExports()) return 1;
-        return failures == 0 ? 0 : 2;
+        if (!writeExports()) return finish(1);
+        return finish(failures == 0 ? 0 : 2);
     }
 
     if (!planPath.empty()) {
         std::ifstream in(planPath, std::ios::binary);
         if (!in) {
             std::fprintf(stderr, "rpkic-soak: cannot open %s\n", planPath.c_str());
-            return 1;
+            return finish(1);
         }
         std::stringstream buf;
         buf << in.rdbuf();
@@ -446,7 +559,7 @@ int main(int argc, char** argv) {
             plan = FaultPlan::parse(buf.str());
         } catch (const ParseError& e) {
             std::fprintf(stderr, "rpkic-soak: %s: %s\n", planPath.c_str(), e.what());
-            return 1;
+            return finish(1);
         }
         std::printf("replaying %s: seed=%llu rounds=%llu faults=%zu crash-every=%u\n",
                     planPath.c_str(), static_cast<unsigned long long>(plan.seed),
@@ -458,8 +571,9 @@ int main(int argc, char** argv) {
                                              replayCfg.stateDir);
         printResult(r, /*quiet=*/false);
         if (scoreboard) printScoreboard(r);
-        if (!writeExports()) return 1;
-        return r.passed ? 0 : 2;
+        writePostmortems(r.postmortems);
+        if (!writeExports()) return finish(1);
+        return finish(r.passed ? 0 : 2);
     }
 
     // The seed sweep fans out over the worker pool: every seed's run (and
@@ -495,6 +609,7 @@ int main(int argc, char** argv) {
         const SoakResult& r = o.result;
         printResult(r, quiet);
         if (scoreboard) printScoreboard(r);
+        writePostmortems(r.postmortems);
         if (!r.passed) ++failures;
         totalAlarms += r.stats.alarms;
         totalAbsorbed += r.stats.faultsAbsorbed;
@@ -523,6 +638,6 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(totalAbsorbed),
         static_cast<unsigned long long>(totalFailedRounds),
         static_cast<unsigned long long>(totalAlarms));
-    if (!writeExports()) return 1;
-    return failures == 0 ? 0 : 2;
+    if (!writeExports()) return finish(1);
+    return finish(failures == 0 ? 0 : 2);
 }
