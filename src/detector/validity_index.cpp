@@ -13,7 +13,9 @@ const TriangleSet6 PrefixValidityIndex::kEmptyTriangles6{};
 namespace {
 
 /// Sorted key list of an unordered per-ASN map: the deterministic fan-out
-/// order for the parallel builds below.
+/// order for the parallel builds below. This is the sorted-drain shape
+/// rclint's nondet-iteration rule recognizes — keep the push/sort pair
+/// together if this is ever refactored.
 template <typename MapT>
 std::vector<Asn> sortedAsns(const MapT& byAs) {
     std::vector<Asn> keys;
@@ -133,6 +135,8 @@ std::uint64_t PrefixValidityIndex::invalidFootprintAddresses() const {
 }
 
 std::vector<Asn> PrefixValidityIndex::asns() const {
+    // Sorted drain: the unordered maps' bucket order must never leak into
+    // caller-visible output (callers feed reports and transcripts).
     std::vector<Asn> out;
     out.reserve(validByAs_.size() + valid6ByAs_.size());
     for (const auto& [asn, tri] : validByAs_) out.push_back(asn);

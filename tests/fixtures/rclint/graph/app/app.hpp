@@ -1,0 +1,2 @@
+#pragma once
+#include "graph/core/base.hpp"

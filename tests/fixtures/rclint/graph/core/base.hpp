@@ -1,0 +1,4 @@
+#pragma once
+#include "graph/app/util.hpp"
+// rclint:allow(layer-violation)
+#include "graph/app/app2.hpp"

@@ -1,0 +1,5 @@
+// Fixture: A then B here, B then A in ba.cpp — a global inversion.
+void lockAthenB(rc::Mutex& a, rc::Mutex& b) {
+    rc::LockGuard ga(a);
+    rc::LockGuard gb(b);
+}

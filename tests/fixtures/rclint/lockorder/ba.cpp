@@ -1,0 +1,5 @@
+// Fixture: the inverse order.
+void lockBthenA(rc::Mutex& a, rc::Mutex& b) {
+    rc::LockGuard gb(b);
+    rc::LockGuard ga(a);
+}

@@ -1,0 +1,5 @@
+// Fixture: A then B, as in lockorder/ab.cpp.
+void lockAthenB(rc::Mutex& a, rc::Mutex& b) {
+    rc::LockGuard ga(a);
+    rc::LockGuard gb(b);
+}

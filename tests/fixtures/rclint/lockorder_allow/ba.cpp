@@ -1,0 +1,6 @@
+// Fixture: the inversion is justified at the acquisition site.
+void lockBthenA(rc::Mutex& a, rc::Mutex& b) {
+    rc::LockGuard gb(b);
+    // rclint:allow(lock-order)
+    rc::LockGuard ga(a);
+}

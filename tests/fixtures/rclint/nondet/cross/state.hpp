@@ -1,0 +1,6 @@
+#pragma once
+#include <unordered_map>
+
+struct State {
+    std::unordered_map<int, int> index_;
+};

@@ -1,0 +1,8 @@
+// Fixture: the unordered decl comes from an included header.
+#include "nondet/cross/state.hpp"
+
+void writeAll(const State& st) {
+    for (const auto& kv : st.index_) {
+        (void)kv;
+    }
+}

@@ -1,0 +1,11 @@
+// Fixture: justified unordered iteration.
+#include <unordered_map>
+
+std::unordered_map<int, int> gTable;
+
+void serializeAll() {
+    // rclint:allow(nondet-iteration)
+    for (const auto& kv : gTable) {
+        (void)kv;
+    }
+}

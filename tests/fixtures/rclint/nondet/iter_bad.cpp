@@ -1,0 +1,10 @@
+// Fixture: unordered iteration in a serializing TU, no sorted drain.
+#include <unordered_map>
+
+std::unordered_map<int, int> gTable;
+
+void serializeAll() {
+    for (const auto& kv : gTable) {
+        emitRecord(kv.first);
+    }
+}

@@ -1,0 +1,8 @@
+// Fixture: .begin() iteration without a drain in an emitting TU.
+#include <unordered_set>
+
+std::unordered_set<int> gSeen;
+
+int dumpFirst() {
+    return *gSeen.begin();
+}

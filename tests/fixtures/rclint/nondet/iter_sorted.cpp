@@ -1,0 +1,14 @@
+// Fixture: the sorted-drain idiom is allowed.
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+std::unordered_map<int, int> gTable;
+
+void serializeAll() {
+    std::vector<int> keys;
+    for (const auto& kv : gTable) {
+        keys.push_back(kv.first);
+    }
+    std::sort(keys.begin(), keys.end());
+}

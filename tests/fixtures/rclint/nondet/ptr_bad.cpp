@@ -1,0 +1,12 @@
+// Fixture: address-order comparators.
+#include <functional>
+#include <map>
+
+struct Node {};
+
+std::map<Node*, int, std::less<Node*>> gRank;
+
+bool firstByAddress(Node* a, Node* b) {
+    auto cmp = [](Node* x, Node* y) { return x < y; };
+    return cmp(a, b);
+}

@@ -1,0 +1,9 @@
+// Fixture: wall-clock reads outside the injectable clock.
+#include <chrono>
+#include <ctime>
+
+long wallSeconds() {
+    const auto tp = std::chrono::system_clock::now();
+    const long s = time(nullptr);
+    return s + tp.time_since_epoch().count();
+}

@@ -259,6 +259,222 @@ TEST(RclintCli, HelpAndListRulesExitZero) {
     EXPECT_EQ(rules.code, 0);
     EXPECT_NE(rules.out.find("banned-function"), std::string::npos);
     EXPECT_NE(rules.out.find("metric-doc-drift"), std::string::npos);
+    EXPECT_NE(rules.out.find("layer-violation"), std::string::npos);
+    EXPECT_NE(rules.out.find("include-cycle"), std::string::npos);
+    EXPECT_NE(rules.out.find("nondet-iteration"), std::string::npos);
+    EXPECT_NE(rules.out.find("nondet-time"), std::string::npos);
+    EXPECT_NE(rules.out.find("nondet-pointer-order"), std::string::npos);
+    EXPECT_NE(rules.out.find("lock-order"), std::string::npos);
+}
+
+// --- layering conformance (rcgraph) ----------------------------------------
+
+TEST(RcgraphLayering, UpwardIncludeIsGoldenExactAndAllowSuppresses) {
+    // graph/core/base.hpp includes two app headers; the second is covered
+    // by rclint:allow(layer-violation) at the include site, so exactly
+    // one finding survives. app -> core (downward) is silent.
+    const CliResult r = cli({"--layers", fixturePath("graph/layers_fixture.conf"),
+                             fixturePath("graph")});
+    EXPECT_EQ(r.code, 1);
+    const std::string expected =
+        fixturePath("graph/core/base.hpp") +
+        ":2:1: [layer-violation] module 'core' (layer 1) must not include 'app' "
+        "(layer 2): " + fixturePath("graph/app/util.hpp") + "\n" +
+        "rclint: 1 finding in 4 files\n";
+    EXPECT_EQ(r.out, expected);
+}
+
+TEST(RcgraphLayering, MalformedManifestExitsTwo) {
+    const CliResult r = cli({"--layers", fixturePath("graph/bad_layers.conf"),
+                             fixturePath("graph")});
+    EXPECT_EQ(r.code, 2);
+    EXPECT_EQ(r.err, "rclint: layers.conf:1: bad rank 'one'\n");
+}
+
+TEST(RcgraphLayering, GraphOutWritesClusteredDot) {
+    const std::string dotPath = ::testing::TempDir() + "rclint_fixture_graph.dot";
+    const CliResult r = cli({"--layers", fixturePath("graph/layers_fixture.conf"),
+                             "--graph-out", dotPath, fixturePath("graph")});
+    EXPECT_EQ(r.code, 1);
+    std::ifstream in(dotPath, std::ios::binary);
+    ASSERT_TRUE(in.good());
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    const std::string expected =
+        "// generated by rclint --graph-out; render with `dot -Tsvg`\n"
+        "digraph includes {\n"
+        "  rankdir=LR;\n"
+        "  node [shape=box, fontsize=10];\n"
+        "  subgraph cluster_app {\n"
+        "    label=\"app (layer 2)\";\n"
+        "    \"app/app.hpp\";\n"
+        "    \"app/app2.hpp\";\n"
+        "    \"app/util.hpp\";\n"
+        "  }\n"
+        "  subgraph cluster_core {\n"
+        "    label=\"core (layer 1)\";\n"
+        "    \"core/base.hpp\";\n"
+        "  }\n"
+        "  \"app/app.hpp\" -> \"core/base.hpp\";\n"
+        "  \"core/base.hpp\" -> \"app/app2.hpp\";\n"
+        "  \"core/base.hpp\" -> \"app/util.hpp\";\n"
+        "}\n";
+    EXPECT_EQ(ss.str(), expected);
+}
+
+// --- include cycles ---------------------------------------------------------
+
+TEST(RcgraphCycle, IncludeCycleIsGoldenExact) {
+    const CliResult r = cli({fixturePath("cycle")});
+    EXPECT_EQ(r.code, 1);
+    const std::string x = fixturePath("cycle/x.hpp");
+    const std::string y = fixturePath("cycle/y.hpp");
+    const std::string expected =
+        x + ":2:1: [include-cycle] include cycle: " + x + " -> " + y + " -> " + x + "\n" +
+        "rclint: 1 finding in 2 files\n";
+    EXPECT_EQ(r.out, expected);
+}
+
+// --- determinism lint -------------------------------------------------------
+
+TEST(RcgraphNondet, UnorderedIterationInSerializingTuIsGoldenExact) {
+    const std::string path = fixturePath("nondet/iter_bad.cpp");
+    const CliResult r = cli({path});
+    EXPECT_EQ(r.code, 1);
+    const std::string expected =
+        path + ":7:5: [nondet-iteration] iteration over unordered container 'gTable' "
+        "in a TU that serializes output: drain into a sorted container first, or "
+        "justify with rclint:allow(nondet-iteration)\n"
+        "rclint: 1 finding in 1 files\n";
+    EXPECT_EQ(r.out, expected);
+}
+
+TEST(RcgraphNondet, SortedDrainIsClean) {
+    const CliResult r = cli({fixturePath("nondet/iter_sorted.cpp")});
+    EXPECT_EQ(r.code, 0);
+    EXPECT_EQ(r.out, "");
+}
+
+TEST(RcgraphNondet, BeginIteratorCallIsFlagged) {
+    const std::string path = fixturePath("nondet/iter_begin.cpp");
+    const CliResult r = cli({path});
+    EXPECT_EQ(r.code, 1);
+    const std::string expected =
+        path + ":7:13: [nondet-iteration] iterator over unordered container 'gSeen' "
+        "in a TU that serializes output: drain into a sorted container first, or "
+        "justify with rclint:allow(nondet-iteration)\n"
+        "rclint: 1 finding in 1 files\n";
+    EXPECT_EQ(r.out, expected);
+}
+
+TEST(RcgraphNondet, AllowSuppressesIteration) {
+    const CliResult r = cli({fixturePath("nondet/iter_allow.cpp")});
+    EXPECT_EQ(r.code, 0);
+    EXPECT_EQ(r.out, "");
+}
+
+TEST(RcgraphNondet, WallClockReadsAreGoldenExact) {
+    const std::string path = fixturePath("nondet/time_bad.cpp");
+    const CliResult r = cli({path});
+    EXPECT_EQ(r.code, 1);
+    const std::string expected =
+        path + ":6:34: [nondet-time] system_clock: wall-clock reads break per-seed "
+        "reproducibility; use the injectable obs clock (obs/clock.hpp)\n" +
+        path + ":7:20: [nondet-time] time(): wall-clock read breaks per-seed "
+        "reproducibility; use the injectable obs clock (obs/clock.hpp) or the "
+        "simulated protocol clock (util/time.hpp)\n"
+        "rclint: 2 findings in 1 files\n";
+    EXPECT_EQ(r.out, expected);
+}
+
+TEST(RcgraphNondet, PointerOrderIsGoldenExact) {
+    const std::string path = fixturePath("nondet/ptr_bad.cpp");
+    const CliResult r = cli({path});
+    EXPECT_EQ(r.code, 1);
+    const std::string expected =
+        path + ":7:27: [nondet-pointer-order] std::less over a raw pointer type "
+        "orders by address, which varies run to run; key on a stable field instead\n" +
+        path + ":10:48: [nondet-pointer-order] comparing raw pointers 'x < y' orders "
+        "by address, which varies run to run; compare a stable key instead\n"
+        "rclint: 2 findings in 1 files\n";
+    EXPECT_EQ(r.out, expected);
+}
+
+TEST(RcgraphNondet, ClosureCarriesHeaderDeclarationsAcrossFiles) {
+    // writer.cpp itself declares no unordered container; the flagged
+    // identifier comes from the included state.hpp via the include graph.
+    const CliResult r = cli({fixturePath("nondet/cross")});
+    EXPECT_EQ(r.code, 1);
+    const std::string expected =
+        fixturePath("nondet/cross/writer.cpp") +
+        ":5:5: [nondet-iteration] iteration over unordered container 'index_' in a "
+        "TU that serializes output: drain into a sorted container first, or justify "
+        "with rclint:allow(nondet-iteration)\n"
+        "rclint: 1 finding in 2 files\n";
+    EXPECT_EQ(r.out, expected);
+}
+
+// --- lock-order analysis ----------------------------------------------------
+
+TEST(RcgraphLockOrder, GlobalInversionIsGoldenExactAndExitsTwo) {
+    // ab.cpp nests a -> b, ba.cpp nests b -> a: neither file alone has a
+    // cycle, the merged global graph does — and a potential deadlock
+    // escalates the exit code past plain findings.
+    const CliResult r = cli({fixturePath("lockorder")});
+    EXPECT_EQ(r.code, 2);
+    const std::string expected =
+        fixturePath("lockorder/ab.cpp") +
+        ":4:9: [lock-order] lock-order cycle: a -> b -> a — nested acquisition "
+        "inverts an order taken elsewhere; a concurrent interleaving deadlocks\n"
+        "rclint: 1 finding in 2 files\n";
+    EXPECT_EQ(r.out, expected);
+}
+
+TEST(RcgraphLockOrder, AllowAtAcquisitionSiteBreaksTheCycle) {
+    const CliResult r = cli({fixturePath("lockorder_allow")});
+    EXPECT_EQ(r.code, 0);
+    EXPECT_EQ(r.out, "");
+}
+
+// --- deterministic parallel scan --------------------------------------------
+
+TEST(RcgraphThreads, OutputIsByteIdenticalAcrossThreadCounts) {
+    // The whole fixture forest (every rule firing at once) must render
+    // identically no matter how the file scan is fanned out.
+    const std::vector<std::string> base = {
+        "--layers", fixturePath("graph/layers_fixture.conf"), std::string(RCLINT_FIXTURE_DIR)};
+    std::vector<std::string> one = {"--threads", "1"};
+    one.insert(one.end(), base.begin(), base.end());
+    std::vector<std::string> five = {"--threads", "5"};
+    five.insert(five.end(), base.begin(), base.end());
+    const CliResult r1 = cli(one);
+    const CliResult r5 = cli(five);
+    EXPECT_EQ(r1.code, r5.code);
+    EXPECT_EQ(r1.out, r5.out);
+    EXPECT_FALSE(r1.out.empty());
+}
+
+TEST(RcgraphThreads, ThreadsFlagValidation) {
+    EXPECT_EQ(cli({"--threads", "0", "x.cpp"}).code, 2);
+    EXPECT_EQ(cli({"--threads", "abc", "x.cpp"}).code, 2);
+    EXPECT_EQ(cli({"--bench-budget-ms", "nope", "x.cpp"}).code, 2);
+}
+
+TEST(RcgraphBench, BenchJsonRecordsSelfCheckedTimings) {
+    const std::string jsonPath = ::testing::TempDir() + "rclint_bench_fixture.json";
+    const CliResult r = cli({"--layers", fixturePath("graph/layers_fixture.conf"),
+                             "--bench-json", jsonPath, "--threads", "3",
+                             fixturePath("graph")});
+    EXPECT_EQ(r.code, 1);  // same findings as the plain run
+    std::ifstream in(jsonPath, std::ios::binary);
+    ASSERT_TRUE(in.good());
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    const std::string json = ss.str();
+    EXPECT_NE(json.find("\"bench\": \"rclint_tree_scan\""), std::string::npos);
+    EXPECT_NE(json.find("\"files\": 4"), std::string::npos);
+    EXPECT_NE(json.find("\"threads\": 3"), std::string::npos);
+    EXPECT_NE(json.find("\"identical_output\": true"), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,83 @@
+// Layering conformance and include-graph analysis.
+//
+// The manifest (tools/rclint/layers.conf) declares the tree's layer
+// architecture as data:
+//
+//   # lower ranks must not include higher ranks
+//   layer 1: util
+//   layer 2: ip obs
+//   ...
+//   module util: src/util
+//   module tools: tools
+//
+// A `module` line assigns files to a module by directory prefix (matched
+// as a path-segment prefix, so absolute and relative invocations agree).
+// A `layer` line assigns each module its rank. Rules:
+//
+//   layer-violation   a file in module A includes a file in module B with
+//                     rank(B) > rank(A). Same-rank peer includes are
+//                     allowed (ip and obs are siblings); the finding is
+//                     anchored at the include directive, so the usual
+//                     rclint:allow(layer-violation) applies there.
+//   include-cycle     a strongly connected component in the file-level
+//                     `#include "..."` graph (independent of the
+//                     manifest; runs whenever more than one file is
+//                     analyzed). One finding per cycle.
+//
+// `--graph-out FILE` writes the resolved include graph as Graphviz DOT,
+// clustered by module when a manifest is loaded — the generated figure
+// referenced from docs/STATIC_ANALYSIS.md.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lex.hpp"
+#include "lint.hpp"
+
+namespace rclint {
+
+struct LayerManifest {
+    /// module name -> rank (1 = bottom).
+    std::map<std::string, int> rankOf;
+    /// module name -> directory prefixes.
+    std::map<std::string, std::vector<std::string>> prefixesOf;
+
+    bool empty() const { return rankOf.empty(); }
+};
+
+/// Parses layers.conf text. On malformed input returns false and sets
+/// `err` to a one-line description.
+bool parseLayerManifest(const std::string& text, LayerManifest* out, std::string* err);
+
+/// Module owning `path` under the manifest (longest matching prefix), or
+/// "" when no prefix matches.
+std::string moduleOf(const LayerManifest& m, const std::string& path);
+
+/// One resolved include edge: includer file -> included file.
+struct IncludeEdge {
+    std::string from;
+    std::string to;
+    int line = 0;  // line of the #include in `from`
+};
+
+/// layer-violation findings over resolved edges. `fileSup` provides the
+/// per-file suppressions (keyed by path) so allows at the include line work.
+std::vector<Finding> checkLayering(const LayerManifest& m, const std::vector<IncludeEdge>& edges,
+                                   const std::map<std::string, const Suppressions*>& fileSup);
+
+/// include-cycle findings: one per strongly connected component of the
+/// file graph (including self-loops).
+std::vector<Finding> checkIncludeCycles(const std::vector<IncludeEdge>& edges,
+                                        const std::map<std::string, const Suppressions*>& fileSup);
+
+/// Renders the include graph as deterministic Graphviz DOT. Node names
+/// are shortened by the longest common directory prefix; when `manifest`
+/// is non-null, nodes are grouped into per-module clusters labeled with
+/// their rank.
+std::string renderIncludeGraphDot(const std::vector<std::string>& files,
+                                  const std::vector<IncludeEdge>& edges,
+                                  const LayerManifest* manifest);
+
+}  // namespace rclint

@@ -1,0 +1,70 @@
+// rclint's lexer: a comment/string/preprocessor-aware C++ token stream.
+//
+// This is the shared substrate of the whole analysis pipeline. Every rule
+// family — the per-file rules in lint.cpp, the determinism lints in
+// nondet.cpp, the lock-order extraction in lockorder.cpp, and the include
+// graph in tree.cpp — operates on the same Lexed view, so a file is read
+// and tokenized exactly once per run even when a dozen analyses walk it.
+//
+// The lexer does no preprocessing and no semantics: it only guarantees
+// that rules never fire inside comments, string/char literals (including
+// raw strings), or preprocessor directives, and that `::` and `->` are
+// kept whole so qualified/member access reads as one token.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace rclint {
+
+struct Token {
+    enum class Kind { Ident, String, Char, Number, Punct };
+    Kind kind = Kind::Punct;
+    std::string text;  // for String: the inner text (raw, escapes kept)
+    int line = 1;
+    int col = 1;
+};
+
+struct CommentSpan {
+    std::string text;
+    int line = 1;  // line the comment starts on
+    int col = 1;
+};
+
+struct DirectiveLine {
+    std::string text;  // after '#', continuations joined, trimmed
+    int line = 1;
+};
+
+struct Lexed {
+    std::vector<Token> tokens;
+    std::vector<CommentSpan> comments;
+    std::vector<DirectiveLine> directives;
+};
+
+Lexed lex(const std::string& src);
+
+bool isIdentStart(char c);
+bool isIdentChar(char c);
+
+/// Given tokens[open] == `open` (e.g. "<", "(", "{"), returns the index
+/// of the matching `close` token, or tokens.size() if unbalanced.
+std::size_t matchForward(const std::vector<Token>& tokens, std::size_t open,
+                         const std::string& openText, const std::string& closeText);
+
+// ---------------------------------------------------------------------------
+// Suppressions: // rclint:allow(rule[,rule...]) covers its own line and
+// the line below; // rclint:allow-file(rule[,...]) covers the whole file.
+
+struct Suppressions {
+    std::set<std::string> fileRules;              // rclint:allow-file(...)
+    std::map<int, std::set<std::string>> byLine;  // line -> rules (covers line and line+1)
+};
+
+Suppressions collectSuppressions(const Lexed& lx);
+
+bool suppressed(const Suppressions& sup, int line, const std::string& rule);
+
+}  // namespace rclint

@@ -1,289 +1,17 @@
+// Per-file rules. The lexer lives in lex.cpp; the cross-file pipeline
+// (include graph, layering, determinism closure, lock order) lives in
+// tree.cpp / graph.cpp / nondet.cpp / lockorder.cpp; the CLI that wires
+// them together lives in cli.cpp.
 #include "lint.hpp"
 
 #include <algorithm>
-#include <cctype>
-#include <filesystem>
-#include <fstream>
 #include <map>
 #include <ostream>
 #include <set>
-#include <sstream>
-#include <string_view>
 
 namespace rclint {
 
 namespace {
-
-// ---------------------------------------------------------------------------
-// Lexer: a comment/string-aware token stream. No preprocessing, no
-// semantics — just enough structure that rules never fire inside
-// comments, string literals, or preprocessor directives.
-
-struct Token {
-    enum class Kind { Ident, String, Char, Number, Punct };
-    Kind kind = Kind::Punct;
-    std::string text;  // for String: the inner text (raw, escapes kept)
-    int line = 1;
-    int col = 1;
-};
-
-struct CommentSpan {
-    std::string text;
-    int line = 1;  // line the comment starts on
-    int col = 1;
-};
-
-struct DirectiveLine {
-    std::string text;  // after '#', continuations joined, trimmed
-    int line = 1;
-};
-
-struct Lexed {
-    std::vector<Token> tokens;
-    std::vector<CommentSpan> comments;
-    std::vector<DirectiveLine> directives;
-};
-
-bool isIdentStart(char c) {
-    return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-bool isIdentChar(char c) {
-    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-Lexed lex(const std::string& src) {
-    Lexed out;
-    std::size_t i = 0;
-    int line = 1;
-    int col = 1;
-    bool lineHasToken = false;  // anything but whitespace seen on this line
-
-    auto advance = [&](std::size_t n = 1) {
-        for (std::size_t k = 0; k < n && i < src.size(); ++k) {
-            if (src[i] == '\n') {
-                ++line;
-                col = 1;
-                lineHasToken = false;
-            } else {
-                ++col;
-            }
-            ++i;
-        }
-    };
-    auto peek = [&](std::size_t off = 0) -> char {
-        return i + off < src.size() ? src[i + off] : '\0';
-    };
-
-    while (i < src.size()) {
-        const char c = src[i];
-
-        if (c == '\n' || std::isspace(static_cast<unsigned char>(c)) != 0) {
-            advance();
-            continue;
-        }
-
-        // Line comment.
-        if (c == '/' && peek(1) == '/') {
-            CommentSpan cs{"", line, col};
-            while (i < src.size() && src[i] != '\n') {
-                cs.text += src[i];
-                advance();
-            }
-            out.comments.push_back(cs);
-            continue;
-        }
-        // Block comment.
-        if (c == '/' && peek(1) == '*') {
-            CommentSpan cs{"", line, col};
-            advance(2);
-            cs.text = "/*";
-            while (i < src.size() && !(src[i] == '*' && peek(1) == '/')) {
-                cs.text += src[i];
-                advance();
-            }
-            cs.text += "*/";
-            advance(2);
-            out.comments.push_back(cs);
-            continue;
-        }
-
-        // Preprocessor directive: '#' first on the (logical) line.
-        if (c == '#' && !lineHasToken) {
-            DirectiveLine d{"", line};
-            advance();  // consume '#'
-            while (i < src.size()) {
-                if (src[i] == '\\' && (peek(1) == '\n' || (peek(1) == '\r' && peek(2) == '\n'))) {
-                    d.text += ' ';
-                    advance(peek(1) == '\n' ? 2 : 3);
-                    continue;
-                }
-                if (src[i] == '\n') break;
-                d.text += src[i];
-                advance();
-            }
-            // Trim and collapse leading whitespace.
-            const std::size_t b = d.text.find_first_not_of(" \t");
-            d.text = b == std::string::npos ? "" : d.text.substr(b);
-            out.directives.push_back(d);
-            continue;
-        }
-
-        lineHasToken = true;
-
-        // Number (handles digit separators: 1'000'000ull).
-        if (std::isdigit(static_cast<unsigned char>(c)) != 0 ||
-            (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))) != 0)) {
-            Token t{Token::Kind::Number, "", line, col};
-            while (i < src.size()) {
-                const char d = src[i];
-                if (isIdentChar(d) || d == '.' || d == '\'' ||
-                    ((d == '+' || d == '-') && !t.text.empty() &&
-                     (t.text.back() == 'e' || t.text.back() == 'E' || t.text.back() == 'p' ||
-                      t.text.back() == 'P'))) {
-                    t.text += d;
-                    advance();
-                } else {
-                    break;
-                }
-            }
-            out.tokens.push_back(t);
-            continue;
-        }
-
-        // Identifier (possibly a string-literal prefix: R"(, u8"...).
-        if (isIdentStart(c)) {
-            Token t{Token::Kind::Ident, "", line, col};
-            while (i < src.size() && isIdentChar(src[i])) {
-                t.text += src[i];
-                advance();
-            }
-            if (peek() == '"' && !t.text.empty() && t.text.back() == 'R') {
-                // Raw string: R"delim( ... )delim"
-                Token s{Token::Kind::String, "", line, col};
-                advance();  // the quote
-                std::string delim;
-                while (i < src.size() && src[i] != '(') {
-                    delim += src[i];
-                    advance();
-                }
-                advance();  // '('
-                const std::string closer = ")" + delim + "\"";
-                while (i < src.size() && src.compare(i, closer.size(), closer) != 0) {
-                    s.text += src[i];
-                    advance();
-                }
-                advance(closer.size());
-                out.tokens.push_back(s);
-                continue;
-            }
-            if (peek() == '"' &&
-                (t.text == "u8" || t.text == "u" || t.text == "U" || t.text == "L")) {
-                // Prefixed ordinary string; fall through to the string path
-                // below by not emitting the prefix as an identifier.
-            } else {
-                out.tokens.push_back(t);
-                continue;
-            }
-        }
-
-        // String literal.
-        if (peek() == '"' || c == '"') {
-            Token t{Token::Kind::String, "", line, col};
-            advance();  // opening quote
-            while (i < src.size() && src[i] != '"' && src[i] != '\n') {
-                if (src[i] == '\\' && i + 1 < src.size()) {
-                    t.text += src[i];
-                    advance();
-                }
-                t.text += src[i];
-                advance();
-            }
-            advance();  // closing quote
-            out.tokens.push_back(t);
-            continue;
-        }
-
-        // Character literal.
-        if (c == '\'') {
-            Token t{Token::Kind::Char, "", line, col};
-            advance();
-            while (i < src.size() && src[i] != '\'' && src[i] != '\n') {
-                if (src[i] == '\\' && i + 1 < src.size()) advance();
-                t.text += src[i];
-                advance();
-            }
-            advance();
-            out.tokens.push_back(t);
-            continue;
-        }
-
-        // Punctuation; '->' and '::' are kept whole (the banned-function
-        // rule needs to see qualified/member access as one token).
-        {
-            Token t{Token::Kind::Punct, std::string(1, c), line, col};
-            if (c == '-' && peek(1) == '>') {
-                t.text = "->";
-                advance(2);
-            } else if (c == ':' && peek(1) == ':') {
-                t.text = "::";
-                advance(2);
-            } else {
-                advance();
-            }
-            out.tokens.push_back(t);
-            continue;
-        }
-    }
-    return out;
-}
-
-// ---------------------------------------------------------------------------
-// Suppressions
-
-struct Suppressions {
-    std::set<std::string> fileRules;              // rclint:allow-file(...)
-    std::map<int, std::set<std::string>> byLine;  // line -> rules (covers line and line+1)
-};
-
-void parseAllowList(const std::string& text, std::size_t open, std::set<std::string>* into) {
-    const std::size_t close = text.find(')', open);
-    if (close == std::string::npos) return;
-    std::string inner = text.substr(open + 1, close - open - 1);
-    std::stringstream ss(inner);
-    std::string rule;
-    while (std::getline(ss, rule, ',')) {
-        const std::size_t b = rule.find_first_not_of(" \t");
-        const std::size_t e = rule.find_last_not_of(" \t");
-        if (b != std::string::npos) into->insert(rule.substr(b, e - b + 1));
-    }
-}
-
-Suppressions collectSuppressions(const Lexed& lx) {
-    Suppressions out;
-    for (const CommentSpan& cs : lx.comments) {
-        static const std::string kAllow = "rclint:allow(";
-        static const std::string kAllowFile = "rclint:allow-file(";
-        std::size_t pos = cs.text.find(kAllowFile);
-        if (pos != std::string::npos) {
-            parseAllowList(cs.text, pos + kAllowFile.size() - 1, &out.fileRules);
-            continue;
-        }
-        pos = cs.text.find(kAllow);
-        if (pos != std::string::npos) {
-            parseAllowList(cs.text, pos + kAllow.size() - 1, &out.byLine[cs.line]);
-        }
-    }
-    return out;
-}
-
-bool suppressed(const Suppressions& sup, int line, const std::string& rule) {
-    if (sup.fileRules.count(rule) > 0) return true;
-    for (const int l : {line, line - 1}) {
-        const auto it = sup.byLine.find(l);
-        if (it != sup.byLine.end() && it->second.count(rule) > 0) return true;
-    }
-    return false;
-}
 
 // ---------------------------------------------------------------------------
 // Rule tables
@@ -523,58 +251,13 @@ void checkComments(const std::string& path, const Lexed& lx, const Suppressions&
     }
 }
 
-// ---------------------------------------------------------------------------
-// CLI helpers
-
-bool isSourceExt(const std::string& ext) {
-    return ext == ".cpp" || ext == ".cc" || ext == ".cxx" || ext == ".hpp" || ext == ".hh" ||
-           ext == ".h";
-}
-
-bool isHeaderExt(const std::string& ext) {
-    return ext == ".hpp" || ext == ".hh" || ext == ".h";
-}
-
-bool skippableDir(const std::string& name) {
-    return name.empty() || name[0] == '.' || name.rfind("build", 0) == 0 ||
-           name == "CMakeFiles" || name == "corpus";
-}
-
-bool underSrc(const std::string& path) {
-    return path == "src" || path.rfind("src/", 0) == 0 || path.find("/src/") != std::string::npos;
-}
-
-bool readFile(const std::string& path, std::string* out) {
-    std::ifstream in(path, std::ios::binary);
-    if (!in) return false;
-    std::ostringstream ss;
-    ss << in.rdbuf();
-    *out = ss.str();
-    return true;
-}
-
-std::string githubEscape(const std::string& s) {
-    std::string out;
-    for (const char c : s) {
-        switch (c) {
-            case '%': out += "%25"; break;
-            case '\n': out += "%0A"; break;
-            case '\r': out += "%0D"; break;
-            default: out += c;
-        }
-    }
-    return out;
-}
-
 }  // namespace
 
 // ---------------------------------------------------------------------------
 // Public interface
 
-std::vector<Finding> lintSource(const std::string& path, const std::string& source,
-                                bool isHeader) {
-    const Lexed lx = lex(source);
-    const Suppressions sup = collectSuppressions(lx);
+std::vector<Finding> lintLexed(const std::string& path, const Lexed& lx,
+                               const Suppressions& sup, bool isHeader) {
     std::vector<Finding> out;
     checkTokens(path, lx, sup, &out);
     checkDirectives(path, lx, sup, isHeader, &out);
@@ -583,8 +266,14 @@ std::vector<Finding> lintSource(const std::string& path, const std::string& sour
     return out;
 }
 
-std::vector<MetricUse> collectMetricNames(const std::string& path, const std::string& source) {
+std::vector<Finding> lintSource(const std::string& path, const std::string& source,
+                                bool isHeader) {
     const Lexed lx = lex(source);
+    const Suppressions sup = collectSuppressions(lx);
+    return lintLexed(path, lx, sup, isHeader);
+}
+
+std::vector<MetricUse> collectMetricNames(const std::string& path, const Lexed& lx) {
     std::vector<MetricUse> out;
     for (const Token& t : lx.tokens) {
         if (t.kind == Token::Kind::String && isMetricName(t.text)) {
@@ -592,6 +281,10 @@ std::vector<MetricUse> collectMetricNames(const std::string& path, const std::st
         }
     }
     return out;
+}
+
+std::vector<MetricUse> collectMetricNames(const std::string& path, const std::string& source) {
+    return collectMetricNames(path, lex(source));
 }
 
 std::vector<std::pair<std::string, int>> docMetricNames(const std::string& docText) {
@@ -650,139 +343,20 @@ std::vector<Finding> lintMetricDrift(const std::vector<MetricUse>& uses,
 
 std::string renderFinding(const Finding& f, const std::string& format) {
     if (format == "github") {
+        std::string escaped;
+        for (const char c : f.message) {
+            switch (c) {
+                case '%': escaped += "%25"; break;
+                case '\n': escaped += "%0A"; break;
+                case '\r': escaped += "%0D"; break;
+                default: escaped += c;
+            }
+        }
         return "::error file=" + f.path + ",line=" + std::to_string(f.line) +
-               ",col=" + std::to_string(f.col) + ",title=rclint " + f.rule +
-               "::" + githubEscape(f.message);
+               ",col=" + std::to_string(f.col) + ",title=rclint " + f.rule + "::" + escaped;
     }
     return f.path + ":" + std::to_string(f.line) + ":" + std::to_string(f.col) + ": [" +
            f.rule + "] " + f.message;
-}
-
-int runCli(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {
-    std::string format = "text";
-    std::string metricsDoc;
-    bool metricCheck = true;
-    std::vector<std::string> paths;
-
-    for (std::size_t i = 0; i < args.size(); ++i) {
-        const std::string& a = args[i];
-        if (a == "--help" || a == "-h") {
-            out << "usage: rclint [--format=text|github] [--metrics-doc PATH]\n"
-                   "              [--no-metric-check] [--list-rules] PATH...\n"
-                   "Lints .cpp/.hpp files (directories are walked recursively).\n"
-                   "Exit: 0 clean, 1 findings, 2 usage/IO error.\n";
-            return 0;
-        }
-        if (a == "--list-rules") {
-            out << "banned-function    strcpy/strcat/sprintf/vsprintf/gets/rand/srand\n"
-                   "banned-new-delete  raw new/delete outside RAII types\n"
-                   "pragma-once        headers start with #pragma once, exactly once\n"
-                   "include-hygiene    duplicate/parent-relative/C-compat includes\n"
-                   "todo-format        TODO(owner): description; FIXME/XXX banned\n"
-                   "metric-name        counter literals must end in _total\n"
-                   "metric-doc-drift   rc_* literals in src/ <-> docs catalogue\n";
-            return 0;
-        }
-        if (a.rfind("--format=", 0) == 0) {
-            format = a.substr(9);
-            if (format != "text" && format != "github") {
-                err << "rclint: unknown format '" << format << "'\n";
-                return 2;
-            }
-            continue;
-        }
-        if (a == "--metrics-doc") {
-            if (i + 1 >= args.size()) {
-                err << "rclint: --metrics-doc needs a path\n";
-                return 2;
-            }
-            metricsDoc = args[++i];
-            continue;
-        }
-        if (a.rfind("--metrics-doc=", 0) == 0) {
-            metricsDoc = a.substr(14);
-            continue;
-        }
-        if (a == "--no-metric-check") {
-            metricCheck = false;
-            continue;
-        }
-        if (a.rfind("--", 0) == 0) {
-            err << "rclint: unknown option '" << a << "'\n";
-            return 2;
-        }
-        paths.push_back(a);
-    }
-
-    if (paths.empty()) {
-        err << "rclint: no input paths (try --help)\n";
-        return 2;
-    }
-
-    // Collect files.
-    namespace fs = std::filesystem;
-    std::vector<std::string> files;
-    std::error_code ec;
-    for (const std::string& p : paths) {
-        if (fs::is_directory(p, ec)) {
-            for (auto it = fs::recursive_directory_iterator(p, ec);
-                 it != fs::recursive_directory_iterator(); it.increment(ec)) {
-                if (ec) break;
-                if (it->is_directory() && skippableDir(it->path().filename().string())) {
-                    it.disable_recursion_pending();
-                    continue;
-                }
-                if (it->is_regular_file() && isSourceExt(it->path().extension().string())) {
-                    files.push_back(it->path().generic_string());
-                }
-            }
-        } else if (fs::is_regular_file(p, ec)) {
-            files.push_back(p);
-        } else {
-            err << "rclint: cannot read '" << p << "'\n";
-            return 2;
-        }
-    }
-    std::sort(files.begin(), files.end());
-    files.erase(std::unique(files.begin(), files.end()), files.end());
-
-    std::vector<Finding> findings;
-    std::vector<MetricUse> metricUses;
-    for (const std::string& f : files) {
-        std::string source;
-        if (!readFile(f, &source)) {
-            err << "rclint: cannot read '" << f << "'\n";
-            return 2;
-        }
-        const std::string ext = fs::path(f).extension().string();
-        std::vector<Finding> fileFindings = lintSource(f, source, isHeaderExt(ext));
-        findings.insert(findings.end(), fileFindings.begin(), fileFindings.end());
-        if (metricCheck && underSrc(f)) {
-            std::vector<MetricUse> uses = collectMetricNames(f, source);
-            metricUses.insert(metricUses.end(), uses.begin(), uses.end());
-        }
-    }
-
-    if (metricCheck && !metricsDoc.empty()) {
-        std::string docText;
-        if (!readFile(metricsDoc, &docText)) {
-            err << "rclint: cannot read metrics doc '" << metricsDoc << "'\n";
-            return 2;
-        }
-        std::vector<Finding> drift = lintMetricDrift(metricUses, metricsDoc, docText);
-        findings.insert(findings.end(), drift.begin(), drift.end());
-    }
-
-    std::sort(findings.begin(), findings.end());
-    for (const Finding& f : findings) {
-        out << renderFinding(f, format) << "\n";
-    }
-    if (!findings.empty()) {
-        out << "rclint: " << findings.size() << " finding" << (findings.size() == 1 ? "" : "s")
-            << " in " << files.size() << " files\n";
-        return 1;
-    }
-    return 0;
 }
 
 }  // namespace rclint

@@ -1,30 +1,40 @@
-// rclint: a zero-dependency, token-level C++ linter with project-specific
-// rules for the routedconsent tree. It is deliberately not a compiler
-// plugin: the rules below are all decidable on a comment/string-aware
-// token stream, which keeps the tool dependency-free (std:: only), fast
-// enough to gate every CI run, and testable with golden fixtures.
+// rclint / rcgraph: a zero-dependency, whole-tree C++ analysis layer with
+// project-specific rules for the routedconsent tree. It is deliberately
+// not a compiler plugin: the rules below are all decidable on a
+// comment/string-aware token stream plus the `#include "..."` graph,
+// which keeps the tool dependency-free (std:: only), fast enough to gate
+// every CI run, and testable with golden fixtures.
 //
-// Rules (ids are what suppressions name):
-//   banned-function    strcpy/strcat/sprintf/vsprintf/gets/rand/srand —
-//                      the paper's verifiers live or die on memory safety
-//                      and reproducible randomness (rpkic::Rng).
-//   banned-new-delete  raw `new` / `delete`; ownership goes through
-//                      containers and std::make_unique.
-//   pragma-once        every header starts with `#pragma once` (before
-//                      any other preprocessing directive), exactly once.
-//   include-hygiene    no duplicate includes, no "../" parent-relative
-//                      quoted includes, no C-compat headers (<string.h>
-//                      and friends — use <cstring>).
-//   todo-format        comments: `TODO(owner): text`; the two legacy
-//                      fix-me/placeholder markers are banned outright.
-//   metric-name        a) `.counter("name", ...)` literals must end in
-//                      `_total` (the registry enforces this at runtime;
-//                      this catches it at lint time);
-//                      b) cross-file: every `rc_*` metric literal used
-//                      under src/ must appear in docs/OBSERVABILITY.md's
-//                      catalogue, and every concrete `rc_*` name in the
-//                      catalogue must be used in src/ — telemetry docs
-//                      can never drift from the code.
+// Per-file rules (ids are what suppressions name):
+//   banned-function       strcpy/strcat/sprintf/vsprintf/gets/rand/srand —
+//                         the paper's verifiers live or die on memory
+//                         safety and reproducible randomness (rpkic::Rng).
+//   banned-new-delete     raw `new` / `delete`; ownership goes through
+//                         containers and std::make_unique.
+//   pragma-once           every header starts with `#pragma once` (before
+//                         any other preprocessing directive), exactly once.
+//   include-hygiene       no duplicate includes, no "../" parent-relative
+//                         quoted includes, no C-compat headers.
+//   todo-format           comments: `TODO(owner): text`; the two legacy
+//                         fix-me/placeholder markers are banned outright.
+//   metric-name           `.counter("name", ...)` literals must end in
+//                         `_total`.
+//   nondet-time           wall-clock reads (system_clock / time() /
+//                         clock()) outside the injectable obs clock.
+//   nondet-pointer-order  std::less<T*>, std::hash<T*>, and lambda
+//                         comparators ordering raw-pointer parameters.
+//
+// Cross-file analyses (the "rcgraph" layer — tree.hpp, graph.hpp,
+// nondet.hpp, lockorder.hpp):
+//   metric-doc-drift      rc_* literals under src/ <-> the catalogue in
+//                         docs/OBSERVABILITY.md, both directions.
+//   layer-violation       a module includes a higher-ranked module
+//                         (manifest: tools/rclint/layers.conf, --layers).
+//   include-cycle         a cycle in the file-level include graph.
+//   nondet-iteration      unordered-container iteration feeding a
+//                         serializing TU without a sorted drain.
+//   lock-order            a cycle in the global rc::LockGuard nesting
+//                         graph (escalates the exit code to 2).
 //
 // Suppressions:
 //   // rclint:allow(rule-id[,rule-id...])   — same line or the line above
@@ -32,12 +42,14 @@
 //
 // Output: one finding per line, `path:line:col: [rule] message`, or
 // `--format=github` for workflow annotations. Exit codes: 0 clean,
-// 1 findings, 2 usage or I/O error.
+// 1 findings, 2 usage or I/O error — or a lock-order cycle.
 #pragma once
 
 #include <iosfwd>
 #include <string>
 #include <vector>
+
+#include "lex.hpp"
 
 namespace rclint {
 
@@ -52,10 +64,15 @@ struct Finding {
 };
 
 /// Lints one translation unit held in memory. `isHeader` switches the
-/// header-only rules on (pragma-once). Cross-file rules (metric drift)
-/// are not run here — see lintMetricDrift.
+/// header-only rules on (pragma-once). Cross-file rules are not run here
+/// — see runCli / tree.hpp.
 std::vector<Finding> lintSource(const std::string& path, const std::string& source,
                                 bool isHeader);
+
+/// Same, over an already-lexed token stream (the pipeline lexes each file
+/// exactly once and fans the analyses out over the shared view).
+std::vector<Finding> lintLexed(const std::string& path, const Lexed& lx,
+                               const Suppressions& sup, bool isHeader);
 
 /// One `rc_*` string literal that names a metric family.
 struct MetricUse {
@@ -68,6 +85,7 @@ struct MetricUse {
 /// Extracts every string literal in `source` that looks like a metric
 /// family name (rc_ prefix, lower-case snake, >= 2 segments).
 std::vector<MetricUse> collectMetricNames(const std::string& path, const std::string& source);
+std::vector<MetricUse> collectMetricNames(const std::string& path, const Lexed& lx);
 
 /// Concrete metric names (no wildcards) catalogued in the markdown doc:
 /// every backticked `rc_...` token. Returns (name, line) pairs.
@@ -82,7 +100,7 @@ std::string renderFinding(const Finding& f, const std::string& format);
 
 /// The rclint command line (the binary's main() forwards here; tests call
 /// it in-process). Returns the process exit code: 0 clean, 1 findings,
-/// 2 usage or I/O error.
+/// 2 usage/I-O error or lock-order cycle.
 int runCli(const std::vector<std::string>& args, std::ostream& out, std::ostream& err);
 
 }  // namespace rclint

@@ -1,0 +1,137 @@
+#include "lockorder.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace rclint {
+
+namespace {
+
+/// Joins the guard's argument tokens into a stable mutex key:
+/// `this -> mutex_` -> "mutex_", `state_ . mu_` -> "state_.mu_".
+std::string mutexKey(const std::vector<Token>& toks, std::size_t from, std::size_t to) {
+    std::string key;
+    for (std::size_t k = from; k < to; ++k) key += toks[k].text;
+    if (key.rfind("this->", 0) == 0) key = key.substr(6);
+    while (!key.empty() && (key.front() == '*' || key.front() == '&')) key = key.substr(1);
+    return key;
+}
+
+struct ActiveGuard {
+    std::string key;
+    int depth = 0;  // brace depth the guard was declared at
+};
+
+}  // namespace
+
+std::vector<LockEdge> extractLockEdges(const std::string& path, const Lexed& lx,
+                                       const Suppressions& sup) {
+    const auto& toks = lx.tokens;
+    std::vector<LockEdge> edges;
+    std::vector<ActiveGuard> active;
+    int depth = 0;
+
+    for (std::size_t k = 0; k < toks.size(); ++k) {
+        const Token& t = toks[k];
+        if (t.kind == Token::Kind::Punct) {
+            if (t.text == "{") ++depth;
+            if (t.text == "}") {
+                --depth;
+                while (!active.empty() && active.back().depth > depth) active.pop_back();
+            }
+            continue;
+        }
+        // rc::LockGuard name(mutexExpr);  — also bare LockGuard in files
+        // that `using` the namespace.
+        if (t.kind == Token::Kind::Ident && t.text == "LockGuard" && k + 2 < toks.size() &&
+            toks[k + 1].kind == Token::Kind::Ident && toks[k + 2].text == "(") {
+            const std::size_t close = matchForward(toks, k + 2, "(", ")");
+            if (close == toks.size()) continue;
+            const std::string key = mutexKey(toks, k + 3, close);
+            if (key.empty()) continue;
+            if (!suppressed(sup, t.line, "lock-order")) {
+                for (const ActiveGuard& g : active) {
+                    edges.push_back({g.key, key, path, t.line, t.col});
+                }
+            }
+            active.push_back({key, depth});
+            k = close;
+        }
+    }
+    return edges;
+}
+
+std::vector<Finding> checkLockOrder(const std::vector<LockEdge>& allEdges) {
+    // Dedupe edges by (held, acquired), keeping the first site in sorted
+    // order so the anchor is deterministic.
+    std::vector<LockEdge> edges = allEdges;
+    std::sort(edges.begin(), edges.end());
+    std::map<std::pair<std::string, std::string>, const LockEdge*> uniq;
+    for (const LockEdge& e : edges) {
+        uniq.emplace(std::make_pair(e.held, e.acquired), &e);
+    }
+
+    std::map<std::string, std::vector<std::string>> adj;
+    std::set<std::string> nodes;
+    for (const auto& [key, edge] : uniq) {
+        adj[key.first].push_back(key.second);
+        nodes.insert(key.first);
+        nodes.insert(key.second);
+    }
+
+    // Iterative DFS with colors; the adjacency lists are sorted (map of
+    // sorted inserts), so the first cycle found per start node is stable.
+    std::vector<Finding> out;
+    std::map<std::string, int> color;  // 0 white, 1 grey, 2 black
+    std::set<std::set<std::string>> reported;
+
+    for (const std::string& start : nodes) {
+        if (color[start] != 0) continue;
+        std::vector<std::pair<std::string, std::size_t>> stack;  // node, next-child index
+        std::vector<std::string> pathStack;
+        stack.emplace_back(start, 0);
+        color[start] = 1;
+        pathStack.push_back(start);
+        while (!stack.empty()) {
+            auto& [node, childIdx] = stack.back();
+            const auto& children = adj[node];
+            if (childIdx >= children.size()) {
+                color[node] = 2;
+                stack.pop_back();
+                pathStack.pop_back();
+                continue;
+            }
+            const std::string next = children[childIdx++];
+            if (color[next] == 1) {
+                // Back edge: pathStack from `next` onward is the cycle.
+                const auto it = std::find(pathStack.begin(), pathStack.end(), next);
+                std::vector<std::string> cycle(it, pathStack.end());
+                std::set<std::string> keySet(cycle.begin(), cycle.end());
+                if (reported.insert(keySet).second) {
+                    // Rotate so the lexicographically smallest mutex leads.
+                    const auto minIt = std::min_element(cycle.begin(), cycle.end());
+                    std::rotate(cycle.begin(), minIt, cycle.end());
+                    std::string desc;
+                    for (const std::string& m : cycle) desc += m + " -> ";
+                    desc += cycle.front();
+                    // Anchor at the edge leaving the smallest mutex.
+                    const LockEdge* site =
+                        uniq.at({cycle.front(), cycle.size() > 1 ? cycle[1] : cycle.front()});
+                    out.push_back({site->path, site->line, site->col, "lock-order",
+                                   "lock-order cycle: " + desc +
+                                       " — nested acquisition inverts an order taken "
+                                       "elsewhere; a concurrent interleaving deadlocks"});
+                }
+            } else if (color[next] == 0) {
+                color[next] = 1;
+                stack.emplace_back(next, 0);
+                pathStack.push_back(next);
+            }
+        }
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+}  // namespace rclint

@@ -1,0 +1,52 @@
+// Lock-order analysis (rule id: lock-order).
+//
+// Every mutex in the tree is a thread-safety-annotated rc::Mutex taken
+// through rc::LockGuard scopes (util/mutex.hpp), which makes lock
+// acquisition *lexically visible*: a nested guard is a token pattern, not
+// a dataflow problem. This pass extracts every nested LockGuard pair per
+// file ("while holding A, acquired B"), merges them into one global
+// lock-order graph keyed by the normalized mutex expression, and fails on
+// cycles — the static complement of the TSan runs, which can only catch
+// an inversion that actually interleaves.
+//
+// The mutex key is the guard's argument expression with `this->` stripped
+// (`mutex_`, `state_.mu_`, ...). Two classes that both name a member
+// `mutex_` therefore share a node: the analysis over-approximates, and a
+// textual cycle across unrelated classes is suppressible at the edge site
+// with rclint:allow(lock-order). A cycle finding escalates the process
+// exit code to 2 — a potential deadlock is a harder failure than a style
+// finding (see docs/STATIC_ANALYSIS.md).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lex.hpp"
+#include "lint.hpp"
+
+namespace rclint {
+
+/// One observed nested acquisition: `held` was locked when `acquired`
+/// was taken at path:line.
+struct LockEdge {
+    std::string held;
+    std::string acquired;
+    std::string path;
+    int line = 0;
+    int col = 0;
+
+    auto operator<=>(const LockEdge&) const = default;
+};
+
+/// Extracts nested rc::LockGuard scopes from one token stream. Guard
+/// lifetime is tracked by brace depth, so sibling scopes in one function
+/// and guards in different functions never pair up.
+std::vector<LockEdge> extractLockEdges(const std::string& path, const Lexed& lx,
+                                       const Suppressions& sup);
+
+/// Builds the global lock-order graph from all files' edges and reports
+/// one `lock-order` finding per cycle, anchored at the edge that closes
+/// it. Deterministic: edges are processed in sorted order.
+std::vector<Finding> checkLockOrder(const std::vector<LockEdge>& edges);
+
+}  // namespace rclint

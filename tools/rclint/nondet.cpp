@@ -1,0 +1,332 @@
+#include "nondet.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+
+namespace rclint {
+
+namespace {
+
+bool isUnorderedContainer(const std::string& s) {
+    return s == "unordered_map" || s == "unordered_set" || s == "unordered_multimap" ||
+           s == "unordered_multiset";
+}
+
+std::string toLower(const std::string& s) {
+    std::string out = s;
+    std::transform(out.begin(), out.end(), out.begin(),
+                   [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+    return out;
+}
+
+/// Function-name shapes that turn per-process state into output the
+/// differential tests compare byte-for-byte. Substring match, lowercase.
+constexpr const char* kEmitShapes[] = {
+    "serialize", "serialise", "transcript", "postmortem", "render",
+    "digest",    "sha256",    "dump",       "emit",       "write",
+    "print",     "report",    "hash",
+};
+
+bool isEmitName(const std::string& ident) {
+    const std::string low = toLower(ident);
+    for (const char* shape : kEmitShapes) {
+        if (low.find(shape) != std::string::npos) return true;
+    }
+    return false;
+}
+
+bool isDrainMethod(const std::string& s) {
+    return s == "push_back" || s == "emplace_back" || s == "insert" || s == "emplace" ||
+           s == "append" || s == "push";
+}
+
+/// True when `sort` is called later in the token stream (from `from`)
+/// with any of `targets` inside its argument list.
+bool sortedLater(const std::vector<Token>& toks, std::size_t from,
+                 const std::set<std::string>& targets) {
+    if (targets.empty()) return false;
+    for (std::size_t k = from; k + 1 < toks.size(); ++k) {
+        if (toks[k].kind != Token::Kind::Ident || toks[k].text != "sort") continue;
+        if (toks[k + 1].text != "(") continue;
+        const std::size_t close = matchForward(toks, k + 1, "(", ")");
+        for (std::size_t a = k + 2; a < close && a < toks.size(); ++a) {
+            if (toks[a].kind == Token::Kind::Ident && targets.count(toks[a].text) > 0) {
+                return true;
+            }
+        }
+    }
+    return false;
+}
+
+/// End index (exclusive) of the loop body that starts right after the
+/// closing paren at `closeParen`: a balanced {...} block or one statement.
+std::size_t bodyEnd(const std::vector<Token>& toks, std::size_t closeParen) {
+    const std::size_t t = closeParen + 1;
+    if (t >= toks.size()) return toks.size();
+    if (toks[t].kind == Token::Kind::Punct && toks[t].text == "{") {
+        const std::size_t close = matchForward(toks, t, "{", "}");
+        return close == toks.size() ? toks.size() : close + 1;
+    }
+    int depth = 0;
+    for (std::size_t k = t; k < toks.size(); ++k) {
+        if (toks[k].kind != Token::Kind::Punct) continue;
+        if (toks[k].text == "(" || toks[k].text == "{" || toks[k].text == "[") ++depth;
+        if (toks[k].text == ")" || toks[k].text == "}" || toks[k].text == "]") --depth;
+        if (toks[k].text == ";" && depth == 0) return k + 1;
+    }
+    return toks.size();
+}
+
+/// Containers the span [from, to) fills via push_back/insert/emplace/...
+std::set<std::string> drainTargets(const std::vector<Token>& toks, std::size_t from,
+                                   std::size_t to) {
+    std::set<std::string> out;
+    for (std::size_t k = from; k + 3 < toks.size() && k + 3 < to; ++k) {
+        if (toks[k].kind == Token::Kind::Ident && toks[k + 1].text == "." &&
+            toks[k + 2].kind == Token::Kind::Ident && isDrainMethod(toks[k + 2].text) &&
+            toks[k + 3].text == "(") {
+            out.insert(toks[k].text);
+        }
+    }
+    return out;
+}
+
+}  // namespace
+
+NondetFacts extractNondetFacts(const Lexed& lx) {
+    NondetFacts facts;
+    const auto& toks = lx.tokens;
+
+    for (std::size_t k = 0; k < toks.size(); ++k) {
+        const Token& t = toks[k];
+        if (t.kind != Token::Kind::Ident) continue;
+
+        // Declarations: std::unordered_map<K, V> name — also function
+        // declarations returning one (iterating the returned temporary is
+        // just as order-unstable as iterating a member).
+        if (isUnorderedContainer(t.text) && k + 1 < toks.size() && toks[k + 1].text == "<") {
+            const std::size_t close = matchForward(toks, k + 1, "<", ">");
+            std::size_t n = close + 1;
+            while (n < toks.size() && toks[n].kind == Token::Kind::Punct &&
+                   (toks[n].text == "&" || toks[n].text == "*")) {
+                ++n;
+            }
+            if (n < toks.size() && toks[n].kind == Token::Kind::Ident &&
+                toks[n].text != "const" && toks[n].text != "operator") {
+                facts.unorderedIdents.push_back(toks[n].text);
+            }
+            continue;
+        }
+
+        // Emit gate: any call to a serialize/transcript/hash-emit-shaped
+        // function anywhere in the file.
+        if (!facts.emits && k + 1 < toks.size() && toks[k + 1].text == "(" &&
+            isEmitName(t.text)) {
+            facts.emits = true;
+        }
+
+        // Range-for: for ( decl : expr ) body
+        if (t.text == "for" && k + 1 < toks.size() && toks[k + 1].text == "(") {
+            const std::size_t close = matchForward(toks, k + 1, "(", ")");
+            if (close == toks.size()) continue;
+            // The range-for colon: a lone ':' at paren depth 1 ('::' is one
+            // merged token, so a bare ':' is unambiguous).
+            std::size_t colon = toks.size();
+            int depth = 0;
+            for (std::size_t p = k + 1; p < close; ++p) {
+                if (toks[p].kind != Token::Kind::Punct) continue;
+                if (toks[p].text == "(" || toks[p].text == "[" || toks[p].text == "{") ++depth;
+                if (toks[p].text == ")" || toks[p].text == "]" || toks[p].text == "}") --depth;
+                if (toks[p].text == ":" && depth == 1) {
+                    colon = p;
+                    break;
+                }
+            }
+            if (colon == toks.size()) continue;
+            IterationSite site;
+            site.line = t.line;
+            site.col = t.col;
+            for (std::size_t p = colon + 1; p < close; ++p) {
+                if (toks[p].kind == Token::Kind::Ident) site.exprIdents.push_back(toks[p].text);
+            }
+            const std::size_t end = bodyEnd(toks, close);
+            site.sortedDrain = sortedLater(toks, end, drainTargets(toks, close + 1, end));
+            facts.iterations.push_back(std::move(site));
+            continue;
+        }
+
+        // Iterator-style: x.begin() — covers explicit iterator loops and
+        // order-sensitive algorithm calls. `vector<K> keys(m.begin(),
+        // m.end()); sort(keys...)` is the one-statement sorted drain: the
+        // receiving variable counts as the drain target.
+        if (t.text == "begin" && k >= 2 && toks[k - 1].text == "." &&
+            toks[k - 2].kind == Token::Kind::Ident && k + 1 < toks.size() &&
+            toks[k + 1].text == "(") {
+            IterationSite site;
+            site.line = toks[k - 2].line;
+            site.col = toks[k - 2].col;
+            site.exprIdents.push_back(toks[k - 2].text);
+            site.beginCall = true;
+            std::set<std::string> drain;
+            if (k >= 4 && toks[k - 3].text == "(" && toks[k - 4].kind == Token::Kind::Ident) {
+                drain.insert(toks[k - 4].text);
+            }
+            site.sortedDrain = sortedLater(toks, k + 1, drain);
+            facts.iterations.push_back(std::move(site));
+        }
+    }
+    return facts;
+}
+
+void checkNondetPerFile(const std::string& path, const Lexed& lx, const Suppressions& sup,
+                        std::vector<Finding>* out) {
+    const auto& toks = lx.tokens;
+    auto add = [&](int line, int col, const std::string& rule, const std::string& msg) {
+        if (!suppressed(sup, line, rule)) out->push_back({path, line, col, rule, msg});
+    };
+
+    for (std::size_t k = 0; k < toks.size(); ++k) {
+        const Token& t = toks[k];
+        if (t.kind != Token::Kind::Ident) continue;
+        const std::string next = k + 1 < toks.size() ? toks[k + 1].text : std::string();
+
+        // --- nondet-time -----------------------------------------------
+        if (t.text == "system_clock") {
+            add(t.line, t.col, "nondet-time",
+                "system_clock: wall-clock reads break per-seed reproducibility; "
+                "use the injectable obs clock (obs/clock.hpp)");
+            continue;
+        }
+        if ((t.text == "time" || t.text == "clock") && next == "(") {
+            const Token* prev = k > 0 ? &toks[k - 1] : nullptr;
+            const bool member = prev != nullptr && (prev->text == "." || prev->text == "->");
+            const bool qualified = prev != nullptr && prev->text == "::";
+            const bool stdQualified = qualified && k >= 2 && toks[k - 2].text == "std";
+            // `SimClock clock(5);` and `Foo* time(...)` are declarations,
+            // not wall-clock reads.
+            const bool declaration =
+                prev != nullptr && (prev->kind == Token::Kind::Ident || prev->text == ">" ||
+                                    prev->text == "*" || prev->text == "&");
+            if (!member && !declaration && (!qualified || stdQualified)) {
+                add(t.line, t.col, "nondet-time",
+                    t.text + "(): wall-clock read breaks per-seed reproducibility; "
+                    "use the injectable obs clock (obs/clock.hpp) or the simulated "
+                    "protocol clock (util/time.hpp)");
+            }
+            continue;
+        }
+
+        // --- nondet-pointer-order --------------------------------------
+        if ((t.text == "less" || t.text == "hash") && k >= 2 && toks[k - 1].text == "::" &&
+            toks[k - 2].text == "std" && next == "<") {
+            const std::size_t close = matchForward(toks, k + 1, "<", ">");
+            bool pointerArg = false;
+            for (std::size_t p = k + 2; p < close && p < toks.size(); ++p) {
+                if (toks[p].kind == Token::Kind::Punct && toks[p].text == "*") {
+                    pointerArg = true;
+                    break;
+                }
+            }
+            if (pointerArg) {
+                add(t.line, t.col, "nondet-pointer-order",
+                    "std::" + t.text + " over a raw pointer type " +
+                        (t.text == "less" ? "orders by address" : "hashes the address") +
+                        ", which varies run to run; key on a stable field instead");
+            }
+            continue;
+        }
+    }
+
+    // Lambda comparators over raw-pointer parameters: [..](T* a, U* b) {
+    // ... a < b ... }.
+    for (std::size_t k = 0; k < toks.size(); ++k) {
+        if (toks[k].kind != Token::Kind::Punct || toks[k].text != "[") continue;
+        if (k > 0) {
+            const Token& prev = toks[k - 1];
+            const bool subscript = prev.kind == Token::Kind::Ident ||
+                                   prev.kind == Token::Kind::Number ||
+                                   prev.kind == Token::Kind::String || prev.text == ")" ||
+                                   prev.text == "]";
+            if (subscript) continue;
+        }
+        const std::size_t captureClose = matchForward(toks, k, "[", "]");
+        if (captureClose + 1 >= toks.size() || toks[captureClose + 1].text != "(") continue;
+        const std::size_t paramClose = matchForward(toks, captureClose + 1, "(", ")");
+        if (paramClose == toks.size()) continue;
+
+        // Split the parameter list on top-level commas; a parameter is
+        // pointer-typed when it contains a '*', and its name is its last
+        // identifier.
+        std::set<std::string> pointerParams;
+        std::size_t paramStart = captureClose + 2;
+        int depth = 0;
+        for (std::size_t p = captureClose + 2; p <= paramClose; ++p) {
+            const bool atEnd = p == paramClose;
+            if (!atEnd && toks[p].kind == Token::Kind::Punct) {
+                if (toks[p].text == "(" || toks[p].text == "<" || toks[p].text == "[") ++depth;
+                if (toks[p].text == ")" || toks[p].text == ">" || toks[p].text == "]") --depth;
+            }
+            if (atEnd || (toks[p].text == "," && depth == 0)) {
+                bool pointer = false;
+                std::string name;
+                for (std::size_t q = paramStart; q < p; ++q) {
+                    if (toks[q].kind == Token::Kind::Punct && toks[q].text == "*") pointer = true;
+                    if (toks[q].kind == Token::Kind::Ident) name = toks[q].text;
+                }
+                if (pointer && !name.empty()) pointerParams.insert(name);
+                paramStart = p + 1;
+            }
+        }
+        if (pointerParams.size() < 2) continue;
+
+        // Body: the next '{' block after the parameter list.
+        std::size_t bodyOpen = paramClose + 1;
+        while (bodyOpen < toks.size() && toks[bodyOpen].text != "{" &&
+               toks[bodyOpen].text != ";") {
+            ++bodyOpen;
+        }
+        if (bodyOpen >= toks.size() || toks[bodyOpen].text != "{") continue;
+        const std::size_t bodyClose = matchForward(toks, bodyOpen, "{", "}");
+        for (std::size_t p = bodyOpen + 1; p + 2 < toks.size() && p + 2 < bodyClose; ++p) {
+            if (toks[p].kind == Token::Kind::Ident && pointerParams.count(toks[p].text) > 0 &&
+                (toks[p + 1].text == "<" || toks[p + 1].text == ">") &&
+                toks[p + 2].kind == Token::Kind::Ident &&
+                pointerParams.count(toks[p + 2].text) > 0 &&
+                toks[p].text != toks[p + 2].text) {
+                add(toks[p + 1].line, toks[p + 1].col, "nondet-pointer-order",
+                    "comparing raw pointers '" + toks[p].text + " " + toks[p + 1].text + " " +
+                        toks[p + 2].text +
+                        "' orders by address, which varies run to run; compare a stable "
+                        "key instead");
+            }
+        }
+    }
+}
+
+void checkNondetIteration(const std::string& path, const NondetFacts& facts,
+                          const std::vector<std::string>& unordered, const Suppressions& sup,
+                          std::vector<Finding>* out) {
+    if (!facts.emits || facts.iterations.empty() || unordered.empty()) return;
+    const std::set<std::string> tracked(unordered.begin(), unordered.end());
+    for (const IterationSite& site : facts.iterations) {
+        if (site.sortedDrain) continue;
+        std::string hit;
+        for (const std::string& ident : site.exprIdents) {
+            if (tracked.count(ident) > 0) {
+                hit = ident;
+                break;
+            }
+        }
+        if (hit.empty()) continue;
+        if (suppressed(sup, site.line, "nondet-iteration")) continue;
+        out->push_back(
+            {path, site.line, site.col, "nondet-iteration",
+             std::string(site.beginCall ? "iterator over" : "iteration over") +
+                 " unordered container '" + hit +
+                 "' in a TU that serializes output: drain into a sorted container first, "
+                 "or justify with rclint:allow(nondet-iteration)"});
+    }
+}
+
+}  // namespace rclint

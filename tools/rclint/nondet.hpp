@@ -1,0 +1,73 @@
+// Determinism lints (the "nondet" rule family).
+//
+// Every PR since the chaos engine has defended one invariant: reports,
+// transcripts, and postmortem bundles are byte-identical per seed at
+// every thread count. These rules statically reject the code shapes that
+// break it:
+//
+//   nondet-iteration      range-for / .begin() iteration over a
+//                         std::unordered_map/set in a TU that also calls
+//                         a serialize/transcript/hash-emit function.
+//                         A *sorted drain* — the loop only pushes into a
+//                         local container that is std::sort-ed later in
+//                         the same TU — is recognized and allowed.
+//                         Cross-file: containers declared in any
+//                         transitively included project header count.
+//   nondet-time           std::chrono::system_clock, and calls to time()
+//                         / clock(): wall-clock reads outside the
+//                         injectable obs clock (src/obs/clock.hpp).
+//                         steady_clock is allowed (monotonic measurement,
+//                         routed through obs::TimeSource).
+//   nondet-pointer-order  std::less<T*> / std::hash<T*>, and lambda
+//                         comparators that order two raw-pointer
+//                         parameters with `<` — address order varies run
+//                         to run under ASLR and allocator choice.
+//
+// All three are heuristic token-level analyses (see docs/STATIC_ANALYSIS.md
+// for the exact shapes recognized); `rclint:allow(...)` applies as usual.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lex.hpp"
+#include "lint.hpp"
+
+namespace rclint {
+
+/// One iteration site over a possibly-unordered container.
+struct IterationSite {
+    int line = 0;
+    int col = 0;
+    std::vector<std::string> exprIdents;  // identifiers in the range expression
+    bool sortedDrain = false;             // loop fills a container that is sorted later
+    bool beginCall = false;               // `x.begin()` iterator loop, not a range-for
+};
+
+/// Per-file facts the cross-file nondet-iteration pass consumes.
+struct NondetFacts {
+    /// Identifiers declared in this file with an unordered container type
+    /// (variables, members, and functions returning one).
+    std::vector<std::string> unorderedIdents;
+    /// True when the file calls a serialize/transcript/hash-emit-shaped
+    /// function — the gate for nondet-iteration.
+    bool emits = false;
+    std::vector<IterationSite> iterations;
+};
+
+/// Extracts declaration/emit/iteration facts from one token stream.
+NondetFacts extractNondetFacts(const Lexed& lx);
+
+/// Per-file rules: nondet-time and nondet-pointer-order. Appends findings.
+void checkNondetPerFile(const std::string& path, const Lexed& lx, const Suppressions& sup,
+                        std::vector<Finding>* out);
+
+/// Cross-file rule: flags iteration sites in `facts` whose range
+/// expression names an identifier in `unordered` (this file's own
+/// declarations plus everything from its transitive include closure),
+/// unless the site drains into a sorted container or is suppressed.
+void checkNondetIteration(const std::string& path, const NondetFacts& facts,
+                          const std::vector<std::string>& unordered, const Suppressions& sup,
+                          std::vector<Finding>* out);
+
+}  // namespace rclint

@@ -1,0 +1,228 @@
+#include "tree.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <set>
+#include <sstream>
+#include <thread>
+
+namespace rclint {
+
+namespace {
+
+bool isSourceExt(const std::string& ext) {
+    return ext == ".cpp" || ext == ".cc" || ext == ".cxx" || ext == ".hpp" || ext == ".hh" ||
+           ext == ".h";
+}
+
+bool isHeaderExt(const std::string& ext) {
+    return ext == ".hpp" || ext == ".hh" || ext == ".h";
+}
+
+/// Directories the tree walk never descends into: build output, hidden
+/// dirs, fuzz corpora, and golden-fixture trees (tests/fixtures/** holds
+/// deliberately-violating sources the gate must not lint).
+bool skippableDir(const std::string& name) {
+    return name.empty() || name[0] == '.' || name.rfind("build", 0) == 0 ||
+           name == "CMakeFiles" || name == "corpus" || name == "fixtures";
+}
+
+bool readFile(const std::string& path, std::string* out) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return false;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    *out = ss.str();
+    return true;
+}
+
+/// Parses `#include` specs out of the directive lines.
+std::vector<IncludeSpec> parseIncludes(const Lexed& lx) {
+    std::vector<IncludeSpec> out;
+    for (const DirectiveLine& d : lx.directives) {
+        if (d.text.rfind("include", 0) != 0) continue;
+        std::string spec = d.text.substr(7);
+        const std::size_t b = spec.find_first_not_of(" \t");
+        if (b == std::string::npos) continue;
+        spec = spec.substr(b);
+        const std::size_t cpos = std::min(spec.find("//"), spec.find("/*"));
+        if (cpos != std::string::npos) spec = spec.substr(0, cpos);
+        const std::size_t e = spec.find_last_not_of(" \t");
+        spec = e == std::string::npos ? "" : spec.substr(0, e + 1);
+        if (spec.size() < 2) continue;
+        IncludeSpec inc;
+        inc.quoted = spec[0] == '"';
+        inc.inner = spec.substr(1, spec.size() - 2);
+        inc.line = d.line;
+        out.push_back(std::move(inc));
+    }
+    return out;
+}
+
+void analyzeOne(FileUnit* u) {
+    std::string source;
+    if (!readFile(u->path, &source)) {
+        u->error = "cannot read '" + u->path + "'";
+        return;
+    }
+    u->lx = lex(source);
+    u->sup = collectSuppressions(u->lx);
+    u->findings = lintLexed(u->path, u->lx, u->sup, u->isHeader);
+    checkNondetPerFile(u->path, u->lx, u->sup, &u->findings);
+    std::sort(u->findings.begin(), u->findings.end());
+    u->metrics = collectMetricNames(u->path, u->lx);
+    u->includes = parseIncludes(u->lx);
+    u->nondet = extractNondetFacts(u->lx);
+    u->lockEdges = extractLockEdges(u->path, u->lx, u->sup);
+}
+
+std::string dirname(const std::string& p) {
+    const std::size_t pos = p.find_last_of('/');
+    return pos == std::string::npos ? "" : p.substr(0, pos);
+}
+
+}  // namespace
+
+bool collectFiles(const std::vector<std::string>& paths, std::vector<std::string>* files,
+                  std::string* err) {
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    for (const std::string& p : paths) {
+        if (fs::is_directory(p, ec)) {
+            for (auto it = fs::recursive_directory_iterator(p, ec);
+                 it != fs::recursive_directory_iterator(); it.increment(ec)) {
+                if (ec) break;
+                if (it->is_directory() && skippableDir(it->path().filename().string())) {
+                    it.disable_recursion_pending();
+                    continue;
+                }
+                if (it->is_regular_file() && isSourceExt(it->path().extension().string())) {
+                    files->push_back(it->path().generic_string());
+                }
+            }
+        } else if (fs::is_regular_file(p, ec)) {
+            files->push_back(p);
+        } else {
+            *err = "cannot read '" + p + "'";
+            return false;
+        }
+    }
+    std::sort(files->begin(), files->end());
+    files->erase(std::unique(files->begin(), files->end()), files->end());
+    return true;
+}
+
+std::vector<FileUnit> loadUnits(const std::vector<std::string>& files, int threads) {
+    std::vector<FileUnit> units(files.size());
+    for (std::size_t i = 0; i < files.size(); ++i) {
+        units[i].path = files[i];
+        units[i].isHeader = isHeaderExt(std::filesystem::path(files[i]).extension().string());
+    }
+    const int workers =
+        std::max(1, std::min<int>(threads, static_cast<int>(units.size())));
+    if (workers <= 1) {
+        for (FileUnit& u : units) analyzeOne(&u);
+        return units;
+    }
+    // Index-stride fan-out: worker w owns slots w, w+N, w+2N, ... Each
+    // slot is written by exactly one thread; the merge is the untouched
+    // `units` order, so output is byte-identical at every thread count.
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w) {
+        pool.emplace_back([&units, w, workers] {
+            for (std::size_t i = static_cast<std::size_t>(w); i < units.size();
+                 i += static_cast<std::size_t>(workers)) {
+                analyzeOne(&units[i]);
+            }
+        });
+    }
+    for (std::thread& t : pool) t.join();
+    return units;
+}
+
+std::vector<IncludeEdge> resolveIncludes(const std::vector<FileUnit>& units) {
+    // Index scanned files by basename for cheap suffix matching.
+    std::map<std::string, std::vector<std::string>> byBase;
+    for (const FileUnit& u : units) {
+        const std::size_t pos = u.path.find_last_of('/');
+        byBase[pos == std::string::npos ? u.path : u.path.substr(pos + 1)].push_back(u.path);
+    }
+    for (auto& [base, paths] : byBase) std::sort(paths.begin(), paths.end());
+
+    std::vector<IncludeEdge> edges;
+    for (const FileUnit& u : units) {
+        for (const IncludeSpec& inc : u.includes) {
+            if (!inc.quoted || inc.inner.empty()) continue;
+            const std::size_t pos = inc.inner.find_last_of('/');
+            const std::string base =
+                pos == std::string::npos ? inc.inner : inc.inner.substr(pos + 1);
+            const auto it = byBase.find(base);
+            if (it == byBase.end()) continue;
+            const std::string sameDir = dirname(u.path) + "/" + inc.inner;
+            std::string resolved;
+            for (const std::string& cand : it->second) {
+                const bool suffixMatch =
+                    cand.size() > inc.inner.size() + 1 &&
+                    cand.compare(cand.size() - inc.inner.size() - 1, inc.inner.size() + 1,
+                                 "/" + inc.inner) == 0;
+                if (cand != u.path && (cand == sameDir || cand == inc.inner || suffixMatch)) {
+                    // Same-directory resolution wins outright; otherwise
+                    // the first (smallest) suffix match.
+                    if (cand == sameDir) {
+                        resolved = cand;
+                        break;
+                    }
+                    if (resolved.empty()) resolved = cand;
+                }
+            }
+            if (!resolved.empty()) edges.push_back({u.path, resolved, inc.line});
+        }
+    }
+    return edges;
+}
+
+std::map<std::string, std::vector<std::string>> unorderedClosure(
+    const std::vector<FileUnit>& units, const std::vector<IncludeEdge>& edges) {
+    std::map<std::string, std::vector<std::string>> adj;
+    for (const IncludeEdge& e : edges) adj[e.from].push_back(e.to);
+    std::map<std::string, const FileUnit*> byPath;
+    for (const FileUnit& u : units) byPath[u.path] = &u;
+
+    std::map<std::string, std::set<std::string>> memo;
+    // Iterative DFS with a visiting guard (include cycles must not hang
+    // the closure even though they are themselves findings).
+    std::set<std::string> visiting;
+    std::function<const std::set<std::string>&(const std::string&)> closure =
+        [&](const std::string& path) -> const std::set<std::string>& {
+        const auto found = memo.find(path);
+        if (found != memo.end()) return found->second;
+        std::set<std::string>& mine = memo[path];
+        if (!visiting.insert(path).second) return mine;
+        const auto unit = byPath.find(path);
+        if (unit != byPath.end()) {
+            mine.insert(unit->second->nondet.unorderedIdents.begin(),
+                        unit->second->nondet.unorderedIdents.end());
+        }
+        const auto children = adj.find(path);
+        if (children != adj.end()) {
+            for (const std::string& child : children->second) {
+                const std::set<std::string>& sub = closure(child);
+                mine.insert(sub.begin(), sub.end());
+            }
+        }
+        visiting.erase(path);
+        return mine;
+    };
+
+    std::map<std::string, std::vector<std::string>> out;
+    for (const FileUnit& u : units) {
+        const std::set<std::string>& s = closure(u.path);
+        out[u.path] = std::vector<std::string>(s.begin(), s.end());
+    }
+    return out;
+}
+
+}  // namespace rclint

@@ -1,0 +1,70 @@
+// The whole-tree pipeline: rclint's cross-file layer ("rcgraph").
+//
+// Phase 1 (parallel): every file is read, lexed, and analyzed once. A
+// fixed set of worker threads picks files by index stride and writes
+// per-file FileUnit slots — no shared mutable state, so the result is
+// identical at every thread count by construction (the linter eats the
+// same dog food it serves: byte-identical output, any --threads value).
+//
+// Phase 2 (sequential, deterministic): cross-file analyses run over the
+// collected units — the `#include "..."` graph (layer-violation,
+// include-cycle, --graph-out), metric-doc drift, the determinism lint's
+// cross-file declaration closure (nondet-iteration), and the global
+// lock-order graph (lock-order).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "graph.hpp"
+#include "lex.hpp"
+#include "lint.hpp"
+#include "lockorder.hpp"
+#include "nondet.hpp"
+
+namespace rclint {
+
+/// One `#include` directive, unresolved.
+struct IncludeSpec {
+    std::string inner;  // text between the delimiters
+    bool quoted = false;
+    int line = 0;
+};
+
+/// Everything phase 1 extracts from one file.
+struct FileUnit {
+    std::string path;
+    bool isHeader = false;
+    Lexed lx;
+    Suppressions sup;
+    std::vector<Finding> findings;  // per-file rules, sorted
+    std::vector<MetricUse> metrics;
+    std::vector<IncludeSpec> includes;
+    NondetFacts nondet;
+    std::vector<LockEdge> lockEdges;
+    std::string error;  // non-empty: file could not be read
+};
+
+/// Walks `paths` (files or directories) into a sorted, deduplicated list
+/// of lintable sources. Returns false and sets `err` on unreadable paths.
+bool collectFiles(const std::vector<std::string>& paths, std::vector<std::string>* files,
+                  std::string* err);
+
+/// Phase 1: loads and analyzes every file on `threads` workers (>= 1).
+std::vector<FileUnit> loadUnits(const std::vector<std::string>& files, int threads);
+
+/// Resolves quoted includes to scanned files by path-suffix match:
+/// include "util/time.hpp" resolves to the unique scanned file ending in
+/// /util/time.hpp. Same-directory matches win; ambiguity falls back to
+/// the lexicographically smallest candidate. Unresolvable specs (system
+/// headers, generated files) produce no edge.
+std::vector<IncludeEdge> resolveIncludes(const std::vector<FileUnit>& units);
+
+/// Per-file union of unordered-container identifiers over the transitive
+/// include closure (the file's own declarations plus every reachable
+/// project header's). Keyed by file path; values sorted.
+std::map<std::string, std::vector<std::string>> unorderedClosure(
+    const std::vector<FileUnit>& units, const std::vector<IncludeEdge>& edges);
+
+}  // namespace rclint
