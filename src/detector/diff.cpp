@@ -8,6 +8,13 @@
 
 namespace rpkic {
 
+TupleDelta tupleDelta(const RpkiState& prev, const RpkiState& cur) {
+    TupleDelta delta;
+    delta.announced = cur.minus(prev);
+    delta.withdrawn = prev.minus(cur);
+    return delta;
+}
+
 std::vector<IpPrefix> samplePrefixes(const TriangleSet& t, std::size_t maxCount) {
     std::vector<IpPrefix> out;
     for (int q = 0; q <= TriangleSet::kMaxLen && out.size() < maxCount; ++q) {

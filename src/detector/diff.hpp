@@ -82,6 +82,21 @@ struct DowngradeReport {
     }
 };
 
+/// The tuple-level delta between two states: exactly what an RTR-style
+/// cache must send a client to move it from `prev` to `cur` (announce
+/// what appeared, withdraw what vanished). Both vectors inherit the
+/// states' canonical sorted order, so the delta — like the report — is
+/// byte-identical at every thread count.
+struct TupleDelta {
+    std::vector<RoaTuple> announced;  ///< in cur, not in prev
+    std::vector<RoaTuple> withdrawn;  ///< in prev, not in cur
+
+    bool empty() const { return announced.empty() && withdrawn.empty(); }
+};
+
+/// Computes the announce/withdraw sets (linear in the two state sizes).
+TupleDelta tupleDelta(const RpkiState& prev, const RpkiState& cur);
+
 /// Extracts up to `maxCount` prefixes from a triangle set (for reports and
 /// visualization).
 std::vector<IpPrefix> samplePrefixes(const TriangleSet& t, std::size_t maxCount);

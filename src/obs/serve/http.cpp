@@ -1,16 +1,8 @@
 #include "obs/serve/http.hpp"
 
-#include <arpa/inet.h>
-#include <fcntl.h>
-#include <netinet/in.h>
-#include <poll.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
 #include <algorithm>
 #include <atomic>
 #include <cctype>
-#include <cerrno>
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
@@ -29,12 +21,6 @@ const char* statusText(int status) {
         case 500: return "Internal Server Error";
     }
     return "Unknown";
-}
-
-bool setNonBlocking(int fd) {
-    const int flags = ::fcntl(fd, F_GETFL, 0);
-    if (flags < 0) return false;
-    return ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
 }
 
 std::string lowercase(std::string s) {
@@ -60,82 +46,25 @@ std::string HttpRequest::header(const std::string& name) const {
     return "";
 }
 
-bool parseHostPort(const std::string& address, std::string* host, std::uint16_t* port,
-                   std::string* error) {
-    const std::size_t colon = address.rfind(':');
-    if (colon == std::string::npos) {
-        *error = "address must be host:port, got '" + address + "'";
-        return false;
-    }
-    *host = address.substr(0, colon);
-    if (host->empty()) *host = "127.0.0.1";
-    const std::string portText = address.substr(colon + 1);
-    if (portText.empty() ||
-        !std::all_of(portText.begin(), portText.end(),
-                     [](unsigned char c) { return std::isdigit(c) != 0; })) {
-        *error = "bad port '" + portText + "'";
-        return false;
-    }
-    const long value = std::strtol(portText.c_str(), nullptr, 10);
-    if (value < 0 || value > 65535) {
-        *error = "port out of range: " + portText;
-        return false;
-    }
-    *port = static_cast<std::uint16_t>(value);
-    return true;
-}
-
 // ---------------------------------------------------------------------------
-// Server internals. Everything below runs on the server thread only
-// (start()/stop() touch the loop solely through atomics + the self-pipe),
-// so the session table needs no lock.
+// The HTTP protocol handler. Runs on the SocketServer loop thread; the
+// substrate owns all socket I/O and the session table, this class only
+// interprets bytes.
 
-struct HttpServer::Session {
-    int fd = -1;
-    std::string in;
-    std::string out;
-    bool closeAfterWrite = false;
-};
-
-struct HttpServer::Loop {
+struct HttpServer::Proto : SocketProtocol {
     Options options;
     std::map<std::string, HttpHandler> routes;
-
-    int listenFd = -1;
-    int wakeRead = -1;
-    int wakeWrite = -1;
-    std::atomic<bool> stopFlag{false};
-    std::map<int, Session> sessions;
     std::atomic<std::uint64_t> served{0};
 
     // Instruments (null when unmetered). The per-(path,code) counter
     // cache is keyed by matched route (unknown paths collapse to
     // "<other>" so client-controlled targets cannot explode cardinality).
-    Gauge* sessionsOpen = nullptr;
-    Counter* sessionsTotal = nullptr;
-    Counter* bytesReadTotal = nullptr;
-    Counter* bytesWrittenTotal = nullptr;
     Histogram* requestSeconds = nullptr;
     std::map<std::string, Counter*> requestCounters;
-
-    ~Loop() {
-        for (auto& [fd, session] : sessions) ::close(fd);
-        if (listenFd >= 0) ::close(listenFd);
-        if (wakeRead >= 0) ::close(wakeRead);
-        if (wakeWrite >= 0) ::close(wakeWrite);
-    }
 
     void attachMetrics() {
         Registry* reg = options.registry;
         if (reg == nullptr) return;
-        sessionsOpen = &reg->gauge("rc_http_sessions_open",
-                                   "Introspection HTTP sessions currently connected");
-        sessionsTotal = &reg->counter("rc_http_sessions_total",
-                                      "Introspection HTTP sessions ever accepted");
-        bytesReadTotal = &reg->counter("rc_http_bytes_read_total",
-                                       "Bytes read from introspection HTTP clients");
-        bytesWrittenTotal = &reg->counter("rc_http_bytes_written_total",
-                                          "Bytes written to introspection HTTP clients");
         requestSeconds = &reg->histogram(
             "rc_http_request_seconds",
             "Introspection request handling latency (parse to response queued)");
@@ -155,7 +84,7 @@ struct HttpServer::Loop {
         slot->inc();
     }
 
-    void queueResponse(Session& session, const HttpRequest& request,
+    void queueResponse(NetSession& session, const HttpRequest& request,
                        const HttpResponse& response, bool keepAlive) {
         // Echo only versions we actually speak: a malformed request line
         // leaves whatever garbage token it had in request.version, and a
@@ -167,15 +96,15 @@ struct HttpServer::Loop {
         head += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
         head += keepAlive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
         head += "\r\n";
-        session.out += head;
-        if (request.method != "HEAD") session.out += response.body;
+        session.send(head);
+        if (request.method != "HEAD") session.send(response.body);
         if (!keepAlive) session.closeAfterWrite = true;
     }
 
     /// Parses one complete request out of session.in. Returns 0 when the
     /// head is incomplete, 1 on success, -1 on malformed input, -2 when
     /// the request exceeds maxRequestBytes.
-    int parseRequest(Session& session, HttpRequest* request) {
+    int parseRequest(NetSession& session, HttpRequest* request) {
         const std::size_t headEnd = session.in.find("\r\n\r\n");
         if (headEnd == std::string::npos) {
             return session.in.size() > options.maxRequestBytes ? -2 : 0;
@@ -232,7 +161,7 @@ struct HttpServer::Loop {
         return 1;
     }
 
-    void serveSession(Session& session) {
+    void onData(NetSession& session) override {
         // Answer every complete pipelined request already buffered.
         while (true) {
             HttpRequest request;
@@ -270,118 +199,6 @@ struct HttpServer::Loop {
             if (!keepAlive) return;
         }
     }
-
-    /// Returns false when the session should be dropped.
-    bool readSession(Session& session) {
-        char buf[4096];
-        while (true) {
-            const ssize_t n = ::read(session.fd, buf, sizeof buf);
-            if (n > 0) {
-                session.in.append(buf, static_cast<std::size_t>(n));
-                if (bytesReadTotal != nullptr) {
-                    bytesReadTotal->inc(static_cast<std::uint64_t>(n));
-                }
-                continue;
-            }
-            if (n == 0) return false;  // peer closed
-            if (errno == EAGAIN || errno == EWOULDBLOCK) break;
-            if (errno == EINTR) continue;
-            return false;
-        }
-        serveSession(session);
-        return true;
-    }
-
-    bool writeSession(Session& session) {
-        while (!session.out.empty()) {
-            const ssize_t n = ::write(session.fd, session.out.data(), session.out.size());
-            if (n > 0) {
-                if (bytesWrittenTotal != nullptr) {
-                    bytesWrittenTotal->inc(static_cast<std::uint64_t>(n));
-                }
-                session.out.erase(0, static_cast<std::size_t>(n));
-                continue;
-            }
-            if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
-            if (errno == EINTR) continue;
-            return false;
-        }
-        return !session.closeAfterWrite;
-    }
-
-    void acceptPending() {
-        while (sessions.size() < options.maxSessions) {
-            const int fd = ::accept(listenFd, nullptr, nullptr);
-            if (fd < 0) {
-                if (errno == EINTR) continue;
-                break;  // EAGAIN or transient error
-            }
-            if (!setNonBlocking(fd)) {
-                ::close(fd);
-                continue;
-            }
-            Session session;
-            session.fd = fd;
-            sessions.emplace(fd, std::move(session));
-            if (sessionsTotal != nullptr) sessionsTotal->inc();
-            if (sessionsOpen != nullptr) sessionsOpen->add(1);
-        }
-    }
-
-    void dropSession(int fd) {
-        ::close(fd);
-        sessions.erase(fd);
-        if (sessionsOpen != nullptr) sessionsOpen->add(-1);
-    }
-
-    void run() {
-        std::vector<pollfd> fds;
-        while (!stopFlag.load(std::memory_order_acquire)) {
-            fds.clear();
-            fds.push_back({wakeRead, POLLIN, 0});
-            if (sessions.size() < options.maxSessions) {
-                fds.push_back({listenFd, POLLIN, 0});
-            }
-            for (const auto& [fd, session] : sessions) {
-                const short events =
-                    static_cast<short>(session.out.empty() ? POLLIN : POLLIN | POLLOUT);
-                fds.push_back({fd, events, 0});
-            }
-            const int ready = ::poll(fds.data(), static_cast<nfds_t>(fds.size()), 1000);
-            if (ready < 0) {
-                if (errno == EINTR) continue;
-                break;
-            }
-            if (ready == 0) continue;
-
-            std::vector<int> toDrop;
-            for (const pollfd& p : fds) {
-                if (p.revents == 0) continue;
-                if (p.fd == wakeRead) {
-                    char drainBuf[64];
-                    while (::read(wakeRead, drainBuf, sizeof drainBuf) > 0) {
-                    }
-                    continue;
-                }
-                if (p.fd == listenFd) {
-                    acceptPending();
-                    continue;
-                }
-                const auto it = sessions.find(p.fd);
-                if (it == sessions.end()) continue;
-                Session& session = it->second;
-                bool alive = true;
-                if ((p.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0 &&
-                    (p.revents & POLLIN) == 0) {
-                    alive = false;
-                }
-                if (alive && (p.revents & POLLIN) != 0) alive = readSession(session);
-                if (alive && !session.out.empty()) alive = writeSession(session);
-                if (!alive) toDrop.push_back(p.fd);
-            }
-            for (const int fd : toDrop) dropSession(fd);
-        }
-    }
 };
 
 HttpServer::HttpServer() : HttpServer(Options()) {}
@@ -401,80 +218,36 @@ bool HttpServer::start(const std::string& address, std::string* error) {
         *error = "server already running";
         return false;
     }
-    std::string host;
-    std::uint16_t wantPort = 0;
-    if (!parseHostPort(address, &host, &wantPort, error)) return false;
+    auto proto = std::make_unique<Proto>();
+    proto->options = options_;
+    proto->routes = routes_;
+    proto->attachMetrics();
 
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_port = htons(wantPort);
-    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-        *error = "bad IPv4 address '" + host + "'";
-        return false;
-    }
+    SocketServer::Options socketOptions;
+    socketOptions.maxSessions = options_.maxSessions;
+    socketOptions.sessionSendBuffer = options_.sessionSendBuffer;
+    socketOptions.registry = options_.registry;
+    auto server = std::make_unique<SocketServer>(socketOptions);
+    if (!server->start(address, proto.get(), error)) return false;
 
-    auto loop = std::make_unique<Loop>();
-    loop->options = options_;
-    loop->routes = routes_;
-
-    loop->listenFd = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (loop->listenFd < 0) {
-        *error = std::string("socket: ") + std::strerror(errno);
-        return false;
-    }
-    const int one = 1;
-    ::setsockopt(loop->listenFd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
-    if (::bind(loop->listenFd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
-        *error = "bind " + address + ": " + std::strerror(errno);
-        return false;
-    }
-    if (::listen(loop->listenFd, 512) != 0) {
-        *error = std::string("listen: ") + std::strerror(errno);
-        return false;
-    }
-    sockaddr_in bound{};
-    socklen_t boundLen = sizeof bound;
-    if (::getsockname(loop->listenFd, reinterpret_cast<sockaddr*>(&bound), &boundLen) != 0) {
-        *error = std::string("getsockname: ") + std::strerror(errno);
-        return false;
-    }
-    char ip[INET_ADDRSTRLEN] = "?";
-    ::inet_ntop(AF_INET, &bound.sin_addr, ip, sizeof ip);
-    port_ = ntohs(bound.sin_port);
-    boundAddress_ = std::string(ip) + ":" + std::to_string(port_);
-
-    int pipeFds[2];
-    if (::pipe(pipeFds) != 0) {
-        *error = std::string("pipe: ") + std::strerror(errno);
-        return false;
-    }
-    loop->wakeRead = pipeFds[0];
-    loop->wakeWrite = pipeFds[1];
-    if (!setNonBlocking(loop->listenFd) || !setNonBlocking(loop->wakeRead) ||
-        !setNonBlocking(loop->wakeWrite)) {
-        *error = "failed to set O_NONBLOCK";
-        return false;
-    }
-    loop->attachMetrics();
-
-    loop_ = std::move(loop);
-    thread_ = std::thread([this] { loop_->run(); });
+    proto_ = std::move(proto);
+    server_ = std::move(server);
+    boundAddress_ = server_->boundAddress();
+    port_ = server_->port();
     running_ = true;
     return true;
 }
 
 void HttpServer::stop() {
     if (!running_) return;
-    loop_->stopFlag.store(true, std::memory_order_release);
-    const char byte = 'x';
-    [[maybe_unused]] const ssize_t n = ::write(loop_->wakeWrite, &byte, 1);
-    thread_.join();
-    loop_.reset();
+    server_->stop();
+    server_.reset();
+    proto_.reset();
     running_ = false;
 }
 
 std::uint64_t HttpServer::requestsServed() const {
-    return loop_ ? loop_->served.load(std::memory_order_relaxed) : 0;
+    return proto_ ? proto_->served.load(std::memory_order_relaxed) : 0;
 }
 
 }  // namespace rpkic::obs

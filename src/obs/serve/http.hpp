@@ -1,10 +1,10 @@
-// A zero-dependency, poll()-based, non-blocking HTTP/1.1 server for
-// in-process introspection — and the socket/session substrate the future
-// RTR-style serving plane builds on (ROADMAP item 1).
+// A zero-dependency HTTP/1.1 server for in-process introspection,
+// implemented as a protocol over the shared socket substrate in
+// obs/serve/net.hpp (which owns the poll() loop, the session table, and
+// the buffering discipline; the RTR serving plane is a sibling protocol).
 //
-// Scope: GET-style request/response over keep-alive sessions. One
-// background thread owns every socket and runs a poll() loop; handlers
-// run on that thread, so they must be fast and must not block (the
+// Scope: GET-style request/response over keep-alive sessions. Handlers
+// run on the server thread, so they must be fast and must not block (the
 // introspection handlers render from snapshots, never under long locks).
 // Responses are Content-Length framed; HTTP/1.1 sessions persist until
 // the peer closes, sends `Connection: close`, or misbehaves (oversized
@@ -22,11 +22,11 @@
 #include <map>
 #include <memory>
 #include <string>
-#include <thread>
 #include <utility>
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/serve/net.hpp"
 
 namespace rpkic::obs {
 
@@ -56,6 +56,9 @@ public:
     struct Options {
         std::size_t maxSessions = 1024;       ///< concurrent connections
         std::size_t maxRequestBytes = 65536;  ///< request head + body cap
+        /// SO_SNDBUF for accepted sockets (0 = kernel default); see
+        /// SocketServer::Options::sessionSendBuffer.
+        int sessionSendBuffer = 0;
         /// Registry for rc_http_* instruments (nullptr = unmetered).
         Registry* registry = nullptr;
     };
@@ -87,21 +90,15 @@ public:
     std::uint64_t requestsServed() const;
 
 private:
-    struct Session;
-    struct Loop;
+    struct Proto;
 
     Options options_;
     std::map<std::string, HttpHandler> routes_;
-    std::unique_ptr<Loop> loop_;
-    std::thread thread_;
+    std::unique_ptr<Proto> proto_;
+    std::unique_ptr<SocketServer> server_;
     bool running_ = false;
     std::string boundAddress_;
     std::uint16_t port_ = 0;
 };
-
-/// Splits "host:port" (the --serve argument). Returns false on syntax or
-/// range errors. Empty host maps to "127.0.0.1".
-bool parseHostPort(const std::string& address, std::string* host, std::uint16_t* port,
-                   std::string* error);
 
 }  // namespace rpkic::obs

@@ -359,6 +359,9 @@ SyncReport SyncEngine::syncRound(Time now) {
         const Bytes state = rp_->serializeState();
         store_->commit(ByteView(state.data(), state.size()), round_);
     }
+    if (epochSink_ != nullptr) {
+        epochSink_(round_, std::make_shared<const RpkiState>(rp_->roaState()));
+    }
     reports_.push_back(report);
     return report;
 }

@@ -33,7 +33,9 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -150,6 +152,16 @@ public:
     /// death. nullptr detaches. The store must outlive the engine.
     void attachStore(DurableStore* store) { store_ = store; }
 
+    /// Called after every completed round (post store-commit) with the
+    /// round number and an immutable handle on the relying party's
+    /// post-round ROA state. This is the serving plane's epoch source:
+    /// the harness attaches a sink that publishes into an EpochStore,
+    /// keeping rp free of any dependency on the serve layer. Runs on the
+    /// sync thread; keep it fast.
+    using EpochSink =
+        std::function<void(std::uint64_t round, std::shared_ptr<const RpkiState> state)>;
+    void attachEpochSink(EpochSink sink) { epochSink_ = std::move(sink); }
+
     /// Continues the round counter of a previous incarnation (fault plans
     /// and snapshot sources key behaviour off the absolute round number, so
     /// a restarted engine must not restart from round 0). Only valid before
@@ -215,6 +227,7 @@ private:
     SyncPolicy policy_;
     obs::Registry* registry_;
     DurableStore* store_ = nullptr;
+    EpochSink epochSink_;
     std::uint64_t round_ = 0;
     std::map<std::string, PointState> points_;
     std::vector<SyncReport> reports_;

@@ -1,0 +1,215 @@
+#include "serve/rtr.hpp"
+
+#include <utility>
+
+namespace rpkic::serve {
+
+namespace {
+
+/// PDUs a router may legitimately send a cache are all small; anything
+/// longer is garbage and the session is dropped before buffering it.
+constexpr std::uint32_t kMaxInboundPduBytes = 4096;
+
+}  // namespace
+
+RtrCore::RtrCore(EpochStore& store, Options options)
+    : store_(store), options_(options) {
+    if (options_.registry != nullptr) {
+        deltaBytes_ = &options_.registry->counter(
+            "rc_rtr_delta_bytes_total", "Prefix PDU bytes served as incremental deltas");
+        snapshotBytes_ = &options_.registry->counter(
+            "rc_rtr_snapshot_bytes_total", "Prefix PDU bytes served as full snapshots");
+        protocolErrors_ = &options_.registry->counter(
+            "rc_rtr_protocol_errors_total", "Inbound PDUs rejected as protocol errors");
+    }
+}
+
+void RtrCore::countQuery(const std::string& type) {
+    obs::Registry* reg = options_.registry;
+    if (reg == nullptr) return;
+    obs::Counter*& slot = queryCounters_[type];
+    if (slot == nullptr) {
+        slot = &reg->counter("rc_rtr_queries_total", "RTR queries received, by type",
+                             {{"type", type}});
+    }
+    slot->inc();
+}
+
+void RtrCore::countResponse(const std::string& kind) {
+    obs::Registry* reg = options_.registry;
+    if (reg == nullptr) return;
+    obs::Counter*& slot = responseCounters_[kind];
+    if (slot == nullptr) {
+        slot = &reg->counter("rc_rtr_responses_total", "RTR responses sent, by kind",
+                             {{"kind", kind}});
+    }
+    slot->inc();
+}
+
+bool RtrCore::handleSerialQuery(const PduHeader& header, std::string_view pdu,
+                                std::string& out) {
+    countQuery("serial");
+    const std::uint32_t clientSerial =
+        (static_cast<std::uint32_t>(static_cast<unsigned char>(pdu[8])) << 24) |
+        (static_cast<std::uint32_t>(static_cast<unsigned char>(pdu[9])) << 16) |
+        (static_cast<std::uint32_t>(static_cast<unsigned char>(pdu[10])) << 8) |
+        static_cast<std::uint32_t>(static_cast<unsigned char>(pdu[11]));
+    const std::shared_ptr<const Epoch> current = store_.current();
+    if (current == nullptr) {
+        appendErrorReport(out, RtrError::NoDataAvailable, "", "no epoch published yet");
+        countResponse("no-data");
+        return true;
+    }
+    if (header.session != store_.sessionId()) {
+        // A serial from some other cache lifetime is meaningless here;
+        // force the client back to a full reset.
+        appendCacheReset(out);
+        countResponse("cache-reset");
+        return true;
+    }
+    const std::optional<std::string> deltas = store_.deltasSince(clientSerial);
+    if (!deltas.has_value()) {
+        appendCacheReset(out);
+        countResponse("cache-reset");
+        return true;
+    }
+    appendCacheResponse(out, store_.sessionId());
+    out += *deltas;
+    appendEndOfData(out, store_.sessionId(), current->serial, options_.refreshSeconds,
+                    options_.retrySeconds, options_.expireSeconds);
+    if (deltaBytes_ != nullptr) deltaBytes_->inc(deltas->size());
+    countResponse("delta");
+    return true;
+}
+
+bool RtrCore::handleResetQuery(std::string& out) {
+    countQuery("reset");
+    const std::shared_ptr<const Epoch> current = store_.current();
+    if (current == nullptr) {
+        appendErrorReport(out, RtrError::NoDataAvailable, "", "no epoch published yet");
+        countResponse("no-data");
+        return true;
+    }
+    appendCacheResponse(out, store_.sessionId());
+    out += current->snapshotPdus;
+    appendEndOfData(out, store_.sessionId(), current->serial, options_.refreshSeconds,
+                    options_.retrySeconds, options_.expireSeconds);
+    if (snapshotBytes_ != nullptr) snapshotBytes_->inc(current->snapshotPdus.size());
+    countResponse("snapshot");
+    return true;
+}
+
+bool RtrCore::consume(std::string& in, std::string& out) {
+    while (true) {
+        PduHeader header;
+        if (!peekPduHeader(in, &header)) return true;  // incomplete header
+        if (header.version != kRtrVersion) {
+            if (protocolErrors_ != nullptr) protocolErrors_->inc();
+            appendErrorReport(out, RtrError::UnsupportedVersion, in.substr(0, 8),
+                              "expected protocol version 1");
+            in.clear();
+            return false;
+        }
+        if (header.length < 8 || header.length > kMaxInboundPduBytes) {
+            if (protocolErrors_ != nullptr) protocolErrors_->inc();
+            appendErrorReport(out, RtrError::CorruptData, in.substr(0, 8),
+                              "implausible PDU length");
+            in.clear();
+            return false;
+        }
+        if (in.size() < header.length) return true;  // incomplete body
+        const std::string pdu = in.substr(0, header.length);
+        in.erase(0, header.length);
+
+        switch (static_cast<PduType>(header.type)) {
+            case PduType::SerialQuery:
+                if (header.length != 12) {
+                    if (protocolErrors_ != nullptr) protocolErrors_->inc();
+                    appendErrorReport(out, RtrError::CorruptData, pdu,
+                                      "serial query must be 12 bytes");
+                    return false;
+                }
+                if (!handleSerialQuery(header, pdu, out)) return false;
+                break;
+            case PduType::ResetQuery:
+                if (header.length != 8) {
+                    if (protocolErrors_ != nullptr) protocolErrors_->inc();
+                    appendErrorReport(out, RtrError::CorruptData, pdu,
+                                      "reset query must be 8 bytes");
+                    return false;
+                }
+                if (!handleResetQuery(out)) return false;
+                break;
+            case PduType::ErrorReport:
+                // The router is reporting us; RFC 8210 §5.10 forbids
+                // answering an Error Report with an Error Report. Drop.
+                if (protocolErrors_ != nullptr) protocolErrors_->inc();
+                return false;
+            default:
+                if (protocolErrors_ != nullptr) protocolErrors_->inc();
+                appendErrorReport(out, RtrError::UnsupportedPduType, pdu,
+                                  "unexpected PDU type from router");
+                return false;
+        }
+    }
+}
+
+std::string RtrCore::notifyPdu() const {
+    const std::shared_ptr<const Epoch> current = store_.current();
+    if (current == nullptr) return "";
+    std::string out;
+    appendSerialNotify(out, store_.sessionId(), current->serial);
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+
+struct RtrServer::Proto : obs::SocketProtocol {
+    RtrCore core;
+
+    explicit Proto(EpochStore& store, const RtrCore::Options& options)
+        : core(store, options) {}
+
+    void onData(obs::NetSession& session) override {
+        if (!core.consume(session.in, session.out)) {
+            session.closeAfterWrite = true;
+            if (session.pendingOut() == 0) session.dropNow = true;
+        }
+    }
+};
+
+RtrServer::RtrServer(EpochStore& store, Options options)
+    : store_(store), options_(std::move(options)) {}
+
+RtrServer::~RtrServer() {
+    stop();
+}
+
+bool RtrServer::start(const std::string& address, std::string* error) {
+    if (running()) {
+        *error = "server already running";
+        return false;
+    }
+    auto proto = std::make_unique<Proto>(store_, options_.core);
+    auto server = std::make_unique<obs::SocketServer>(options_.socket);
+    if (!server->start(address, proto.get(), error)) return false;
+    proto_ = std::move(proto);
+    server_ = std::move(server);
+    boundAddress_ = server_->boundAddress();
+    port_ = server_->port();
+    return true;
+}
+
+void RtrServer::stop() {
+    if (server_ != nullptr) server_->stop();
+    server_.reset();
+    proto_.reset();
+}
+
+void RtrServer::notify() {
+    if (server_ == nullptr || proto_ == nullptr) return;
+    const std::string pdu = proto_->core.notifyPdu();
+    if (!pdu.empty()) server_->broadcast(pdu);
+}
+
+}  // namespace rpkic::serve

@@ -254,6 +254,35 @@ SoakResult runSoakImpl(const SoakConfig& cfg, const FaultPlan* replay) {
     engine.emplace(*chaotic, chaos, policy, registry);
     SyncEngine twinEngine(twin, honest, policy, registry);
 
+    // --- serving-plane epoch publication --------------------------------------
+    // Epochs are published at round commit and dump lines rendered right
+    // away (publication-time capture survives ring eviction). Rounds a
+    // crash forces the engine to redo would re-publish; the lastPublished
+    // watermark keeps the serial sequence gapless and identical to a
+    // crash-free run of the same seed.
+    const bool captureEpochs = cfg.captureEpochs || cfg.rtrStore != nullptr;
+    std::optional<serve::EpochStore> localEpochStore;
+    serve::EpochStore* epochStore = cfg.rtrStore;
+    if (captureEpochs && epochStore == nullptr) {
+        localEpochStore.emplace();
+        epochStore = &*localEpochStore;
+    }
+    std::uint64_t lastPublishedRound = 0;
+    const auto attachEpochSink = [&]() {
+        if (!captureEpochs) return;
+        engine->attachEpochSink(
+            [&](std::uint64_t round, std::shared_ptr<const RpkiState> state) {
+                if (round <= lastPublishedRound) return;  // crash redo
+                lastPublishedRound = round;
+                const auto epoch = epochStore->publish(round, std::move(state));
+                if (cfg.captureEpochs) {
+                    result.epochDump += serve::epochDumpLine(cfg.seed, *epoch);
+                }
+                if (cfg.onEpochPublished) cfg.onEpochPublished();
+            });
+    };
+    attachEpochSink();
+
     // --- durability layer (crashEvery > 0) -----------------------------------
     const bool durable = cfg.crashEvery > 0;
     std::optional<vfs::MemVfs> ownedVfs;
@@ -344,6 +373,7 @@ SoakResult runSoakImpl(const SoakConfig& cfg, const FaultPlan* replay) {
         chaotic->attachAlarmRecorder(recorder);
         engine.emplace(*chaotic, chaos, policy, registry);
         engine->attachStore(&*store);
+        attachEpochSink();
         if (store->latestMeta() > 0) engine->resumeAt(store->latestMeta());
         // The Stalloris regression floor is engine state, not relying-party
         // state; re-seed it from the restored manifests so the reborn
@@ -587,6 +617,19 @@ SoakResult runSoakWithPlan(const FaultPlan& plan, obs::Registry* registry, vfs::
     cfg.registry = registry;
     cfg.stateVfs = stateVfs;
     cfg.stateDir = stateDir;
+    return runSoakImpl(cfg, &plan);
+}
+
+SoakResult runSoakWithPlan(const FaultPlan& plan, const SoakConfig& overrides) {
+    SoakConfig cfg = overrides;
+    const SoakConfig fromPlan = configFromPlan(plan);
+    cfg.seed = fromPlan.seed;
+    cfg.rounds = fromPlan.rounds;
+    cfg.retryBudget = fromPlan.retryBudget;
+    cfg.adversarialProbability = fromPlan.adversarialProbability;
+    cfg.stallHorizon = fromPlan.stallHorizon;
+    cfg.crashEvery = fromPlan.crashEvery;
+    cfg.faultRate = fromPlan.faultRate;
     return runSoakImpl(cfg, &plan);
 }
 

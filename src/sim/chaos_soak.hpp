@@ -49,6 +49,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -59,6 +60,7 @@
 #include "rpki/chaos.hpp"
 #include "rp/durable_store.hpp"
 #include "rp/sync_engine.hpp"
+#include "serve/epoch.hpp"
 #include "sim/driver.hpp"
 #include "util/vfs.hpp"
 
@@ -108,6 +110,18 @@ struct SoakConfig {
     /// of the run, so the postmortem-capture path fires deterministically
     /// even on seeds that pass.
     bool forceInvariantFail = false;
+    /// Serving-plane epoch publication: every committed round of the
+    /// chaotic engine is published here as an RTR epoch (rounds redone
+    /// after a crash are deduplicated, so the serial sequence is gapless
+    /// and identical to a crash-free run). nullptr with captureEpochs
+    /// true uses an EpochStore local to the run.
+    serve::EpochStore* rtrStore = nullptr;
+    /// Accumulate canonical epoch dump lines (epochDumpLine) in
+    /// SoakResult::epochDump — the thread-count byte-identity artifact.
+    bool captureEpochs = false;
+    /// Called after each epoch publication (tools hook RtrServer::notify
+    /// here to fan Serial Notify out to connected caches).
+    std::function<void()> onEpochPublished;
 };
 
 /// Reconstructs the configuration a plan was generated under, so replays
@@ -152,6 +166,10 @@ struct SoakResult {
     /// Postmortem bundles captured when an invariant failed or a crash
     /// was realized (one per trigger; deterministic bytes per seed).
     std::vector<obs::CapturedBundle> postmortems;
+    /// Canonical epoch dump (one line per published epoch; "" unless
+    /// SoakConfig::captureEpochs). Byte-identical per seed at every
+    /// thread count.
+    std::string epochDump;
 };
 
 /// Runs one soak: generates a FaultPlan from cfg.seed round by round (so
@@ -167,5 +185,11 @@ SoakResult runSoak(const SoakConfig& cfg);
 SoakResult runSoakWithPlan(const FaultPlan& plan, obs::Registry* registry = nullptr,
                            vfs::Vfs* stateVfs = nullptr,
                            const std::string& stateDir = "soak-state");
+
+/// Replay with a full config: plan-derived fields (seed, rounds, budgets,
+/// crash cadence) come from the plan; everything else — registry, state
+/// backend, status board, epoch capture / RTR store wiring — from
+/// `overrides`.
+SoakResult runSoakWithPlan(const FaultPlan& plan, const SoakConfig& overrides);
 
 }  // namespace rpkic::sim

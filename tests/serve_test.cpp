@@ -7,10 +7,12 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <sys/resource.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstring>
 #include <string>
 #include <thread>
@@ -28,8 +30,14 @@ namespace {
 
 class Client {
 public:
-    explicit Client(std::uint16_t port) {
+    /// `rcvbufBytes > 0` shrinks SO_RCVBUF before connecting, so the TCP
+    /// window throttles the server into many small partial writes (the
+    /// slow-reader regression tests below).
+    explicit Client(std::uint16_t port, int rcvbufBytes = 0) {
         fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (fd_ >= 0 && rcvbufBytes > 0) {
+            ::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &rcvbufBytes, sizeof(rcvbufBytes));
+        }
         sockaddr_in addr{};
         addr.sin_family = AF_INET;
         addr.sin_port = htons(port);
@@ -41,6 +49,25 @@ public:
         if (fd_ >= 0) ::close(fd_);
     }
     bool connected() const { return connected_; }
+    int fd() const { return fd_; }
+
+    /// Reads up to `want` raw bytes (one recv). <= 0 means error/close.
+    ssize_t readSome(char* buf, std::size_t want) { return ::recv(fd_, buf, want, 0); }
+
+    /// Sends a request without reading the response.
+    bool sendRaw(const std::string& raw) { return sendAll(raw); }
+
+    /// Hard-aborts the connection: SO_LINGER(0) turns close() into a TCP
+    /// RST, the mid-response client crash the server must survive.
+    void abortWithRst() {
+        if (fd_ < 0) return;
+        linger hard{};
+        hard.l_onoff = 1;
+        hard.l_linger = 0;
+        ::setsockopt(fd_, SOL_SOCKET, SO_LINGER, &hard, sizeof(hard));
+        ::close(fd_);
+        fd_ = -1;
+    }
 
     /// Sends raw bytes and reads one Content-Length framed response.
     /// Returns the HTTP status code, 0 on transport error / close.
@@ -244,6 +271,164 @@ TEST(HttpServer, MetersRequestsByPathAndCollapsesUnknownPaths) {
     const FamilySnapshot* sessions = snap.find("rc_http_sessions_total");
     ASSERT_NE(sessions, nullptr);
     EXPECT_EQ(sessions->series[0].value, 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Socket-substrate regression tests (the PR-9 bugfix sweep). Each of
+// these fails against the pre-substrate http.cpp: the O(n²) partial-write
+// erase, the silent accept() break on EMFILE, and the unhandled
+// POLLERR/RST drop path.
+
+/// Current value of `family`, summed over series whose label string
+/// contains `labelSubstr` ("" matches every series; 0.0 when absent).
+double counterValue(const Registry& registry, const std::string& family,
+                    const std::string& labelSubstr) {
+    const RegistrySnapshot snap = registry.snapshot();
+    const FamilySnapshot* fam = snap.find(family);
+    if (fam == nullptr) return 0.0;
+    double total = 0.0;
+    for (const SeriesSnapshot& s : fam->series) {
+        if (labelSubstr.empty() || s.labels.find(labelSubstr) != std::string::npos) {
+            total += s.value;
+        }
+    }
+    return total;
+}
+
+/// Polls `family`/`labelSubstr` until it reaches `atLeast` or ~5s pass.
+bool waitForCounter(const Registry& registry, const std::string& family,
+                    const std::string& labelSubstr, double atLeast) {
+    for (int i = 0; i < 500; ++i) {
+        if (counterValue(registry, family, labelSubstr) >= atLeast) return true;
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    return counterValue(registry, family, labelSubstr) >= atLeast;
+}
+
+TEST(HttpServerRegression, SlowReaderDrainsLargeBodyInLinearTime) {
+    // A throttled reader forces thousands of partial writes. The old
+    // serveSession erased the sent prefix from the front of the output
+    // buffer after EVERY partial write — O(bytes² / chunk) memmove, tens
+    // of seconds for this body. The write cursor makes it linear.
+    constexpr std::size_t kBody = 64u << 20;  // 64 MiB
+    HttpServer::Options options;
+    options.sessionSendBuffer = 4096;  // tiny SO_SNDBUF: many small sends
+    HttpServer server(options);
+    server.handle("/big", [](const HttpRequest&) {
+        HttpResponse r;
+        r.body.assign(kBody, 'x');
+        r.contentType = "application/octet-stream";
+        return r;
+    });
+    std::string error;
+    ASSERT_TRUE(server.start("127.0.0.1:0", &error)) << error;
+
+    Client c(server.port(), /*rcvbufBytes=*/4096);
+    ASSERT_TRUE(c.connected());
+    const auto start = std::chrono::steady_clock::now();
+    std::string body;
+    ASSERT_EQ(c.get("/big", &body), 200);
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    EXPECT_EQ(body.size(), kBody);
+    EXPECT_EQ(body.front(), 'x');
+    EXPECT_EQ(body.back(), 'x');
+    // Generous for sanitizer builds; the quadratic rewrite blows far past it.
+    EXPECT_LT(std::chrono::duration_cast<std::chrono::seconds>(elapsed).count(), 20);
+    server.stop();
+}
+
+TEST(HttpServerRegression, AcceptEmfileIsMeteredAndTheListenerRecovers) {
+    // Starve the process of file descriptors so accept() fails with
+    // EMFILE. The old loop broke out silently and never counted it; the
+    // substrate classifies the errno, keeps the listener armed, and backs
+    // off briefly so a full table does not hot-spin the poll loop.
+    Registry registry;
+    HttpServer::Options options;
+    options.registry = &registry;
+    HttpServer server(options);
+    server.handle("/ping", [](const HttpRequest&) {
+        HttpResponse r;
+        r.body = "pong\n";
+        return r;
+    });
+    std::string error;
+    ASSERT_TRUE(server.start("127.0.0.1:0", &error)) << error;
+    {
+        Client warm(server.port());
+        ASSERT_TRUE(warm.connected());
+        ASSERT_EQ(warm.get("/ping"), 200);
+    }
+
+    rlimit original{};
+    ASSERT_EQ(::getrlimit(RLIMIT_NOFILE, &original), 0);
+    rlimit capped = original;
+    capped.rlim_cur = 128;
+    ASSERT_EQ(::setrlimit(RLIMIT_NOFILE, &capped), 0);
+    // Fill every free slot under the cap, then free exactly one: the
+    // client's socket() takes it, so the server's accept() gets EMFILE.
+    std::vector<int> dummies;
+    for (int fd = ::dup(0); fd >= 0; fd = ::dup(0)) dummies.push_back(fd);
+    if (dummies.empty()) {
+        ::setrlimit(RLIMIT_NOFILE, &original);
+        server.stop();
+        GTEST_SKIP() << "process already holds >=128 fds";
+    }
+    ::close(dummies.back());
+    dummies.pop_back();
+
+    Client starved(server.port(), /*rcvbufBytes=*/0);
+    // connect() lands in the listen backlog even though accept() cannot
+    // take it yet.
+    ASSERT_TRUE(starved.connected());
+    EXPECT_TRUE(waitForCounter(registry, "rc_http_accept_errors_total", "emfile", 1.0));
+
+    for (const int fd : dummies) ::close(fd);
+    ASSERT_EQ(::setrlimit(RLIMIT_NOFILE, &original), 0);
+
+    // With descriptors available again the backlogged connection is
+    // accepted after the cooldown — the listener was never torn down.
+    EXPECT_EQ(starved.get("/ping"), 200);
+    Client fresh(server.port());
+    ASSERT_TRUE(fresh.connected());
+    EXPECT_EQ(fresh.get("/ping"), 200);
+    server.stop();
+}
+
+TEST(HttpServerRegression, ClientAbortMidResponseIsDroppedNotFatal) {
+    // The client RSTs the connection while megabytes of response are
+    // still queued. The server must observe the error revents / failed
+    // send, drop the session with reason=peer-error, and keep serving —
+    // not SIGPIPE-die or spin on a dead socket.
+    Registry registry;
+    HttpServer::Options options;
+    options.registry = &registry;
+    options.sessionSendBuffer = 4096;
+    HttpServer server(options);
+    server.handle("/big", [](const HttpRequest&) {
+        HttpResponse r;
+        r.body.assign(8u << 20, 'y');
+        r.contentType = "application/octet-stream";
+        return r;
+    });
+    std::string error;
+    ASSERT_TRUE(server.start("127.0.0.1:0", &error)) << error;
+
+    Client aborter(server.port(), /*rcvbufBytes=*/4096);
+    ASSERT_TRUE(aborter.connected());
+    ASSERT_TRUE(aborter.sendRaw("GET /big HTTP/1.1\r\nHost: t\r\n\r\n"));
+    char chunk[4096];
+    ASSERT_GT(aborter.readSome(chunk, sizeof(chunk)), 0);  // response underway
+    aborter.abortWithRst();
+
+    EXPECT_TRUE(waitForCounter(registry, "rc_http_sessions_dropped_total",
+                               "peer-error", 1.0));
+    // The server survived the abort and serves the next client.
+    Client fresh(server.port());
+    ASSERT_TRUE(fresh.connected());
+    std::string body;
+    EXPECT_EQ(fresh.roundTrip("GET /big HTTP/1.1\r\nHost: t\r\n\r\n", &body), 200);
+    EXPECT_EQ(body.size(), 8u << 20);
+    server.stop();
 }
 
 // ---------------------------------------------------------------------------

@@ -16,6 +16,13 @@
 // read the final counters (port 0 picks an ephemeral port; the bound
 // address is printed).
 //
+// --rtr publishes the two snapshots as consecutive RTR epochs (PREV =
+// serial 0, CUR = serial 1) and serves them over the RFC 8210 v1 wire
+// protocol: a cache connecting with a Reset Query gets the CUR snapshot;
+// one holding serial 0 gets exactly the announce/withdraw delta the
+// downgrade report was computed from. Implies holding until
+// SIGINT/SIGTERM (like --serve-hold). See docs/SERVING.md.
+//
 // --threads N (or the RC_THREADS env var; the flag wins) sizes the worker
 // pool the index build and diff run on; "0" means all hardware threads.
 // The report is byte-identical at every thread count.
@@ -41,6 +48,8 @@
 #include "obs/obs.hpp"
 #include "obs/parallel_metrics.hpp"
 #include "obs/serve/introspect.hpp"
+#include "serve/epoch.hpp"
+#include "serve/rtr.hpp"
 #include "util/errors.hpp"
 #include "util/parallel.hpp"
 
@@ -52,8 +61,10 @@ int usage() {
     std::fprintf(stderr,
                  "usage: rpkic-detector PREV.state CUR.state [--examples N] [--quiet]\n"
                  "                      [--threads N] [--metrics-out FILE] [--trace-out FILE]\n"
-                 "                      [--serve ADDR:PORT] [--serve-hold]\n"
+                 "                      [--serve ADDR:PORT] [--serve-hold] [--rtr ADDR:PORT]\n"
                  "  state file format: one 'prefix[-maxLength] ASN' per line, '#' comments\n"
+                 "  --rtr ADDR:PORT: serve PREV/CUR as RTR epochs 0/1 (RFC 8210 v1) and\n"
+                 "               hold until SIGINT/SIGTERM (port 0 = ephemeral)\n"
                  "  --threads N: worker pool size (0 = all hardware threads); overrides\n"
                  "               the RC_THREADS env var. Reports are byte-identical at\n"
                  "               every thread count.\n");
@@ -85,6 +96,7 @@ int main(int argc, char** argv) {
     std::string traceOut;
     std::string threadSpec;
     std::string serveAddr;
+    std::string rtrAddr;
     bool serveHold = false;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -100,6 +112,8 @@ int main(int argc, char** argv) {
             traceOut = argv[++i];
         } else if (arg == "--serve" && i + 1 < argc) {
             serveAddr = argv[++i];
+        } else if (arg == "--rtr" && i + 1 < argc) {
+            rtrAddr = argv[++i];
         } else if (arg == "--serve-hold") {
             serveHold = true;
         } else if (prevPath.empty()) {
@@ -136,23 +150,32 @@ int main(int argc, char** argv) {
         obs::StatusBoard::global().set("detector/cur", curPath);
         obs::StatusBoard::global().set("detector/state", "running");
     }
+    std::optional<serve::EpochStore> rtrStore;
+    std::optional<serve::RtrServer> rtrServer;
+    if (!rtrAddr.empty()) {
+        std::signal(SIGINT, onStopSignal);
+        std::signal(SIGTERM, onStopSignal);
+    }
     const auto finish = [&](int rc) -> int {
         if (server.has_value()) {
             obs::StatusBoard::global().set("detector/state",
                                            rc == 0   ? "done"
                                            : rc == 2 ? "downgrades"
                                                      : "error");
-            if (serveHold) {
-                std::printf("rpkic-detector: holding introspection server on %s "
-                            "(SIGINT/SIGTERM to exit)\n",
-                            server->boundAddress().c_str());
-                std::fflush(stdout);
-                while (!gStopServing.load()) {
-                    std::this_thread::sleep_for(std::chrono::milliseconds(100));
-                }
-            }
-            server->stop();
         }
+        const bool holdRtr = rtrServer.has_value() && rtrServer->running() && rc != 1;
+        if ((server.has_value() && serveHold) || holdRtr) {
+            std::printf("rpkic-detector: holding %s%s%s (SIGINT/SIGTERM to exit)\n",
+                        server.has_value() ? "introspection server" : "",
+                        server.has_value() && holdRtr ? " + " : "",
+                        holdRtr ? "rtr server" : "");
+            std::fflush(stdout);
+            while (!gStopServing.load()) {
+                std::this_thread::sleep_for(std::chrono::milliseconds(100));
+            }
+        }
+        if (rtrServer.has_value()) rtrServer->stop();
+        if (server.has_value()) server->stop();
         return rc;
     };
 
@@ -165,6 +188,26 @@ int main(int argc, char** argv) {
         rc::parallel::configureDefaultPool(threads, &obs::parallelMetricsObserver());
         const RpkiState prev = loadStateFile(prevPath);
         const RpkiState cur = loadStateFile(curPath);
+        if (!rtrAddr.empty()) {
+            serve::EpochStore::Options storeOpts;
+            storeOpts.registry = &obs::Registry::global();
+            rtrStore.emplace(storeOpts);
+            rtrStore->publish(1, std::make_shared<const RpkiState>(prev));
+            rtrStore->publish(2, std::make_shared<const RpkiState>(cur));
+            serve::RtrServer::Options rtrOpts;
+            rtrOpts.socket.registry = &obs::Registry::global();
+            rtrOpts.core.registry = &obs::Registry::global();
+            rtrServer.emplace(*rtrStore, rtrOpts);
+            std::string error;
+            if (!rtrServer->start(rtrAddr, &error)) {
+                std::fprintf(stderr, "rpkic-detector: --rtr %s: %s\n", rtrAddr.c_str(),
+                             error.c_str());
+                return finish(1);
+            }
+            std::printf("rtr server on %s (RFC 8210 v1, serials 0 -> 1)\n",
+                        rtrServer->boundAddress().c_str());
+            std::fflush(stdout);
+        }
         const DowngradeReport report = diffStates(prev, cur, examples);
 
         std::printf("states: %zu -> %zu ROA tuples\n", prev.size(), cur.size());

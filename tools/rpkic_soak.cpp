@@ -69,7 +69,21 @@
 //                      to /statusz.
 //   --serve-hold       keep serving after the run completes, until
 //                      SIGINT/SIGTERM (CI scrapes the final state, then
-//                      kills the process)
+//                      kills the process; also holds --rtr)
+//   --rtr ADDR:PORT    serve every committed round as an RTR-style epoch
+//                      (RFC 8210 v1 framing; docs/SERVING.md) while the
+//                      run is in flight: caches connect, Reset Query gets
+//                      the full VRP snapshot, Serial Query an incremental
+//                      delta, and each new epoch fans out a Serial
+//                      Notify. Port 0 picks an ephemeral port. With
+//                      multiple seeds the epochs publish in completion
+//                      order into one shared store.
+//   --rtr-dump FILE    write the canonical epoch dump (one line per
+//                      epoch: serial, tuple count, announce/withdraw
+//                      counts, SHA-256 of snapshot and delta payloads)
+//                      for all seeds in seed order — byte-identical at
+//                      every --threads value; CI diffs it across thread
+//                      counts
 //   --flight-out DIR   write postmortem bundles — invariant failures,
 //                      realized crashes, fatal signals — under DIR as
 //                      <label>.postmortem (see docs/OBSERVABILITY.md)
@@ -109,6 +123,7 @@
 #include "obs/obs.hpp"
 #include "obs/parallel_metrics.hpp"
 #include "obs/serve/introspect.hpp"
+#include "serve/rtr.hpp"
 #include "sim/chaos_soak.hpp"
 #include "sim/crash_sweep.hpp"
 #include "util/errors.hpp"
@@ -221,6 +236,8 @@ int main(int argc, char** argv) {
     std::string serveAddr;
     bool serveHold = false;
     std::string flightOut;
+    std::string rtrAddr;
+    std::string rtrDump;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -284,6 +301,10 @@ int main(int argc, char** argv) {
             serveAddr = next("--serve");
         } else if (arg == "--serve-hold") {
             serveHold = true;
+        } else if (arg == "--rtr") {
+            rtrAddr = next("--rtr");
+        } else if (arg == "--rtr-dump") {
+            rtrDump = next("--rtr-dump");
         } else if (arg == "--flight-out") {
             flightOut = next("--flight-out");
         } else if (arg == "--force-invariant-fail") {
@@ -306,6 +327,7 @@ int main(int argc, char** argv) {
                          "[--trace-out FILE]\n"
                          "                  [--serve ADDR:PORT] [--serve-hold] "
                          "[--flight-out DIR]\n"
+                         "                  [--rtr ADDR:PORT] [--rtr-dump FILE]\n"
                          "                  [--force-invariant-fail]\n"
                          "                  [--log-level LEVEL] [--threads N]\n");
             return 1;
@@ -336,7 +358,7 @@ int main(int argc, char** argv) {
     // all land in the same exposition (a nullptr registry would give each
     // run a private registry that dies with it, and /metrics would show
     // nothing).
-    obs::Registry* exportRegistry = (metricsOut.empty() && serveAddr.empty())
+    obs::Registry* exportRegistry = (metricsOut.empty() && serveAddr.empty() && rtrAddr.empty())
                                         ? nullptr
                                         : &obs::Registry::global();
     cfg.registry = exportRegistry;
@@ -375,6 +397,36 @@ int main(int argc, char** argv) {
         std::signal(SIGTERM, onStopSignal);
     }
 
+    // Live RTR serving plane: one shared epoch store; every seed's
+    // committed rounds publish into it (completion order across parallel
+    // seeds) and each publication fans a Serial Notify out to connected
+    // caches. The byte-determinism artifact is --rtr-dump, which is
+    // captured per seed and written in seed order, independent of the
+    // live store.
+    std::optional<serve::EpochStore> rtrStore;
+    std::optional<serve::RtrServer> rtrServer;
+    if (!rtrAddr.empty()) {
+        serve::EpochStore::Options storeOptions;
+        storeOptions.registry = exportRegistry;
+        rtrStore.emplace(storeOptions);
+        serve::RtrServer::Options rtrOptions;
+        rtrOptions.socket.registry = exportRegistry;
+        rtrOptions.core.registry = exportRegistry;
+        rtrServer.emplace(*rtrStore, rtrOptions);
+        std::string error;
+        if (!rtrServer->start(rtrAddr, &error)) {
+            std::fprintf(stderr, "rpkic-soak: --rtr %s: %s\n", rtrAddr.c_str(), error.c_str());
+            return 1;
+        }
+        std::printf("rtr server on %s (RFC 8210 v1)\n", rtrServer->boundAddress().c_str());
+        std::fflush(stdout);
+        std::signal(SIGINT, onStopSignal);
+        std::signal(SIGTERM, onStopSignal);
+        cfg.rtrStore = &*rtrStore;
+        cfg.onEpochPublished = [&rtrServer] { rtrServer->notify(); };
+    }
+    cfg.captureEpochs = !rtrDump.empty();
+
     // Where captured postmortem bundles land (--flight-out).
     const auto writePostmortems = [&](const std::vector<obs::CapturedBundle>& bundles) {
         if (flightOut.empty()) return;
@@ -389,15 +441,22 @@ int main(int argc, char** argv) {
     // Every exit path after server start funnels through here so
     // --serve-hold can keep the endpoints alive for a scraper.
     const auto finish = [&](int rc) -> int {
-        if (server.has_value() && serveHold) {
-            std::printf("rpkic-soak: run complete; holding introspection server on %s "
+        if ((server.has_value() || rtrServer.has_value()) && serveHold) {
+            std::printf("rpkic-soak: run complete; holding %s%s%s "
                         "(SIGINT/SIGTERM to exit)\n",
-                        server->boundAddress().c_str());
+                        server.has_value()
+                            ? ("introspection server on " + server->boundAddress()).c_str()
+                            : "",
+                        server.has_value() && rtrServer.has_value() ? " and " : "",
+                        rtrServer.has_value()
+                            ? ("rtr server on " + rtrServer->boundAddress()).c_str()
+                            : "");
             std::fflush(stdout);
             while (!gStopServing.load()) {
                 std::this_thread::sleep_for(std::chrono::milliseconds(100));
             }
         }
+        if (rtrServer.has_value()) rtrServer->stop();
         if (server.has_value()) server->stop();
         return rc;
     };
@@ -565,13 +624,20 @@ int main(int argc, char** argv) {
                     planPath.c_str(), static_cast<unsigned long long>(plan.seed),
                     static_cast<unsigned long long>(plan.rounds), plan.faults.size(),
                     plan.crashEvery);
-        SoakConfig replayCfg = configFromPlan(plan);
+        // Start from cfg so registry/status/epoch wiring (--serve, --rtr,
+        // --rtr-dump) applies to replays too; plan-derived fields are
+        // restored from the plan inside runSoakWithPlan.
+        SoakConfig replayCfg = cfg;
+        replayCfg.seed = plan.seed;
         applyStateDir(replayCfg);
-        const SoakResult r = runSoakWithPlan(plan, exportRegistry, replayCfg.stateVfs,
-                                             replayCfg.stateDir);
+        const SoakResult r = runSoakWithPlan(plan, replayCfg);
         printResult(r, /*quiet=*/false);
         if (scoreboard) printScoreboard(r);
         writePostmortems(r.postmortems);
+        if (!rtrDump.empty() && !writeFileOrComplain(rtrDump, r.epochDump)) return finish(1);
+        if (!rtrDump.empty() && !quiet) {
+            std::printf("epoch dump written to %s\n", rtrDump.c_str());
+        }
         if (!writeExports()) return finish(1);
         return finish(r.passed ? 0 : 2);
     }
@@ -596,6 +662,11 @@ int main(int argc, char** argv) {
             if (compare) {
                 SoakConfig weak = runCfg;
                 weak.retryBudget = 0;
+                // The weakened twin is a diagnostic; keep its epochs out
+                // of the live RTR store and the determinism dump.
+                weak.rtrStore = nullptr;
+                weak.captureEpochs = false;
+                weak.onEpochPublished = nullptr;
                 o.weakened = runSoak(weak);
                 o.hasWeakened = true;
             }
@@ -638,6 +709,12 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(totalAbsorbed),
         static_cast<unsigned long long>(totalFailedRounds),
         static_cast<unsigned long long>(totalAlarms));
+    if (!rtrDump.empty()) {
+        std::string dump;
+        for (std::uint64_t s = 0; s < seeds; ++s) dump += outcomes[s].result.epochDump;
+        if (!writeFileOrComplain(rtrDump, dump)) return finish(1);
+        if (!quiet) std::printf("epoch dump written to %s\n", rtrDump.c_str());
+    }
     if (!writeExports()) return finish(1);
     return finish(failures == 0 ? 0 : 2);
 }
