@@ -43,12 +43,21 @@ int run(const std::string& root) {
         ++written;
     }
 
+    for (const auto& [name, bytes] : samplePackTlvSeeds()) {
+        writeFile(tlvDir / ("pack_" + name + ".bin"), ByteView(bytes.data(), bytes.size()));
+        ++written;
+    }
+
     const fs::path chainDir = fs::path(root) / "manifest_chain";
     fs::create_directories(chainDir);
     const std::vector<Bytes> programs = sampleChainPrograms();
     for (std::size_t i = 0; i < programs.size(); ++i) {
         writeFile(chainDir / ("prog_" + std::to_string(i) + ".bin"),
                   ByteView(programs[i].data(), programs[i].size()));
+        ++written;
+    }
+    for (const auto& [name, bytes] : samplePackChainPrograms()) {
+        writeFile(chainDir / ("pack_" + name + ".bin"), ByteView(bytes.data(), bytes.size()));
         ++written;
     }
 

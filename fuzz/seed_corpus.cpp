@@ -4,6 +4,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "adversary/pack.hpp"
 #include "crypto/sha256.hpp"
 #include "crypto/xmss.hpp"
 #include "fleet/transcript.hpp"
@@ -280,6 +281,22 @@ std::vector<Bytes> sampleConsensusInputs() {
         textBody(2, empty.str()),
         textBody(2, hostile.str()),
     };
+}
+
+std::vector<std::pair<std::string, Bytes>> samplePackTlvSeeds() {
+    std::vector<std::pair<std::string, Bytes>> out;
+    for (const std::string& name : adversary::packNames()) {
+        out.emplace_back(name, adversary::makePack(name)->tlvSeed());
+    }
+    return out;
+}
+
+std::vector<std::pair<std::string, Bytes>> samplePackChainPrograms() {
+    std::vector<std::pair<std::string, Bytes>> out;
+    for (const std::string& name : adversary::packNames()) {
+        out.emplace_back(name, adversary::makePack(name)->chainProgramSeed());
+    }
+    return out;
 }
 
 std::vector<Bytes> loadCorpusDir(const std::string& dir) {

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "util/bytes.hpp"
@@ -45,6 +46,16 @@ std::vector<Bytes> sampleWalImages();
 /// honest quorum, a two-epoch transcript with verdicts and a no-quorum
 /// row, and canonical vote lines.
 std::vector<Bytes> sampleConsensusInputs();
+
+/// One TLV seed per adversary scenario pack (src/adversary): each pack
+/// contributes one encoded object shaped like its attack (a grafted-chain
+/// manifest, a same-number twin, a bogus post-rollover, ...). Returned as
+/// (pack-name, bytes); gen_corpus writes them as tlv/pack_<name>.bin.
+std::vector<std::pair<std::string, Bytes>> samplePackTlvSeeds();
+
+/// One manifest-chain opcode program per adversary pack, exercising the
+/// chain shape that pack attacks; written as manifest_chain/pack_<name>.bin.
+std::vector<std::pair<std::string, Bytes>> samplePackChainPrograms();
 
 /// Reads every regular file under `dir` (non-recursive), sorted by
 /// filename for determinism. Throws Error if the directory is missing or

@@ -50,12 +50,15 @@ std::string_view toString(FaultKind k) {
         case FaultKind::WithholdManifest: return "withhold-manifest";
         case FaultKind::ServeStale: return "serve-stale";
         case FaultKind::Flap: return "flap";
+        case FaultKind::OversizedObject: return "oversized-object";
+        case FaultKind::InjectJunk: return "inject-junk";
+        case FaultKind::ChainGraft: return "chain-graft";
     }
     return "?";
 }
 
 FaultKind faultKindFromString(std::string_view s) {
-    for (int k = 0; k <= static_cast<int>(FaultKind::Flap); ++k) {
+    for (int k = 0; k <= static_cast<int>(FaultKind::kLast); ++k) {
         if (s == toString(static_cast<FaultKind>(k))) return static_cast<FaultKind>(k);
     }
     throw ParseError("unknown fault kind: " + std::string(s));
@@ -64,7 +67,9 @@ FaultKind faultKindFromString(std::string_view s) {
 namespace {
 
 bool kindIsFileScoped(FaultKind k) {
-    return k == FaultKind::DropFile || k == FaultKind::Corrupt || k == FaultKind::Truncate;
+    return k == FaultKind::DropFile || k == FaultKind::Corrupt || k == FaultKind::Truncate ||
+           k == FaultKind::OversizedObject || k == FaultKind::InjectJunk ||
+           k == FaultKind::ChainGraft;
 }
 
 std::uint64_t parseU64Field(std::string_view value, const char* field) {
@@ -84,6 +89,24 @@ std::pair<std::string_view, std::string_view> splitKv(std::string_view token) {
         throw ParseError("fault-plan token is not key=value: " + std::string(token));
     }
     return {token.substr(0, eq), token.substr(eq + 1)};
+}
+
+/// FNV-1a, not std::hash: the garbage stream must be identical across
+/// standard libraries for plan replays to reproduce bit for bit.
+std::uint64_t fnv1a(std::string_view s) {
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (const char c : s) {
+        h ^= static_cast<std::uint8_t>(c);
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+/// Shared payload for the two garbage-planting kinds.
+Bytes garbagePayload(const Fault& f) {
+    const std::uint64_t size =
+        std::max<std::uint64_t>(1, std::min<std::uint64_t>(f.param, 1u << 20));
+    return adversarialGarbage(f.param ^ fnv1a(f.filename), static_cast<std::size_t>(size));
 }
 
 }  // namespace
@@ -108,6 +131,8 @@ std::string FaultPlan::serialize() const {
        << " adversarial-ppm=" << adversarialPpm << " stall-horizon=" << stallHorizon;
     // Emitted only when armed, so pre-PR5 plans round-trip byte-identically.
     if (crashEvery != 0) os << " crash-every=" << crashEvery;
+    // Same convention: pre-attack-zoo plans never carry pack=.
+    if (!pack.empty()) os << " pack=" << pack;
     os << "\n";
     for (const Fault& f : faults) os << f.str() << "\n";
     return os.str();
@@ -157,6 +182,8 @@ FaultPlan FaultPlan::parse(std::string_view text) {
                 } else if (key == "crash-every") {
                     plan.crashEvery =
                         static_cast<std::uint32_t>(parseU64Field(value, "crash-every"));
+                } else if (key == "pack") {
+                    plan.pack = std::string(value);
                 } else {
                     throw ParseError("unknown fault-plan header field: " + std::string(key));
                 }
@@ -229,6 +256,9 @@ Bytes FaultPlan::encode() const {
         e.u32(f.attempts);
         e.u64(f.param);
     }
+    // Trailing optional field: absent for plain chaos plans, so pre-attack-
+    // zoo encodings stay byte-identical and still decode (see decode()).
+    if (!pack.empty()) e.str(pack);
     return e.take();
 }
 
@@ -247,7 +277,7 @@ FaultPlan FaultPlan::decode(ByteView data) {
     for (std::uint32_t i = 0; i < n; ++i) {
         Fault f;
         const std::uint8_t kind = d.u8();
-        if (kind > static_cast<std::uint8_t>(FaultKind::Flap)) {
+        if (kind > static_cast<std::uint8_t>(FaultKind::kLast)) {
             throw ParseError("bad fault kind in plan");
         }
         f.kind = static_cast<FaultKind>(kind);
@@ -259,8 +289,27 @@ FaultPlan FaultPlan::decode(ByteView data) {
         f.param = d.u64();
         plan.faults.push_back(std::move(f));
     }
+    if (!d.atEnd()) plan.pack = d.str();
     d.expectEnd();
     return plan;
+}
+
+Bytes adversarialGarbage(std::uint64_t seed, std::size_t size) {
+    Bytes out;
+    out.reserve(size);
+    std::uint64_t state = seed;
+    std::uint64_t word = 0;
+    for (std::size_t i = 0; i < size; ++i) {
+        if (i % 8 == 0) {
+            state += 0x9e3779b97f4a7c15ull;  // splitmix64
+            word = state;
+            word = (word ^ (word >> 30)) * 0xbf58476d1ce4e5b9ull;
+            word = (word ^ (word >> 27)) * 0x94d049bb133111ebull;
+            word ^= word >> 31;
+        }
+        out.push_back(static_cast<std::uint8_t>(word >> ((i % 8) * 8)));
+    }
+    return out;
 }
 
 std::uint64_t deriveMemberSeed(std::uint64_t masterSeed, std::uint32_t rpIndex) {
@@ -322,6 +371,14 @@ std::optional<FileMap> ChaosSource::fetchPoint(const std::string& pointUri, std:
 
     FileMap files = std::move(*honest);
 
+    // Mirror-world overlays replace the whole point state: the point is
+    // reachable but serves an attacker-chosen snapshot.
+    const auto ovIt = overlays_.find({pointUri, round});
+    if (ovIt != overlays_.end()) {
+        files = ovIt->second;
+        ++overlayApplications_;
+    }
+
     // Stale pinning replaces the whole point state before file-level faults.
     for (const Fault& f : plan_.faults) {
         if (f.pointUri != pointUri || !f.activeAt(round, attempt)) continue;
@@ -361,13 +418,49 @@ std::optional<FileMap> ChaosSource::fetchPoint(const std::string& pointUri, std:
                 }
                 break;
             }
+            case FaultKind::OversizedObject:
+                // Replaces (or plants) the file with param bytes of seeded
+                // garbage — the CURE oversized/malformed-object class. The
+                // blob depends only on (param, filename): identical across
+                // attempts and across --plan replays.
+                files[f.filename] = garbagePayload(f);
+                ++applications_;
+                break;
+            case FaultKind::InjectJunk:
+                // Plants an extra file the manifest never logged. An RP that
+                // alarms on it is over-triggering: packs use this as the
+                // built-in false-positive probe.
+                files[f.filename] = garbagePayload(f);
+                ++applications_;
+                break;
+            case FaultKind::ChainGraft: {
+                // Swaps a preserved manifest's bytes for preserved manifest
+                // #param's from the same point (absent source = dropped):
+                // a cycle/cut in the hash chain that only the RP's
+                // horizontal walk — not the fetch probe — can see.
+                const auto dst = files.find(f.filename);
+                if (dst != files.end()) {
+                    const auto src = files.find(preservedManifestName(f.param));
+                    if (src != files.end() && src->second != dst->second) {
+                        dst->second = src->second;
+                    } else {
+                        files.erase(dst);
+                    }
+                    ++applications_;
+                }
+                break;
+            }
             case FaultKind::DropPoint:
             case FaultKind::ServeStale:
             case FaultKind::Flap:
-                break;  // handled above
+                break;  // handled above (kLast aliases ChainGraft)
         }
     }
     return files;
+}
+
+void ChaosSource::setOverlay(const std::string& pointUri, std::uint64_t round, FileMap files) {
+    overlays_[{pointUri, round}] = std::move(files);
 }
 
 // ===========================================================================

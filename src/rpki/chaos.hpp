@@ -24,6 +24,12 @@
 //   withhold-manifest  repository answers but hides manifest.mft
 //   serve-stale        Stalloris-style pinning to an old state
 //   flap               point alternates reachable/unreachable
+//
+// Semantic adversary kinds (the attack zoo, src/adversary/; see
+// docs/CHAOS.md "Attack zoo"):
+//   oversized-object   file replaced by a seeded garbage blob of param bytes
+//   inject-junk        an extra, never-logged file appears at the point
+//   chain-graft        a preserved manifest's bytes are swapped for another's
 #pragma once
 
 #include <cstdint>
@@ -87,6 +93,13 @@ enum class FaultKind : std::uint8_t {
     WithholdManifest = 4,
     ServeStale = 5,
     Flap = 6,
+    OversizedObject = 7,
+    InjectJunk = 8,
+    ChainGraft = 9,
+    /// Sentinel: highest valid kind. Every enumeration / range check keys
+    /// off this, so adding a kind above cannot silently decode as invalid
+    /// or be skipped when iterating the taxonomy.
+    kLast = ChainGraft,
 };
 
 std::string_view toString(FaultKind k);
@@ -108,10 +121,14 @@ struct Fault {
     std::uint32_t rounds = 1;      ///< consecutive affected rounds
     std::uint32_t attempts = kAllAttempts;  ///< leading attempts affected per round
     /// Kind-specific parameter:
-    ///   Corrupt    bit index to flip (modulo file size in bits)
-    ///   Truncate   bytes to keep (clamped to the file size)
-    ///   ServeStale round whose state the point is pinned to
-    ///   Flap       half-period in rounds (down param, up param, ...)
+    ///   Corrupt          bit index to flip (modulo file size in bits)
+    ///   Truncate         bytes to keep (clamped to the file size)
+    ///   ServeStale       round whose state the point is pinned to
+    ///   Flap             half-period in rounds (down param, up param, ...)
+    ///   OversizedObject  blob size in bytes (also seeds the garbage stream)
+    ///   InjectJunk       junk size in bytes (also seeds the garbage stream)
+    ///   ChainGraft       manifest number whose preserved bytes are grafted
+    ///                    over `filename` (absent source = file dropped)
     std::uint64_t param = 0;
 
     bool activeAt(std::uint64_t r, std::uint32_t attempt) const {
@@ -140,6 +157,12 @@ struct FaultPlan {
     /// store (0 = never). Carried in the plan so `--plan` replays crash
     /// soaks identically.
     std::uint32_t crashEvery = 0;
+    /// Attack-zoo extension (PR 10): names the adversary scenario pack that
+    /// generated this plan ("" = plain chaos). `rpkic-soak --plan` uses it
+    /// to re-run the pack's authority-side script — delivery faults live in
+    /// `faults`, but authority mutations and mirror-world overlays are not
+    /// serializable as faults, so replay re-derives them from (pack, seed).
+    std::string pack;
     std::vector<Fault> faults;
 
     /// Line-oriented text encoding; round-trips through parse() exactly.
@@ -187,6 +210,16 @@ public:
     /// counts 3). Telemetry for soak reports.
     std::uint64_t faultApplications() const { return applications_; }
 
+    /// Serves `files` wholesale for (pointUri, round), before file-level
+    /// faults but after unreachability — mirror-world delivery: the point
+    /// answers, with an attacker-chosen state. Overlays are not plan
+    /// entries; pack generators re-derive them deterministically on replay
+    /// (FaultPlan::pack names the generator).
+    void setOverlay(const std::string& pointUri, std::uint64_t round, FileMap files);
+
+    /// Overlay applications so far (attempt-granular, like faults).
+    std::uint64_t overlayApplications() const { return overlayApplications_; }
+
 private:
     /// Record the honest state of `pointUri` at `round` (first attempt
     /// only) so ServeStale can serve it later.
@@ -198,7 +231,17 @@ private:
     /// point -> (round -> honest files). nullopt-valued rounds (point
     /// absent upstream) are stored as missing entries.
     std::map<std::string, std::map<std::uint64_t, FileMap>> history_;
+    /// (point, round) -> attacker-chosen state served instead of the
+    /// honest one (setOverlay).
+    std::map<std::pair<std::string, std::uint64_t>, FileMap> overlays_;
+    std::uint64_t overlayApplications_ = 0;
 };
+
+/// Deterministic garbage stream: `size` bytes derived from `seed` with a
+/// splitmix64 expansion. OversizedObject / InjectJunk payloads and the
+/// fuzz corpus seeds built from them share this so a plan replays the
+/// identical blob bit for bit.
+Bytes adversarialGarbage(std::uint64_t seed, std::size_t size);
 
 // --- Legacy single-snapshot injectors (paper §3.2.2) -----------------------
 // Kept for tests and one-off experiments; ChaosSource is the schedule-level

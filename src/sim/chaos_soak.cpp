@@ -174,6 +174,12 @@ std::optional<Fault> drawFault(Rng& rng, const SoakConfig& cfg, std::uint64_t ro
         case FaultKind::DropPoint:
         case FaultKind::WithholdManifest:
             break;
+        case FaultKind::OversizedObject:
+        case FaultKind::InjectJunk:
+        case FaultKind::ChainGraft:  // == kLast
+            // Semantic kinds: scheduled only by adversary packs (their
+            // parameters are scripted, not drawable), never by this soak.
+            return std::nullopt;
     }
 
     if (f.kind == FaultKind::Flap) {

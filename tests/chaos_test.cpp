@@ -10,6 +10,7 @@
 #include "rp/relying_party.hpp"
 #include "rp/sync_engine.hpp"
 #include "rpki/chaos.hpp"
+#include "rpki/objects.hpp"
 #include "sim/chaos_soak.hpp"
 #include "util/errors.hpp"
 
@@ -99,6 +100,44 @@ TEST(FaultPlan, ActivationWindows) {
     EXPECT_FALSE(f.activeAt(6, 0));
     f.attempts = Fault::kAllAttempts;
     EXPECT_TRUE(f.activeAt(5, 7));  // persistent: survives every retry
+}
+
+TEST(FaultPlan, KindTaxonomyRoundTripsThroughTheSentinel) {
+    // Every kind up to the kLast sentinel must have a unique name that
+    // parses back — adding a kind without wiring it can no longer pass.
+    std::set<std::string> names;
+    for (int k = 0; k <= static_cast<int>(FaultKind::kLast); ++k) {
+        const FaultKind kind = static_cast<FaultKind>(k);
+        const std::string name{toString(kind)};
+        EXPECT_NE(name, "?") << "kind " << k << " missing from toString";
+        EXPECT_TRUE(names.insert(name).second) << "duplicate kind name: " << name;
+        EXPECT_EQ(faultKindFromString(name), kind);
+    }
+    // The semantic attack-zoo kinds are part of the taxonomy.
+    EXPECT_EQ(names.count("oversized-object"), 1u);
+    EXPECT_EQ(names.count("inject-junk"), 1u);
+    EXPECT_EQ(names.count("chain-graft"), 1u);
+    EXPECT_THROW((void)faultKindFromString("meteor"), ParseError);
+}
+
+TEST(FaultPlan, PackFieldRoundTripsAndLegacyPlansStillParse) {
+    FaultPlan plan = samplePlan();
+    plan.pack = "stalloris-drain";
+    plan.faults.push_back({FaultKind::OversizedObject, "rpki://org/", "manifest.mft", 4, 2,
+                           Fault::kAllAttempts, 4096});
+    plan.faults.push_back(
+        {FaultKind::InjectJunk, "rpki://org/", "junk.bin", 5, 1, Fault::kAllAttempts, 64});
+    plan.faults.push_back(
+        {FaultKind::ChainGraft, "rpki://org/", "manifest.7.mft", 6, 1, Fault::kAllAttempts, 6});
+    const std::string text = plan.serialize();
+    EXPECT_NE(text.find("pack=stalloris-drain"), std::string::npos);
+    EXPECT_EQ(FaultPlan::parse(text), plan);
+    const Bytes wire = plan.encode();
+    EXPECT_EQ(FaultPlan::decode(ByteView(wire.data(), wire.size())), plan);
+    // A pack-free plan never mentions pack=, so pre-attack-zoo plan files
+    // keep round-tripping byte-identically.
+    EXPECT_EQ(samplePlan().serialize().find("pack="), std::string::npos);
+    EXPECT_EQ(FaultPlan::parse(samplePlan().serialize()).pack, "");
 }
 
 // ---------------------------------------------------------------------------
@@ -299,6 +338,126 @@ TEST(SyncEngine, StallorisStaleServingIsRefusedNeverSilent) {
     engine.syncRound(w.clock.now());
     EXPECT_FALSE(alice.isPointStale(orgPoint));
     EXPECT_EQ(alice.validRoas().size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Semantic attack-zoo kinds and overlays (the adversary packs schedule
+// these; here each ChaosSource mechanism is pinned in isolation)
+
+TEST(ChaosSource, OversizedObjectServesDeterministicGarbage) {
+    World w;
+    RepositorySource honest(w.repo);
+    ChaosSource chaos(honest, FaultPlan{});
+    const std::string orgPoint = w.org->cert().pubPointUri;
+    chaos.addFault({FaultKind::OversizedObject, orgPoint, "manifest.mft", 1, 1,
+                    Fault::kAllAttempts, 4096});
+
+    const auto clean = chaos.fetchPoint(orgPoint, 0, 0);
+    ASSERT_TRUE(clean.has_value());
+    const auto hit = chaos.fetchPoint(orgPoint, 1, 0);
+    ASSERT_TRUE(hit.has_value());
+    const Bytes& blob = hit->at("manifest.mft");
+    EXPECT_EQ(blob.size(), 4096u);
+    EXPECT_NE(blob, clean->at("manifest.mft"));
+    EXPECT_GT(chaos.faultApplications(), 0u);
+    // The blob is attempt-stable and replay-stable: a fresh source running
+    // the same plan serves it bit for bit.
+    EXPECT_EQ(chaos.fetchPoint(orgPoint, 1, 1)->at("manifest.mft"), blob);
+    RepositorySource honestAgain(w.repo);
+    ChaosSource replay(honestAgain, chaos.plan());
+    EXPECT_EQ(replay.fetchPoint(orgPoint, 1, 0)->at("manifest.mft"), blob);
+}
+
+TEST(ChaosSource, InjectedJunkIsAdditiveAndRaisesNothing) {
+    World w;
+    RepositorySource honest(w.repo);
+    ChaosSource chaos(honest, FaultPlan{});
+    const std::string orgPoint = w.org->cert().pubPointUri;
+    chaos.addFault(
+        {FaultKind::InjectJunk, orgPoint, "evil.bin", 1, 2, Fault::kAllAttempts, 64});
+
+    const auto clean = chaos.fetchPoint(orgPoint, 0, 0);
+    ASSERT_TRUE(clean.has_value());
+    EXPECT_EQ(clean->count("evil.bin"), 0u);
+    const auto hit = chaos.fetchPoint(orgPoint, 1, 0);
+    ASSERT_TRUE(hit.has_value());
+    ASSERT_EQ(hit->count("evil.bin"), 1u);
+    EXPECT_EQ(hit->at("evil.bin").size(), 64u);
+    for (const auto& [name, bytes] : *clean) {
+        EXPECT_EQ(hit->at(name), bytes) << name << " was not left intact";
+    }
+
+    // A relying party must shrug: a file the manifest never logged is not
+    // an alarm condition (the packs' built-in false-positive probe).
+    RelyingParty alice("alice", {w.root->cert()}, RpOptions{.ts = 4, .tg = 8});
+    SyncEngine engine(alice, chaos, SyncPolicy{.maxAttempts = 2});
+    for (int round = 0; round < 3; ++round) {
+        engine.syncRound(w.clock.now());
+        w.clock.advance(1);
+        w.org->refreshManifest(w.repo, w.clock.now());
+    }
+    EXPECT_EQ(alice.alarms().count(), 0u);
+    EXPECT_EQ(alice.validRoas().size(), 1u);
+}
+
+TEST(ChaosSource, ChainGraftSwapsOrDropsPreservedManifests) {
+    World w;
+    // Two refreshes give the point preserved copies of two old manifests.
+    const std::uint64_t m0 = w.org->manifestNumber();
+    w.clock.advance(1);
+    w.org->refreshManifest(w.repo, w.clock.now());
+    w.clock.advance(1);
+    w.org->refreshManifest(w.repo, w.clock.now());
+    RepositorySource honest(w.repo);
+    ChaosSource chaos(honest, FaultPlan{});
+    const std::string orgPoint = w.org->cert().pubPointUri;
+    const std::string victim = preservedManifestName(m0 + 1);
+
+    const auto clean = chaos.fetchPoint(orgPoint, 0, 0);
+    ASSERT_TRUE(clean.has_value());
+    ASSERT_EQ(clean->count(victim), 1u);
+    ASSERT_EQ(clean->count(preservedManifestName(m0)), 1u);
+
+    // Graft: the preserved link's bytes become another manifest's.
+    chaos.addFault(
+        {FaultKind::ChainGraft, orgPoint, victim, 1, 1, Fault::kAllAttempts, m0});
+    const auto grafted = chaos.fetchPoint(orgPoint, 1, 0);
+    ASSERT_TRUE(grafted.has_value());
+    EXPECT_EQ(grafted->at(victim), clean->at(preservedManifestName(m0)));
+
+    // Graft from an absent source: the link is cut instead.
+    chaos.addFault(
+        {FaultKind::ChainGraft, orgPoint, victim, 2, 1, Fault::kAllAttempts, m0 + 900});
+    const auto cut = chaos.fetchPoint(orgPoint, 2, 0);
+    ASSERT_TRUE(cut.has_value());
+    EXPECT_EQ(cut->count(victim), 0u);
+}
+
+TEST(ChaosSource, OverlaysReplaceDeliveryWholesaleForOneRound) {
+    World w;
+    RepositorySource honest(w.repo);
+    ChaosSource chaos(honest, FaultPlan{});
+    const std::string orgPoint = w.org->cert().pubPointUri;
+    FileMap forged;
+    forged["mirror.bin"] = Bytes{1, 2, 3};
+    chaos.setOverlay(orgPoint, 1, forged);
+
+    const auto before = chaos.fetchPoint(orgPoint, 0, 0);
+    ASSERT_TRUE(before.has_value());
+    EXPECT_EQ(before->count("mirror.bin"), 0u);
+    EXPECT_EQ(chaos.overlayApplications(), 0u);
+
+    const auto during = chaos.fetchPoint(orgPoint, 1, 0);
+    ASSERT_TRUE(during.has_value());
+    EXPECT_EQ(*during, forged);  // wholesale: honest files are gone
+    EXPECT_EQ(chaos.overlayApplications(), 1u);
+    // Attempt-granular accounting, identical content per attempt.
+    EXPECT_EQ(*chaos.fetchPoint(orgPoint, 1, 1), forged);
+    EXPECT_EQ(chaos.overlayApplications(), 2u);
+
+    const auto after = chaos.fetchPoint(orgPoint, 2, 0);
+    ASSERT_TRUE(after.has_value());
+    EXPECT_EQ(after->count("mirror.bin"), 0u);  // scoped to its round
 }
 
 // ---------------------------------------------------------------------------

@@ -29,14 +29,35 @@ const std::vector<Bytes>& sampleObjects() {
 
 TEST(SharedCorpus, CheckedInTlvSeedsMatchGenerators) {
     // The on-disk corpus must stay in sync with the canonical seed
-    // builders: run build/fuzz/gen_corpus after wire-format changes.
+    // builders: run build/fuzz/gen_corpus after wire-format changes. The
+    // generated set is the object samples plus one attack-shaped seed per
+    // adversary pack (fuzz/gen_corpus writes those as pack_<name>.bin).
     const std::vector<Bytes>& corpus = sampleObjects();
     ASSERT_FALSE(corpus.empty());
-    const std::vector<Bytes> generated = fuzz::sampleObjects();
+    std::vector<Bytes> generated = fuzz::sampleObjects();
+    for (auto& [name, bytes] : fuzz::samplePackTlvSeeds()) {
+        generated.push_back(std::move(bytes));
+    }
     EXPECT_EQ(corpus.size(), generated.size());
     for (const Bytes& seed : generated) {
         EXPECT_NE(std::find(corpus.begin(), corpus.end(), seed), corpus.end())
             << "seed missing from fuzz/corpus/tlv — re-run gen_corpus";
+    }
+}
+
+TEST(SharedCorpus, CheckedInChainProgramsMatchGenerators) {
+    // Same drift guard for the manifest-chain opcode programs: opcode
+    // samples plus one chain-shape program per adversary pack.
+    const std::vector<Bytes> corpus = fuzz::loadCorpusDir(RC_CORPUS_DIR "/manifest_chain");
+    ASSERT_FALSE(corpus.empty());
+    std::vector<Bytes> generated = fuzz::sampleChainPrograms();
+    for (auto& [name, bytes] : fuzz::samplePackChainPrograms()) {
+        generated.push_back(std::move(bytes));
+    }
+    EXPECT_EQ(corpus.size(), generated.size());
+    for (const Bytes& seed : generated) {
+        EXPECT_NE(std::find(corpus.begin(), corpus.end(), seed), corpus.end())
+            << "seed missing from fuzz/corpus/manifest_chain — re-run gen_corpus";
     }
 }
 

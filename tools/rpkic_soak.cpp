@@ -38,7 +38,23 @@
 //   --smoke            shorthand for --seeds 32 --rounds 25
 //   --compare          also run every seed with retry budget 0 and print
 //                      the degradation table (weakened run must be worse)
-//   --plan FILE        replay one serialized plan instead of sweeping
+//   --pack NAME[,..]   attack-zoo mode (docs/CHAOS.md "Attack zoo"): run
+//                      the named adversary scenario packs ("all" = every
+//                      pack) across the seed sweep and diff each run's
+//                      realized alarms, rejections, quarantine state, and
+//                      fleet attribution against the pack's expected-alarm
+//                      oracle (invariants I12/I13). Any miss OR any
+//                      spurious alarm fails the run: failing runs write
+//                      pack-fail-<pack>-seed<N>.plan (replayable with
+//                      --plan) and their postmortems land in --flight-out
+//   --disable-detection
+//                      attack-zoo test hook: turn off the relying party's
+//                      intermediate-state checks and the periodic global
+//                      consistency check. A pack whose attack those paths
+//                      catch must then FAIL its oracle (proves the oracle
+//                      has teeth)
+//   --plan FILE        replay one serialized plan instead of sweeping; a
+//                      plan carrying pack= replays that pack run
 //   --quiet            only the summary line and failures
 //   --scoreboard       per-round table: delivered/failed/retries/absorbed/
 //                      alarms/valid-ROAs for every round of every run
@@ -117,6 +133,7 @@
 
 #include <filesystem>
 
+#include "adversary/runner.hpp"
 #include "fleet/fleet.hpp"
 #include "obs/flight/postmortem.hpp"
 #include "obs/flight/recorder.hpp"
@@ -198,6 +215,39 @@ void printScoreboard(const SoakResult& r) {
     }
 }
 
+void printPackResult(const adversary::PackRunResult& r, bool quiet) {
+    if (!quiet || !r.passed) {
+        std::string verdicts;
+        for (const auto cls : r.realized.verdictClasses) {
+            if (!verdicts.empty()) verdicts += ",";
+            verdicts += std::string(fleet::toString(cls));
+        }
+        if (verdicts.empty()) verdicts = "-";
+        std::printf(
+            "pack %-18s seed %-4llu %s  alarms=%zu faults=%zu hits=%llu overlays=%llu "
+            "quarantined=%s verdicts=%s\n",
+            r.pack.c_str(), static_cast<unsigned long long>(r.seed),
+            r.passed ? "ok  " : "FAIL", r.realized.alarms.size(), r.plan.faults.size(),
+            static_cast<unsigned long long>(r.faultApplications),
+            static_cast<unsigned long long>(r.overlayApplications),
+            r.realized.quarantined ? "yes" : "no", verdicts.c_str());
+    }
+    if (!r.passed) {
+        std::printf("pack %s seed %llu ORACLE DIFF:\n", r.pack.c_str(),
+                    static_cast<unsigned long long>(r.seed));
+        for (const std::string& m : r.diff.missing) std::printf("  missing:  %s\n", m.c_str());
+        for (const std::string& s : r.diff.spurious) std::printf("  spurious: %s\n", s.c_str());
+        const std::string planFile =
+            "pack-fail-" + r.pack + "-seed" + std::to_string(r.seed) + ".plan";
+        std::ofstream out(planFile, std::ios::binary);
+        if (out) {
+            out << r.plan.serialize();
+            std::printf("  plan written to %s — replay with: rpkic-soak --plan %s\n",
+                        planFile.c_str(), planFile.c_str());
+        }
+    }
+}
+
 bool writeFileOrComplain(const std::string& path, const std::string& content) {
     std::ofstream out(path, std::ios::binary);
     if (!out) {
@@ -230,6 +280,8 @@ int main(int argc, char** argv) {
     std::string transcriptOut;
     std::string stateDir;
     std::string planPath;
+    std::string packSpec;
+    bool disableDetection = false;
     std::string metricsOut;
     std::string traceOut;
     std::string threadSpec;
@@ -287,6 +339,10 @@ int main(int argc, char** argv) {
             cfg.rounds = 25;
         } else if (arg == "--compare") {
             compare = true;
+        } else if (arg == "--pack") {
+            packSpec = next("--pack");
+        } else if (arg == "--disable-detection") {
+            disableDetection = true;
         } else if (arg == "--plan") {
             planPath = next("--plan");
         } else if (arg == "--quiet") {
@@ -322,6 +378,7 @@ int main(int argc, char** argv) {
                          "[--crash-sweep]\n"
                          "                  [--fleet N] [--quorum Q] [--faulty-set SPEC]\n"
                          "                  [--transcript-out FILE]\n"
+                         "                  [--pack NAME[,..]] [--disable-detection]\n"
                          "                  [--smoke] [--compare] [--plan FILE] [--quiet]\n"
                          "                  [--scoreboard] [--metrics-out FILE] "
                          "[--trace-out FILE]\n"
@@ -552,6 +609,52 @@ int main(int argc, char** argv) {
         return finish(failures == 0 ? 0 : 2);
     }
 
+    if (!packSpec.empty()) {
+        // Attack-zoo mode: every (pack, seed) cell of the grid is an
+        // independent task; results print in pack-catalogue then seed
+        // order, so the report reads identically at every thread count.
+        std::vector<std::string> packs;
+        try {
+            packs = adversary::resolvePackList(packSpec);
+        } catch (const Error& e) {
+            std::fprintf(stderr, "rpkic-soak: --pack: %s\n", e.what());
+            return finish(1);
+        }
+        rc::parallel::Pool& packPool = rc::parallel::defaultPool();
+        const std::size_t cells = packs.size() * static_cast<std::size_t>(seeds);
+        const std::vector<adversary::PackRunResult> runs =
+            packPool.parallelMap<adversary::PackRunResult>(cells, [&](std::size_t t) {
+                adversary::PackRunConfig runCfg;
+                runCfg.pack = packs[t / seeds];
+                runCfg.seed = seedBase + (t % seeds);
+                runCfg.rounds = cfg.rounds;
+                runCfg.retryBudget = cfg.retryBudget;
+                runCfg.registry = exportRegistry;
+                runCfg.disableDetection = disableDetection;
+                return adversary::runPack(runCfg);
+            });
+        std::uint64_t failures = 0;
+        std::string transcripts;
+        for (const adversary::PackRunResult& r : runs) {
+            printPackResult(r, quiet);
+            writePostmortems(r.postmortems);
+            if (!transcriptOut.empty()) transcripts += r.transcript;
+            if (!r.passed) ++failures;
+        }
+        std::printf("attack zoo: %llu/%llu runs passed  (packs=%zu seeds=%llu)\n",
+                    static_cast<unsigned long long>(cells - failures),
+                    static_cast<unsigned long long>(cells), packs.size(),
+                    static_cast<unsigned long long>(seeds));
+        if (!transcriptOut.empty() && !writeFileOrComplain(transcriptOut, transcripts)) {
+            return finish(1);
+        }
+        if (!transcriptOut.empty() && !quiet) {
+            std::printf("transcripts written to %s\n", transcriptOut.c_str());
+        }
+        if (!writeExports()) return finish(1);
+        return finish(failures == 0 ? 0 : 2);
+    }
+
     // Durable-store state on the real filesystem: one DiskVfs shared by
     // every run (it is stateless), one fresh directory per seed.
     vfs::DiskVfs diskVfs;
@@ -619,6 +722,32 @@ int main(int argc, char** argv) {
         } catch (const ParseError& e) {
             std::fprintf(stderr, "rpkic-soak: %s: %s\n", planPath.c_str(), e.what());
             return finish(1);
+        }
+        if (!plan.pack.empty()) {
+            // A pack plan: replay the pack run (delivery faults from the
+            // plan, authority script and overlays re-derived from the
+            // pack name + seed) and re-judge it against the oracle.
+            std::printf("replaying %s: pack=%s seed=%llu rounds=%llu faults=%zu\n",
+                        planPath.c_str(), plan.pack.c_str(),
+                        static_cast<unsigned long long>(plan.seed),
+                        static_cast<unsigned long long>(plan.rounds), plan.faults.size());
+            adversary::PackRunConfig overrides;
+            overrides.registry = exportRegistry;
+            overrides.disableDetection = disableDetection;
+            adversary::PackRunResult r;
+            try {
+                r = adversary::runPackWithPlan(plan, overrides);
+            } catch (const Error& e) {
+                std::fprintf(stderr, "rpkic-soak: %s: %s\n", planPath.c_str(), e.what());
+                return finish(1);
+            }
+            printPackResult(r, /*quiet=*/false);
+            writePostmortems(r.postmortems);
+            if (!transcriptOut.empty() && !writeFileOrComplain(transcriptOut, r.transcript)) {
+                return finish(1);
+            }
+            if (!writeExports()) return finish(1);
+            return finish(r.passed ? 0 : 2);
         }
         std::printf("replaying %s: seed=%llu rounds=%llu faults=%zu crash-every=%u\n",
                     planPath.c_str(), static_cast<unsigned long long>(plan.seed),
